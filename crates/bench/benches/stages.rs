@@ -1,0 +1,286 @@
+//! Criterion micro-benchmarks: one group per pipeline stage, so the
+//! runtime composition behind the Table II RT column can be traced.
+//!
+//! ```text
+//! cargo bench -p puffer-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use puffer_congest::{CongestionEstimator, EstimatorConfig};
+use puffer_db::design::{Design, Placement};
+use puffer_db::geom::Point;
+use puffer_dp::{refine, DetailedConfig};
+use puffer_fft::{dct2, dct3, Complex};
+use puffer_flute::Topology;
+use puffer_gen::{generate, GeneratorConfig};
+use puffer_legal::legalize;
+use puffer_pad::{extract_features, padding_round, FeatureConfig, PaddingState, PaddingStrategy};
+use puffer_place::{
+    quadratic_placement, DensityModel, GlobalPlacer, PlacerConfig, QuadraticConfig,
+};
+use puffer_route::{assign_layers, GlobalRouter, LayerConfig, RouterConfig};
+
+fn bench_design() -> Design {
+    generate(&GeneratorConfig {
+        name: "bench".into(),
+        num_cells: 2000,
+        num_nets: 2300,
+        num_macros: 4,
+        hotspot: 0.5,
+        ..GeneratorConfig::default()
+    })
+    .expect("bench design")
+}
+
+/// A semi-spread snapshot (mid-global-placement shape).
+fn snapshot(design: &Design) -> Placement {
+    let r = design.region();
+    let c = r.center();
+    let n = design.netlist().movable_cells().count();
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let mut p = design.initial_placement();
+    for (i, id) in design.netlist().movable_cells().enumerate() {
+        let fx = ((i % cols) as f64 + 0.5) / cols as f64 - 0.5;
+        let fy = ((i / cols) as f64 + 0.5) / cols as f64 - 0.5;
+        p.set(
+            id,
+            Point::new(c.x + fx * 0.6 * r.width(), c.y + fy * 0.6 * r.height()),
+        );
+    }
+    p
+}
+
+fn fft_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    let data: Vec<f64> = (0..256).map(|i| (i as f64 * 0.37).sin()).collect();
+    g.bench_function("dct2_256", |b| b.iter(|| dct2(std::hint::black_box(&data))));
+    g.bench_function("dct3_256", |b| b.iter(|| dct3(std::hint::black_box(&data))));
+    let cdata: Vec<Complex> = (0..1024)
+        .map(|i| Complex::new((i as f64).sin(), 0.0))
+        .collect();
+    g.bench_function("fft_1024", |b| {
+        b.iter_batched(
+            || cdata.clone(),
+            |mut v| puffer_fft::fft(&mut v),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn rsmt_benches(c: &mut Criterion) {
+    let design = bench_design();
+    let placement = snapshot(&design);
+    let nets: Vec<_> = design.netlist().iter_nets().map(|(id, _)| id).collect();
+    let mut g = c.benchmark_group("rsmt");
+    g.bench_function("all_nets_2k", |b| {
+        b.iter(|| {
+            let mut wl = 0.0;
+            for &net in &nets {
+                wl += Topology::for_net(design.netlist(), &placement, net).wirelength();
+            }
+            wl
+        })
+    });
+    g.finish();
+}
+
+fn congestion_benches(c: &mut Criterion) {
+    let design = bench_design();
+    let placement = snapshot(&design);
+    let est = CongestionEstimator::new(&design, EstimatorConfig::default());
+    let no_detour = CongestionEstimator::new(
+        &design,
+        EstimatorConfig {
+            expand_detours: false,
+            ..EstimatorConfig::default()
+        },
+    );
+    let mut g = c.benchmark_group("congestion");
+    g.bench_function("estimate_full", |b| {
+        b.iter(|| est.estimate(&design, &placement))
+    });
+    g.bench_function("estimate_no_detour", |b| {
+        b.iter(|| no_detour.estimate(&design, &placement))
+    });
+    g.finish();
+}
+
+fn feature_benches(c: &mut Criterion) {
+    let design = bench_design();
+    let placement = snapshot(&design);
+    let est = CongestionEstimator::new(&design, EstimatorConfig::default());
+    let map = est.estimate(&design, &placement);
+    let mut g = c.benchmark_group("padding");
+    g.bench_function("extract_features", |b| {
+        b.iter(|| extract_features(&design, &placement, &map, &FeatureConfig::default()))
+    });
+    let features = extract_features(&design, &placement, &map, &FeatureConfig::default());
+    let strategy = PaddingStrategy::default();
+    g.bench_function("padding_round", |b| {
+        b.iter_batched(
+            || PaddingState::new(design.netlist().num_cells()),
+            |mut state| padding_round(design.netlist(), &features, &strategy, &mut state, 1e6),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn density_benches(c: &mut Criterion) {
+    let design = bench_design();
+    let placement = snapshot(&design);
+    let widths: Vec<f64> = design.netlist().cells().iter().map(|c| c.width).collect();
+    let model = DensityModel::new(&design, 64, 64);
+    let mut g = c.benchmark_group("density");
+    g.bench_function("evaluate_64x64", |b| {
+        b.iter(|| model.evaluate(design.netlist(), &placement, &widths, 1.0))
+    });
+    g.finish();
+}
+
+fn placer_benches(c: &mut Criterion) {
+    let design = bench_design();
+    let mut g = c.benchmark_group("placer");
+    g.sample_size(10);
+    g.bench_function("ten_nesterov_steps", |b| {
+        b.iter_batched(
+            || GlobalPlacer::new(&design, PlacerConfig::default()).expect("placer"),
+            |mut placer| {
+                for _ in 0..10 {
+                    placer.step();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn router_benches(c: &mut Criterion) {
+    let design = bench_design();
+    let placement = snapshot(&design);
+    let router = GlobalRouter::new(&design, RouterConfig::default());
+    let pattern_only = GlobalRouter::new(
+        &design,
+        RouterConfig {
+            max_rounds: 0,
+            ..RouterConfig::default()
+        },
+    );
+    let mut g = c.benchmark_group("router");
+    g.sample_size(10);
+    g.bench_function("route_full", |b| {
+        b.iter(|| router.route(&design, &placement))
+    });
+    g.bench_function("route_pattern_only", |b| {
+        b.iter(|| pattern_only.route(&design, &placement))
+    });
+    g.finish();
+}
+
+fn legalize_benches(c: &mut Criterion) {
+    let design = bench_design();
+    let placement = snapshot(&design);
+    let zeros = vec![0u32; design.netlist().num_cells()];
+    // Light padding (avg half a site) so the padded design still fits at
+    // the bench design's utilization.
+    let padded: Vec<u32> = (0..design.netlist().num_cells())
+        .map(|i| (i % 2) as u32)
+        .collect();
+    let mut g = c.benchmark_group("legalize");
+    g.sample_size(10);
+    g.bench_function("abacus_plain", |b| {
+        b.iter(|| legalize(&design, &placement, &zeros).expect("legalize"))
+    });
+    g.bench_function("abacus_padded", |b| {
+        b.iter(|| legalize(&design, &placement, &padded).expect("legalize"))
+    });
+    g.finish();
+}
+
+fn quadratic_benches(c: &mut Criterion) {
+    let design = bench_design();
+    let init = design.initial_placement();
+    let mut g = c.benchmark_group("quadratic");
+    g.sample_size(10);
+    g.bench_function("b2b_cg_solve", |b| {
+        b.iter(|| quadratic_placement(&design, &init, &QuadraticConfig::default()))
+    });
+    g.finish();
+}
+
+fn dp_benches(c: &mut Criterion) {
+    let design = bench_design();
+    let zeros = vec![0u32; design.netlist().num_cells()];
+    let legal = legalize(&design, &snapshot(&design), &zeros).expect("legalize");
+    let mut g = c.benchmark_group("detailed_place");
+    g.sample_size(10);
+    g.bench_function("refine_3_passes", |b| {
+        b.iter(|| {
+            refine(
+                &design,
+                &legal.placement,
+                &zeros,
+                &DetailedConfig::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn layer_benches(c: &mut Criterion) {
+    let design = bench_design();
+    let placement = snapshot(&design);
+    let router = GlobalRouter::new(&design, RouterConfig::default());
+    let report = router.route(&design, &placement);
+    let mut g = c.benchmark_group("layers");
+    g.sample_size(10);
+    g.bench_function("assign_layers", |b| {
+        b.iter(|| assign_layers(&design, &report.paths, &LayerConfig::default()))
+    });
+    g.finish();
+}
+
+fn tpe_benches(c: &mut Criterion) {
+    use puffer_explore::{ParamSpec, Space, Tpe, TpeConfig};
+    let space = Space::new(
+        (0..8)
+            .map(|i| ParamSpec::continuous(format!("p{i}"), 0.0, 1.0))
+            .collect(),
+    );
+    let mut g = c.benchmark_group("tpe");
+    g.bench_function("suggest_after_100_obs", |b| {
+        b.iter_batched(
+            || {
+                let mut tpe = Tpe::new(space.clone(), TpeConfig::default());
+                for k in 0..100 {
+                    let x: Vec<f64> = (0..8).map(|d| ((k * 7 + d) % 10) as f64 / 10.0).collect();
+                    let y = x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum();
+                    tpe.observe(x, y);
+                }
+                tpe
+            },
+            |mut tpe| tpe.suggest(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fft_benches,
+    rsmt_benches,
+    congestion_benches,
+    feature_benches,
+    density_benches,
+    placer_benches,
+    router_benches,
+    legalize_benches,
+    quadratic_benches,
+    dp_benches,
+    layer_benches,
+    tpe_benches
+);
+criterion_main!(benches);

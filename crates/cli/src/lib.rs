@@ -1,0 +1,656 @@
+//! Implementation of the `puffer` command-line tool.
+//!
+//! The binary wires the workspace crates into a file-based flow over the
+//! [`puffer_db::io`] text format:
+//!
+//! ```text
+//! puffer gen     --preset media_subsys --scale 0.01 -o design.pd
+//! puffer stats   design.pd
+//! puffer place   design.pd -o placed.pl [--flow puffer|reference|replace]
+//! puffer eval    design.pd placed.pl [--maps out_dir]
+//! puffer refine  design.pd placed.pl -o refined.pl [--guard]
+//! ```
+//!
+//! All logic lives in this library so it can be unit-tested; `main.rs` only
+//! forwards `std::env::args` and sets the exit code.
+
+use puffer::{
+    evaluate, PufferConfig, PufferPlacer, ReferenceConfig, ReferencePlacer, ReplaceConfig,
+    ReplacePlacer,
+};
+use puffer_db::io::{read_design, read_placement, write_design, write_placement};
+use puffer_dp::{refine, refine_with_congestion, DetailedConfig};
+use puffer_gen::{generate, presets, GeneratorConfig};
+use puffer_route::{assign_layers, LayerConfig};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::path::Path;
+
+/// A CLI failure: message for stderr plus the process exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code (always non-zero).
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn run(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+puffer — routability-driven placement (PUFFER, DAC 2023 reproduction)
+
+usage:
+  puffer gen    --preset <name> [--scale <f>] -o <design.pd>
+  puffer gen    --cells <n> [--nets <n>] [--macros <n>] [--hotspot <f>]
+                [--utilization <f>] [--seed <n>] -o <design.pd>
+  puffer convert <design.aux> -o <design.pd>      (Bookshelf import)
+  puffer stats  <design.pd>
+  puffer place  <design.pd> -o <placed.pl> [--flow puffer|reference|replace]
+                [--max-iters <n>]
+  puffer eval   <design.pd> <placed.pl> [--maps <dir>] [--layers]
+  puffer refine <design.pd> <placed.pl> -o <refined.pl> [--guard]
+  puffer draw   <design.pd> <placed.pl> -o <out.svg> [--rows]
+
+presets: or1200 asic_entity bit_coin media_subsys media_pg_modify
+         a53_adb_wrap ct_scan ct_top e31_ecoreplex openc910
+";
+
+/// Runs the CLI on the given arguments (without the program name).
+/// Output lines are pushed to `out` so tests can capture them.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a usage (2) or runtime (1) exit code.
+pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "gen" => cmd_gen(rest, out),
+        "convert" => cmd_convert(rest, out),
+        "stats" => cmd_stats(rest, out),
+        "place" => cmd_place(rest, out),
+        "eval" => cmd_eval(rest, out),
+        "refine" => cmd_refine(rest, out),
+        "draw" => cmd_draw(rest, out),
+        "--help" | "-h" | "help" => {
+            out.push_str(USAGE);
+            Ok(())
+        }
+        other => Err(CliError::usage(format!(
+            "unknown command '{other}'\n\n{USAGE}"
+        ))),
+    }
+}
+
+/// A tiny flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(
+        args: &[String],
+        value_flags: &[&str],
+        switch_flags: &[&str],
+    ) -> Result<Self, CliError> {
+        let mut f = Flags {
+            positional: Vec::new(),
+            options: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                if switch_flags.contains(&name) {
+                    f.switches.push(name.to_string());
+                } else if value_flags.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::usage(format!("--{name} needs a value")))?;
+                    f.options.push((name.to_string(), v.clone()));
+                } else {
+                    return Err(CliError::usage(format!("unknown flag '{a}'\n\n{USAGE}")));
+                }
+            } else {
+                f.positional.push(a.clone());
+            }
+        }
+        Ok(f)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::usage(format!("--{name}: cannot parse '{v}'"))),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn load_design(path: &str) -> Result<puffer_db::design::Design, CliError> {
+    let file = File::open(path).map_err(|e| CliError::run(format!("cannot open {path}: {e}")))?;
+    read_design(file).map_err(|e| CliError::run(format!("cannot parse {path}: {e}")))
+}
+
+fn load_placement(path: &str, num_cells: usize) -> Result<puffer_db::design::Placement, CliError> {
+    let file = File::open(path).map_err(|e| CliError::run(format!("cannot open {path}: {e}")))?;
+    read_placement(file, num_cells).map_err(|e| CliError::run(format!("cannot parse {path}: {e}")))
+}
+
+fn cmd_gen(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "preset",
+            "scale",
+            "cells",
+            "nets",
+            "macros",
+            "hotspot",
+            "utilization",
+            "seed",
+            "o",
+        ],
+        &[],
+    )?;
+    let scale: f64 = flags.get_parsed("scale")?.unwrap_or(0.01);
+    let config: GeneratorConfig = if let Some(name) = flags.get("preset") {
+        presets::by_name(name, scale)
+            .ok_or_else(|| CliError::usage(format!("unknown preset '{name}'")))?
+    } else {
+        let cells: usize = flags
+            .get_parsed("cells")?
+            .ok_or_else(|| CliError::usage("gen needs --preset or --cells"))?;
+        let mut c = GeneratorConfig {
+            name: "custom".into(),
+            num_cells: cells,
+            num_nets: flags.get_parsed("nets")?.unwrap_or(cells + cells / 10),
+            ..GeneratorConfig::default()
+        };
+        if let Some(m) = flags.get_parsed("macros")? {
+            c.num_macros = m;
+        }
+        if let Some(h) = flags.get_parsed("hotspot")? {
+            c.hotspot = h;
+        }
+        if let Some(u) = flags.get_parsed("utilization")? {
+            c.utilization = u;
+        }
+        if let Some(s) = flags.get_parsed("seed")? {
+            c.seed = s;
+        }
+        c
+    };
+    let output = flags
+        .get("o")
+        .ok_or_else(|| CliError::usage("gen needs -o <design.pd>"))?;
+    let design = generate(&config).map_err(|e| CliError::run(format!("generation failed: {e}")))?;
+    let file =
+        File::create(output).map_err(|e| CliError::run(format!("cannot create {output}: {e}")))?;
+    write_design(&design, file).map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    let s = design.stats();
+    let _ = writeln!(
+        out,
+        "wrote {} ({} cells, {} nets, {} pins, {} macros)",
+        output, s.movable_cells, s.nets, s.movable_pins, s.macros
+    );
+    Ok(())
+}
+
+fn cmd_convert(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["o"], &[])?;
+    let [aux_path] = flags.positional.as_slice() else {
+        return Err(CliError::usage("convert needs exactly one <design.aux>"));
+    };
+    let output = flags
+        .get("o")
+        .ok_or_else(|| CliError::usage("convert needs -o <design.pd>"))?;
+    let design = puffer_db::bookshelf::read_aux(aux_path)
+        .map_err(|e| CliError::run(format!("cannot read {aux_path}: {e}")))?;
+    design
+        .check_macros_placed()
+        .map_err(|e| CliError::run(format!("{aux_path}: {e} (is the .pl complete?)")))?;
+    let file =
+        File::create(output).map_err(|e| CliError::run(format!("cannot create {output}: {e}")))?;
+    write_design(&design, file).map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    let s = design.stats();
+    let _ = writeln!(
+        out,
+        "converted {} -> {} ({} cells, {} nets, {} macros)",
+        aux_path, output, s.movable_cells, s.nets, s.macros
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[], &[])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::usage("stats needs exactly one <design.pd>"));
+    };
+    let design = load_design(path)?;
+    let s = design.stats();
+    let _ = writeln!(out, "design    : {}", design.name());
+    let _ = writeln!(out, "region    : {}", design.region());
+    let _ = writeln!(out, "#Macros   : {}", s.macros);
+    let _ = writeln!(out, "#Cells    : {}", s.movable_cells);
+    let _ = writeln!(out, "#Nets     : {}", s.nets);
+    let _ = writeln!(out, "#Pins     : {}", s.movable_pins);
+    let _ = writeln!(out, "avg pins/cell : {:.2}", s.avg_pins_per_cell());
+    let _ = writeln!(out, "utilization   : {:.3}", design.utilization());
+    Ok(())
+}
+
+fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["o", "flow", "max-iters"], &[])?;
+    let [design_path] = flags.positional.as_slice() else {
+        return Err(CliError::usage("place needs exactly one <design.pd>"));
+    };
+    let output = flags
+        .get("o")
+        .ok_or_else(|| CliError::usage("place needs -o <placed.pl>"))?;
+    let design = load_design(design_path)?;
+    let max_iters: Option<usize> = flags.get_parsed("max-iters")?;
+    let flow = flags.get("flow").unwrap_or("puffer");
+    let result = match flow {
+        "puffer" => {
+            let mut cfg = PufferConfig::default();
+            if let Some(n) = max_iters {
+                cfg.placer.max_iters = n;
+            }
+            PufferPlacer::new(cfg).place(&design)
+        }
+        "reference" => {
+            let mut cfg = ReferenceConfig::default();
+            if let Some(n) = max_iters {
+                cfg.placer.max_iters = n;
+            }
+            ReferencePlacer::new(cfg).place(&design)
+        }
+        "replace" => {
+            let mut cfg = ReplaceConfig::default();
+            if let Some(n) = max_iters {
+                cfg.placer.max_iters = n;
+            }
+            ReplacePlacer::new(cfg).place(&design)
+        }
+        other => return Err(CliError::usage(format!("unknown flow '{other}'"))),
+    }
+    .map_err(|e| CliError::run(format!("placement failed: {e}")))?;
+    let file =
+        File::create(output).map_err(|e| CliError::run(format!("cannot create {output}: {e}")))?;
+    write_placement(&result.placement, file)
+        .map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    let _ = writeln!(
+        out,
+        "wrote {} (HPWL {:.0}, {} GP iterations, {} padding rounds, {:.1}s)",
+        output, result.hpwl, result.gp_iterations, result.pad_rounds, result.runtime_s
+    );
+    Ok(())
+}
+
+fn cmd_eval(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["maps"], &["layers"])?;
+    let [design_path, placement_path] = flags.positional.as_slice() else {
+        return Err(CliError::usage("eval needs <design.pd> <placed.pl>"));
+    };
+    let design = load_design(design_path)?;
+    let placement = load_placement(placement_path, design.netlist().num_cells())?;
+    let report = evaluate(&design, &placement);
+    let _ = writeln!(
+        out,
+        "HOF {:.2}%  VOF {:.2}%  WL {:.0}  ({} overflowed Gcells; 1%-criterion: {})",
+        report.hof_pct,
+        report.vof_pct,
+        report.wirelength,
+        report.overflow_gcells,
+        if report.passes() { "PASS" } else { "FAIL" }
+    );
+    if flags.has("layers") {
+        let assignment = assign_layers(&design, &report.paths, &LayerConfig::default());
+        let _ = writeln!(out, "layer assignment ({} vias):", assignment.vias);
+        for l in &assignment.layers {
+            let _ = writeln!(
+                out,
+                "  {:<4} {}  usage {:>10.1}  overflow {:>6.3}%",
+                l.name,
+                l.direction,
+                l.usage.sum(),
+                l.overflow_ratio * 100.0
+            );
+        }
+    }
+    if let Some(dir) = flags.get("maps") {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::run(format!("cannot create {dir}: {e}")))?;
+        for (horizontal, tag) in [(true, "h"), (false, "v")] {
+            let base = Path::new(dir).join(format!("congestion_{tag}"));
+            std::fs::write(
+                base.with_extension("csv"),
+                report.congestion.to_csv(horizontal),
+            )
+            .map_err(|e| CliError::run(format!("write failed: {e}")))?;
+            std::fs::write(
+                base.with_extension("pgm"),
+                report.congestion.to_pgm(horizontal),
+            )
+            .map_err(|e| CliError::run(format!("write failed: {e}")))?;
+        }
+        let _ = writeln!(out, "wrote congestion maps to {dir}/");
+    }
+    Ok(())
+}
+
+fn cmd_draw(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["o"], &["rows"])?;
+    let [design_path, placement_path] = flags.positional.as_slice() else {
+        return Err(CliError::usage("draw needs <design.pd> <placed.pl>"));
+    };
+    let output = flags.get("o").ok_or_else(|| CliError::usage("draw needs -o <out.svg>"))?;
+    let design = load_design(design_path)?;
+    let placement = load_placement(placement_path, design.netlist().num_cells())?;
+    let svg = puffer_db::svg::render_svg(
+        &design,
+        &placement,
+        &puffer_db::svg::SvgOptions {
+            draw_rows: flags.has("rows"),
+            ..puffer_db::svg::SvgOptions::default()
+        },
+    );
+    std::fs::write(output, svg).map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    let _ = writeln!(out, "wrote {output}");
+    Ok(())
+}
+
+fn cmd_refine(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["o"], &["guard"])?;
+    let [design_path, placement_path] = flags.positional.as_slice() else {
+        return Err(CliError::usage("refine needs <design.pd> <placed.pl>"));
+    };
+    let output = flags
+        .get("o")
+        .ok_or_else(|| CliError::usage("refine needs -o <refined.pl>"))?;
+    let design = load_design(design_path)?;
+    let placement = load_placement(placement_path, design.netlist().num_cells())?;
+    let zeros = vec![0u32; design.netlist().num_cells()];
+    let outcome = if flags.has("guard") {
+        let report = evaluate(&design, &placement);
+        refine_with_congestion(
+            &design,
+            &placement,
+            &zeros,
+            &DetailedConfig::default(),
+            &report.congestion,
+        )
+    } else {
+        refine(&design, &placement, &zeros, &DetailedConfig::default())
+    }
+    .map_err(|e| CliError::run(format!("refinement failed: {e}")))?;
+    let file =
+        File::create(output).map_err(|e| CliError::run(format!("cannot create {output}: {e}")))?;
+    write_placement(&outcome.placement, file)
+        .map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    let _ = writeln!(
+        out,
+        "wrote {} (HPWL {:.0} -> {:.0}, {} moves)",
+        output, outcome.hpwl_before, outcome.hpwl_after, outcome.moves
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("puffer-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let mut out = String::new();
+        run(&strs(&["help"]), &mut out).unwrap();
+        assert!(out.contains("usage:"));
+        let err = run(&strs(&["bogus"]), &mut String::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run(&[], &mut String::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn gen_requires_output_and_validates_preset() {
+        let err = run(&strs(&["gen", "--preset", "or1200"]), &mut String::new()).unwrap_err();
+        assert!(err.message.contains("-o"));
+        let err = run(
+            &strs(&["gen", "--preset", "nope", "-o", &tmp("x.pd")]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown preset"));
+    }
+
+    #[test]
+    fn full_pipeline_gen_stats_place_eval_refine() {
+        let design_path = tmp("pipe.pd");
+        let placed_path = tmp("pipe.pl");
+        let refined_path = tmp("pipe_ref.pl");
+        let mut out = String::new();
+        run(
+            &strs(&[
+                "gen",
+                "--cells",
+                "300",
+                "--nets",
+                "330",
+                "--macros",
+                "1",
+                "--utilization",
+                "0.6",
+                "-o",
+                &design_path,
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("300 cells"));
+
+        let mut out = String::new();
+        run(&strs(&["stats", &design_path]), &mut out).unwrap();
+        assert!(out.contains("#Cells    : 300"));
+
+        let mut out = String::new();
+        run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &placed_path,
+                "--max-iters",
+                "120",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("HPWL"));
+
+        let mut out = String::new();
+        run(&strs(&["eval", &design_path, &placed_path]), &mut out).unwrap();
+        assert!(out.contains("HOF"));
+
+        let mut out = String::new();
+        run(
+            &strs(&["refine", &design_path, &placed_path, "-o", &refined_path]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("->"));
+        assert!(std::path::Path::new(&refined_path).exists());
+    }
+
+    #[test]
+    fn convert_imports_bookshelf() {
+        let dir = std::env::temp_dir().join("puffer-cli-bookshelf");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("t.nodes"), "UCLA nodes 1.0\na 2 1\nb 2 1\n").unwrap();
+        std::fs::write(
+            dir.join("t.nets"),
+            "UCLA nets 1.0\nNetDegree : 2 n0\n a I : 0 0\n b O : 0 0\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("t.pl"), "UCLA pl 1.0\na 0 0 : N\nb 4 0 : N\n").unwrap();
+        let scl: String = (0..10)
+            .map(|i| {
+                format!(
+                    "CoreRow Horizontal\n Coordinate : {i}\n Height : 1\n Sitewidth : 1\n \
+                     SubrowOrigin : 0 NumSites : 20\nEnd\n"
+                )
+            })
+            .collect();
+        std::fs::write(dir.join("t.scl"), scl).unwrap();
+        std::fs::write(
+            dir.join("t.aux"),
+            "RowBasedPlacement : t.nodes t.nets t.pl t.scl\n",
+        )
+        .unwrap();
+        let out_pd = dir.join("t.pd");
+        let mut out = String::new();
+        run(
+            &strs(&[
+                "convert",
+                dir.join("t.aux").to_str().unwrap(),
+                "-o",
+                out_pd.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("2 cells"));
+        // The converted design is loadable by every other subcommand.
+        let mut stats_out = String::new();
+        run(&strs(&["stats", out_pd.to_str().unwrap()]), &mut stats_out).unwrap();
+        assert!(stats_out.contains("#Cells    : 2"));
+    }
+
+    #[test]
+    fn eval_writes_maps() {
+        let design_path = tmp("maps.pd");
+        let placed_path = tmp("maps.pl");
+        let maps_dir = tmp("maps_out");
+        run(
+            &strs(&["gen", "--cells", "200", "-o", &design_path]),
+            &mut String::new(),
+        )
+        .unwrap();
+        run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &placed_path,
+                "--max-iters",
+                "60",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap();
+        let mut out = String::new();
+        run(
+            &strs(&["eval", &design_path, &placed_path, "--maps", &maps_dir]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(Path::new(&maps_dir).join("congestion_h.csv").exists());
+        assert!(Path::new(&maps_dir).join("congestion_v.pgm").exists());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = run(
+            &strs(&["gen", "--cells", "100", "--wat", "3", "-o", &tmp("y.pd")]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown flag"));
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn bad_numeric_values_are_reported() {
+        let err = run(
+            &strs(&["gen", "--cells", "abc", "-o", &tmp("z.pd")]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("cannot parse"));
+    }
+
+    #[test]
+    fn place_rejects_unknown_flow() {
+        let design_path = tmp("flow.pd");
+        run(
+            &strs(&["gen", "--cells", "100", "-o", &design_path]),
+            &mut String::new(),
+        )
+        .unwrap();
+        let err = run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &tmp("flow.pl"),
+                "--flow",
+                "magic",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown flow"));
+    }
+}

@@ -1,0 +1,14 @@
+//! The `puffer` binary: thin wrapper over [`puffer_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match puffer_cli::run(&args, &mut out) {
+        Ok(()) => print!("{out}"),
+        Err(e) => {
+            print!("{out}");
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Topology-based probabilistic routing demand (paper §III-A.2).
+//!
+//! Every net is decomposed into two-point nets on its RSMT. "I"-shaped
+//! two-point nets deposit one track of demand in each Gcell they pass, in
+//! the corresponding direction. "L"-shaped two-point nets spread the demand
+//! of the two possible L routes uniformly over their bounding box. A pin
+//! penalty adds demand for local nets whose pins land in one Gcell.
+
+use puffer_db::design::{Design, Placement};
+use puffer_db::grid::Grid;
+use puffer_flute::Topology;
+
+/// One two-point net, recorded in Gcell coordinates for the detour pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentRecord {
+    /// Gcell x of endpoint `a`.
+    pub ax: usize,
+    /// Gcell y of endpoint `a`.
+    pub ay: usize,
+    /// Gcell x of endpoint `b`.
+    pub bx: usize,
+    /// Gcell y of endpoint `b`.
+    pub by: usize,
+    /// Whether endpoint `a` is a Steiner point.
+    pub a_steiner: bool,
+    /// Whether endpoint `b` is a Steiner point.
+    pub b_steiner: bool,
+}
+
+/// Geometric class of a two-point net in Gcell space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentShape {
+    /// Both endpoints in the same Gcell.
+    Local,
+    /// Same Gcell row: a horizontal I-shape.
+    HorizontalI,
+    /// Same Gcell column: a vertical I-shape.
+    VerticalI,
+    /// Distinct rows and columns: an L-shape.
+    Ell,
+}
+
+impl SegmentRecord {
+    /// Classifies the segment.
+    pub fn shape(&self) -> SegmentShape {
+        match (self.ax == self.bx, self.ay == self.by) {
+            (true, true) => SegmentShape::Local,
+            (false, true) => SegmentShape::HorizontalI,
+            (true, false) => SegmentShape::VerticalI,
+            (false, false) => SegmentShape::Ell,
+        }
+    }
+}
+
+/// Builds `(h_demand, v_demand, segments)` for a placement snapshot.
+///
+/// `template` supplies the Gcell geometry (any capacity map works); demand
+/// grids share its region and resolution. Nets are processed on parallel
+/// threads (`threads`; clamped to ≥ 1) with a deterministic merge, so the
+/// result is independent of the thread count.
+pub fn build_demand(
+    design: &Design,
+    placement: &Placement,
+    template: &Grid<f64>,
+    pin_penalty: f64,
+    threads: usize,
+) -> (Grid<f64>, Grid<f64>, Vec<SegmentRecord>) {
+    let mut h_dmd: Grid<f64> = Grid::new(template.region(), template.nx(), template.ny());
+    let mut v_dmd: Grid<f64> = Grid::new(template.region(), template.nx(), template.ny());
+    let netlist = design.netlist();
+    let mut segments = Vec::new();
+
+    let net_ids: Vec<_> = netlist.iter_nets().map(|(id, _)| id).collect();
+    let threads = threads.clamp(1, 64);
+    let chunk_len = net_ids.len().div_ceil(threads).max(1);
+    type Partial = (Grid<f64>, Grid<f64>, Vec<SegmentRecord>);
+    let partials: Vec<Partial> = std::thread::scope(|scope| {
+        let handles: Vec<_> = net_ids
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut h: Grid<f64> =
+                        Grid::new(template.region(), template.nx(), template.ny());
+                    let mut v: Grid<f64> =
+                        Grid::new(template.region(), template.nx(), template.ny());
+                    let mut segs = Vec::new();
+                    for &net_id in chunk {
+                        if netlist.net(net_id).degree() < 2 {
+                            continue;
+                        }
+                        let topo = Topology::for_net(netlist, placement, net_id);
+                        for seg in topo.segments() {
+                            let na = topo.nodes()[seg.a];
+                            let nb = topo.nodes()[seg.b];
+                            let (ax, ay) = h.cell_of(na.pos);
+                            let (bx, by) = h.cell_of(nb.pos);
+                            let rec = SegmentRecord {
+                                ax,
+                                ay,
+                                bx,
+                                by,
+                                a_steiner: na.kind.is_steiner(),
+                                b_steiner: nb.kind.is_steiner(),
+                            };
+                            deposit(&mut h, &mut v, &rec);
+                            segs.push(rec);
+                        }
+                    }
+                    (h, v, segs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("demand thread panicked"))
+            .collect()
+    });
+    for (h, v, segs) in partials {
+        for (dst, src) in h_dmd.as_mut_slice().iter_mut().zip(h.as_slice()) {
+            *dst += src;
+        }
+        for (dst, src) in v_dmd.as_mut_slice().iter_mut().zip(v.as_slice()) {
+            *dst += src;
+        }
+        segments.extend(segs);
+    }
+
+    // Pin penalty: local-net demand at every pin's Gcell.
+    if pin_penalty > 0.0 {
+        for i in 0..netlist.num_pins() {
+            let pid = puffer_db::netlist::PinId(i as u32);
+            let pos = placement.pin_pos(netlist, pid);
+            let (ix, iy) = h_dmd.cell_of(pos);
+            *h_dmd.at_mut(ix, iy) += pin_penalty;
+            *v_dmd.at_mut(ix, iy) += pin_penalty;
+        }
+    }
+
+    (h_dmd, v_dmd, segments)
+}
+
+/// Deposits one segment's probabilistic demand into the grids.
+pub(crate) fn deposit(h_dmd: &mut Grid<f64>, v_dmd: &mut Grid<f64>, rec: &SegmentRecord) {
+    let (x0, x1) = (rec.ax.min(rec.bx), rec.ax.max(rec.bx));
+    let (y0, y1) = (rec.ay.min(rec.by), rec.ay.max(rec.by));
+    match rec.shape() {
+        SegmentShape::Local => {}
+        SegmentShape::HorizontalI => {
+            let y = rec.ay;
+            for x in x0..=x1 {
+                *h_dmd.at_mut(x, y) += 1.0;
+            }
+        }
+        SegmentShape::VerticalI => {
+            let x = rec.ax;
+            for y in y0..=y1 {
+                *v_dmd.at_mut(x, y) += 1.0;
+            }
+        }
+        SegmentShape::Ell => {
+            // Average of the two L routes: horizontal demand 1/nrows per
+            // bbox Gcell, vertical demand 1/ncols per bbox Gcell.
+            let nrows = (y1 - y0 + 1) as f64;
+            let ncols = (x1 - x0 + 1) as f64;
+            let h_share = 1.0 / nrows;
+            let v_share = 1.0 / ncols;
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    *h_dmd.at_mut(x, y) += h_share;
+                    *v_dmd.at_mut(x, y) += v_share;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_db::geom::{Point, Rect};
+
+    fn grids() -> (Grid<f64>, Grid<f64>) {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        (Grid::new(r, 10, 10), Grid::new(r, 10, 10))
+    }
+
+    #[test]
+    fn horizontal_i_deposits_unit_track() {
+        let (mut h, mut v) = grids();
+        let rec = SegmentRecord {
+            ax: 2,
+            ay: 5,
+            bx: 6,
+            by: 5,
+            a_steiner: false,
+            b_steiner: false,
+        };
+        assert_eq!(rec.shape(), SegmentShape::HorizontalI);
+        deposit(&mut h, &mut v, &rec);
+        for x in 2..=6 {
+            assert_eq!(*h.at(x, 5), 1.0);
+        }
+        assert_eq!(h.sum(), 5.0);
+        assert_eq!(v.sum(), 0.0);
+    }
+
+    #[test]
+    fn vertical_i_deposits_unit_track() {
+        let (mut h, mut v) = grids();
+        let rec = SegmentRecord {
+            ax: 3,
+            ay: 8,
+            bx: 3,
+            by: 4,
+            a_steiner: false,
+            b_steiner: false,
+        };
+        assert_eq!(rec.shape(), SegmentShape::VerticalI);
+        deposit(&mut h, &mut v, &rec);
+        assert_eq!(v.sum(), 5.0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn ell_spreads_average_demand() {
+        let (mut h, mut v) = grids();
+        let rec = SegmentRecord {
+            ax: 1,
+            ay: 1,
+            bx: 4,
+            by: 3,
+            a_steiner: false,
+            b_steiner: true,
+        };
+        assert_eq!(rec.shape(), SegmentShape::Ell);
+        deposit(&mut h, &mut v, &rec);
+        // Total horizontal demand equals the horizontal crossing count (4
+        // columns), total vertical equals 3 rows.
+        assert!((h.sum() - 4.0).abs() < 1e-9);
+        assert!((v.sum() - 3.0).abs() < 1e-9);
+        // Uniform inside the bbox.
+        assert!((*h.at(1, 1) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((*v.at(4, 3) - 1.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_segment_deposits_nothing() {
+        let (mut h, mut v) = grids();
+        let rec = SegmentRecord {
+            ax: 5,
+            ay: 5,
+            bx: 5,
+            by: 5,
+            a_steiner: false,
+            b_steiner: false,
+        };
+        assert_eq!(rec.shape(), SegmentShape::Local);
+        deposit(&mut h, &mut v, &rec);
+        assert_eq!(h.sum() + v.sum(), 0.0);
+    }
+
+    #[test]
+    fn build_demand_adds_pin_penalty() {
+        use puffer_db::netlist::{CellKind, NetlistBuilder};
+        use puffer_db::tech::Technology;
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        let b = nb.add_cell("b", 1.0, 1.0, CellKind::Movable);
+        let n = nb.add_net("n");
+        nb.connect(n, a, Point::ORIGIN).unwrap();
+        nb.connect(n, b, Point::ORIGIN).unwrap();
+        let d = Design::new(
+            "t",
+            nb.build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 20.0, 20.0),
+        )
+        .unwrap();
+        let mut p = Placement::zeroed(2);
+        p.set(a, Point::new(2.5, 2.5));
+        p.set(b, Point::new(12.5, 2.5));
+        let template: Grid<f64> = Grid::new(d.region(), 4, 4);
+        let (h, v, segs) = build_demand(&d, &p, &template, 0.25, 2);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].shape(), SegmentShape::HorizontalI);
+        // 3 Gcells crossed horizontally (columns 0..=2 at 5-unit pitch) plus
+        // two pin penalties.
+        assert!((h.sum() - (3.0 + 0.5)).abs() < 1e-9);
+        assert!((v.sum() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_is_identical_for_any_thread_count() {
+        use puffer_gen::{generate, GeneratorConfig};
+        let d = generate(&GeneratorConfig {
+            num_cells: 300,
+            num_nets: 340,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let p = d.initial_placement();
+        let template: Grid<f64> = Grid::new(d.region(), 12, 12);
+        let (h1, v1, s1) = build_demand(&d, &p, &template, 0.1, 1);
+        let (h8, v8, s8) = build_demand(&d, &p, &template, 0.1, 8);
+        assert_eq!(s1, s8);
+        for (a, b) in h1.as_slice().iter().zip(h8.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        for (a, b) in v1.as_slice().iter().zip(v8.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_pin_penalty_skips_pass() {
+        use puffer_db::netlist::{CellKind, NetlistBuilder};
+        use puffer_db::tech::Technology;
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        let n = nb.add_net("n");
+        nb.connect(n, a, Point::ORIGIN).unwrap();
+        let d = Design::new(
+            "t",
+            nb.build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 20.0, 20.0),
+        )
+        .unwrap();
+        let template: Grid<f64> = Grid::new(d.region(), 4, 4);
+        let (h, v, _) = build_demand(&d, &Placement::zeroed(1), &template, 0.0, 2);
+        assert_eq!(h.sum() + v.sum(), 0.0);
+    }
+}

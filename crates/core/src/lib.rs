@@ -1,0 +1,209 @@
+//! # PUFFER — routability-driven placement via cell padding with multiple
+//! # features and strategy exploration
+//!
+//! A from-scratch Rust reproduction of the DAC 2023 paper *"PUFFER: A
+//! Routability-Driven Placement Framework via Cell Padding with Multiple
+//! Features and Strategy Exploration"* (Cai et al.). Like the puffer fish,
+//! cells in this framework adjust their sizes according to their status:
+//! congested cells grow filler padding that makes the electrostatic global
+//! placer spread them apart, and the padding follows them into
+//! legalization.
+//!
+//! The framework is assembled from the workspace substrates:
+//!
+//! | Stage (paper Fig. 2) | Crate |
+//! |---|---|
+//! | Global placement engine (ePlace) | [`puffer_place`] |
+//! | Congestion estimation (§III-A) | [`puffer_congest`] |
+//! | Multi-feature cell padding (§III-B) | [`puffer_pad`] |
+//! | Strategy exploration (§III-C) | [`puffer_explore`] |
+//! | White-space-assisted legalization (§III-D) | [`puffer_legal`] |
+//! | Routability evaluation (global router) | [`puffer_route`] |
+//! | Benchmarks (Table I) | [`puffer_gen`] |
+//!
+//! This crate ties them together:
+//!
+//! * [`PufferPlacer`] — the full PUFFER flow;
+//! * [`ReferencePlacer`] / [`ReplacePlacer`] — the two Table II baselines
+//!   (commercial-style router-in-the-loop inflation, and RePlAce-style
+//!   bulk inflation);
+//! * [`evaluate`]/[`ComparisonTable`] — routing-based evaluation and the
+//!   Table II report format;
+//! * [`strategy_space`]/[`tuned_strategy`] — the glue between
+//!   [`puffer_pad::PaddingStrategy`] and the Bayesian exploration.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use puffer::{PufferPlacer, PufferConfig, evaluate};
+//! use puffer_gen::{generate, presets};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = generate(&presets::or1200(0.003))?; // tiny scale for docs
+//! let mut config = PufferConfig::default();
+//! config.placer.max_iters = 50;
+//! let result = PufferPlacer::new(config).place(&design)?;
+//! let report = evaluate(&design, &result.placement);
+//! println!("HOF {:.2}% VOF {:.2}% WL {:.0}", report.hof_pct, report.vof_pct,
+//!          report.wirelength);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baselines;
+pub mod flow;
+pub mod report;
+
+pub use baselines::{
+    ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer, WsaConfig, WsaPlacer,
+};
+pub use flow::{FlowResult, PufferConfig, PufferPlacer};
+pub use report::{ComparisonTable, EvalRow, FlowSummary};
+
+use puffer_db::design::{Design, Placement};
+use puffer_explore::{ParamSpec, Space};
+use puffer_pad::PaddingStrategy;
+use puffer_route::{GlobalRouter, RouteReport, RouterConfig};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the placement flows.
+#[derive(Debug)]
+pub enum PufferError {
+    /// Global placement could not run.
+    Place(String),
+    /// Legalization failed.
+    Legalize(String),
+}
+
+impl fmt::Display for PufferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PufferError::Place(m) => write!(f, "placement failed: {m}"),
+            PufferError::Legalize(m) => write!(f, "legalization failed: {m}"),
+        }
+    }
+}
+
+impl Error for PufferError {}
+
+/// Routes a placement with the shared evaluator (default router settings)
+/// and returns the Table II quantities.
+pub fn evaluate(design: &Design, placement: &Placement) -> RouteReport {
+    GlobalRouter::new(design, RouterConfig::default()).route(design, placement)
+}
+
+/// The strategy-exploration space of §III-C as a [`puffer_explore::Space`]
+/// (built from [`PaddingStrategy::parameter_space`]).
+pub fn strategy_space() -> Space {
+    Space::new(
+        PaddingStrategy::parameter_space()
+            .into_iter()
+            .map(|r| ParamSpec::continuous(r.name, r.lo, r.hi))
+            .collect(),
+    )
+}
+
+/// Converts an assignment over [`strategy_space`] into a
+/// [`PaddingStrategy`] (unknown/missing parameters keep their defaults).
+pub fn tuned_strategy(space: &Space, values: &[f64]) -> PaddingStrategy {
+    let mut s = PaddingStrategy::default();
+    for (p, &v) in space.params().iter().zip(values) {
+        s.apply(&p.name, v);
+    }
+    s
+}
+
+/// The *extended* exploration space: the continuous strategy parameters of
+/// [`strategy_space`] plus the optional discrete strategies the paper's
+/// conclusion proposes adding — the CNN kernel radius (integer), the
+/// detour-expansion switch and radius, and the estimator's pin penalty.
+///
+/// This demonstrates the scheme on mixed continuous / integer / categorical
+/// domains ("also suitable for other black-box problems with optional
+/// strategies and configurable parameters", §III-C).
+pub fn extended_strategy_space() -> Space {
+    let mut params: Vec<ParamSpec> = PaddingStrategy::parameter_space()
+        .into_iter()
+        .map(|r| ParamSpec::continuous(r.name, r.lo, r.hi))
+        .collect();
+    params.push(ParamSpec::integer("kernel_radius", 1, 4));
+    params.push(ParamSpec::categorical("expand_detours", 2));
+    params.push(ParamSpec::integer("expansion_radius", 1, 4));
+    params.push(ParamSpec::continuous("pin_penalty", 0.0, 0.25));
+    Space::new(params)
+}
+
+/// Converts an assignment over [`extended_strategy_space`] into a full
+/// [`PufferConfig`]: strategy parameters go to the padding strategy,
+/// discrete strategy options go to the estimator / feature configs.
+pub fn tuned_config(space: &Space, values: &[f64]) -> PufferConfig {
+    let mut config = PufferConfig::default();
+    for (p, &v) in space.params().iter().zip(values) {
+        match p.name.as_str() {
+            "kernel_radius" => config.features.kernel_radius = v as usize,
+            "expand_detours" => config.estimator.expand_detours = v >= 0.5,
+            "expansion_radius" => config.estimator.expansion_radius = v as usize,
+            "pin_penalty" => config.estimator.pin_penalty = v,
+            name => config.strategy.apply(name, v),
+        }
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(PufferError::Place("x".into())
+            .to_string()
+            .contains("placement"));
+        assert!(PufferError::Legalize("y".into())
+            .to_string()
+            .contains("legalization"));
+    }
+
+    #[test]
+    fn strategy_space_round_trip() {
+        let space = strategy_space();
+        assert!(space.len() >= 10);
+        let mid = space.midpoint();
+        let s = tuned_strategy(&space, &mid);
+        // Midpoint of alpha0's [0, 4] range.
+        assert!((s.alpha[0] - 2.0).abs() < 1e-9);
+        assert!(s.pu_low <= s.pu_high);
+    }
+
+    #[test]
+    fn extended_space_maps_discrete_strategies() {
+        let space = extended_strategy_space();
+        assert!(space.len() > strategy_space().len());
+        let mut values = space.midpoint();
+        let kr = space.index_of("kernel_radius").unwrap();
+        let ed = space.index_of("expand_detours").unwrap();
+        let er = space.index_of("expansion_radius").unwrap();
+        values[kr] = 4.0;
+        values[ed] = 0.0;
+        values[er] = 3.0;
+        let cfg = tuned_config(&space, &values);
+        assert_eq!(cfg.features.kernel_radius, 4);
+        assert!(!cfg.estimator.expand_detours);
+        assert_eq!(cfg.estimator.expansion_radius, 3);
+        // Continuous strategy parameters still flow through.
+        assert!((cfg.strategy.alpha[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_runs_end_to_end() {
+        use puffer_gen::{generate, GeneratorConfig};
+        let d = generate(&GeneratorConfig {
+            num_cells: 200,
+            num_nets: 220,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let rep = evaluate(&d, &d.initial_placement());
+        assert!(rep.wirelength >= 0.0);
+    }
+}

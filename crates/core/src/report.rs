@@ -1,0 +1,309 @@
+//! Evaluation reports in the shape of the paper's Table II.
+
+use std::fmt;
+
+/// One flow's evaluation on one benchmark: the four Table II columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Flow name (`Commercial_Ref`, `RePlAce-like`, `PUFFER`).
+    pub flow: String,
+    /// Horizontal overflow ratio in percent.
+    pub hof_pct: f64,
+    /// Vertical overflow ratio in percent.
+    pub vof_pct: f64,
+    /// Routed wirelength (database units).
+    pub wirelength: f64,
+    /// Runtime in seconds.
+    pub runtime_s: f64,
+}
+
+impl EvalRow {
+    /// The paper's 1% pass criterion, per direction.
+    pub fn passes_h(&self) -> bool {
+        self.hof_pct < 1.0
+    }
+
+    /// Vertical pass.
+    pub fn passes_v(&self) -> bool {
+        self.vof_pct < 1.0
+    }
+}
+
+/// Aggregate of one flow over all benchmarks, averaged the way Table II
+/// averages: HOF/VOF as plain means of the values ("since the values are
+/// relatively small, we compared the average value instead of the average
+/// ratio"), WL and RT as geometric-mean ratios against a reference flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSummary {
+    /// Flow name.
+    pub flow: String,
+    /// Mean HOF(%).
+    pub avg_hof: f64,
+    /// Mean VOF(%).
+    pub avg_vof: f64,
+    /// Geometric-mean WL ratio vs the reference flow.
+    pub wl_ratio: f64,
+    /// Geometric-mean RT ratio vs the reference flow.
+    pub rt_ratio: f64,
+    /// Benchmarks passing the 1% HOF criterion.
+    pub pass_h: usize,
+    /// Benchmarks passing the 1% VOF criterion.
+    pub pass_v: usize,
+    /// Number of benchmarks.
+    pub count: usize,
+}
+
+/// A Table II style comparison across flows and benchmarks.
+#[derive(Debug, Clone, Default)]
+pub struct ComparisonTable {
+    rows: Vec<EvalRow>,
+}
+
+impl ComparisonTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one evaluation row.
+    pub fn push(&mut self, row: EvalRow) {
+        self.rows.push(row);
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[EvalRow] {
+        &self.rows
+    }
+
+    /// Distinct flow names in insertion order.
+    pub fn flows(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.rows {
+            if !out.contains(&r.flow) {
+                out.push(r.flow.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct benchmark names in insertion order.
+    pub fn benchmarks(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.rows {
+            if !out.contains(&r.benchmark) {
+                out.push(r.benchmark.clone());
+            }
+        }
+        out
+    }
+
+    fn row(&self, flow: &str, benchmark: &str) -> Option<&EvalRow> {
+        self.rows
+            .iter()
+            .find(|r| r.flow == flow && r.benchmark == benchmark)
+    }
+
+    /// Summarises a flow with WL/RT ratios normalized against
+    /// `reference_flow` (the paper normalizes against PUFFER).
+    pub fn summarize(&self, flow: &str, reference_flow: &str) -> Option<FlowSummary> {
+        let benches = self.benchmarks();
+        let mut rows = Vec::new();
+        let mut wl_log = 0.0;
+        let mut rt_log = 0.0;
+        let mut ratio_count = 0usize;
+        for b in &benches {
+            let Some(r) = self.row(flow, b) else { continue };
+            rows.push(r);
+            if let Some(base) = self.row(reference_flow, b) {
+                if base.wirelength > 0.0 && r.wirelength > 0.0 {
+                    wl_log += (r.wirelength / base.wirelength).ln();
+                }
+                if base.runtime_s > 0.0 && r.runtime_s > 0.0 {
+                    rt_log += (r.runtime_s / base.runtime_s).ln();
+                }
+                ratio_count += 1;
+            }
+        }
+        if rows.is_empty() {
+            return None;
+        }
+        let n = rows.len() as f64;
+        let rc = ratio_count.max(1) as f64;
+        Some(FlowSummary {
+            flow: flow.to_string(),
+            avg_hof: rows.iter().map(|r| r.hof_pct).sum::<f64>() / n,
+            avg_vof: rows.iter().map(|r| r.vof_pct).sum::<f64>() / n,
+            wl_ratio: (wl_log / rc).exp(),
+            rt_ratio: (rt_log / rc).exp(),
+            pass_h: rows.iter().filter(|r| r.passes_h()).count(),
+            pass_v: rows.iter().filter(|r| r.passes_v()).count(),
+            count: rows.len(),
+        })
+    }
+
+    /// Renders the table in the paper's layout: one row per benchmark, one
+    /// column group (HOF/VOF/WL/RT) per flow, then averages and pass counts.
+    pub fn render(&self, reference_flow: &str) -> String {
+        let flows = self.flows();
+        let mut out = String::new();
+        // Header.
+        out.push_str(&format!("{:<18}", "Benchmark"));
+        for f in &flows {
+            out.push_str(&format!("| {:^41} ", f));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<18}", ""));
+        for _ in &flows {
+            out.push_str(&format!(
+                "| {:>7} {:>7} {:>14} {:>9} ",
+                "HOF(%)", "VOF(%)", "WL", "RT(s)"
+            ));
+        }
+        out.push('\n');
+        for b in self.benchmarks() {
+            out.push_str(&format!("{b:<18}"));
+            for f in &flows {
+                match self.row(f, &b) {
+                    Some(r) => out.push_str(&format!(
+                        "| {:>7.2} {:>7.2} {:>14.0} {:>9.1} ",
+                        r.hof_pct, r.vof_pct, r.wirelength, r.runtime_s
+                    )),
+                    None => {
+                        out.push_str(&format!("| {:>7} {:>7} {:>14} {:>9} ", "-", "-", "-", "-"))
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<18}", "Average"));
+        for f in &flows {
+            if let Some(s) = self.summarize(f, reference_flow) {
+                out.push_str(&format!(
+                    "| {:>7.3} {:>7.3} {:>14.3} {:>9.3} ",
+                    s.avg_hof, s.avg_vof, s.wl_ratio, s.rt_ratio
+                ));
+            }
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<18}", "Pass Count"));
+        for f in &flows {
+            if let Some(s) = self.summarize(f, reference_flow) {
+                out.push_str(&format!(
+                    "| {:>7} {:>7} {:>14} {:>9} ",
+                    s.pass_h, s.pass_v, "-", "-"
+                ));
+            }
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Serialises all rows as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("benchmark,flow,hof_pct,vof_pct,wirelength,runtime_s,pass_h,pass_v\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{:.4},{:.4},{:.1},{:.3},{},{}\n",
+                r.benchmark,
+                r.flow,
+                r.hof_pct,
+                r.vof_pct,
+                r.wirelength,
+                r.runtime_s,
+                r.passes_h(),
+                r.passes_v()
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ComparisonTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let flows = self.flows();
+        let reference = flows.last().cloned().unwrap_or_default();
+        write!(f, "{}", self.render(&reference))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(b: &str, f: &str, hof: f64, vof: f64, wl: f64, rt: f64) -> EvalRow {
+        EvalRow {
+            benchmark: b.into(),
+            flow: f.into(),
+            hof_pct: hof,
+            vof_pct: vof,
+            wirelength: wl,
+            runtime_s: rt,
+        }
+    }
+
+    fn table() -> ComparisonTable {
+        let mut t = ComparisonTable::new();
+        t.push(row("A", "ref", 0.5, 0.2, 100.0, 10.0));
+        t.push(row("A", "puffer", 0.4, 0.1, 110.0, 5.0));
+        t.push(row("B", "ref", 2.0, 0.0, 200.0, 20.0));
+        t.push(row("B", "puffer", 0.9, 0.0, 190.0, 8.0));
+        t
+    }
+
+    #[test]
+    fn pass_criterion() {
+        let r = row("A", "f", 0.99, 1.01, 1.0, 1.0);
+        assert!(r.passes_h());
+        assert!(!r.passes_v());
+    }
+
+    #[test]
+    fn summary_averages_match_paper_semantics() {
+        let t = table();
+        let s = t.summarize("ref", "puffer").unwrap();
+        assert!((s.avg_hof - 1.25).abs() < 1e-12);
+        assert!((s.avg_vof - 0.1).abs() < 1e-12);
+        // WL ratio: geomean(100/110, 200/190).
+        let expect = ((100.0f64 / 110.0).ln() / 2.0 + (200.0f64 / 190.0).ln() / 2.0).exp();
+        assert!((s.wl_ratio - expect).abs() < 1e-12);
+        assert_eq!(s.pass_h, 1);
+        assert_eq!(s.pass_v, 2);
+        // RT ratio: ref is 2x and 2.5x slower.
+        assert!(s.rt_ratio > 2.0);
+    }
+
+    #[test]
+    fn reference_flow_ratio_is_one() {
+        let t = table();
+        let s = t.summarize("puffer", "puffer").unwrap();
+        assert!((s.wl_ratio - 1.0).abs() < 1e-12);
+        assert!((s.rt_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_benchmarks_and_flows() {
+        let t = table();
+        let text = t.render("puffer");
+        assert!(text.contains("Benchmark"));
+        assert!(text.contains('A') && text.contains('B'));
+        assert!(text.contains("ref") && text.contains("puffer"));
+        assert!(text.contains("Pass Count"));
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let t = table();
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 5); // header + 4 rows
+        assert!(csv.lines().nth(1).unwrap().starts_with("A,ref,"));
+    }
+
+    #[test]
+    fn missing_flow_summary_is_none() {
+        let t = table();
+        assert!(t.summarize("ghost", "puffer").is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for the circuit database.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or loading a design.
+///
+/// ```
+/// use puffer_db::DbError;
+/// let err = DbError::Validate("net n0 has no pins".into());
+/// assert!(err.to_string().contains("n0"));
+/// ```
+#[derive(Debug)]
+pub enum DbError {
+    /// A structural invariant of the netlist or design was violated.
+    Validate(String),
+    /// An identifier referenced an entity that does not exist.
+    BadId(String),
+    /// The textual design format could not be parsed.
+    Parse { line: usize, message: String },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Validate(msg) => write!(f, "invalid design: {msg}"),
+            DbError::BadId(msg) => write!(f, "unknown identifier: {msg}"),
+            DbError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DbError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for DbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DbError::Validate("x".into())
+            .to_string()
+            .contains("invalid design"));
+        assert!(DbError::BadId("cell 7".into())
+            .to_string()
+            .contains("cell 7"));
+        let p = DbError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DbError>();
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: DbError = io.into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

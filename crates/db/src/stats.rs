@@ -1,0 +1,111 @@
+//! Design statistics in the shape of the paper's Table I.
+
+use crate::design::Design;
+use std::fmt;
+
+/// The four columns of Table I plus some derived figures.
+///
+/// `movable_pins` counts pins on movable cells only, matching the paper's
+/// "#Pins of all movable cells".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DesignStats {
+    /// Number of fixed macros (`#Macros`).
+    pub macros: usize,
+    /// Number of movable standard cells (`#Cells`).
+    pub movable_cells: usize,
+    /// Number of nets (`#Nets`).
+    pub nets: usize,
+    /// Number of pins on movable cells (`#Pins`).
+    pub movable_pins: usize,
+}
+
+impl DesignStats {
+    /// Computes statistics for a design.
+    pub fn of(design: &Design) -> Self {
+        let nl = design.netlist();
+        let mut stats = DesignStats {
+            nets: nl.num_nets(),
+            ..DesignStats::default()
+        };
+        for (_, cell) in nl.iter_cells() {
+            if cell.is_movable() {
+                stats.movable_cells += 1;
+                stats.movable_pins += cell.pins.len();
+            } else {
+                stats.macros += 1;
+            }
+        }
+        stats
+    }
+
+    /// Average pins per movable cell.
+    pub fn avg_pins_per_cell(&self) -> f64 {
+        if self.movable_cells == 0 {
+            0.0
+        } else {
+            self.movable_pins as f64 / self.movable_cells as f64
+        }
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#Macros={} #Cells={} #Nets={} #Pins={}",
+            self.macros, self.movable_cells, self.nets, self.movable_pins
+        )
+    }
+}
+
+/// Formats a count the way Table I does (`122K`, `3151K`); exact below 1000.
+pub fn format_k(n: usize) -> String {
+    if n < 1000 {
+        n.to_string()
+    } else {
+        format!("{}K", (n as f64 / 1000.0).round() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Rect};
+    use crate::netlist::{CellKind, NetlistBuilder};
+    use crate::tech::Technology;
+
+    #[test]
+    fn stats_count_correctly() {
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        let b = nb.add_cell("b", 1.0, 1.0, CellKind::Movable);
+        let m = nb.add_cell("m", 4.0, 4.0, CellKind::FixedMacro);
+        let n = nb.add_net("n");
+        nb.connect(n, a, Point::ORIGIN).unwrap();
+        nb.connect(n, b, Point::ORIGIN).unwrap();
+        nb.connect(n, m, Point::ORIGIN).unwrap();
+        let d = Design::new(
+            "t",
+            nb.build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 50.0, 50.0),
+        )
+        .unwrap();
+        let s = d.stats();
+        assert_eq!(s.macros, 1);
+        assert_eq!(s.movable_cells, 2);
+        assert_eq!(s.nets, 1);
+        // The macro pin is excluded from #Pins.
+        assert_eq!(s.movable_pins, 2);
+        assert_eq!(s.avg_pins_per_cell(), 1.0);
+        assert!(s.to_string().contains("#Cells=2"));
+    }
+
+    #[test]
+    fn format_k_matches_table_style() {
+        assert_eq!(format_k(45), "45");
+        assert_eq!(format_k(122_000), "122K");
+        assert_eq!(format_k(3_151_400), "3151K");
+        assert_eq!(format_k(1_500), "2K");
+    }
+}

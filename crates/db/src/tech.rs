@@ -1,0 +1,231 @@
+//! Technology data: placement sites and the metal-layer stack.
+//!
+//! The routing-capacity model of the paper (Eq. (8)) derives per-Gcell
+//! capacity from the metal stack: for each layer whose preferred direction
+//! matches, a Gcell offers `gcell_length / (metal_width + wire_spacing)`
+//! tracks. [`Technology`] carries exactly that information plus the standard
+//! placement-site geometry used by legalization.
+
+use std::fmt;
+
+/// Preferred routing direction of a metal layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PreferredDirection {
+    /// Wires on this layer run horizontally.
+    Horizontal,
+    /// Wires on this layer run vertically.
+    Vertical,
+}
+
+impl PreferredDirection {
+    /// The perpendicular direction.
+    pub fn perpendicular(self) -> Self {
+        match self {
+            PreferredDirection::Horizontal => PreferredDirection::Vertical,
+            PreferredDirection::Vertical => PreferredDirection::Horizontal,
+        }
+    }
+}
+
+impl fmt::Display for PreferredDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreferredDirection::Horizontal => write!(f, "H"),
+            PreferredDirection::Vertical => write!(f, "V"),
+        }
+    }
+}
+
+/// A routing metal layer.
+///
+/// `metal_width` and `wire_spacing` are in database units; together they give
+/// the track pitch used by the capacity model (paper Eq. (8)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Layer name, e.g. `"M2"`.
+    pub name: String,
+    /// Preferred routing direction (`l.pd` in the paper).
+    pub direction: PreferredDirection,
+    /// Minimum wire width on this layer.
+    pub metal_width: f64,
+    /// Minimum spacing between wires on this layer.
+    pub wire_spacing: f64,
+}
+
+impl Layer {
+    /// Creates a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metal_width` or `wire_spacing` is not strictly positive.
+    pub fn new(
+        name: impl Into<String>,
+        direction: PreferredDirection,
+        metal_width: f64,
+        wire_spacing: f64,
+    ) -> Self {
+        assert!(metal_width > 0.0, "metal_width must be positive");
+        assert!(wire_spacing > 0.0, "wire_spacing must be positive");
+        Layer {
+            name: name.into(),
+            direction,
+            metal_width,
+            wire_spacing,
+        }
+    }
+
+    /// Track pitch: `metal_width + wire_spacing`.
+    pub fn pitch(&self) -> f64 {
+        self.metal_width + self.wire_spacing
+    }
+
+    /// Number of routing tracks this layer offers across a span of `length`
+    /// database units (the per-layer term of Eq. (8)).
+    pub fn tracks_over(&self, length: f64) -> f64 {
+        (length / self.pitch()).max(0.0)
+    }
+}
+
+/// Technology information for a design.
+///
+/// The [`Default`] technology is a generic 8-metal-layer stack with
+/// unit-height rows and half-unit sites, adequate for synthetic benchmarks.
+///
+/// ```
+/// use puffer_db::tech::Technology;
+/// let tech = Technology::default();
+/// assert!(tech.horizontal_layers().count() >= 2);
+/// assert!(tech.row_height > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Standard-cell row height; every movable standard cell is this tall.
+    pub row_height: f64,
+    /// Placement-site width; legal cell x-coordinates are multiples of this.
+    pub site_width: f64,
+    /// Metal stack, bottom-up. The first layer (M1) is conventionally used
+    /// for intra-cell routing and excluded from global-routing capacity.
+    pub layers: Vec<Layer>,
+}
+
+impl Technology {
+    /// Creates a technology from explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_height` or `site_width` is not strictly positive, or if
+    /// `layers` is empty.
+    pub fn new(row_height: f64, site_width: f64, layers: Vec<Layer>) -> Self {
+        assert!(row_height > 0.0, "row_height must be positive");
+        assert!(site_width > 0.0, "site_width must be positive");
+        assert!(!layers.is_empty(), "technology needs at least one layer");
+        Technology {
+            row_height,
+            site_width,
+            layers,
+        }
+    }
+
+    /// Routing layers (everything above M1) in the given direction.
+    pub fn routing_layers(&self, direction: PreferredDirection) -> impl Iterator<Item = &Layer> {
+        self.layers
+            .iter()
+            .skip(1)
+            .filter(move |l| l.direction == direction)
+    }
+
+    /// Horizontal routing layers above M1.
+    pub fn horizontal_layers(&self) -> impl Iterator<Item = &Layer> {
+        self.routing_layers(PreferredDirection::Horizontal)
+    }
+
+    /// Vertical routing layers above M1.
+    pub fn vertical_layers(&self) -> impl Iterator<Item = &Layer> {
+        self.routing_layers(PreferredDirection::Vertical)
+    }
+
+    /// Total routing tracks available in `direction` across a Gcell of the
+    /// given perpendicular extent — the basic-capacity sum of Eq. (8).
+    pub fn basic_capacity(&self, direction: PreferredDirection, gcell_extent: f64) -> f64 {
+        self.routing_layers(direction)
+            .map(|l| l.tracks_over(gcell_extent))
+            .sum()
+    }
+}
+
+impl Default for Technology {
+    /// A generic 8-layer stack: M1 horizontal (excluded from routing), then
+    /// alternating V/H layers whose pitch grows with height.
+    fn default() -> Self {
+        let layers = vec![
+            Layer::new("M1", PreferredDirection::Horizontal, 0.04, 0.04),
+            Layer::new("M2", PreferredDirection::Vertical, 0.04, 0.04),
+            Layer::new("M3", PreferredDirection::Horizontal, 0.04, 0.04),
+            Layer::new("M4", PreferredDirection::Vertical, 0.05, 0.05),
+            Layer::new("M5", PreferredDirection::Horizontal, 0.05, 0.05),
+            Layer::new("M6", PreferredDirection::Vertical, 0.07, 0.07),
+            Layer::new("M7", PreferredDirection::Horizontal, 0.07, 0.07),
+            Layer::new("M8", PreferredDirection::Vertical, 0.10, 0.10),
+        ];
+        Technology {
+            row_height: 1.0,
+            site_width: 0.2,
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perpendicular_flips() {
+        assert_eq!(
+            PreferredDirection::Horizontal.perpendicular(),
+            PreferredDirection::Vertical
+        );
+        assert_eq!(
+            PreferredDirection::Vertical.perpendicular(),
+            PreferredDirection::Horizontal
+        );
+    }
+
+    #[test]
+    fn layer_pitch_and_tracks() {
+        let l = Layer::new("M2", PreferredDirection::Vertical, 0.05, 0.05);
+        assert!((l.pitch() - 0.1).abs() < 1e-12);
+        assert!((l.tracks_over(2.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "metal_width")]
+    fn layer_rejects_zero_width() {
+        let _ = Layer::new("bad", PreferredDirection::Horizontal, 0.0, 0.1);
+    }
+
+    #[test]
+    fn default_tech_has_balanced_stack() {
+        let t = Technology::default();
+        let h: Vec<_> = t.horizontal_layers().collect();
+        let v: Vec<_> = t.vertical_layers().collect();
+        // M1 is excluded, so H layers are M3/M5/M7, V layers M2/M4/M6/M8.
+        assert_eq!(h.len(), 3);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn basic_capacity_sums_layers() {
+        let t = Technology::default();
+        let span = 4.0;
+        let expect: f64 = t.horizontal_layers().map(|l| span / l.pitch()).sum();
+        assert!((t.basic_capacity(PreferredDirection::Horizontal, span) - expect).abs() < 1e-9);
+        assert!(t.basic_capacity(PreferredDirection::Vertical, span) > 0.0);
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(PreferredDirection::Horizontal.to_string(), "H");
+        assert_eq!(PreferredDirection::Vertical.to_string(), "V");
+    }
+}

@@ -1,0 +1,415 @@
+//! SMBO driver: Algorithm 2 (parameter exploration) and Algorithm 3
+//! (strategy exploration with grouped, parallel local refinement).
+
+use crate::space::Space;
+use crate::tpe::{Tpe, TpeConfig};
+use std::thread;
+
+/// Configuration for one [`explore_params`] run (Algorithm 2's `TC`/`EC`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorationConfig {
+    /// Evaluation budget `TC`.
+    pub max_evals: usize,
+    /// Early-stop patience `EC`: stop after this many evaluations without
+    /// improvement.
+    pub early_stop: usize,
+    /// TPE settings.
+    pub tpe: TpeConfig,
+    /// Margin by which updated ranges are expanded around the good set
+    /// (Algorithm 2 line 14).
+    pub range_margin: f64,
+}
+
+impl Default for ExplorationConfig {
+    fn default() -> Self {
+        ExplorationConfig {
+            max_evals: 80,
+            early_stop: 25,
+            tpe: TpeConfig::default(),
+            range_margin: 0.10,
+        }
+    }
+}
+
+/// Result of an [`explore_params`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorationOutcome {
+    /// Best assignment found.
+    pub best: Vec<f64>,
+    /// Its objective value.
+    pub best_value: f64,
+    /// Whether the run ended by early stop (Algorithm 2's return flag).
+    pub stopped_early: bool,
+    /// The updated (narrowed) parameter ranges.
+    pub narrowed: Space,
+    /// Number of evaluations spent.
+    pub evals: usize,
+}
+
+/// Algorithm 2: explore `space` with TPE, minimising `eval`, then narrow
+/// each parameter's range around the best observations.
+pub fn explore_params(
+    space: &Space,
+    mut eval: impl FnMut(&[f64]) -> f64,
+    config: &ExplorationConfig,
+) -> ExplorationOutcome {
+    let mut tpe = Tpe::new(space.clone(), config.tpe.clone());
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    let mut since_improvement = 0usize;
+    let mut evals = 0usize;
+    let mut stopped_early = false;
+
+    while evals < config.max_evals {
+        if since_improvement >= config.early_stop {
+            stopped_early = true;
+            break;
+        }
+        let x = tpe.suggest();
+        let y = eval(&x);
+        evals += 1;
+        tpe.observe(x.clone(), y);
+        if best.as_ref().is_none_or(|(_, by)| y < *by) {
+            best = Some((x, y));
+            since_improvement = 0;
+        } else {
+            since_improvement += 1;
+        }
+    }
+
+    let narrowed = narrow_ranges(space, tpe.observations(), config);
+    let (best, best_value) = best.unwrap_or_else(|| (space.midpoint(), f64::INFINITY));
+    ExplorationOutcome {
+        best,
+        best_value,
+        stopped_early,
+        narrowed,
+        evals,
+    }
+}
+
+/// `updateParamRange` of Algorithm 2: shrink each continuous/integer range
+/// to the hull of the best-quartile observations plus a margin.
+fn narrow_ranges(
+    space: &Space,
+    observations: &[(Vec<f64>, f64)],
+    config: &ExplorationConfig,
+) -> Space {
+    if observations.len() < 4 {
+        return space.clone();
+    }
+    let mut order: Vec<usize> = (0..observations.len()).collect();
+    order.sort_by(|&a, &b| observations[a].1.total_cmp(&observations[b].1));
+    let top = &order[..(observations.len() / 4).max(2)];
+
+    let mut out = space.clone();
+    for (d, p) in space.params().iter().enumerate() {
+        if p.domain.is_categorical() {
+            continue;
+        }
+        let lo_obs = top
+            .iter()
+            .map(|&i| observations[i].0[d])
+            .fold(f64::INFINITY, f64::min);
+        let hi_obs = top
+            .iter()
+            .map(|&i| observations[i].0[d])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let margin = (p.domain.hi() - p.domain.lo()) * config.range_margin;
+        let lo = (lo_obs - margin).max(p.domain.lo());
+        let hi = (hi_obs + margin).min(p.domain.hi());
+        if hi > lo {
+            out = out.with_range(&p.name, lo, hi);
+        }
+    }
+    out
+}
+
+/// Configuration for [`explore_strategy`] (Algorithm 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyConfig {
+    /// Budget for the initial global exploration.
+    pub global: ExplorationConfig,
+    /// Budget for each group's local exploration round.
+    pub local: ExplorationConfig,
+    /// Outer-loop budget `TC` (rounds over all groups).
+    pub max_rounds: usize,
+    /// Run group explorations on parallel threads.
+    pub parallel: bool,
+}
+
+impl Default for StrategyConfig {
+    fn default() -> Self {
+        StrategyConfig {
+            global: ExplorationConfig {
+                max_evals: 60,
+                early_stop: 20,
+                ..Default::default()
+            },
+            local: ExplorationConfig {
+                max_evals: 30,
+                early_stop: 10,
+                ..Default::default()
+            },
+            max_rounds: 3,
+            parallel: true,
+        }
+    }
+}
+
+/// Result of [`explore_strategy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyOutcome {
+    /// The final configuration: midpoints of the converged ranges
+    /// (Algorithm 3's "take the median of the range").
+    pub values: Vec<f64>,
+    /// Best assignment observed anywhere during exploration.
+    pub best_observed: Vec<f64>,
+    /// Objective value of `best_observed`.
+    pub best_value: f64,
+    /// Total evaluations spent.
+    pub evals: usize,
+    /// Rounds of grouped local exploration executed.
+    pub rounds: usize,
+}
+
+/// Algorithm 3: global exploration over all parameters, then repeated
+/// grouped local exploration (each group explored with the other
+/// parameters fixed at their range midpoints), until every group stops
+/// early or the round budget is exhausted.
+///
+/// `groups` lists parameter names per group; parameters not mentioned in
+/// any group keep their post-global ranges. The evaluation function must be
+/// `Sync` because groups are explored on parallel threads (the paper notes
+/// this parallelism explicitly).
+pub fn explore_strategy(
+    space: &Space,
+    groups: &[Vec<String>],
+    eval: impl Fn(&[f64]) -> f64 + Sync,
+    config: &StrategyConfig,
+) -> StrategyOutcome {
+    // Line 1–2: initial ranges + global exploration.
+    let global = explore_params(space, &eval, &config.global);
+    let mut ranges = global.narrowed;
+    let mut best_observed = global.best;
+    let mut best_value = global.best_value;
+    let mut evals = global.evals;
+
+    let mut rounds = 0usize;
+    for _ in 0..config.max_rounds {
+        rounds += 1;
+        // Explore each group with the others fixed at range midpoints.
+        let base = ranges.midpoint();
+        let group_results: Vec<(Vec<usize>, ExplorationOutcome)> = if config.parallel {
+            thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .iter()
+                    .map(|group| {
+                        let ranges = &ranges;
+                        let base = &base;
+                        let eval = &eval;
+                        let local_cfg = &config.local;
+                        scope.spawn(move || explore_group(ranges, base, group, eval, local_cfg))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("group thread panicked"))
+                    .collect()
+            })
+        } else {
+            groups
+                .iter()
+                .map(|group| explore_group(&ranges, &base, group, &eval, &config.local))
+                .collect()
+        };
+
+        let mut all_early = true;
+        for (indices, outcome) in group_results {
+            evals += outcome.evals;
+            all_early &= outcome.stopped_early;
+            if outcome.best_value < best_value {
+                best_value = outcome.best_value;
+                let mut full = base.clone();
+                for (slot, &i) in indices.iter().enumerate() {
+                    full[i] = outcome.best[slot];
+                }
+                best_observed = full;
+            }
+            // Fold the narrowed sub-ranges back into the full space.
+            for (slot, &i) in indices.iter().enumerate() {
+                let p = &outcome.narrowed.params()[slot];
+                let name = ranges.params()[i].name.clone();
+                ranges = ranges.with_range(&name, p.domain.lo(), p.domain.hi());
+            }
+        }
+        if all_early {
+            break;
+        }
+    }
+
+    StrategyOutcome {
+        values: ranges.midpoint(),
+        best_observed,
+        best_value,
+        evals,
+        rounds,
+    }
+}
+
+/// Runs Algorithm 2 on one group's sub-space, evaluating full assignments
+/// with non-group parameters fixed at `base`.
+fn explore_group(
+    ranges: &Space,
+    base: &[f64],
+    group: &[String],
+    eval: impl Fn(&[f64]) -> f64,
+    config: &ExplorationConfig,
+) -> (Vec<usize>, ExplorationOutcome) {
+    let indices: Vec<usize> = group.iter().filter_map(|n| ranges.index_of(n)).collect();
+    let sub = Space::new(
+        indices
+            .iter()
+            .map(|&i| ranges.params()[i].clone())
+            .collect(),
+    );
+    let outcome = explore_params(
+        &sub,
+        |xs| {
+            let mut full = base.to_vec();
+            for (slot, &i) in indices.iter().enumerate() {
+                full[i] = xs[slot];
+            }
+            eval(&full)
+        },
+        config,
+    );
+    (indices, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParamSpec;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn bowl(space_dim: usize) -> Space {
+        Space::new(
+            (0..space_dim)
+                .map(|i| ParamSpec::continuous(format!("x{i}"), -10.0, 10.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn explore_params_finds_the_bowl_bottom() {
+        let outcome = explore_params(
+            &bowl(2),
+            |v| v.iter().map(|x| (x - 2.0) * (x - 2.0)).sum(),
+            &ExplorationConfig {
+                max_evals: 150,
+                early_stop: 60,
+                ..Default::default()
+            },
+        );
+        assert!(outcome.best_value < 2.0, "best {}", outcome.best_value);
+        assert!(outcome.evals <= 150);
+    }
+
+    #[test]
+    fn early_stop_limits_evaluations() {
+        // Constant objective: nothing ever improves after the first eval.
+        let outcome = explore_params(
+            &bowl(1),
+            |_| 1.0,
+            &ExplorationConfig {
+                max_evals: 500,
+                early_stop: 12,
+                ..Default::default()
+            },
+        );
+        assert!(outcome.stopped_early);
+        assert!(outcome.evals <= 14);
+    }
+
+    #[test]
+    fn ranges_narrow_around_the_optimum() {
+        let outcome = explore_params(
+            &bowl(1),
+            |v| (v[0] - 4.0).abs(),
+            &ExplorationConfig {
+                max_evals: 120,
+                early_stop: 120,
+                ..Default::default()
+            },
+        );
+        let d = outcome.narrowed.params()[0].domain;
+        assert!(
+            d.lo() > -10.0 || d.hi() < 10.0,
+            "range should shrink: {d:?}"
+        );
+        assert!(
+            d.lo() <= 4.0 && d.hi() >= 4.0,
+            "optimum stays inside: {d:?}"
+        );
+    }
+
+    #[test]
+    fn strategy_exploration_converges_groupwise() {
+        // Separable objective: groups can optimise independently.
+        let space = bowl(4);
+        let groups = vec![
+            vec!["x0".to_string(), "x1".to_string()],
+            vec!["x2".to_string(), "x3".to_string()],
+        ];
+        let target = [1.0, -2.0, 3.0, -4.0];
+        let outcome = explore_strategy(
+            &space,
+            &groups,
+            |v| v.iter().zip(&target).map(|(x, t)| (x - t) * (x - t)).sum(),
+            &StrategyConfig::default(),
+        );
+        assert!(outcome.best_value < 20.0, "best {}", outcome.best_value);
+        assert_eq!(outcome.values.len(), 4);
+        // Final midpoints should be pulled towards the target.
+        for (v, t) in outcome.values.iter().zip(&target) {
+            assert!((v - t).abs() < 8.0, "{v} vs {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_on_eval_counting() {
+        let space = bowl(2);
+        let groups = vec![vec!["x0".to_string()], vec!["x1".to_string()]];
+        let count = AtomicUsize::new(0);
+        let outcome = explore_strategy(
+            &space,
+            &groups,
+            |v| {
+                count.fetch_add(1, Ordering::Relaxed);
+                v.iter().map(|x| x * x).sum()
+            },
+            &StrategyConfig {
+                parallel: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcome.evals, count.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn unknown_group_members_are_skipped() {
+        let space = bowl(1);
+        let groups = vec![vec!["x0".to_string(), "ghost".to_string()]];
+        let outcome = explore_strategy(
+            &space,
+            &groups,
+            |v| v[0].abs(),
+            &StrategyConfig {
+                max_rounds: 1,
+                parallel: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcome.values.len(), 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! Parameter spaces for black-box exploration.
+//!
+//! A [`Space`] is an ordered list of named parameters. Assignments are flat
+//! `Vec<f64>` aligned with the space: integers are stored rounded,
+//! categorical choices as their index. This keeps the optimizer generic
+//! while letting callers map values back by name.
+
+use std::fmt;
+
+/// The domain of one parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Domain {
+    /// A real interval `[lo, hi]`.
+    Continuous {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// An integer interval `[lo, hi]` (inclusive).
+    Integer {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// A choice among `choices` unordered options (stored as index).
+    Categorical {
+        /// Number of options.
+        choices: usize,
+    },
+}
+
+impl Domain {
+    /// Numeric lower bound of the domain's encoding.
+    pub fn lo(&self) -> f64 {
+        match *self {
+            Domain::Continuous { lo, .. } => lo,
+            Domain::Integer { lo, .. } => lo as f64,
+            Domain::Categorical { .. } => 0.0,
+        }
+    }
+
+    /// Numeric upper bound of the domain's encoding.
+    pub fn hi(&self) -> f64 {
+        match *self {
+            Domain::Continuous { hi, .. } => hi,
+            Domain::Integer { hi, .. } => hi as f64,
+            Domain::Categorical { choices } => (choices.max(1) - 1) as f64,
+        }
+    }
+
+    /// Clamps and canonicalises an encoded value (rounds integers and
+    /// categorical indices).
+    pub fn canon(&self, v: f64) -> f64 {
+        match *self {
+            Domain::Continuous { lo, hi } => v.clamp(lo, hi),
+            Domain::Integer { lo, hi } => v.round().clamp(lo as f64, hi as f64),
+            Domain::Categorical { choices } => v.round().clamp(0.0, (choices.max(1) - 1) as f64),
+        }
+    }
+
+    /// Midpoint of the domain (canonicalised).
+    pub fn midpoint(&self) -> f64 {
+        self.canon((self.lo() + self.hi()) / 2.0)
+    }
+
+    /// Whether the domain treats values as unordered choices.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, Domain::Categorical { .. })
+    }
+}
+
+/// A named parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name.
+    pub name: String,
+    /// Domain.
+    pub domain: Domain,
+}
+
+impl ParamSpec {
+    /// A continuous parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn continuous(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "continuous range must be non-empty");
+        ParamSpec {
+            name: name.into(),
+            domain: Domain::Continuous { lo, hi },
+        }
+    }
+
+    /// An integer parameter (inclusive bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn integer(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "integer range must be non-empty");
+        ParamSpec {
+            name: name.into(),
+            domain: Domain::Integer { lo, hi },
+        }
+    }
+
+    /// A categorical parameter with `choices` options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices == 0`.
+    pub fn categorical(name: impl Into<String>, choices: usize) -> Self {
+        assert!(choices > 0, "categorical needs at least one choice");
+        ParamSpec {
+            name: name.into(),
+            domain: Domain::Categorical { choices },
+        }
+    }
+}
+
+impl fmt::Display for ParamSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.domain {
+            Domain::Continuous { lo, hi } => write!(f, "{} ∈ [{lo}, {hi}]", self.name),
+            Domain::Integer { lo, hi } => write!(f, "{} ∈ {{{lo}..{hi}}}", self.name),
+            Domain::Categorical { choices } => write!(f, "{} ∈ {choices} choices", self.name),
+        }
+    }
+}
+
+/// An ordered parameter space.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Space {
+    params: Vec<ParamSpec>,
+}
+
+impl Space {
+    /// Builds a space from specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate parameter names.
+    pub fn new(params: Vec<ParamSpec>) -> Self {
+        for (i, p) in params.iter().enumerate() {
+            for q in &params[..i] {
+                assert_ne!(p.name, q.name, "duplicate parameter name '{}'", p.name);
+            }
+        }
+        Space { params }
+    }
+
+    /// The parameter specs in order.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// The midpoint assignment (Algorithm 3's final configuration rule).
+    pub fn midpoint(&self) -> Vec<f64> {
+        self.params.iter().map(|p| p.domain.midpoint()).collect()
+    }
+
+    /// Canonicalises an assignment in place (clamp + round).
+    pub fn canon(&self, values: &mut [f64]) {
+        for (v, p) in values.iter_mut().zip(&self.params) {
+            *v = p.domain.canon(*v);
+        }
+    }
+
+    /// A copy of the space with one parameter's continuous/integer range
+    /// narrowed to `[lo, hi]` (categoricals are returned unchanged).
+    pub fn with_range(&self, name: &str, lo: f64, hi: f64) -> Space {
+        let mut s = self.clone();
+        if let Some(i) = s.index_of(name) {
+            s.params[i].domain = match s.params[i].domain {
+                Domain::Continuous { .. } => Domain::Continuous {
+                    lo: lo.min(hi),
+                    hi: hi.max(lo + f64::EPSILON),
+                },
+                Domain::Integer { .. } => Domain::Integer {
+                    lo: lo.round() as i64,
+                    hi: (hi.round() as i64).max(lo.round() as i64),
+                },
+                d @ Domain::Categorical { .. } => d,
+            };
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canon_clamps_and_rounds() {
+        let c = Domain::Continuous { lo: 0.0, hi: 1.0 };
+        assert_eq!(c.canon(2.0), 1.0);
+        let i = Domain::Integer { lo: -2, hi: 7 };
+        assert_eq!(i.canon(3.4), 3.0);
+        assert_eq!(i.canon(99.0), 7.0);
+        let k = Domain::Categorical { choices: 3 };
+        assert_eq!(k.canon(1.6), 2.0);
+        assert_eq!(k.canon(-4.0), 0.0);
+    }
+
+    #[test]
+    fn midpoints() {
+        assert_eq!(Domain::Continuous { lo: 2.0, hi: 4.0 }.midpoint(), 3.0);
+        assert_eq!(Domain::Integer { lo: 0, hi: 5 }.midpoint(), 3.0); // rounds 2.5
+        assert_eq!(Domain::Categorical { choices: 5 }.midpoint(), 2.0);
+    }
+
+    #[test]
+    fn space_lookup_and_midpoint() {
+        let s = Space::new(vec![
+            ParamSpec::continuous("a", 0.0, 2.0),
+            ParamSpec::integer("b", 1, 9),
+            ParamSpec::categorical("c", 4),
+        ]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("zz"), None);
+        assert_eq!(s.midpoint(), vec![1.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_panic() {
+        let _ = Space::new(vec![
+            ParamSpec::continuous("a", 0.0, 1.0),
+            ParamSpec::continuous("a", 0.0, 2.0),
+        ]);
+    }
+
+    #[test]
+    fn with_range_narrows() {
+        let s = Space::new(vec![ParamSpec::continuous("a", 0.0, 10.0)]);
+        let n = s.with_range("a", 2.0, 4.0);
+        assert_eq!(
+            n.params()[0].domain,
+            Domain::Continuous { lo: 2.0, hi: 4.0 }
+        );
+        // Unknown names are a no-op.
+        let same = s.with_range("zz", 0.0, 1.0);
+        assert_eq!(same, s);
+    }
+
+    #[test]
+    fn integer_ranges_narrow_with_rounding() {
+        let s = Space::new(vec![ParamSpec::integer("n", 0, 100)]);
+        let narrowed = s.with_range("n", 10.4, 20.6);
+        assert_eq!(
+            narrowed.params()[0].domain,
+            Domain::Integer { lo: 10, hi: 21 }
+        );
+        // Degenerate request never inverts.
+        let tight = s.with_range("n", 50.2, 49.9);
+        if let Domain::Integer { lo, hi } = tight.params()[0].domain {
+            assert!(lo <= hi);
+        } else {
+            panic!("integer domain preserved");
+        }
+    }
+
+    #[test]
+    fn categorical_ranges_are_immune_to_narrowing() {
+        let s = Space::new(vec![ParamSpec::categorical("k", 5)]);
+        let narrowed = s.with_range("k", 1.0, 2.0);
+        assert_eq!(narrowed, s);
+    }
+
+    #[test]
+    fn canon_vector_applies_per_domain() {
+        let s = Space::new(vec![
+            ParamSpec::continuous("a", 0.0, 1.0),
+            ParamSpec::integer("b", 0, 10),
+        ]);
+        let mut v = vec![7.0, 3.6];
+        s.canon(&mut v);
+        assert_eq!(v, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            ParamSpec::continuous("a", 0.0, 1.0).to_string(),
+            "a ∈ [0, 1]"
+        );
+        assert!(ParamSpec::categorical("k", 3)
+            .to_string()
+            .contains("3 choices"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Legality checking for placements.
+
+use crate::LegalizeError;
+use puffer_db::design::{Design, Placement};
+use puffer_db::netlist::CellId;
+
+/// Verifies that `placement` is legal for `design` under the given padding
+/// (in sites): every movable cell sits in a row, its padded footprint is
+/// inside the region, on the site grid, and footprints neither overlap each
+/// other nor any macro.
+///
+/// # Errors
+///
+/// Returns [`LegalizeError::Illegal`] describing the first violation found.
+pub fn check_legal(
+    design: &Design,
+    placement: &Placement,
+    padding_sites: &[u32],
+) -> Result<(), LegalizeError> {
+    let netlist = design.netlist();
+    if padding_sites.len() != netlist.num_cells() {
+        return Err(LegalizeError::BadInput("padding length mismatch".into()));
+    }
+    let site = design.tech().site_width;
+    let row_h = design.tech().row_height;
+    let region = design.region();
+    let eps = 1e-6;
+
+    // Footprints: (cell, left, right, row_index). Padding is split
+    // ⌊m/2⌋ sites left / ⌈m/2⌉ sites right of the physical cell, matching
+    // the legalizer's convention.
+    let mut foots: Vec<(CellId, f64, f64, i64)> = Vec::new();
+    for id in netlist.movable_cells() {
+        let c = netlist.cell(id);
+        let m = padding_sites[id.index()] as f64;
+        let p = placement.pos(id);
+        let left = p.x - c.width / 2.0 - (m / 2.0).floor() * site;
+        let right = p.x + c.width / 2.0 + (m / 2.0).ceil() * site;
+        let bottom = p.y - c.height / 2.0;
+
+        if left < region.xl - eps || right > region.xh + eps {
+            return Err(LegalizeError::Illegal(format!(
+                "cell '{}' leaves the region horizontally ({left}, {right})",
+                c.name
+            )));
+        }
+        let row_f = (bottom - region.yl) / row_h;
+        if (row_f - row_f.round()).abs() > 1e-6 {
+            return Err(LegalizeError::Illegal(format!(
+                "cell '{}' is not on a row boundary (y bottom {bottom})",
+                c.name
+            )));
+        }
+        let row = row_f.round() as i64;
+        if row < 0 || row >= design.rows().len() as i64 {
+            return Err(LegalizeError::Illegal(format!(
+                "cell '{}' is outside the rows (row {row})",
+                c.name
+            )));
+        }
+        let site_f = (left - region.xl) / site;
+        if (site_f - site_f.round()).abs() > 1e-5 {
+            return Err(LegalizeError::Illegal(format!(
+                "cell '{}' is off the site grid (left {left})",
+                c.name
+            )));
+        }
+        foots.push((id, left, right, row));
+    }
+
+    // Overlaps within rows.
+    foots.sort_by(|a, b| a.3.cmp(&b.3).then(a.1.total_cmp(&b.1)));
+    for w in foots.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if a.3 == b.3 && b.1 < a.2 - eps {
+            return Err(LegalizeError::Illegal(format!(
+                "cells '{}' and '{}' overlap in row {}",
+                netlist.cell(a.0).name,
+                netlist.cell(b.0).name,
+                a.3
+            )));
+        }
+    }
+
+    // Macro overlaps.
+    let macros = design.macro_shapes();
+    for &(id, left, right, row) in &foots {
+        let c = netlist.cell(id);
+        let bottom = region.yl + row as f64 * row_h;
+        let top = bottom + c.height;
+        for (mid, m) in &macros {
+            if left < m.xh - eps && m.xl < right - eps && bottom < m.yh - eps && m.yl < top - eps {
+                return Err(LegalizeError::Illegal(format!(
+                    "cell '{}' overlaps macro '{}'",
+                    c.name,
+                    netlist.cell(*mid).name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_db::geom::{Point, Rect};
+    use puffer_db::netlist::{CellKind, NetlistBuilder};
+    use puffer_db::tech::Technology;
+
+    fn design() -> Design {
+        let mut nb = NetlistBuilder::new();
+        nb.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        nb.add_cell("b", 1.0, 1.0, CellKind::Movable);
+        Design::new(
+            "t",
+            nb.build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn legal_placement_passes() {
+        let d = design();
+        let mut p = Placement::zeroed(2);
+        p.set(CellId(0), Point::new(0.5, 0.5));
+        p.set(CellId(1), Point::new(2.5, 0.5));
+        assert!(check_legal(&d, &p, &[0, 0]).is_ok());
+    }
+
+    #[test]
+    fn overlap_is_reported() {
+        let d = design();
+        let mut p = Placement::zeroed(2);
+        p.set(CellId(0), Point::new(0.5, 0.5));
+        p.set(CellId(1), Point::new(1.1, 0.5));
+        assert!(matches!(
+            check_legal(&d, &p, &[0, 0]),
+            Err(LegalizeError::Illegal(_))
+        ));
+    }
+
+    #[test]
+    fn padded_footprint_overlap_is_reported() {
+        let d = design();
+        let mut p = Placement::zeroed(2);
+        p.set(CellId(0), Point::new(0.5, 0.5));
+        p.set(CellId(1), Point::new(1.7, 0.5)); // gap 0.2 < padding 0.4/2+...
+                                                // Without padding this is legal; with 5 sites of padding (1.0) on
+                                                // cell 0 the footprints collide.
+        assert!(check_legal(&d, &p, &[0, 0]).is_ok());
+        assert!(check_legal(&d, &p, &[5, 0]).is_err());
+    }
+
+    #[test]
+    fn off_row_and_off_site_are_reported() {
+        let d = design();
+        let mut p = Placement::zeroed(2);
+        p.set(CellId(0), Point::new(0.5, 0.7)); // bottom 0.2: off-row
+        p.set(CellId(1), Point::new(2.5, 0.5));
+        assert!(check_legal(&d, &p, &[0, 0]).is_err());
+        p.set(CellId(0), Point::new(0.53, 0.5)); // left 0.03: off-site
+        assert!(check_legal(&d, &p, &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn out_of_region_is_reported() {
+        let d = design();
+        let mut p = Placement::zeroed(2);
+        p.set(CellId(0), Point::new(9.9, 0.5)); // right edge 10.4 > 10
+        p.set(CellId(1), Point::new(2.5, 0.5));
+        assert!(check_legal(&d, &p, &[0, 0]).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! White-space-assisted padding discretization (paper §III-D, Eq. (17)).
+//!
+//! Legalization works on site-aligned widths, so the continuous padding
+//! from global placement is discretized with a staircase function:
+//!
+//! ```text
+//! DisPad(c) = ⌊θ·(Pad(c)/mp + ½)⌋   (in sites; only for Pad(c) > 0)
+//! ```
+//!
+//! and the total padding area is capped at 5% of the movable cell area by
+//! relegating the smallest-padding cells of each level downwards.
+
+use puffer_db::netlist::Netlist;
+
+/// Discretizes per-cell padding into whole sites per Eq. (17).
+///
+/// `padding` is the continuous padding width per cell; `theta` is the
+/// staircase scale; returns the number of padding *sites* per cell. Cells
+/// with zero padding stay at zero.
+pub fn discretize_padding(padding: &[f64], theta: f64) -> Vec<u32> {
+    let mp = padding.iter().cloned().fold(0.0, f64::max);
+    if mp <= 0.0 {
+        return vec![0; padding.len()];
+    }
+    padding
+        .iter()
+        .map(|&p| {
+            if p <= 0.0 {
+                0
+            } else {
+                (theta * (p / mp + 0.5)).floor().max(1.0) as u32
+            }
+        })
+        .collect()
+}
+
+/// Enforces the legalization padding budget: total padded area must not
+/// exceed `budget_fraction` (the paper's 5%) of the movable cell area.
+/// Cells are relegated one discrete level at a time, smallest continuous
+/// padding first within each level, until the constraint holds.
+///
+/// Returns the number of relegation steps performed.
+pub fn enforce_budget(
+    netlist: &Netlist,
+    continuous: &[f64],
+    discrete: &mut [u32],
+    site_width: f64,
+    budget_fraction: f64,
+) -> usize {
+    let budget = budget_fraction * netlist.movable_area();
+    let area = |levels: &[u32]| -> f64 {
+        netlist
+            .iter_cells()
+            .filter(|(_, c)| c.is_movable())
+            .map(|(id, c)| levels[id.index()] as f64 * site_width * c.height)
+            .sum::<f64>()
+    };
+    // Candidate order: globally by (level ascending is wrong — we demote the
+    // *smallest continuous padding in each level* first). Sort all padded
+    // cells by continuous padding ascending; demote in passes.
+    let mut order: Vec<usize> = (0..discrete.len()).filter(|&i| discrete[i] > 0).collect();
+    order.sort_by(|&a, &b| continuous[a].total_cmp(&continuous[b]));
+
+    let mut steps = 0usize;
+    let mut current = area(discrete);
+    while current > budget {
+        let mut any = false;
+        for &i in &order {
+            if current <= budget {
+                break;
+            }
+            if discrete[i] > 0 {
+                discrete[i] -= 1;
+                let h = netlist.cells()[i].height;
+                current -= site_width * h;
+                steps += 1;
+                any = true;
+            }
+        }
+        if !any {
+            break; // everything already at zero
+        }
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_db::netlist::{CellKind, NetlistBuilder};
+
+    fn netlist(n: usize) -> Netlist {
+        let mut nb = NetlistBuilder::new();
+        for i in 0..n {
+            nb.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::Movable);
+        }
+        nb.build().unwrap()
+    }
+
+    #[test]
+    fn discretize_staircase_shape() {
+        let pad = vec![0.0, 0.5, 1.0, 2.0, 4.0];
+        let d = discretize_padding(&pad, 4.0);
+        assert_eq!(d[0], 0);
+        // mp = 4: levels = floor(4*(p/4 + 0.5)).
+        assert_eq!(d[1], 2); // 4*(0.125+0.5) = 2.5 -> 2
+        assert_eq!(d[2], 3); // 4*(0.25+0.5) = 3
+        assert_eq!(d[3], 4); // 4*(0.5+0.5) = 4
+        assert_eq!(d[4], 6); // 4*(1+0.5) = 6
+                             // Monotone in the continuous padding.
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn all_zero_padding_stays_zero() {
+        assert_eq!(discretize_padding(&[0.0, 0.0], 4.0), vec![0, 0]);
+    }
+
+    #[test]
+    fn positive_padding_never_discretizes_to_zero() {
+        let d = discretize_padding(&[0.001, 10.0], 1.0);
+        assert!(d[0] >= 1);
+    }
+
+    #[test]
+    fn budget_relegates_smallest_first() {
+        let nl = netlist(3);
+        let continuous = vec![0.1, 1.0, 4.0];
+        let mut d = discretize_padding(&continuous, 4.0);
+        // Site width 1, heights 1: area = sum of levels. Movable area = 3.
+        // 5% budget = 0.15 => must demote almost everything.
+        let steps = enforce_budget(&nl, &continuous, &mut d, 1.0, 0.05);
+        assert!(steps > 0);
+        let total: u32 = d.iter().sum();
+        assert_eq!(total, 0, "tiny budget forces everything to zero");
+    }
+
+    #[test]
+    fn budget_keeps_largest_padding_longest() {
+        let nl = netlist(3);
+        let continuous = vec![0.1, 1.0, 4.0];
+        let mut d = discretize_padding(&continuous, 4.0);
+        let before = d.clone();
+        // Budget that forces only partial relegation.
+        // Levels sum to 11 sites of area over 3.0 movable area; a 400%
+        // budget (12.0) is a no-op.
+        enforce_budget(&nl, &continuous, &mut d, 1.0, 4.0);
+        assert_eq!(d, before);
+        let mut d2 = before.clone();
+        // One pass should hit the small-padding cell first.
+        let budget_area: f64 = before.iter().sum::<u32>() as f64 - 1.0;
+        enforce_budget(&nl, &continuous, &mut d2, 1.0, budget_area / 3.0);
+        assert!(d2[0] < before[0] || d2[1] < before[1]);
+        assert_eq!(d2[2], before[2], "largest padding demoted last");
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let nl = netlist(5);
+        let continuous = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut d = discretize_padding(&continuous, 6.0);
+        enforce_budget(&nl, &continuous, &mut d, 1.0, 0.8);
+        let area: f64 = d.iter().map(|&l| l as f64).sum();
+        assert!(area <= 0.8 * 5.0 + 1e-9, "area {area}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Macro-aware row segments: the free intervals of each placement row.
+//!
+//! Both the Abacus legalizer and downstream detailed placement operate on
+//! these segments; bounds are aligned inward onto the global site grid so
+//! every in-segment site offset is legal.
+
+use puffer_db::design::Design;
+
+/// A free interval of one placement row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowSegment {
+    /// Bottom y of the row.
+    pub y: f64,
+    /// Left edge (site-aligned).
+    pub x_min: f64,
+    /// Right edge (site-aligned).
+    pub x_max: f64,
+}
+
+impl RowSegment {
+    /// Usable width.
+    pub fn width(&self) -> f64 {
+        self.x_max - self.x_min
+    }
+}
+
+/// Computes the site-aligned row segments of a design: each row is cut at
+/// every overlapping macro, and the remaining intervals are snapped inward
+/// to the site grid. Segments narrower than one site are dropped.
+pub fn row_segments(design: &Design) -> Vec<RowSegment> {
+    let site = design.tech().site_width;
+    let row_h = design.tech().row_height;
+    let macros: Vec<_> = design.macro_shapes().into_iter().map(|(_, r)| r).collect();
+    let mut segments = Vec::new();
+    for row in design.rows() {
+        let (ry0, ry1) = (row.y, row.y + row_h);
+        let mut cuts: Vec<(f64, f64)> = macros
+            .iter()
+            .filter(|m| m.yl < ry1 - 1e-9 && m.yh > ry0 + 1e-9)
+            .map(|m| (m.xl, m.xh))
+            .collect();
+        cuts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let x0 = row.x_min;
+        let align_in = |lo: f64, hi: f64| -> Option<(f64, f64)> {
+            let lo_a = x0 + ((lo - x0) / site).ceil() * site;
+            let hi_a = x0 + ((hi - x0) / site).floor() * site;
+            (hi_a - lo_a >= site).then_some((lo_a, hi_a))
+        };
+        let mut x = row.x_min;
+        for (cl, ch) in cuts {
+            if let Some((lo, hi)) = align_in(x, cl.min(row.x_max)) {
+                segments.push(RowSegment {
+                    y: row.y,
+                    x_min: lo,
+                    x_max: hi,
+                });
+            }
+            x = x.max(ch);
+        }
+        if let Some((lo, hi)) = align_in(x, row.x_max) {
+            segments.push(RowSegment {
+                y: row.y,
+                x_min: lo,
+                x_max: hi,
+            });
+        }
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_db::geom::{Point, Rect};
+    use puffer_db::netlist::{CellKind, NetlistBuilder};
+    use puffer_db::tech::Technology;
+
+    #[test]
+    fn rows_without_macros_are_single_segments() {
+        let nl = NetlistBuilder::new().build().unwrap();
+        let d = Design::new(
+            "t",
+            nl,
+            Technology::default(),
+            Rect::new(0.0, 0.0, 10.0, 5.0),
+        )
+        .unwrap();
+        let segs = row_segments(&d);
+        assert_eq!(segs.len(), 5);
+        assert!(segs.iter().all(|s| s.x_min == 0.0 && s.x_max == 10.0));
+        assert_eq!(segs[0].width(), 10.0);
+    }
+
+    #[test]
+    fn macros_split_rows() {
+        let mut nb = NetlistBuilder::new();
+        let m = nb.add_cell("blk", 4.0, 2.0, CellKind::FixedMacro);
+        let mut d = Design::new(
+            "t",
+            nb.build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 12.0, 6.0),
+        )
+        .unwrap();
+        d.place_macro(m, Point::new(6.0, 3.0)).unwrap();
+        let segs = row_segments(&d);
+        // Rows 2 and 3 (y = 2, 3) are split into two segments; others whole.
+        let split: Vec<_> = segs.iter().filter(|s| s.width() < 12.0).collect();
+        assert_eq!(split.len(), 4);
+        for s in split {
+            assert!(s.x_max <= 4.0 + 1e-9 || s.x_min >= 8.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn segment_bounds_are_site_aligned() {
+        let mut nb = NetlistBuilder::new();
+        // A macro with edges off the site grid.
+        let m = nb.add_cell("blk", 3.3, 2.0, CellKind::FixedMacro);
+        let mut d = Design::new(
+            "t",
+            nb.build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 12.0, 4.0),
+        )
+        .unwrap();
+        d.place_macro(m, Point::new(6.0, 1.0)).unwrap();
+        let site = d.tech().site_width;
+        for s in row_segments(&d) {
+            let lo = (s.x_min / site).round() * site;
+            let hi = (s.x_max / site).round() * site;
+            assert!((s.x_min - lo).abs() < 1e-9, "x_min off grid: {}", s.x_min);
+            assert!((s.x_max - hi).abs() < 1e-9, "x_max off grid: {}", s.x_max);
+        }
+    }
+}

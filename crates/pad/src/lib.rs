@@ -1,0 +1,229 @@
+//! Multi-feature-based cell padding (paper §III-B).
+//!
+//! This crate is PUFFER's routability optimizer: given a congestion map it
+//! decides how much filler width to attach to each cell so the
+//! electrostatic placer spreads congested logic apart.
+//!
+//! * [`features`] — local, CNN-inspired (surrounding), and GNN-inspired
+//!   (pin-congestion) feature extraction (Eq. (9)–(13));
+//! * [`padding`] — the padding formula (Eq. (14)), padding recycling
+//!   (Eq. (15)), utilization control (Eq. (16)), Algorithm 1, and the
+//!   trigger conditions (τ, η, ξ);
+//! * [`strategy`] — every tunable strategy parameter plus the parameter
+//!   space and grouping consumed by the Bayesian exploration (§III-C);
+//! * [`RoutabilityOptimizer`] — the assembled Algorithm 1.
+//!
+//! # Example
+//!
+//! ```
+//! use puffer_pad::{RoutabilityOptimizer, PaddingStrategy};
+//! use puffer_congest::EstimatorConfig;
+//! use puffer_gen::{generate, GeneratorConfig};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = generate(&GeneratorConfig {
+//!     num_cells: 300, num_nets: 340, ..GeneratorConfig::default()
+//! })?;
+//! let mut opt = RoutabilityOptimizer::new(
+//!     &design, EstimatorConfig::default(), PaddingStrategy::default());
+//! let placement = design.initial_placement();
+//! let round = opt.optimize(&design, &placement);
+//! assert_eq!(opt.padding().len(), design.netlist().num_cells());
+//! assert!(round.utilization <= round.target_utilization + 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod features;
+pub mod padding;
+pub mod strategy;
+
+pub use features::{extract_features, Feature, FeatureConfig, FeatureMatrix, NUM_FEATURES};
+pub use padding::{
+    padding_formula, padding_round, padding_vector, should_trigger, PaddingRound, PaddingState,
+};
+pub use strategy::{PaddingStrategy, ParamRange};
+
+use puffer_congest::{CongestionEstimator, EstimatorConfig};
+use puffer_db::design::{Design, Placement};
+
+/// PUFFER's routability optimizer: congestion estimation → feature
+/// extraction → padding computation/recycling/scaling (Algorithm 1),
+/// carrying the padding history across rounds.
+#[derive(Debug, Clone)]
+pub struct RoutabilityOptimizer {
+    estimator: CongestionEstimator,
+    feature_config: FeatureConfig,
+    strategy: PaddingStrategy,
+    state: PaddingState,
+    available_area: f64,
+}
+
+impl RoutabilityOptimizer {
+    /// Builds the optimizer for a design.
+    pub fn new(
+        design: &Design,
+        estimator_config: EstimatorConfig,
+        strategy: PaddingStrategy,
+    ) -> Self {
+        let estimator = CongestionEstimator::new(design, estimator_config);
+        // `A` of Algorithm 1: the available placement area (the macro-free
+        // core). The utilization schedule pu_i of Eq. (16) is measured
+        // against this, so pu_high ≈ the fraction of the core the padding
+        // may claim.
+        let available_area = design.free_area();
+        RoutabilityOptimizer {
+            estimator,
+            feature_config: FeatureConfig::default(),
+            strategy,
+            state: PaddingState::new(design.netlist().num_cells()),
+            available_area,
+        }
+    }
+
+    /// Replaces the feature-extraction configuration (kernel radius, Z-bend
+    /// sampling), returning `self` for chaining.
+    pub fn with_feature_config(mut self, feature_config: FeatureConfig) -> Self {
+        self.feature_config = feature_config;
+        self
+    }
+
+    /// The feature-extraction configuration.
+    pub fn feature_config(&self) -> &FeatureConfig {
+        &self.feature_config
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> &PaddingStrategy {
+        &self.strategy
+    }
+
+    /// Replaces the strategy (e.g. with an explored configuration).
+    pub fn set_strategy(&mut self, strategy: PaddingStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The padding history state.
+    pub fn state(&self) -> &PaddingState {
+        &self.state
+    }
+
+    /// Current cumulative per-cell padding.
+    pub fn padding(&self) -> &[f64] {
+        &self.state.pad
+    }
+
+    /// Whether the optimizer should run this iteration (the three trigger
+    /// conditions of §III-B.3).
+    pub fn should_trigger(&self, density_overflow: f64) -> bool {
+        padding::should_trigger(density_overflow, &self.state, &self.strategy)
+    }
+
+    /// Runs one full round of Algorithm 1 against a placement snapshot and
+    /// returns its statistics; the new padding is available via
+    /// [`RoutabilityOptimizer::padding`].
+    pub fn optimize(&mut self, design: &Design, placement: &Placement) -> PaddingRound {
+        let map = self.estimator.estimate(design, placement);
+        let features = extract_features(design, placement, &map, &self.feature_config);
+        padding_round(
+            design.netlist(),
+            &features,
+            &self.strategy,
+            &mut self.state,
+            self.available_area,
+        )
+    }
+
+    /// The most recent congestion map (recomputed; diagnostics only).
+    pub fn estimate_map(
+        &self,
+        design: &Design,
+        placement: &Placement,
+    ) -> puffer_congest::CongestionMap {
+        self.estimator.estimate(design, placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_db::geom::Point;
+    use puffer_gen::{generate, GeneratorConfig};
+
+    fn design() -> Design {
+        generate(&GeneratorConfig {
+            num_cells: 400,
+            num_nets: 450,
+            num_macros: 1,
+            hotspot: 0.8,
+            ..GeneratorConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn clustered(d: &Design) -> Placement {
+        let r = d.region();
+        let c = r.center();
+        let n = d.netlist().movable_cells().count();
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let mut p = d.initial_placement();
+        for (i, id) in d.netlist().movable_cells().enumerate() {
+            p.set(
+                id,
+                Point::new(
+                    c.x + (((i % cols) as f64 + 0.5) / cols as f64 - 0.5) * 0.3 * r.width(),
+                    c.y + (((i / cols) as f64 + 0.5) / cols as f64 - 0.5) * 0.3 * r.height(),
+                ),
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn optimize_rounds_accumulate_and_respect_budget() {
+        let d = design();
+        let mut opt = RoutabilityOptimizer::new(
+            &d,
+            puffer_congest::EstimatorConfig::default(),
+            PaddingStrategy::default(),
+        );
+        let p = clustered(&d);
+        let r1 = opt.optimize(&d, &p);
+        assert!(r1.padded_cells > 0, "congested snapshot must pad something");
+        assert!(r1.utilization <= r1.target_utilization + 1e-9);
+        let r2 = opt.optimize(&d, &p);
+        assert_eq!(r2.round, 2);
+        assert!(r2.target_utilization >= r1.target_utilization);
+    }
+
+    #[test]
+    fn trigger_respects_round_cap() {
+        let d = design();
+        let mut opt = RoutabilityOptimizer::new(
+            &d,
+            puffer_congest::EstimatorConfig::default(),
+            PaddingStrategy {
+                max_rounds: 2,
+                ..PaddingStrategy::default()
+            },
+        );
+        let p = clustered(&d);
+        assert!(opt.should_trigger(0.05));
+        opt.optimize(&d, &p);
+        opt.optimize(&d, &p);
+        assert!(!opt.should_trigger(0.05), "round cap ξ reached");
+    }
+
+    #[test]
+    fn padding_is_zero_for_macros() {
+        let d = design();
+        let mut opt = RoutabilityOptimizer::new(
+            &d,
+            puffer_congest::EstimatorConfig::default(),
+            PaddingStrategy::default(),
+        );
+        opt.optimize(&d, &clustered(&d));
+        for id in d.netlist().fixed_macros() {
+            assert_eq!(opt.padding()[id.index()], 0.0);
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! The global placement engine: objective assembly and the main loop.
+//!
+//! Implements the unconstrained formulation of paper Eq. (1):
+//! `f = W(x, y) + λ·D(x, y)`, with the WA wirelength of Eq. (2), the
+//! electrostatic density of Eq. (3)–(6), and Nesterov's method as the
+//! solver. The engine exposes a single [`GlobalPlacer::step`] so that a
+//! routability optimizer (PUFFER's cell padding) can interleave with the
+//! optimization, adjusting the per-cell *effective widths* between steps.
+
+use crate::density::DensityModel;
+use crate::nesterov::NesterovOptimizer;
+use crate::wirelength::wa_wirelength_grad;
+use crate::PlaceError;
+use puffer_db::design::{Design, Placement};
+use puffer_db::hpwl::total_hpwl;
+use puffer_db::netlist::CellId;
+
+/// Configuration of the global placer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacerConfig {
+    /// Bin grid dimension (power of two); `0` selects
+    /// [`DensityModel::auto_dim`].
+    pub bin_dim: usize,
+    /// Target placement density for the overflow metric.
+    pub target_density: f64,
+    /// WA smoothing parameter in bin widths (γ of Eq. (2)); the effective γ
+    /// is additionally annealed with the density overflow.
+    pub gamma_factor: f64,
+    /// Multiplicative growth of the density penalty λ per iteration.
+    pub lambda_growth: f64,
+    /// Hard iteration cap for [`GlobalPlacer::run`].
+    pub max_iters: usize,
+    /// Overflow threshold at which [`GlobalPlacer::run`] stops.
+    pub stop_overflow: f64,
+    /// Initial-placement jitter around the region center, in bin widths.
+    pub initial_noise: f64,
+    /// RNG seed for the jitter.
+    pub seed: u64,
+    /// Warm-start with a quadratic (B2B) solve before the electrostatic
+    /// engine takes over (see [`crate::quadratic`]).
+    pub quadratic_init: bool,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        PlacerConfig {
+            bin_dim: 0,
+            target_density: 1.0,
+            gamma_factor: 0.5,
+            lambda_growth: 1.04,
+            max_iters: 800,
+            stop_overflow: 0.07,
+            initial_noise: 2.0,
+            seed: 1,
+            quadratic_init: false,
+        }
+    }
+}
+
+/// Per-iteration statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// Iteration index (1-based after the first [`GlobalPlacer::step`]).
+    pub iter: usize,
+    /// Density overflow (compared against τ triggers and stop criteria).
+    pub overflow: f64,
+    /// Exact HPWL of the current solution.
+    pub hpwl: f64,
+    /// Smoothed WA wirelength.
+    pub wa: f64,
+    /// Electrostatic energy (density penalty value).
+    pub energy: f64,
+    /// Current density penalty factor λ.
+    pub lambda: f64,
+}
+
+/// The ePlace-style global placer.
+///
+/// ```
+/// use puffer_place::{GlobalPlacer, PlacerConfig};
+/// use puffer_gen::{generate, GeneratorConfig};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = generate(&GeneratorConfig {
+///     num_cells: 300, num_nets: 330, num_macros: 1,
+///     ..GeneratorConfig::default()
+/// })?;
+/// let mut placer = GlobalPlacer::new(&design, PlacerConfig {
+///     max_iters: 60, ..PlacerConfig::default()
+/// })?;
+/// let stats = placer.run();
+/// assert!(stats.overflow < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GlobalPlacer<'a> {
+    design: &'a Design,
+    config: PlacerConfig,
+    density: DensityModel,
+    placement: Placement,
+    /// Physical width + padding per cell (the density system's view).
+    eff_width: Vec<f64>,
+    /// Current padding per cell (effective − physical width).
+    padding: Vec<f64>,
+    movable: Vec<CellId>,
+    opt: Option<NesterovOptimizer>,
+    lambda: f64,
+    iter: usize,
+    last_overflow: f64,
+}
+
+impl<'a> GlobalPlacer<'a> {
+    /// Creates a placer with the design's default initial placement
+    /// (movable cells jittered around the region center).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::NoMovableCells`] for a design without movable
+    /// cells and [`PlaceError::UnplacedMacro`] when a macro lacks a
+    /// location.
+    pub fn new(design: &'a Design, config: PlacerConfig) -> Result<Self, PlaceError> {
+        let mut placement = design.initial_placement();
+        // Deterministic jitter to break symmetry.
+        let dim = if config.bin_dim == 0 {
+            DensityModel::auto_dim(design.netlist().num_cells())
+        } else {
+            config.bin_dim
+        };
+        let bin_w = design.region().width() / dim as f64;
+        let bin_h = design.region().height() / dim as f64;
+        let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_add(config.seed);
+        let mut next_unit = || {
+            // xorshift64*; cheap, deterministic, good enough for jitter.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for id in design.netlist().movable_cells() {
+            let p = placement.pos(id);
+            placement.set(
+                id,
+                puffer_db::geom::Point::new(
+                    p.x + next_unit() * config.initial_noise * bin_w,
+                    p.y + next_unit() * config.initial_noise * bin_h,
+                ),
+            );
+        }
+        if config.quadratic_init {
+            placement = crate::quadratic::quadratic_placement(
+                design,
+                &placement,
+                &crate::quadratic::QuadraticConfig::default(),
+            );
+        }
+        Self::with_placement(design, config, placement)
+    }
+
+    /// Creates a placer continuing from an existing placement.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlobalPlacer::new`].
+    pub fn with_placement(
+        design: &'a Design,
+        config: PlacerConfig,
+        placement: Placement,
+    ) -> Result<Self, PlaceError> {
+        design
+            .check_macros_placed()
+            .map_err(|e| PlaceError::UnplacedMacro(e.to_string()))?;
+        let movable: Vec<CellId> = design.netlist().movable_cells().collect();
+        if movable.is_empty() {
+            return Err(PlaceError::NoMovableCells);
+        }
+        let dim = if config.bin_dim == 0 {
+            DensityModel::auto_dim(design.netlist().num_cells())
+        } else {
+            config.bin_dim
+        };
+        let density = DensityModel::new(design, dim, dim);
+        let eff_width: Vec<f64> = design.netlist().cells().iter().map(|c| c.width).collect();
+        let padding = vec![0.0; eff_width.len()];
+        Ok(GlobalPlacer {
+            design,
+            config,
+            density,
+            placement,
+            eff_width,
+            padding,
+            movable,
+            opt: None,
+            lambda: 0.0,
+            iter: 0,
+            last_overflow: 1.0,
+        })
+    }
+
+    /// The current placement (macros fixed, movable cells at their latest
+    /// optimizer solution).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The design being placed.
+    pub fn design(&self) -> &Design {
+        self.design
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PlacerConfig {
+        &self.config
+    }
+
+    /// Current per-cell padding (extra effective width).
+    pub fn padding(&self) -> &[f64] {
+        &self.padding
+    }
+
+    /// Iterations completed.
+    pub fn iterations(&self) -> usize {
+        self.iter
+    }
+
+    /// Density overflow of the latest step (`1.0` before the first step).
+    pub fn overflow(&self) -> f64 {
+        self.last_overflow
+    }
+
+    /// Replaces the per-cell padding; the density system immediately sees
+    /// the enlarged cells, and the optimizer momentum is reset so the new
+    /// forces take effect cleanly (consistent cell padding, paper §III-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `padding.len()` differs from the cell count or any entry is
+    /// negative/non-finite.
+    pub fn set_padding(&mut self, padding: Vec<f64>) {
+        assert_eq!(
+            padding.len(),
+            self.eff_width.len(),
+            "padding length mismatch"
+        );
+        assert!(
+            padding.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "padding must be finite and non-negative"
+        );
+        for (i, cell) in self.design.netlist().cells().iter().enumerate() {
+            self.eff_width[i] = cell.width + padding[i];
+        }
+        self.padding = padding;
+        self.opt = None; // momentum reset; next step re-seeds the optimizer
+    }
+
+    /// Injects extra static charge into the density system (white-space
+    /// allocation: virtual charge reserves congested regions for routing).
+    /// Resets the optimizer momentum like [`GlobalPlacer::set_padding`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid's shape differs from the density bin grid.
+    pub fn set_extra_charge(&mut self, extra: puffer_db::grid::Grid<f64>) {
+        self.density.set_extra_charge(extra);
+        self.opt = None;
+    }
+
+    /// The density model's bin-grid dimensions `(mx, my)`, for building
+    /// extra-charge grids of the right shape.
+    pub fn density_dims(&self) -> (usize, usize) {
+        (self.density.mx(), self.density.my())
+    }
+
+    /// Total padding area currently applied to movable cells.
+    pub fn total_padding_area(&self) -> f64 {
+        self.design
+            .netlist()
+            .iter_cells()
+            .filter(|(_, c)| c.is_movable())
+            .map(|(id, c)| self.padding[id.index()] * c.height)
+            .sum()
+    }
+
+    fn gamma(&self) -> f64 {
+        // Anneal γ with overflow: smooth early (large γ), accurate late.
+        let bin = self.density.bin_w().min(self.density.bin_h());
+        bin * self.config.gamma_factor * (1.0 + 19.0 * self.last_overflow.clamp(0.0, 1.0))
+    }
+
+    fn flat_state(&self) -> Vec<f64> {
+        let n = self.movable.len();
+        let mut v = vec![0.0; 2 * n];
+        for (i, &id) in self.movable.iter().enumerate() {
+            let p = self.placement.pos(id);
+            v[i] = p.x;
+            v[n + i] = p.y;
+        }
+        v
+    }
+
+    fn scatter(&self, flat: &[f64], target: &mut Placement) {
+        let n = self.movable.len();
+        for (i, &id) in self.movable.iter().enumerate() {
+            target.set(id, puffer_db::geom::Point::new(flat[i], flat[n + i]));
+        }
+    }
+
+    /// Combined gradient `∇W + λ·∇D` at `flat`, plus the current λ if it
+    /// still needs bootstrapping.
+    fn combined_grad(&self, flat: &[f64], lambda: f64, gamma: f64) -> Vec<f64> {
+        let mut scratch = self.placement.clone();
+        self.scatter(flat, &mut scratch);
+        let wl = wa_wirelength_grad(self.design.netlist(), &scratch, gamma);
+        let de = self.density.evaluate(
+            self.design.netlist(),
+            &scratch,
+            &self.eff_width,
+            self.config.target_density,
+        );
+        let n = self.movable.len();
+        let mut g = vec![0.0; 2 * n];
+        for (i, &id) in self.movable.iter().enumerate() {
+            let c = id.index();
+            g[i] = wl.grad_x[c] + lambda * de.grad_x[c];
+            g[n + i] = wl.grad_y[c] + lambda * de.grad_y[c];
+        }
+        g
+    }
+
+    fn projector(&self) -> impl Fn(&mut [f64]) + '_ {
+        let n = self.movable.len();
+        let region = self.design.region();
+        move |flat: &mut [f64]| {
+            for (i, &id) in self.movable.iter().enumerate() {
+                let cell = self.design.netlist().cell(id);
+                let hw = (self.eff_width[id.index()] / 2.0).min(region.width() / 2.0);
+                let hh = (cell.height / 2.0).min(region.height() / 2.0);
+                flat[i] = flat[i].clamp(region.xl + hw, region.xh - hw);
+                flat[n + i] = flat[n + i].clamp(region.yl + hh, region.yh - hh);
+            }
+        }
+    }
+
+    /// Bootstraps λ (wirelength/density gradient balance) and the Nesterov
+    /// state; called lazily by the first [`GlobalPlacer::step`] and after
+    /// every [`GlobalPlacer::set_padding`].
+    fn ensure_optimizer(&mut self) {
+        if self.opt.is_some() {
+            return;
+        }
+        let gamma = self.gamma();
+        let mut flat = self.flat_state();
+        self.projector()(&mut flat);
+        let mut scratch = self.placement.clone();
+        self.scatter(&flat, &mut scratch);
+        let wl = wa_wirelength_grad(self.design.netlist(), &scratch, gamma);
+        let de = self.density.evaluate(
+            self.design.netlist(),
+            &scratch,
+            &self.eff_width,
+            self.config.target_density,
+        );
+        if self.lambda == 0.0 {
+            let sw: f64 = self
+                .movable
+                .iter()
+                .map(|&id| wl.grad_x[id.index()].abs() + wl.grad_y[id.index()].abs())
+                .sum();
+            let sd: f64 = self
+                .movable
+                .iter()
+                .map(|&id| de.grad_x[id.index()].abs() + de.grad_y[id.index()].abs())
+                .sum();
+            self.lambda = if sd > 1e-12 { sw / sd } else { 1.0 };
+        }
+        let g = self.combined_grad(&flat, self.lambda, gamma);
+        let gmax = g.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let bin = self.density.bin_w().min(self.density.bin_h());
+        let alpha0 = if gmax > 1e-12 {
+            (0.5 * bin / gmax).min(1e6)
+        } else {
+            1.0
+        };
+        self.opt = Some(NesterovOptimizer::new(flat, g, alpha0.max(1e-9)));
+    }
+
+    /// Performs one Nesterov iteration and returns the updated statistics.
+    pub fn step(&mut self) -> IterationStats {
+        self.ensure_optimizer();
+        let gamma = self.gamma();
+        let lambda = self.lambda;
+        let mut opt = self.opt.take().expect("optimizer just ensured");
+        {
+            let grad = |flat: &[f64]| self.combined_grad(flat, lambda, gamma);
+            let project = self.projector();
+            opt.step(grad, project);
+        }
+        let solution = opt.solution().to_vec();
+        self.opt = Some(opt);
+        let mut new_placement = self.placement.clone();
+        self.scatter(&solution, &mut new_placement);
+        self.placement = new_placement;
+        self.iter += 1;
+        self.lambda *= self.config.lambda_growth;
+
+        let wl = wa_wirelength_grad(self.design.netlist(), &self.placement, gamma);
+        let de = self.density.evaluate(
+            self.design.netlist(),
+            &self.placement,
+            &self.eff_width,
+            self.config.target_density,
+        );
+        self.last_overflow = de.overflow;
+        IterationStats {
+            iter: self.iter,
+            overflow: de.overflow,
+            hpwl: total_hpwl(self.design.netlist(), &self.placement),
+            wa: wl.value,
+            energy: de.energy,
+            lambda: self.lambda,
+        }
+    }
+
+    /// Runs until the stop overflow or the iteration cap is reached.
+    pub fn run(&mut self) -> IterationStats {
+        self.run_until(|_| false)
+    }
+
+    /// Runs like [`GlobalPlacer::run`], additionally stopping when `stop`
+    /// returns `true` for an iteration's statistics.
+    pub fn run_until(&mut self, mut stop: impl FnMut(&IterationStats) -> bool) -> IterationStats {
+        let mut last = self.step();
+        while last.iter < self.config.max_iters
+            && last.overflow > self.config.stop_overflow
+            && !stop(&last)
+        {
+            last = self.step();
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_gen::{generate, GeneratorConfig};
+
+    fn small_design() -> Design {
+        generate(&GeneratorConfig {
+            num_cells: 250,
+            num_nets: 280,
+            num_macros: 1,
+            ..GeneratorConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn placer_reduces_overflow() {
+        let d = small_design();
+        let mut placer = GlobalPlacer::new(
+            &d,
+            PlacerConfig {
+                max_iters: 80,
+                ..PlacerConfig::default()
+            },
+        )
+        .unwrap();
+        let first = placer.step();
+        let last = placer.run();
+        assert!(
+            last.overflow < first.overflow,
+            "{} -> {}",
+            first.overflow,
+            last.overflow
+        );
+        assert!(last.overflow < 0.5);
+    }
+
+    #[test]
+    fn placement_stays_in_region() {
+        let d = small_design();
+        let mut placer = GlobalPlacer::new(
+            &d,
+            PlacerConfig {
+                max_iters: 30,
+                ..PlacerConfig::default()
+            },
+        )
+        .unwrap();
+        placer.run();
+        let r = d.region();
+        for id in d.netlist().movable_cells() {
+            let p = placer.placement().pos(id);
+            assert!(p.x >= r.xl && p.x <= r.xh, "x {p}");
+            assert!(p.y >= r.yl && p.y <= r.yh, "y {p}");
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let d = small_design();
+        let cfg = PlacerConfig {
+            max_iters: 20,
+            ..PlacerConfig::default()
+        };
+        let mut a = GlobalPlacer::new(&d, cfg.clone()).unwrap();
+        let mut b = GlobalPlacer::new(&d, cfg).unwrap();
+        let sa = a.run();
+        let sb = b.run();
+        assert_eq!(sa.hpwl, sb.hpwl);
+        assert_eq!(a.placement(), b.placement());
+    }
+
+    #[test]
+    fn padding_spreads_cells_wider() {
+        let d = small_design();
+        let cfg = PlacerConfig {
+            max_iters: 60,
+            ..PlacerConfig::default()
+        };
+        let mut plain = GlobalPlacer::new(&d, cfg.clone()).unwrap();
+        plain.run();
+
+        let mut padded = GlobalPlacer::new(&d, cfg).unwrap();
+        // Pad every movable cell by 2x its width after a warmup.
+        for _ in 0..10 {
+            padded.step();
+        }
+        let pad: Vec<f64> = d
+            .netlist()
+            .cells()
+            .iter()
+            .map(|c| if c.is_movable() { 2.0 * c.width } else { 0.0 })
+            .collect();
+        padded.set_padding(pad);
+        padded.run();
+
+        // Padded run spreads the same cells over more area: the padded
+        // placement's raw (unpadded) density overflow must be lower.
+        let dim = 64;
+        let m = crate::density::DensityModel::new(&d, dim, dim);
+        let widths: Vec<f64> = d.netlist().cells().iter().map(|c| c.width).collect();
+        let e_plain = m.evaluate(d.netlist(), plain.placement(), &widths, 0.6);
+        let e_padded = m.evaluate(d.netlist(), padded.placement(), &widths, 0.6);
+        assert!(
+            e_padded.overflow <= e_plain.overflow + 1e-9,
+            "padded {} vs plain {}",
+            e_padded.overflow,
+            e_plain.overflow
+        );
+    }
+
+    #[test]
+    fn set_padding_rejects_bad_input() {
+        let d = small_design();
+        let mut placer = GlobalPlacer::new(&d, PlacerConfig::default()).unwrap();
+        let n = d.netlist().num_cells();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            placer.set_padding(vec![0.0; n - 1]);
+        }));
+        assert!(result.is_err());
+        let mut placer2 = GlobalPlacer::new(&d, PlacerConfig::default()).unwrap();
+        let result2 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            placer2.set_padding(vec![-1.0; n]);
+        }));
+        assert!(result2.is_err());
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let d = small_design();
+        let mut placer = GlobalPlacer::new(
+            &d,
+            PlacerConfig {
+                max_iters: 500,
+                ..PlacerConfig::default()
+            },
+        )
+        .unwrap();
+        let stats = placer.run_until(|s| s.iter >= 5);
+        assert_eq!(stats.iter, 5);
+        assert_eq!(placer.iterations(), 5);
+    }
+
+    #[test]
+    fn hpwl_does_not_explode() {
+        // Wirelength should stay within a sane multiple of the initial
+        // (clustered) value even as density spreads cells.
+        let d = small_design();
+        let mut placer = GlobalPlacer::new(
+            &d,
+            PlacerConfig {
+                max_iters: 60,
+                ..PlacerConfig::default()
+            },
+        )
+        .unwrap();
+        let first = placer.step();
+        let last = placer.run();
+        assert!(last.hpwl < first.hpwl * 50.0 + 1.0);
+        assert!(last.hpwl.is_finite() && last.energy.is_finite());
+    }
+
+    #[test]
+    fn empty_design_is_rejected() {
+        use puffer_db::geom::Rect;
+        use puffer_db::netlist::NetlistBuilder;
+        use puffer_db::tech::Technology;
+        let d = Design::new(
+            "e",
+            NetlistBuilder::new().build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+        )
+        .unwrap();
+        assert!(matches!(
+            GlobalPlacer::new(&d, PlacerConfig::default()),
+            Err(PlaceError::NoMovableCells)
+        ));
+    }
+}

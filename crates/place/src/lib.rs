@@ -1,0 +1,74 @@
+//! ePlace-style electrostatic global placement engine (paper §II-B).
+//!
+//! This crate is the "basic placement engine" underneath PUFFER: it solves
+//! the unconstrained problem `min W(x,y) + λ·D(x,y)` (Eq. (1)) with
+//!
+//! * [`wirelength`] — the weighted-average (WA) wirelength model and its
+//!   analytic gradient (Eq. (2));
+//! * [`density`] — the electrostatic density system solved by DCT/DST
+//!   spectral methods on top of [`puffer_fft`] (Eq. (3)–(6));
+//! * [`nesterov`] — Nesterov's accelerated gradient method with a
+//!   backtracked Lipschitz step size;
+//! * [`quadratic`] — the other engine family of §I: a bound-to-bound
+//!   quadratic model solved by preconditioned conjugate gradients, usable
+//!   as a warm start for the electrostatic engine;
+//! * [`engine`] — the [`GlobalPlacer`] main loop, with per-cell *effective
+//!   widths* so a routability optimizer can pad cells between iterations.
+//!
+//! See [`GlobalPlacer`] for a runnable example.
+
+pub mod density;
+pub mod engine;
+pub mod nesterov;
+pub mod quadratic;
+pub mod wirelength;
+
+pub use density::{DensityEval, DensityModel};
+pub use engine::{GlobalPlacer, IterationStats, PlacerConfig};
+pub use nesterov::NesterovOptimizer;
+pub use quadratic::{quadratic_placement, QuadraticConfig};
+pub use wirelength::{wa_wirelength_grad, WirelengthGrad};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the placement engine.
+#[derive(Debug)]
+pub enum PlaceError {
+    /// The design has no movable cells to place.
+    NoMovableCells,
+    /// A fixed macro has no location.
+    UnplacedMacro(String),
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::NoMovableCells => write!(f, "design has no movable cells"),
+            PlaceError::UnplacedMacro(msg) => write!(f, "unplaced macro: {msg}"),
+        }
+    }
+}
+
+impl Error for PlaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(PlaceError::NoMovableCells
+            .to_string()
+            .contains("no movable"));
+        assert!(PlaceError::UnplacedMacro("m1".into())
+            .to_string()
+            .contains("m1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<PlaceError>();
+    }
+}

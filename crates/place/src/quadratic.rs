@@ -1,0 +1,425 @@
+//! Quadratic (B2B) initial placement.
+//!
+//! The paper's §I describes the two analytical engine families: non-linear
+//! (the ePlace engine of this crate) and *quadratic* placement, where a
+//! quadratic wirelength model is minimized exactly by solving a sparse
+//! linear system. This module provides the quadratic side as an optional
+//! initializer: the bound-to-bound (B2B) net model of Spindler et al.
+//! linearizes HPWL, a Jacobi-preconditioned conjugate-gradient solver
+//! minimizes it per axis, and a few reweighting rounds tighten the
+//! approximation.
+//!
+//! Without density forces every movable cell collapses towards the anchor
+//! positions (fixed macro pins plus a weak center anchor) — exactly the
+//! "lower bound" solution of quadratic placers. This is an excellent warm
+//! start for the electrostatic engine: cluster structure is already
+//! untangled while the density system does the spreading.
+
+use puffer_db::design::{Design, Placement};
+use puffer_db::geom::Point;
+use puffer_db::netlist::Netlist;
+
+/// Configuration of the quadratic initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadraticConfig {
+    /// B2B reweighting rounds (weights depend on the current solution).
+    pub b2b_rounds: usize,
+    /// Conjugate-gradient iterations per solve.
+    pub cg_iters: usize,
+    /// CG convergence tolerance on the relative residual.
+    pub cg_tolerance: f64,
+    /// Weak anchor weight pulling every cell to the region center,
+    /// regularizing designs with few or no fixed pins.
+    pub center_anchor: f64,
+}
+
+impl Default for QuadraticConfig {
+    fn default() -> Self {
+        QuadraticConfig {
+            b2b_rounds: 3,
+            cg_iters: 150,
+            cg_tolerance: 1e-6,
+            center_anchor: 1e-4,
+        }
+    }
+}
+
+/// Computes a quadratic (B2B) placement for the movable cells.
+///
+/// Fixed macros act as anchors at their placed positions; movable cells
+/// start from `initial` (e.g. [`Design::initial_placement`]) and end at the
+/// quadratic optimum, clamped into the region.
+pub fn quadratic_placement(
+    design: &Design,
+    initial: &Placement,
+    config: &QuadraticConfig,
+) -> Placement {
+    let netlist = design.netlist();
+    let movable: Vec<_> = netlist.movable_cells().collect();
+    if movable.is_empty() {
+        return initial.clone();
+    }
+    // Dense index over movable cells.
+    let mut index = vec![usize::MAX; netlist.num_cells()];
+    for (i, &id) in movable.iter().enumerate() {
+        index[id.index()] = i;
+    }
+    let n = movable.len();
+    let center = design.region().center();
+    let mut placement = initial.clone();
+
+    for _ in 0..config.b2b_rounds.max(1) {
+        for axis in 0..2 {
+            let system = build_b2b_system(netlist, &placement, &index, n, axis);
+            let mut x0: Vec<f64> = movable
+                .iter()
+                .map(|&id| {
+                    let p = placement.pos(id);
+                    if axis == 0 {
+                        p.x
+                    } else {
+                        p.y
+                    }
+                })
+                .collect();
+            let anchor_target = if axis == 0 { center.x } else { center.y };
+            let solution = solve_cg(
+                &system,
+                &mut x0,
+                anchor_target,
+                config.center_anchor,
+                config.cg_iters,
+                config.cg_tolerance,
+            );
+            for (i, &id) in movable.iter().enumerate() {
+                let p = placement.pos(id);
+                let q = if axis == 0 {
+                    Point::new(solution[i], p.y)
+                } else {
+                    Point::new(p.x, solution[i])
+                };
+                placement.set(id, design.region().clamp_point(q));
+            }
+        }
+    }
+    placement
+}
+
+/// A sparse SPD system `A x = b` stored as adjacency lists plus diagonal.
+struct SparseSystem {
+    /// Off-diagonal entries per row: `(column, weight)` with `A[r][c] = -w`.
+    adj: Vec<Vec<(usize, f64)>>,
+    /// Diagonal (sum of incident weights + anchor weights).
+    diag: Vec<f64>,
+    /// Right-hand side from fixed-pin anchors.
+    rhs: Vec<f64>,
+}
+
+/// Builds the B2B system for one axis: for each net, every pin connects to
+/// the two boundary pins with weight `2 / ((p − 1)·|Δ|)`, which makes the
+/// quadratic form's value equal the net's HPWL at the linearization point.
+fn build_b2b_system(
+    netlist: &Netlist,
+    placement: &Placement,
+    index: &[usize],
+    n: usize,
+    axis: usize,
+) -> SparseSystem {
+    let mut sys = SparseSystem {
+        adj: vec![Vec::new(); n],
+        diag: vec![0.0; n],
+        rhs: vec![0.0; n],
+    };
+    let coord = |pid: puffer_db::netlist::PinId| -> f64 {
+        let p = placement.pin_pos(netlist, pid);
+        if axis == 0 {
+            p.x
+        } else {
+            p.y
+        }
+    };
+    let offset = |pid: puffer_db::netlist::PinId| -> f64 {
+        let o = netlist.pin(pid).offset;
+        if axis == 0 {
+            o.x
+        } else {
+            o.y
+        }
+    };
+    for (_, net) in netlist.iter_nets() {
+        let p = net.degree();
+        if p < 2 || net.weight == 0.0 {
+            continue;
+        }
+        // Boundary pins at the linearization point.
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        for (k, &pid) in net.pins.iter().enumerate() {
+            if coord(pid) < coord(net.pins[lo]) {
+                lo = k;
+            }
+            if coord(pid) > coord(net.pins[hi]) {
+                hi = k;
+            }
+        }
+        let scale = net.weight * 2.0 / (p as f64 - 1.0);
+        for (k, &pid) in net.pins.iter().enumerate() {
+            for &b in &[lo, hi] {
+                if k == b || (k == lo && b == hi) {
+                    // Skip self-pairs; the lo–hi edge is visited once at
+                    // (k = hi, b = lo).
+                    continue;
+                }
+                {
+                    let bid = net.pins[b];
+                    let d = (coord(pid) - coord(bid)).abs().max(1e-3);
+                    let w = scale / d;
+                    // Movable cell coordinate = pin coordinate − offset;
+                    // fixed pins anchor at their absolute coordinate.
+                    let ci = netlist.pin(pid).cell;
+                    let cj = netlist.pin(bid).cell;
+                    if ci == cj {
+                        continue;
+                    }
+                    let i = index[ci.index()];
+                    let j = index[cj.index()];
+                    let (op, oq) = (offset(pid), offset(bid));
+                    match (i != usize::MAX, j != usize::MAX) {
+                        (true, true) => {
+                            sys.diag[i] += w;
+                            sys.diag[j] += w;
+                            sys.adj[i].push((j, w));
+                            sys.adj[j].push((i, w));
+                            sys.rhs[i] += w * (oq - op);
+                            sys.rhs[j] += w * (op - oq);
+                        }
+                        (true, false) => {
+                            sys.diag[i] += w;
+                            sys.rhs[i] += w * (coord(bid) - op);
+                        }
+                        (false, true) => {
+                            sys.diag[j] += w;
+                            sys.rhs[j] += w * (coord(pid) - oq);
+                        }
+                        (false, false) => {}
+                    }
+                }
+            }
+        }
+    }
+    sys
+}
+
+/// Jacobi-preconditioned conjugate gradient on
+/// `(A + anchor·I) x = b + anchor·target`.
+fn solve_cg(
+    sys: &SparseSystem,
+    x0: &mut [f64],
+    anchor_target: f64,
+    anchor: f64,
+    max_iters: usize,
+    tol: f64,
+) -> Vec<f64> {
+    let n = x0.len();
+    let diag: Vec<f64> = sys.diag.iter().map(|d| d + anchor).collect();
+    let b: Vec<f64> = sys.rhs.iter().map(|r| r + anchor * anchor_target).collect();
+    let matvec = |x: &[f64], out: &mut [f64]| {
+        for i in 0..n {
+            let mut acc = diag[i] * x[i];
+            for &(j, w) in &sys.adj[i] {
+                acc -= w * x[j];
+            }
+            out[i] = acc;
+        }
+    };
+    let mut x = x0.to_vec();
+    let mut ax = vec![0.0; n];
+    matvec(&x, &mut ax);
+    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(b, a)| b - a).collect();
+    let mut z: Vec<f64> = r.iter().zip(&diag).map(|(r, d)| r / d.max(1e-12)).collect();
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    let b_norm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+    let mut ap = vec![0.0; n];
+    for _ in 0..max_iters {
+        let r_norm: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if r_norm / b_norm < tol {
+            break;
+        }
+        matvec(&p, &mut ap);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if pap.abs() < 1e-30 {
+            break;
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for i in 0..n {
+            z[i] = r[i] / diag[i].max(1e-12);
+        }
+        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let beta = rz_new / rz.max(1e-30);
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_db::geom::Rect;
+    use puffer_db::hpwl::total_hpwl;
+    use puffer_db::netlist::{CellId, CellKind, NetlistBuilder};
+    use puffer_db::tech::Technology;
+
+    #[test]
+    fn chain_between_two_anchors_spreads_evenly() {
+        // fixed A — m0 — m1 — m2 — fixed B: quadratic optimum spaces the
+        // movable cells evenly between the anchors.
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_cell("a", 2.0, 2.0, CellKind::FixedMacro);
+        let m: Vec<_> = (0..3)
+            .map(|i| nb.add_cell(format!("m{i}"), 1.0, 1.0, CellKind::Movable))
+            .collect();
+        let bb = nb.add_cell("b", 2.0, 2.0, CellKind::FixedMacro);
+        let chain = [a, m[0], m[1], m[2], bb];
+        for w in chain.windows(2) {
+            let n = nb.add_net(format!("n{}{}", w[0], w[1]));
+            nb.connect(n, w[0], Point::ORIGIN).unwrap();
+            nb.connect(n, w[1], Point::ORIGIN).unwrap();
+        }
+        let mut d = Design::new(
+            "t",
+            nb.build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 40.0, 40.0),
+        )
+        .unwrap();
+        d.place_macro(a, Point::new(4.0, 20.0)).unwrap();
+        d.place_macro(bb, Point::new(36.0, 20.0)).unwrap();
+        let out = quadratic_placement(&d, &d.initial_placement(), &QuadraticConfig::default());
+        let xs: Vec<f64> = m.iter().map(|&c| out.pos(c).x).collect();
+        assert!(xs[0] < xs[1] && xs[1] < xs[2], "ordered: {xs:?}");
+        // Roughly even spacing (B2B weights make it exact at convergence).
+        assert!((xs[1] - 20.0).abs() < 2.0, "middle near center: {}", xs[1]);
+        for &c in &m {
+            assert!((out.pos(c).y - 20.0).abs() < 2.0);
+        }
+    }
+
+    #[test]
+    fn quadratic_reduces_hpwl_versus_scattered_start() {
+        use puffer_gen::{generate, GeneratorConfig};
+        let d = generate(&GeneratorConfig {
+            num_cells: 400,
+            num_nets: 450,
+            num_macros: 3,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        // Scattered start: cells on a grid (locality ignored).
+        let r = d.region();
+        let mut start = d.initial_placement();
+        let cols = 21usize;
+        for (i, id) in d.netlist().movable_cells().enumerate() {
+            start.set(
+                id,
+                Point::new(
+                    r.xl + ((i % cols) as f64 + 0.5) / cols as f64 * r.width(),
+                    r.yl + ((i / cols) as f64 % cols as f64 + 0.5) / cols as f64 * r.height(),
+                ),
+            );
+        }
+        let before = total_hpwl(d.netlist(), &start);
+        let out = quadratic_placement(&d, &start, &QuadraticConfig::default());
+        let after = total_hpwl(d.netlist(), &out);
+        assert!(
+            after < before * 0.5,
+            "quadratic solve should collapse wirelength: {before} -> {after}"
+        );
+        // All cells stay inside the region.
+        for id in d.netlist().movable_cells() {
+            assert!(r.contains(out.pos(id)) || r.clamp_point(out.pos(id)) == out.pos(id));
+        }
+    }
+
+    #[test]
+    fn fixed_cells_do_not_move() {
+        use puffer_gen::{generate, GeneratorConfig};
+        let d = generate(&GeneratorConfig {
+            num_cells: 100,
+            num_nets: 120,
+            num_macros: 2,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let init = d.initial_placement();
+        let out = quadratic_placement(&d, &init, &QuadraticConfig::default());
+        for id in d.netlist().fixed_macros() {
+            assert_eq!(out.pos(id), init.pos(id));
+        }
+    }
+
+    #[test]
+    fn empty_movable_set_is_identity() {
+        let mut nb = NetlistBuilder::new();
+        let m = nb.add_cell("m", 2.0, 2.0, CellKind::FixedMacro);
+        let mut d = Design::new(
+            "t",
+            nb.build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 10.0, 10.0),
+        )
+        .unwrap();
+        d.place_macro(m, Point::new(5.0, 5.0)).unwrap();
+        let init = d.initial_placement();
+        let out = quadratic_placement(&d, &init, &QuadraticConfig::default());
+        assert_eq!(out, init);
+    }
+
+    #[test]
+    fn cg_solves_a_small_spd_system() {
+        // Hand-built 2x2 system: [[3,-1],[-1,2]] x = [1, 1].
+        let sys = SparseSystem {
+            adj: vec![vec![(1, 1.0)], vec![(0, 1.0)]],
+            diag: vec![3.0, 2.0],
+            rhs: vec![1.0, 1.0],
+        };
+        let mut x0 = vec![0.0, 0.0];
+        let x = solve_cg(&sys, &mut x0, 0.0, 0.0, 100, 1e-12);
+        // Exact solution: x = [3/5, 4/5].
+        assert!((x[0] - 0.6).abs() < 1e-9, "{x:?}");
+        assert!((x[1] - 0.8).abs() < 1e-9, "{x:?}");
+    }
+
+    #[test]
+    fn center_anchor_regularizes_unanchored_designs() {
+        // No fixed cells at all: without the anchor the system is
+        // singular; with it, everything lands at the region center.
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        let b = nb.add_cell("b", 1.0, 1.0, CellKind::Movable);
+        let n = nb.add_net("n");
+        nb.connect(n, a, Point::ORIGIN).unwrap();
+        nb.connect(n, b, Point::ORIGIN).unwrap();
+        let d = Design::new(
+            "t",
+            nb.build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 20.0, 20.0),
+        )
+        .unwrap();
+        let mut start = Placement::zeroed(2);
+        start.set(CellId(0), Point::new(2.0, 2.0));
+        start.set(CellId(1), Point::new(18.0, 18.0));
+        let out = quadratic_placement(&d, &start, &QuadraticConfig::default());
+        for i in 0..2u32 {
+            assert!(out.pos(CellId(i)).l1_distance(Point::new(10.0, 10.0)) < 2.0);
+        }
+    }
+}

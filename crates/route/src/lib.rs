@@ -1,0 +1,366 @@
+//! Global router and routability evaluator for PUFFER.
+//!
+//! The paper evaluates every placement with the Innovus global router; that
+//! tool is proprietary, so this crate provides the substitute: a
+//! from-scratch Gcell-grid global router with
+//!
+//! * blockage-aware capacity (shared with [`puffer_congest`], Eq. (8));
+//! * FLUTE-style RSMT decomposition of every net into two-point nets
+//!   ([`puffer_flute`]);
+//! * pattern routing (best of L/Z candidates) for the initial solution;
+//! * PathFinder-style negotiated-congestion rip-up-and-reroute with A*
+//!   maze routing for overflowed segments ([`path::maze_route`]);
+//! * a [`RouteReport`] with the Table II quantities — HOF(%), VOF(%),
+//!   routed wirelength — plus Fig. 5-style congestion maps.
+//!
+//! All three placement flows in the reproduction are judged by this same
+//! router, mirroring the paper's use of one common evaluator.
+//!
+//! # Example
+//!
+//! ```
+//! use puffer_route::{GlobalRouter, RouterConfig};
+//! use puffer_gen::{generate, GeneratorConfig};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = generate(&GeneratorConfig {
+//!     num_cells: 300, num_nets: 330, ..GeneratorConfig::default()
+//! })?;
+//! let router = GlobalRouter::new(&design, RouterConfig::default());
+//! let report = router.route(&design, &design.initial_placement());
+//! assert!(report.wirelength >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod grid;
+pub mod layers;
+pub mod path;
+
+pub use grid::{Dir, RoutingGrid};
+pub use layers::{assign_layers, LayerAssignment, LayerConfig, LayerReport};
+
+use puffer_congest::{build_capacity, CongestionMap, EstimatorConfig};
+use puffer_db::design::{Design, Placement};
+use puffer_flute::Topology;
+
+/// Router configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterConfig {
+    /// Gcell edge length in row heights (shared with the estimator).
+    pub gcell_rows: f64,
+    /// Power-grid capacity derate (shared with the estimator).
+    pub power_derate: f64,
+    /// Maximum rip-up-and-reroute rounds after the initial pattern pass.
+    pub max_rounds: usize,
+    /// Z-pattern bend samples for pattern routing.
+    pub max_bends: usize,
+    /// Worker threads for topology construction.
+    pub threads: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            gcell_rows: 3.0,
+            power_derate: 0.12,
+            max_rounds: 12,
+            max_bends: 6,
+            threads: 8,
+        }
+    }
+}
+
+/// The routing result: the quantities of the paper's Table II.
+#[derive(Debug, Clone)]
+pub struct RouteReport {
+    /// Horizontal overflow ratio in percent (Table II "HOF(%)").
+    pub hof_pct: f64,
+    /// Vertical overflow ratio in percent (Table II "VOF(%)").
+    pub vof_pct: f64,
+    /// Routed wirelength in database units (Table II "WL").
+    pub wirelength: f64,
+    /// Number of Gcells still overused after the final round.
+    pub overflow_gcells: usize,
+    /// Rip-up rounds actually executed.
+    pub rounds: usize,
+    /// Final usage/capacity maps (for Fig. 5 congestion maps).
+    pub congestion: CongestionMap,
+    /// The final 2-D path of every routed two-point net (input to
+    /// [`assign_layers`]).
+    pub paths: Vec<path::Path>,
+}
+
+impl RouteReport {
+    /// The paper's pass criterion: both overflow ratios below 1%.
+    pub fn passes(&self) -> bool {
+        self.hof_pct < 1.0 && self.vof_pct < 1.0
+    }
+}
+
+/// The global router. Capacity is computed once per design.
+#[derive(Debug, Clone)]
+pub struct GlobalRouter {
+    config: RouterConfig,
+    base: RoutingGrid,
+}
+
+impl GlobalRouter {
+    /// Builds the router (and its capacity maps) for a design.
+    pub fn new(design: &Design, config: RouterConfig) -> Self {
+        let est = EstimatorConfig {
+            gcell_rows: config.gcell_rows,
+            power_derate: config.power_derate,
+            ..EstimatorConfig::default()
+        };
+        let (h_cap, v_cap) = build_capacity(design, &est);
+        GlobalRouter {
+            config,
+            base: RoutingGrid::new(h_cap, v_cap),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Routes a placement and reports HOF/VOF/WL.
+    pub fn route(&self, design: &Design, placement: &Placement) -> RouteReport {
+        let mut grid = self.base.clone();
+        let netlist = design.netlist();
+
+        // --- decompose all nets into two-point segments (parallel) -------
+        let net_ids: Vec<_> = netlist.iter_nets().map(|(id, _)| id).collect();
+        let threads = self.config.threads.clamp(1, 64);
+        let chunks: Vec<&[puffer_db::netlist::NetId]> = net_ids
+            .chunks(net_ids.len().div_ceil(threads).max(1))
+            .collect();
+        type Endpoints = Vec<((usize, usize), (usize, usize))>;
+        let mut endpoints: Endpoints = Vec::new();
+        let results: Vec<Endpoints> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let gridref = &grid;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for &net_id in chunk {
+                            if netlist.net(net_id).degree() < 2 {
+                                continue;
+                            }
+                            let topo = Topology::for_net(netlist, placement, net_id);
+                            for seg in topo.segments() {
+                                let a = gcell_of(gridref, topo.nodes()[seg.a].pos);
+                                let b = gcell_of(gridref, topo.nodes()[seg.b].pos);
+                                if a != b {
+                                    out.push((a, b));
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("router thread panicked"))
+                .collect()
+        });
+        for r in results {
+            endpoints.extend(r);
+        }
+        // Short segments first: they have the least routing freedom.
+        endpoints.sort_by_key(|&(a, b)| (a.0.abs_diff(b.0) + a.1.abs_diff(b.1), a, b));
+
+        // --- initial pattern pass ----------------------------------------
+        let mut paths: Vec<path::Path> = Vec::with_capacity(endpoints.len());
+        for &(a, b) in &endpoints {
+            let p = path::pattern_route(&grid, a, b, self.config.max_bends);
+            path::apply_path(&mut grid, &p, 1.0);
+            paths.push(p);
+        }
+
+        // --- negotiated rip-up-and-reroute --------------------------------
+        let mut rounds = 0;
+        for _ in 0..self.config.max_rounds {
+            if grid.overflow_gcells() == 0 {
+                break;
+            }
+            rounds += 1;
+            grid.update_history();
+            let mut rerouted = 0usize;
+            for i in 0..paths.len() {
+                if !path::path_overflows(&grid, &paths[i]) {
+                    continue;
+                }
+                let (a, b) = endpoints[i];
+                path::apply_path(&mut grid, &paths[i], -1.0);
+                let p = path::maze_route(&grid, a, b);
+                path::apply_path(&mut grid, &p, 1.0);
+                paths[i] = p;
+                rerouted += 1;
+            }
+            if rerouted == 0 {
+                break;
+            }
+        }
+
+        // --- report -------------------------------------------------------
+        let (hof, vof) = grid.overflow_ratios();
+        let mut wirelength = 0.0;
+        for p in &paths {
+            for w in p.windows(2) {
+                wirelength += if w[0].1 == w[1].1 {
+                    grid.dx()
+                } else {
+                    grid.dy()
+                };
+            }
+        }
+        RouteReport {
+            hof_pct: hof * 100.0,
+            vof_pct: vof * 100.0,
+            wirelength,
+            overflow_gcells: grid.overflow_gcells(),
+            rounds,
+            congestion: grid.to_congestion_map(),
+            paths,
+        }
+    }
+}
+
+fn gcell_of(grid: &RoutingGrid, p: puffer_db::geom::Point) -> (usize, usize) {
+    grid.cell_of(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_db::geom::Point;
+    use puffer_gen::{generate, GeneratorConfig};
+
+    fn design(hotspot: f64) -> Design {
+        generate(&GeneratorConfig {
+            num_cells: 400,
+            num_nets: 440,
+            num_macros: 1,
+            hotspot,
+            ..GeneratorConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn spread_placement(d: &Design, frac: f64) -> Placement {
+        let r = d.region();
+        let c = r.center();
+        let n = d.netlist().movable_cells().count();
+        let cluster = 48usize;
+        let tiles = n.div_ceil(cluster);
+        let tpr = (tiles as f64).sqrt().ceil() as usize;
+        let inner = (cluster as f64).sqrt().ceil() as usize;
+        let mut p = d.initial_placement();
+        for (i, id) in d.netlist().movable_cells().enumerate() {
+            let t = i / cluster;
+            let j = i % cluster;
+            let fx =
+                ((t % tpr) as f64 + ((j % inner) as f64 + 0.5) / inner as f64) / tpr as f64 - 0.5;
+            let fy =
+                ((t / tpr) as f64 + ((j / inner) as f64 + 0.5) / inner as f64) / tpr as f64 - 0.5;
+            p.set(
+                id,
+                Point::new(c.x + fx * frac * r.width(), c.y + fy * frac * r.height()),
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn router_reports_finite_metrics() {
+        let d = design(0.2);
+        let router = GlobalRouter::new(&d, RouterConfig::default());
+        let rep = router.route(&d, &spread_placement(&d, 0.9));
+        assert!(rep.hof_pct >= 0.0 && rep.hof_pct.is_finite());
+        assert!(rep.vof_pct >= 0.0 && rep.vof_pct.is_finite());
+        assert!(rep.wirelength > 0.0);
+    }
+
+    #[test]
+    fn clustered_placements_route_worse() {
+        let d = design(0.5);
+        let router = GlobalRouter::new(&d, RouterConfig::default());
+        let tight = router.route(&d, &spread_placement(&d, 0.25));
+        let loose = router.route(&d, &spread_placement(&d, 0.9));
+        assert!(
+            tight.hof_pct + tight.vof_pct > loose.hof_pct + loose.vof_pct,
+            "tight ({}, {}) vs loose ({}, {})",
+            tight.hof_pct,
+            tight.vof_pct,
+            loose.hof_pct,
+            loose.vof_pct
+        );
+    }
+
+    #[test]
+    fn rip_up_reduces_overflow() {
+        let d = design(0.6);
+        let no_riprup = GlobalRouter::new(
+            &d,
+            RouterConfig {
+                max_rounds: 0,
+                ..RouterConfig::default()
+            },
+        );
+        let with = GlobalRouter::new(&d, RouterConfig::default());
+        let p = spread_placement(&d, 0.5);
+        let before = no_riprup.route(&d, &p);
+        let after = with.route(&d, &p);
+        assert!(
+            after.overflow_gcells <= before.overflow_gcells,
+            "rip-up should not increase overflow ({} -> {})",
+            before.overflow_gcells,
+            after.overflow_gcells
+        );
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let d = design(0.3);
+        let router = GlobalRouter::new(&d, RouterConfig::default());
+        let p = spread_placement(&d, 0.6);
+        let a = router.route(&d, &p);
+        let b = router.route(&d, &p);
+        assert_eq!(a.wirelength, b.wirelength);
+        assert_eq!(a.hof_pct, b.hof_pct);
+        assert_eq!(a.overflow_gcells, b.overflow_gcells);
+    }
+
+    #[test]
+    fn layer_assignment_consumes_route_paths() {
+        let d = design(0.2);
+        let router = GlobalRouter::new(&d, RouterConfig::default());
+        let rep = router.route(&d, &spread_placement(&d, 0.9));
+        assert!(!rep.paths.is_empty());
+        let assignment =
+            crate::layers::assign_layers(&d, &rep.paths, &crate::layers::LayerConfig::default());
+        assert!(assignment.vias > 0);
+        // All 2-D usage mass lands on some layer.
+        let layered: f64 = assignment.layers.iter().map(|l| l.usage.sum()).sum();
+        let flat = rep.congestion.h_demand().sum() + rep.congestion.v_demand().sum();
+        assert!(
+            (layered - flat).abs() < 1e-6,
+            "layered {layered} vs flat {flat}"
+        );
+    }
+
+    #[test]
+    fn pass_criterion_matches_1_percent() {
+        let d = design(0.0);
+        let router = GlobalRouter::new(&d, RouterConfig::default());
+        let mut rep = router.route(&d, &spread_placement(&d, 0.9));
+        rep.hof_pct = 0.5;
+        rep.vof_pct = 0.99;
+        assert!(rep.passes());
+        rep.vof_pct = 1.01;
+        assert!(!rep.passes());
+    }
+}

@@ -1,0 +1,374 @@
+//! Path search: pattern routing (L/Z) and A* maze routing on the Gcell
+//! grid with negotiated-congestion costs.
+
+use crate::grid::{Dir, RoutingGrid};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A routed path: the Gcell sequence from source to target (inclusive).
+pub type Path = Vec<(usize, usize)>;
+
+/// Cost of traversing `path` under the grid's current state (as if the
+/// path were about to be added).
+pub fn path_cost(grid: &RoutingGrid, path: &Path) -> f64 {
+    let mut cost = 0.0;
+    let mut prev_dir: Option<Dir> = None;
+    for w in path.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let d = if a.1 == b.1 { Dir::H } else { Dir::V };
+        cost += 0.5 * (grid.cost(a.0, a.1, d, 0.5) + grid.cost(b.0, b.1, d, 0.5));
+        if let Some(p) = prev_dir {
+            if p != d {
+                cost += grid.bend_cost;
+            }
+        }
+        prev_dir = Some(d);
+    }
+    cost
+}
+
+/// Charges (`sign = +1`) or refunds (`sign = -1`) a path's usage.
+pub fn apply_path(grid: &mut RoutingGrid, path: &Path, sign: f64) {
+    for w in path.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let d = if a.1 == b.1 { Dir::H } else { Dir::V };
+        grid.charge(a.0, a.1, d, 0.5 * sign);
+        grid.charge(b.0, b.1, d, 0.5 * sign);
+    }
+}
+
+/// Whether any Gcell along the path is overused.
+pub fn path_overflows(grid: &RoutingGrid, path: &Path) -> bool {
+    for w in path.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let d = if a.1 == b.1 { Dir::H } else { Dir::V };
+        if grid.overuse(a.0, a.1, d) > 1e-9 || grid.overuse(b.0, b.1, d) > 1e-9 {
+            return true;
+        }
+    }
+    false
+}
+
+fn straight(path: &mut Path, from: (usize, usize), to: (usize, usize)) {
+    debug_assert!(from.0 == to.0 || from.1 == to.1);
+    let mut cur = from;
+    while cur != to {
+        if cur.0 < to.0 {
+            cur.0 += 1;
+        } else if cur.0 > to.0 {
+            cur.0 -= 1;
+        } else if cur.1 < to.1 {
+            cur.1 += 1;
+        } else {
+            cur.1 -= 1;
+        }
+        path.push(cur);
+    }
+}
+
+/// Builds the two L-shaped and up to `2·max_bends` Z-shaped candidate
+/// paths and returns the cheapest under the grid's current cost.
+pub fn pattern_route(
+    grid: &RoutingGrid,
+    a: (usize, usize),
+    b: (usize, usize),
+    max_bends: usize,
+) -> Path {
+    if a == b {
+        return vec![a];
+    }
+    let mut candidates: Vec<Path> = Vec::new();
+    if a.0 == b.0 || a.1 == b.1 {
+        let mut p = vec![a];
+        straight(&mut p, a, b);
+        candidates.push(p);
+    } else {
+        // L via (b.x, a.y) and via (a.x, b.y).
+        for bend in [(b.0, a.1), (a.0, b.1)] {
+            let mut p = vec![a];
+            straight(&mut p, a, bend);
+            straight(&mut p, bend, b);
+            candidates.push(p);
+        }
+        // Z with a vertical middle leg at column cx.
+        let (xl, xh) = (a.0.min(b.0), a.0.max(b.0));
+        for cx in sample(xl, xh, max_bends) {
+            let mut p = vec![a];
+            straight(&mut p, a, (cx, a.1));
+            straight(&mut p, (cx, a.1), (cx, b.1));
+            straight(&mut p, (cx, b.1), b);
+            candidates.push(p);
+        }
+        // Z with a horizontal middle leg at row cy.
+        let (yl, yh) = (a.1.min(b.1), a.1.max(b.1));
+        for cy in sample(yl, yh, max_bends) {
+            let mut p = vec![a];
+            straight(&mut p, a, (a.0, cy));
+            straight(&mut p, (a.0, cy), (b.0, cy));
+            straight(&mut p, (b.0, cy), b);
+            candidates.push(p);
+        }
+    }
+    candidates
+        .into_iter()
+        .min_by(|p, q| path_cost(grid, p).total_cmp(&path_cost(grid, q)))
+        .expect("at least one candidate")
+}
+
+fn sample(lo: usize, hi: usize, max: usize) -> Vec<usize> {
+    if hi - lo < 2 || max == 0 {
+        return Vec::new();
+    }
+    let count = (hi - lo - 1).min(max);
+    (1..=count)
+        .map(|i| lo + i * (hi - lo) / (count + 1))
+        .collect()
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    f: f64,
+    g: f64,
+    node: usize,
+    dir: u8, // 0 = none, 1 = H, 2 = V
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f.
+        other.f.total_cmp(&self.f)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A* maze route from `a` to `b` with congestion-aware costs. Always finds
+/// a path (the grid is fully connected); the admissible heuristic is the
+/// Manhattan distance at base cost.
+pub fn maze_route(grid: &RoutingGrid, a: (usize, usize), b: (usize, usize)) -> Path {
+    if a == b {
+        return vec![a];
+    }
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let idx = |x: usize, y: usize| y * nx + x;
+    // Per (node, incoming-direction) state so bends price correctly.
+    // `parent[node][dir-1]` stores (parent node, parent's incoming dir).
+    let mut dist = vec![[f64::INFINITY; 2]; nx * ny];
+    let mut parent: Vec<[(usize, u8); 2]> = vec![[(usize::MAX, 0); 2]; nx * ny];
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        f: 0.0,
+        g: 0.0,
+        node: idx(a.0, a.1),
+        dir: 0,
+    });
+
+    let h = |x: usize, y: usize| -> f64 { (x.abs_diff(b.0) + y.abs_diff(b.1)) as f64 };
+
+    let target = idx(b.0, b.1);
+    while let Some(HeapEntry { g, node, dir, .. }) = heap.pop() {
+        if dir != 0 && g > dist[node][(dir - 1) as usize] + 1e-12 {
+            continue;
+        }
+        if node == target {
+            // Reconstruct by walking (node, dir) pairs back to the source.
+            let mut path = Vec::new();
+            let mut cur = node;
+            let mut cur_dir = dir;
+            loop {
+                path.push((cur % nx, cur / nx));
+                if cur_dir == 0 {
+                    break;
+                }
+                let (p, pdir) = parent[cur][(cur_dir - 1) as usize];
+                debug_assert_ne!(p, usize::MAX, "parent chain broken");
+                cur = p;
+                cur_dir = pdir;
+            }
+            path.reverse();
+            debug_assert_eq!(path.first(), Some(&a));
+            return path;
+        }
+        let (x, y) = (node % nx, node / nx);
+        for (dx, dy, nd) in [(-1i64, 0i64, 1u8), (1, 0, 1), (0, -1, 2), (0, 1, 2)] {
+            let (tx, ty) = (x as i64 + dx, y as i64 + dy);
+            if tx < 0 || ty < 0 || tx >= nx as i64 || ty >= ny as i64 {
+                continue;
+            }
+            let (tx, ty) = (tx as usize, ty as usize);
+            let d = if nd == 1 { Dir::H } else { Dir::V };
+            let mut step = 0.5 * (grid.cost(x, y, d, 0.5) + grid.cost(tx, ty, d, 0.5));
+            if dir != 0 && dir != nd {
+                step += grid.bend_cost;
+            }
+            let ng = g + step;
+            let tnode = idx(tx, ty);
+            if ng + 1e-12 < dist[tnode][(nd - 1) as usize] {
+                dist[tnode][(nd - 1) as usize] = ng;
+                parent[tnode][(nd - 1) as usize] = (node, dir);
+                heap.push(HeapEntry {
+                    f: ng + h(tx, ty),
+                    g: ng,
+                    node: tnode,
+                    dir: nd,
+                });
+            }
+        }
+    }
+    // Unreachable on a connected grid, but fall back to a pattern route.
+    pattern_route(grid, a, b, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_db::geom::Rect;
+    use puffer_db::grid::Grid;
+
+    fn grid(cap: f64) -> RoutingGrid {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        RoutingGrid::new(Grid::filled(r, 10, 10, cap), Grid::filled(r, 10, 10, cap))
+    }
+
+    fn is_connected(path: &Path) -> bool {
+        path.windows(2)
+            .all(|w| w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1) == 1)
+    }
+
+    #[test]
+    fn pattern_route_straight() {
+        let g = grid(10.0);
+        let p = pattern_route(&g, (2, 3), (7, 3), 4);
+        assert_eq!(p.len(), 6);
+        assert!(is_connected(&p));
+        assert!(p.iter().all(|&(_, y)| y == 3));
+    }
+
+    #[test]
+    fn pattern_route_l_shape() {
+        let g = grid(10.0);
+        let p = pattern_route(&g, (1, 1), (5, 6), 0);
+        assert!(is_connected(&p));
+        assert_eq!(p.first(), Some(&(1, 1)));
+        assert_eq!(p.last(), Some(&(5, 6)));
+        // Minimal length: manhattan + 1.
+        assert_eq!(p.len(), 4 + 5 + 1);
+    }
+
+    #[test]
+    fn pattern_route_picks_cheaper_l() {
+        let mut g = grid(2.0);
+        // Congest the bend at (5, 1) heavily.
+        for x in 1..=5 {
+            g.charge(x, 1, Dir::H, 10.0);
+        }
+        let p = pattern_route(&g, (1, 1), (5, 6), 0);
+        // Should prefer the L through (1, 6).
+        assert!(p.contains(&(1, 6)), "path {p:?}");
+    }
+
+    #[test]
+    fn pattern_route_uses_z_when_both_ls_are_hot() {
+        let mut g = grid(2.0);
+        // Heat both L bend corners; a Z through the middle stays cool.
+        for x in 1..=5 {
+            g.charge(x, 1, Dir::H, 10.0); // bottom leg
+            g.charge(x, 6, Dir::H, 10.0); // top leg
+        }
+        let p = pattern_route(&g, (1, 1), (5, 6), 4);
+        assert!(is_connected(&p));
+        // A Z route has exactly two bends; it must leave row 1 before x=5
+        // and join row 6 after x=1, i.e. use some intermediate row fully.
+        let intermediate_h = p
+            .windows(2)
+            .filter(|w| w[0].1 == w[1].1 && w[0].1 != 1 && w[0].1 != 6)
+            .count();
+        assert!(intermediate_h > 0, "expected a Z-shaped route, got {p:?}");
+    }
+
+    #[test]
+    fn maze_route_prices_bends() {
+        // With a high bend cost and a free grid, the maze route uses a
+        // minimal-bend (L-shaped) path.
+        let mut g = grid(100.0);
+        g.bend_cost = 10.0;
+        let p = maze_route(&g, (0, 0), (6, 6));
+        let bends = p
+            .windows(3)
+            .filter(|w| {
+                let d1 = w[0].1 == w[1].1;
+                let d2 = w[1].1 == w[2].1;
+                d1 != d2
+            })
+            .count();
+        assert_eq!(bends, 1, "expected exactly one bend, got {p:?}");
+        assert_eq!(p.len(), 13);
+    }
+
+    #[test]
+    fn apply_and_refund_are_inverse() {
+        let mut g = grid(2.0);
+        let p = pattern_route(&g, (0, 0), (4, 4), 2);
+        apply_path(&mut g, &p, 1.0);
+        assert!(g.to_congestion_map().total_demand() > 0.0);
+        apply_path(&mut g, &p, -1.0);
+        assert_eq!(g.to_congestion_map().total_demand(), 0.0);
+    }
+
+    #[test]
+    fn maze_route_connects_and_is_minimal_when_free() {
+        let g = grid(10.0);
+        let p = maze_route(&g, (2, 2), (8, 5));
+        assert!(is_connected(&p));
+        assert_eq!(p.first(), Some(&(2, 2)));
+        assert_eq!(p.last(), Some(&(8, 5)));
+        assert_eq!(p.len(), 6 + 3 + 1, "uncongested maze route is shortest");
+    }
+
+    #[test]
+    fn maze_route_detours_around_congestion() {
+        let mut g = grid(1.0);
+        // Build a congested wall on column 5, rows 0..8 (gap at 9).
+        for y in 0..9 {
+            g.charge(5, y, Dir::H, 50.0);
+            g.charge(5, y, Dir::V, 50.0);
+        }
+        let p = maze_route(&g, (2, 2), (8, 2));
+        assert!(is_connected(&p));
+        assert_eq!(p.last(), Some(&(8, 2)));
+        // The shortest path (through the wall) costs > the detour via row 9.
+        let through: f64 = 6.0 + 1.0; // would be if free
+        assert!(path_cost(&g, &p) > through, "sanity");
+        assert!(
+            p.iter().any(|&(_, y)| y > 6),
+            "expected a detour towards the gap, got {p:?}"
+        );
+    }
+
+    #[test]
+    fn path_overflow_detection() {
+        let mut g = grid(1.0);
+        let p = pattern_route(&g, (0, 0), (5, 0), 0);
+        apply_path(&mut g, &p, 1.0);
+        assert!(!path_overflows(&g, &p));
+        // Route three more times over the same row: capacity 1 exceeded.
+        for _ in 0..3 {
+            apply_path(&mut g, &p, 1.0);
+        }
+        assert!(path_overflows(&g, &p));
+    }
+
+    #[test]
+    fn degenerate_single_cell_path() {
+        let g = grid(1.0);
+        assert_eq!(pattern_route(&g, (3, 3), (3, 3), 4), vec![(3, 3)]);
+        assert_eq!(maze_route(&g, (3, 3), (3, 3)), vec![(3, 3)]);
+        assert_eq!(path_cost(&g, &vec![(3, 3)]), 0.0);
+    }
+}

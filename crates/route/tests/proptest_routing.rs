@@ -1,0 +1,87 @@
+//! Property-based tests on the routing path search.
+
+use proptest::prelude::*;
+use puffer_db::geom::Rect;
+use puffer_db::grid::Grid;
+use puffer_route::path::{apply_path, maze_route, path_cost, pattern_route};
+use puffer_route::RoutingGrid;
+
+fn grid_with_noise(seed_usage: &[(usize, usize, f64, bool)]) -> RoutingGrid {
+    let r = Rect::new(0.0, 0.0, 12.0, 12.0);
+    let mut g = RoutingGrid::new(Grid::filled(r, 12, 12, 2.0), Grid::filled(r, 12, 12, 2.0));
+    for &(x, y, amount, horizontal) in seed_usage {
+        let d = if horizontal {
+            puffer_route::Dir::H
+        } else {
+            puffer_route::Dir::V
+        };
+        g.charge(x % 12, y % 12, d, amount);
+    }
+    g
+}
+
+fn is_connected(p: &[(usize, usize)]) -> bool {
+    p.windows(2)
+        .all(|w| w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1) == 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pattern routes are connected, endpoint-correct, and of minimal
+    /// rectilinear length.
+    #[test]
+    fn pattern_routes_are_minimal(
+        ax in 0usize..12, ay in 0usize..12,
+        bx in 0usize..12, by in 0usize..12,
+        usage in prop::collection::vec((0usize..12, 0usize..12, 0.0..20.0f64, any::<bool>()), 0..10),
+    ) {
+        let g = grid_with_noise(&usage);
+        let p = pattern_route(&g, (ax, ay), (bx, by), 4);
+        prop_assert!(is_connected(&p));
+        prop_assert_eq!(*p.first().unwrap(), (ax, ay));
+        prop_assert_eq!(*p.last().unwrap(), (bx, by));
+        // Pattern routes never detour: length = manhattan + 1.
+        prop_assert_eq!(p.len(), ax.abs_diff(bx) + ay.abs_diff(by) + 1);
+    }
+
+    /// Maze routes are connected and never cost more than the best pattern
+    /// route under the same grid state.
+    #[test]
+    fn maze_routes_never_lose_to_patterns(
+        ax in 0usize..12, ay in 0usize..12,
+        bx in 0usize..12, by in 0usize..12,
+        usage in prop::collection::vec((0usize..12, 0usize..12, 0.0..30.0f64, any::<bool>()), 0..14),
+    ) {
+        let g = grid_with_noise(&usage);
+        let maze = maze_route(&g, (ax, ay), (bx, by));
+        prop_assert!(is_connected(&maze));
+        prop_assert_eq!(*maze.last().unwrap(), (bx, by));
+        let pattern = pattern_route(&g, (ax, ay), (bx, by), 4);
+        prop_assert!(
+            path_cost(&g, &maze) <= path_cost(&g, &pattern) + 1e-6,
+            "maze {} > pattern {}", path_cost(&g, &maze), path_cost(&g, &pattern)
+        );
+    }
+
+    /// Applying then refunding any path restores the exact usage state.
+    #[test]
+    fn apply_refund_is_lossless(
+        ax in 0usize..12, ay in 0usize..12,
+        bx in 0usize..12, by in 0usize..12,
+        usage in prop::collection::vec((0usize..12, 0usize..12, 0.0..10.0f64, any::<bool>()), 0..8),
+    ) {
+        let mut g = grid_with_noise(&usage);
+        let before = g.to_congestion_map();
+        let p = maze_route(&g, (ax, ay), (bx, by));
+        apply_path(&mut g, &p, 1.0);
+        apply_path(&mut g, &p, -1.0);
+        let after = g.to_congestion_map();
+        for (a, b) in before.h_demand().as_slice().iter().zip(after.h_demand().as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        for (a, b) in before.v_demand().as_slice().iter().zip(after.v_demand().as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
