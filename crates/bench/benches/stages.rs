@@ -1,11 +1,19 @@
-//! Criterion micro-benchmarks: one group per pipeline stage, so the
-//! runtime composition behind the Table II RT column can be traced.
+//! Micro-benchmarks: one group per pipeline stage, so the runtime
+//! composition behind the Table II RT column can be traced.
+//!
+//! Uses a small self-contained timing harness (no external bench
+//! framework) so the workspace builds fully offline:
 //!
 //! ```text
 //! cargo bench -p puffer-bench
 //! ```
+//!
+//! Each benchmark is run for a fixed number of timed iterations after a
+//! warm-up, and the per-iteration mean and minimum are reported.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use puffer_congest::{CongestionEstimator, EstimatorConfig};
 use puffer_db::design::{Design, Placement};
 use puffer_db::geom::Point;
@@ -19,6 +27,40 @@ use puffer_place::{
     quadratic_placement, DensityModel, GlobalPlacer, PlacerConfig, QuadraticConfig,
 };
 use puffer_route::{assign_layers, GlobalRouter, LayerConfig, RouterConfig};
+
+/// Times `f` for `iters` iterations after `warmup` untimed ones and
+/// prints per-iteration statistics. The closure's result is passed
+/// through [`black_box`] so the work is not optimized away.
+fn bench<T, F: FnMut() -> T>(group: &str, name: &str, warmup: usize, iters: usize, mut f: F) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{group:<14} {name:<28} mean {:>12}  min {:>12}  ({iters} iters)",
+        fmt_secs(mean),
+        fmt_secs(min)
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
 
 fn bench_design() -> Design {
     generate(&GeneratorConfig {
@@ -50,42 +92,34 @@ fn snapshot(design: &Design) -> Placement {
     p
 }
 
-fn fft_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn fft_benches() {
     let data: Vec<f64> = (0..256).map(|i| (i as f64 * 0.37).sin()).collect();
-    g.bench_function("dct2_256", |b| b.iter(|| dct2(std::hint::black_box(&data))));
-    g.bench_function("dct3_256", |b| b.iter(|| dct3(std::hint::black_box(&data))));
+    bench("fft", "dct2_256", 10, 100, || dct2(black_box(&data)));
+    bench("fft", "dct3_256", 10, 100, || dct3(black_box(&data)));
     let cdata: Vec<Complex> = (0..1024)
         .map(|i| Complex::new((i as f64).sin(), 0.0))
         .collect();
-    g.bench_function("fft_1024", |b| {
-        b.iter_batched(
-            || cdata.clone(),
-            |mut v| puffer_fft::fft(&mut v),
-            BatchSize::SmallInput,
-        )
+    bench("fft", "fft_1024", 10, 100, || {
+        let mut v = cdata.clone();
+        puffer_fft::fft(&mut v);
+        v
     });
-    g.finish();
 }
 
-fn rsmt_benches(c: &mut Criterion) {
+fn rsmt_benches() {
     let design = bench_design();
     let placement = snapshot(&design);
     let nets: Vec<_> = design.netlist().iter_nets().map(|(id, _)| id).collect();
-    let mut g = c.benchmark_group("rsmt");
-    g.bench_function("all_nets_2k", |b| {
-        b.iter(|| {
-            let mut wl = 0.0;
-            for &net in &nets {
-                wl += Topology::for_net(design.netlist(), &placement, net).wirelength();
-            }
-            wl
-        })
+    bench("rsmt", "all_nets_2k", 2, 20, || {
+        let mut wl = 0.0;
+        for &net in &nets {
+            wl += Topology::for_net(design.netlist(), &placement, net).wirelength();
+        }
+        wl
     });
-    g.finish();
 }
 
-fn congestion_benches(c: &mut Criterion) {
+fn congestion_benches() {
     let design = bench_design();
     let placement = snapshot(&design);
     let est = CongestionEstimator::new(&design, EstimatorConfig::default());
@@ -96,68 +130,51 @@ fn congestion_benches(c: &mut Criterion) {
             ..EstimatorConfig::default()
         },
     );
-    let mut g = c.benchmark_group("congestion");
-    g.bench_function("estimate_full", |b| {
-        b.iter(|| est.estimate(&design, &placement))
+    bench("congestion", "estimate_full", 2, 20, || {
+        est.estimate(&design, &placement)
     });
-    g.bench_function("estimate_no_detour", |b| {
-        b.iter(|| no_detour.estimate(&design, &placement))
+    bench("congestion", "estimate_no_detour", 2, 20, || {
+        no_detour.estimate(&design, &placement)
     });
-    g.finish();
 }
 
-fn feature_benches(c: &mut Criterion) {
+fn feature_benches() {
     let design = bench_design();
     let placement = snapshot(&design);
     let est = CongestionEstimator::new(&design, EstimatorConfig::default());
     let map = est.estimate(&design, &placement);
-    let mut g = c.benchmark_group("padding");
-    g.bench_function("extract_features", |b| {
-        b.iter(|| extract_features(&design, &placement, &map, &FeatureConfig::default()))
+    bench("padding", "extract_features", 2, 20, || {
+        extract_features(&design, &placement, &map, &FeatureConfig::default())
     });
     let features = extract_features(&design, &placement, &map, &FeatureConfig::default());
     let strategy = PaddingStrategy::default();
-    g.bench_function("padding_round", |b| {
-        b.iter_batched(
-            || PaddingState::new(design.netlist().num_cells()),
-            |mut state| padding_round(design.netlist(), &features, &strategy, &mut state, 1e6),
-            BatchSize::SmallInput,
-        )
+    bench("padding", "padding_round", 2, 20, || {
+        let mut state = PaddingState::new(design.netlist().num_cells());
+        padding_round(design.netlist(), &features, &strategy, &mut state, 1e6)
     });
-    g.finish();
 }
 
-fn density_benches(c: &mut Criterion) {
+fn density_benches() {
     let design = bench_design();
     let placement = snapshot(&design);
     let widths: Vec<f64> = design.netlist().cells().iter().map(|c| c.width).collect();
     let model = DensityModel::new(&design, 64, 64);
-    let mut g = c.benchmark_group("density");
-    g.bench_function("evaluate_64x64", |b| {
-        b.iter(|| model.evaluate(design.netlist(), &placement, &widths, 1.0))
+    bench("density", "evaluate_64x64", 2, 20, || {
+        model.evaluate(design.netlist(), &placement, &widths, 1.0)
     });
-    g.finish();
 }
 
-fn placer_benches(c: &mut Criterion) {
+fn placer_benches() {
     let design = bench_design();
-    let mut g = c.benchmark_group("placer");
-    g.sample_size(10);
-    g.bench_function("ten_nesterov_steps", |b| {
-        b.iter_batched(
-            || GlobalPlacer::new(&design, PlacerConfig::default()).expect("placer"),
-            |mut placer| {
-                for _ in 0..10 {
-                    placer.step();
-                }
-            },
-            BatchSize::LargeInput,
-        )
+    bench("placer", "ten_nesterov_steps", 1, 10, || {
+        let mut placer = GlobalPlacer::new(&design, PlacerConfig::default()).expect("placer");
+        for _ in 0..10 {
+            placer.step();
+        }
     });
-    g.finish();
 }
 
-fn router_benches(c: &mut Criterion) {
+fn router_benches() {
     let design = bench_design();
     let placement = snapshot(&design);
     let router = GlobalRouter::new(&design, RouterConfig::default());
@@ -168,18 +185,15 @@ fn router_benches(c: &mut Criterion) {
             ..RouterConfig::default()
         },
     );
-    let mut g = c.benchmark_group("router");
-    g.sample_size(10);
-    g.bench_function("route_full", |b| {
-        b.iter(|| router.route(&design, &placement))
+    bench("router", "route_full", 1, 10, || {
+        router.route(&design, &placement)
     });
-    g.bench_function("route_pattern_only", |b| {
-        b.iter(|| pattern_only.route(&design, &placement))
+    bench("router", "route_pattern_only", 1, 10, || {
+        pattern_only.route(&design, &placement)
     });
-    g.finish();
 }
 
-fn legalize_benches(c: &mut Criterion) {
+fn legalize_benches() {
     let design = bench_design();
     let placement = snapshot(&design);
     let zeros = vec![0u32; design.netlist().num_cells()];
@@ -188,99 +202,88 @@ fn legalize_benches(c: &mut Criterion) {
     let padded: Vec<u32> = (0..design.netlist().num_cells())
         .map(|i| (i % 2) as u32)
         .collect();
-    let mut g = c.benchmark_group("legalize");
-    g.sample_size(10);
-    g.bench_function("abacus_plain", |b| {
-        b.iter(|| legalize(&design, &placement, &zeros).expect("legalize"))
+    bench("legalize", "abacus_plain", 1, 10, || {
+        legalize(&design, &placement, &zeros).expect("legalize")
     });
-    g.bench_function("abacus_padded", |b| {
-        b.iter(|| legalize(&design, &placement, &padded).expect("legalize"))
+    bench("legalize", "abacus_padded", 1, 10, || {
+        legalize(&design, &placement, &padded).expect("legalize")
     });
-    g.finish();
 }
 
-fn quadratic_benches(c: &mut Criterion) {
+fn quadratic_benches() {
     let design = bench_design();
     let init = design.initial_placement();
-    let mut g = c.benchmark_group("quadratic");
-    g.sample_size(10);
-    g.bench_function("b2b_cg_solve", |b| {
-        b.iter(|| quadratic_placement(&design, &init, &QuadraticConfig::default()))
+    bench("quadratic", "b2b_cg_solve", 1, 10, || {
+        quadratic_placement(&design, &init, &QuadraticConfig::default())
     });
-    g.finish();
 }
 
-fn dp_benches(c: &mut Criterion) {
+fn dp_benches() {
     let design = bench_design();
     let zeros = vec![0u32; design.netlist().num_cells()];
     let legal = legalize(&design, &snapshot(&design), &zeros).expect("legalize");
-    let mut g = c.benchmark_group("detailed_place");
-    g.sample_size(10);
-    g.bench_function("refine_3_passes", |b| {
-        b.iter(|| {
-            refine(
-                &design,
-                &legal.placement,
-                &zeros,
-                &DetailedConfig::default(),
-            )
-        })
+    bench("detailed_place", "refine_3_passes", 1, 10, || {
+        refine(
+            &design,
+            &legal.placement,
+            &zeros,
+            &DetailedConfig::default(),
+        )
     });
-    g.finish();
 }
 
-fn layer_benches(c: &mut Criterion) {
+fn layer_benches() {
     let design = bench_design();
     let placement = snapshot(&design);
     let router = GlobalRouter::new(&design, RouterConfig::default());
     let report = router.route(&design, &placement);
-    let mut g = c.benchmark_group("layers");
-    g.sample_size(10);
-    g.bench_function("assign_layers", |b| {
-        b.iter(|| assign_layers(&design, &report.paths, &LayerConfig::default()))
+    bench("layers", "assign_layers", 1, 10, || {
+        assign_layers(&design, &report.paths, &LayerConfig::default())
     });
-    g.finish();
 }
 
-fn tpe_benches(c: &mut Criterion) {
+fn tpe_benches() {
     use puffer_explore::{ParamSpec, Space, Tpe, TpeConfig};
     let space = Space::new(
         (0..8)
             .map(|i| ParamSpec::continuous(format!("p{i}"), 0.0, 1.0))
             .collect(),
     );
-    let mut g = c.benchmark_group("tpe");
-    g.bench_function("suggest_after_100_obs", |b| {
-        b.iter_batched(
-            || {
-                let mut tpe = Tpe::new(space.clone(), TpeConfig::default());
-                for k in 0..100 {
-                    let x: Vec<f64> = (0..8).map(|d| ((k * 7 + d) % 10) as f64 / 10.0).collect();
-                    let y = x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum();
-                    tpe.observe(x, y);
-                }
-                tpe
-            },
-            |mut tpe| tpe.suggest(),
-            BatchSize::SmallInput,
-        )
+    bench("tpe", "suggest_after_100_obs", 2, 20, || {
+        let mut tpe = Tpe::new(space.clone(), TpeConfig::default());
+        for k in 0..100 {
+            let x: Vec<f64> = (0..8).map(|d| ((k * 7 + d) % 10) as f64 / 10.0).collect();
+            let y = x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum();
+            tpe.observe(x, y);
+        }
+        tpe.suggest()
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    fft_benches,
-    rsmt_benches,
-    congestion_benches,
-    feature_benches,
-    density_benches,
-    placer_benches,
-    router_benches,
-    legalize_benches,
-    quadratic_benches,
-    dp_benches,
-    layer_benches,
-    tpe_benches
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes flags like `--bench`; the first non-flag
+    // argument (if any) filters the groups to run.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+    let groups: [(&str, fn()); 12] = [
+        ("fft", fft_benches),
+        ("rsmt", rsmt_benches),
+        ("congestion", congestion_benches),
+        ("padding", feature_benches),
+        ("density", density_benches),
+        ("placer", placer_benches),
+        ("router", router_benches),
+        ("legalize", legalize_benches),
+        ("quadratic", quadratic_benches),
+        ("detailed_place", dp_benches),
+        ("layers", layer_benches),
+        ("tpe", tpe_benches),
+    ];
+    for (name, run) in groups {
+        if filter.is_empty() || name.contains(&filter) {
+            run();
+        }
+    }
+}

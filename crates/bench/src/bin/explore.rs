@@ -66,7 +66,8 @@ fn main() {
         max_rounds: 1,
         parallel: false, // evaluations already use all cores via the router
     };
-    let outcome = explore_strategy(&space, &groups, objective, &strategy_cfg);
+    let outcome = explore_strategy(&space, &groups, objective, &strategy_cfg)
+        .expect("strategy exploration failed");
 
     println!("\nStrategy exploration finished:");
     println!("  evaluations: {}", outcome.evals);

@@ -15,8 +15,8 @@
 //! forwards `std::env::args` and sets the exit code.
 
 use puffer::{
-    evaluate, PufferConfig, PufferPlacer, ReferenceConfig, ReferencePlacer, ReplaceConfig,
-    ReplacePlacer,
+    evaluate, CheckpointPolicy, FlowCheckpoint, PufferConfig, PufferPlacer, ReferenceConfig,
+    ReferencePlacer, ReplaceConfig, ReplacePlacer,
 };
 use puffer_db::io::{read_design, read_placement, write_design, write_placement};
 use puffer_dp::{refine, refine_with_congestion, DetailedConfig};
@@ -70,7 +70,8 @@ usage:
   puffer convert <design.aux> -o <design.pd>      (Bookshelf import)
   puffer stats  <design.pd>
   puffer place  <design.pd> -o <placed.pl> [--flow puffer|reference|replace]
-                [--max-iters <n>]
+                [--max-iters <n>] [--journal <run.pj>] [--checkpoint-every <n>]
+                [--resume <run.pj>]
   puffer eval   <design.pd> <placed.pl> [--maps <dir>] [--layers]
   puffer refine <design.pd> <placed.pl> -o <refined.pl> [--guard]
   puffer draw   <design.pd> <placed.pl> -o <out.svg> [--rows]
@@ -283,23 +284,56 @@ fn cmd_stats(args: &[String], out: &mut String) -> Result<(), CliError> {
 }
 
 fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["o", "flow", "max-iters"], &[])?;
+    let flags = Flags::parse(
+        args,
+        &["o", "flow", "max-iters", "journal", "checkpoint-every", "resume"],
+        &[],
+    )?;
     let [design_path] = flags.positional.as_slice() else {
         return Err(CliError::usage("place needs exactly one <design.pd>"));
     };
     let output = flags
         .get("o")
         .ok_or_else(|| CliError::usage("place needs -o <placed.pl>"))?;
-    let design = load_design(design_path)?;
     let max_iters: Option<usize> = flags.get_parsed("max-iters")?;
     let flow = flags.get("flow").unwrap_or("puffer");
+    let journal = flags.get("journal");
+    let every: usize = flags.get_parsed("checkpoint-every")?.unwrap_or(25);
+    let resume = flags.get("resume");
+    if flow != "puffer" && (journal.is_some() || resume.is_some()) {
+        return Err(CliError::usage(
+            "--journal/--resume only apply to --flow puffer",
+        ));
+    }
+    let design = load_design(design_path)?;
     let result = match flow {
         "puffer" => {
             let mut cfg = PufferConfig::default();
             if let Some(n) = max_iters {
                 cfg.placer.max_iters = n;
             }
-            PufferPlacer::new(cfg).place(&design)
+            let placer = PufferPlacer::new(cfg);
+            if let Some(from) = resume {
+                // Resume keeps journaling: to --journal when given, else
+                // back to the journal it resumed from.
+                let policy = CheckpointPolicy {
+                    path: journal.unwrap_or(from).into(),
+                    every,
+                    keep_history: false,
+                };
+                let checkpoint = FlowCheckpoint::load(Path::new(from))
+                    .map_err(|e| CliError::run(format!("cannot resume from {from}: {e}")))?;
+                placer.place_from(&design, checkpoint, Some(&policy))
+            } else if let Some(path) = journal {
+                let policy = CheckpointPolicy {
+                    path: path.into(),
+                    every,
+                    keep_history: false,
+                };
+                placer.place_with_checkpoints(&design, &policy)
+            } else {
+                placer.place(&design)
+            }
         }
         "reference" => {
             let mut cfg = ReferenceConfig::default();
@@ -629,6 +663,105 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("cannot parse"));
+    }
+
+    #[test]
+    fn place_journal_and_resume_roundtrip() {
+        let design_path = tmp("ckpt.pd");
+        let placed_path = tmp("ckpt.pl");
+        let resumed_path = tmp("ckpt_resumed.pl");
+        let journal_path = tmp("ckpt.pj");
+        run(
+            &strs(&["gen", "--cells", "200", "-o", &design_path]),
+            &mut String::new(),
+        )
+        .unwrap();
+        let mut out = String::new();
+        run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &placed_path,
+                "--max-iters",
+                "80",
+                "--journal",
+                &journal_path,
+                "--checkpoint-every",
+                "20",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(Path::new(&journal_path).exists(), "journal not written");
+
+        // Resuming from the final checkpoint reproduces the placement file.
+        let mut out = String::new();
+        run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &resumed_path,
+                "--max-iters",
+                "80",
+                "--resume",
+                &journal_path,
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&placed_path).unwrap(),
+            std::fs::read_to_string(&resumed_path).unwrap(),
+            "resumed run diverged from the original"
+        );
+    }
+
+    #[test]
+    fn place_resume_from_garbage_fails_cleanly() {
+        let design_path = tmp("ckpt_bad.pd");
+        run(
+            &strs(&["gen", "--cells", "100", "-o", &design_path]),
+            &mut String::new(),
+        )
+        .unwrap();
+        let bad = tmp("bad.pj");
+        std::fs::write(&bad, "definitely not a checkpoint\n").unwrap();
+        let err = run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &tmp("ckpt_bad.pl"),
+                "--resume",
+                &bad,
+            ]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("cannot resume"), "{}", err.message);
+    }
+
+    #[test]
+    fn journal_flags_require_puffer_flow() {
+        let err = run(
+            &strs(&[
+                "place",
+                "x.pd",
+                "-o",
+                "y.pl",
+                "--flow",
+                "reference",
+                "--journal",
+                "z.pj",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--flow puffer"), "{}", err.message);
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! The full PUFFER flow (paper Fig. 2): global placement with interleaved
 //! routability optimization, then white-space-assisted legalization.
 
+use crate::checkpoint::{CheckpointPolicy, FlowCheckpoint, FlowStage};
 use crate::PufferError;
 use puffer_congest::EstimatorConfig;
 use puffer_db::design::{Design, Placement};
 use puffer_db::hpwl::total_hpwl;
 use puffer_legal::{check_legal, discretize_padding, enforce_budget, legalize};
 use puffer_pad::{FeatureConfig, PaddingStrategy, RoutabilityOptimizer};
-use puffer_place::{GlobalPlacer, PlacerConfig};
+use puffer_place::{GlobalPlacer, IterationStats, PlacerConfig};
+use std::path::Path;
 use std::time::Instant;
 
 /// Configuration of the PUFFER flow.
@@ -99,9 +101,67 @@ impl PufferPlacer {
     /// Returns [`PufferError`] if global placement cannot start (no movable
     /// cells / unplaced macros) or legalization runs out of capacity.
     pub fn place(&self, design: &Design) -> Result<FlowResult, PufferError> {
+        self.run(design, None, None)
+    }
+
+    /// Runs the full flow, periodically journaling a [`FlowCheckpoint`]
+    /// per `policy` so a killed process can pick up with
+    /// [`PufferPlacer::resume`]. Checkpointing is pure observation: the
+    /// produced placement is identical to [`PufferPlacer::place`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PufferPlacer::place`] returns, plus
+    /// [`PufferError::Journal`] when a checkpoint cannot be written.
+    pub fn place_with_checkpoints(
+        &self,
+        design: &Design,
+        policy: &CheckpointPolicy,
+    ) -> Result<FlowResult, PufferError> {
+        self.run(design, Some(policy), None)
+    }
+
+    /// Resumes a flow from the journal at `journal`, continuing to write
+    /// checkpoints to the same file. The configuration must match the one
+    /// that produced the journal; a resumed run then finishes with exactly
+    /// the placement the uninterrupted run would have produced.
+    ///
+    /// # Errors
+    ///
+    /// [`PufferError::Journal`] when the journal cannot be read,
+    /// [`PufferError::Resume`] when it does not fit the design, plus
+    /// everything [`PufferPlacer::place`] returns.
+    pub fn resume(&self, design: &Design, journal: &Path) -> Result<FlowResult, PufferError> {
+        let checkpoint =
+            FlowCheckpoint::load(journal).map_err(|e| PufferError::Journal(e.to_string()))?;
+        let policy = CheckpointPolicy::new(journal);
+        self.run(design, Some(&policy), Some(checkpoint))
+    }
+
+    /// Runs the flow warm-started from an in-memory checkpoint (no
+    /// journaling unless `policy` is given). This is also the hook for
+    /// injecting a known-good state before a risky continuation.
+    ///
+    /// # Errors
+    ///
+    /// [`PufferError::Resume`] when the checkpoint does not fit the
+    /// design, plus everything [`PufferPlacer::place`] returns.
+    pub fn place_from(
+        &self,
+        design: &Design,
+        checkpoint: FlowCheckpoint,
+        policy: Option<&CheckpointPolicy>,
+    ) -> Result<FlowResult, PufferError> {
+        self.run(design, policy, Some(checkpoint))
+    }
+
+    fn run(
+        &self,
+        design: &Design,
+        policy: Option<&CheckpointPolicy>,
+        from: Option<FlowCheckpoint>,
+    ) -> Result<FlowResult, PufferError> {
         let start = Instant::now();
-        let mut placer = GlobalPlacer::new(design, self.config.placer.clone())
-            .map_err(|e| PufferError::Place(e.to_string()))?;
         let mut optimizer = RoutabilityOptimizer::new(
             design,
             self.config.estimator.clone(),
@@ -109,20 +169,76 @@ impl PufferPlacer {
         )
         .with_feature_config(self.config.features.clone());
 
+        // Either a fresh placer after its first step, or the journaled one.
+        // `resumed_stage` remembers where the journal left off; `skip_round`
+        // suppresses the trigger/checkpoint half of the first loop pass,
+        // because the journal was written *after* that half ran.
+        let (mut placer, mut last, mut skip_round, resumed_done) = match from {
+            None => {
+                let mut placer = GlobalPlacer::new(design, self.config.placer.clone())
+                    .map_err(|e| PufferError::Place(e.to_string()))?;
+                let last = placer.step();
+                (placer, last, false, false)
+            }
+            Some(checkpoint) => {
+                checkpoint
+                    .matches(design)
+                    .map_err(|e| PufferError::Resume(e.to_string()))?;
+                let done = checkpoint.stage == FlowStage::GlobalDone;
+                let mut placer = GlobalPlacer::with_placement(
+                    design,
+                    self.config.placer.clone(),
+                    checkpoint.placer.placement.clone(),
+                )
+                .map_err(|e| PufferError::Place(e.to_string()))?;
+                let last = IterationStats {
+                    iter: checkpoint.placer.iter,
+                    overflow: checkpoint.placer.last_overflow,
+                    hpwl: 0.0,
+                    wa: 0.0,
+                    energy: 0.0,
+                    lambda: checkpoint.placer.lambda,
+                };
+                placer
+                    .restore(checkpoint.placer)
+                    .map_err(|e| PufferError::Resume(e.to_string()))?;
+                optimizer.set_state(checkpoint.pad);
+                (placer, last, true, done)
+            }
+        };
+
         // --- global placement with interleaved routability optimization ---
-        let mut last = placer.step();
-        loop {
-            if optimizer.should_trigger(last.overflow) {
-                let snapshot = placer.placement().clone();
-                optimizer.optimize(design, &snapshot);
-                placer.set_padding(optimizer.padding().to_vec());
+        if !resumed_done {
+            loop {
+                if !skip_round {
+                    if optimizer.should_trigger(last.overflow) {
+                        let snapshot = placer.placement().clone();
+                        optimizer.optimize(design, &snapshot);
+                        placer.set_padding(optimizer.padding().to_vec());
+                    }
+                    if let Some(policy) = policy {
+                        if policy.due(last.iter) {
+                            self.write_checkpoint(
+                                design,
+                                policy,
+                                FlowStage::GlobalPlace,
+                                &placer,
+                                &optimizer,
+                            )?;
+                        }
+                    }
+                }
+                skip_round = false;
+                if last.iter >= self.config.placer.max_iters
+                    || last.overflow <= self.config.placer.stop_overflow
+                {
+                    break;
+                }
+                last = placer.step();
             }
-            if last.iter >= self.config.placer.max_iters
-                || last.overflow <= self.config.placer.stop_overflow
-            {
-                break;
-            }
-            last = placer.step();
+        }
+        if let Some(policy) = policy {
+            self.write_checkpoint(design, policy, FlowStage::GlobalDone, &placer, &optimizer)?;
         }
         let global_placement = placer.placement().clone();
 
@@ -168,6 +284,21 @@ impl PufferPlacer {
             runtime_s: start.elapsed().as_secs_f64(),
             avg_displacement: outcome.avg_displacement,
         })
+    }
+
+    fn write_checkpoint(
+        &self,
+        design: &Design,
+        policy: &CheckpointPolicy,
+        stage: FlowStage,
+        placer: &GlobalPlacer<'_>,
+        optimizer: &RoutabilityOptimizer,
+    ) -> Result<(), PufferError> {
+        let checkpoint =
+            FlowCheckpoint::capture(design, stage, placer.snapshot(), optimizer.state().clone());
+        checkpoint
+            .save(&policy.file_for(stage, placer.iterations()))
+            .map_err(|e| PufferError::Journal(e.to_string()))
     }
 }
 
@@ -238,5 +369,95 @@ mod tests {
         let b = PufferPlacer::new(quick_config()).place(&d).unwrap();
         assert_eq!(a.hpwl, b.hpwl);
         assert_eq!(a.placement, b.placement);
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("puffer-flow-tests").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_the_flow() {
+        let d = design();
+        let placer = PufferPlacer::new(quick_config());
+        let plain = placer.place(&d).unwrap();
+        let policy = CheckpointPolicy {
+            path: tmp_dir("noperturb").join("run.pj"),
+            every: 30,
+            keep_history: false,
+        };
+        let journaled = placer.place_with_checkpoints(&d, &policy).unwrap();
+        assert_eq!(plain.placement, journaled.placement);
+        assert_eq!(plain.hpwl, journaled.hpwl);
+        assert!(policy.path.exists(), "final checkpoint should be on disk");
+    }
+
+    #[test]
+    fn kill_then_resume_reproduces_the_uninterrupted_run() {
+        let d = design();
+        let placer = PufferPlacer::new(quick_config());
+        let uninterrupted = placer.place(&d).unwrap();
+
+        // keep_history preserves each mid-loop journal, so any of them is
+        // exactly what a kill right after that write would have left behind.
+        let dir = tmp_dir("resume");
+        let policy = CheckpointPolicy {
+            path: dir.join("run.pj"),
+            every: 40,
+            keep_history: true,
+        };
+        placer.place_with_checkpoints(&d, &policy).unwrap();
+        let mid = dir.join("run.pj.iter000040");
+        assert!(mid.exists(), "mid-loop checkpoint missing");
+
+        let resumed = placer.resume(&d, &mid).unwrap();
+        assert_eq!(uninterrupted.placement, resumed.placement);
+        assert_eq!(uninterrupted.global_placement, resumed.global_placement);
+        assert_eq!(uninterrupted.hpwl, resumed.hpwl);
+        assert_eq!(uninterrupted.gp_iterations, resumed.gp_iterations);
+        assert_eq!(uninterrupted.pad_rounds, resumed.pad_rounds);
+    }
+
+    #[test]
+    fn resume_from_completed_journal_skips_global_placement() {
+        let d = design();
+        let placer = PufferPlacer::new(quick_config());
+        let dir = tmp_dir("done");
+        let policy = CheckpointPolicy::new(dir.join("run.pj"));
+        let full = placer.place_with_checkpoints(&d, &policy).unwrap();
+        let resumed = placer.resume(&d, &policy.path).unwrap();
+        assert_eq!(full.placement, resumed.placement);
+        assert_eq!(full.gp_iterations, resumed.gp_iterations);
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_design() {
+        let d = design();
+        let other = generate(&GeneratorConfig {
+            num_cells: 50,
+            num_nets: 60,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let placer = PufferPlacer::new(quick_config());
+        let dir = tmp_dir("mismatch");
+        let policy = CheckpointPolicy::new(dir.join("run.pj"));
+        placer.place_with_checkpoints(&d, &policy).unwrap();
+        let err = placer.resume(&other, &policy.path).unwrap_err();
+        assert!(matches!(err, PufferError::Resume(_)), "{err}");
+    }
+
+    #[test]
+    fn resume_from_missing_or_corrupt_journal_is_a_journal_error() {
+        let d = design();
+        let placer = PufferPlacer::new(quick_config());
+        let dir = tmp_dir("corrupt");
+        let missing = placer.resume(&d, &dir.join("nope.pj")).unwrap_err();
+        assert!(matches!(missing, PufferError::Journal(_)), "{missing}");
+        let garbled = dir.join("garbled.pj");
+        std::fs::write(&garbled, "puffer_checkpoint 1\ndesign oops\n").unwrap();
+        let err = placer.resume(&d, &garbled).unwrap_err();
+        assert!(matches!(err, PufferError::Journal(_)), "{err}");
     }
 }

@@ -50,12 +50,14 @@
 //! ```
 
 pub mod baselines;
+pub mod checkpoint;
 pub mod flow;
 pub mod report;
 
 pub use baselines::{
     ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer, WsaConfig, WsaPlacer,
 };
+pub use checkpoint::{CheckpointPolicy, FlowCheckpoint, FlowStage, JournalError};
 pub use flow::{FlowResult, PufferConfig, PufferPlacer};
 pub use report::{ComparisonTable, EvalRow, FlowSummary};
 
@@ -73,6 +75,10 @@ pub enum PufferError {
     Place(String),
     /// Legalization failed.
     Legalize(String),
+    /// A checkpoint journal could not be written or read.
+    Journal(String),
+    /// A loaded checkpoint could not be applied to the design.
+    Resume(String),
 }
 
 impl fmt::Display for PufferError {
@@ -80,6 +86,8 @@ impl fmt::Display for PufferError {
         match self {
             PufferError::Place(m) => write!(f, "placement failed: {m}"),
             PufferError::Legalize(m) => write!(f, "legalization failed: {m}"),
+            PufferError::Journal(m) => write!(f, "checkpoint journal failed: {m}"),
+            PufferError::Resume(m) => write!(f, "resume failed: {m}"),
         }
     }
 }

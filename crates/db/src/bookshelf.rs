@@ -61,13 +61,13 @@ pub fn parse_bookshelf(
             Some("terminal") | Some("terminal_NI") => CellKind::FixedMacro,
             _ => CellKind::Movable,
         };
-        if w <= 0.0 || h <= 0.0 {
-            return Err(DbError::Parse {
+        // try_add_cell also rejects NaN/inf sizes, which `w <= 0.0` misses.
+        let id = nb
+            .try_add_cell(first, w, h, kind)
+            .map_err(|e| DbError::Parse {
                 line: lineno,
-                message: format!("nodes: node '{first}' has non-positive size"),
-            });
-        }
-        let id = nb.add_cell(first, w, h, kind);
+                message: format!("nodes: {e}"),
+            })?;
         by_name.insert(first.to_string(), id);
         sizes.insert(first.to_string(), (w, h));
     }

@@ -282,7 +282,9 @@ impl NetlistBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `width` or `height` is not strictly positive or not finite.
+    /// Panics if `width` or `height` is not strictly positive or not
+    /// finite. Use [`NetlistBuilder::try_add_cell`] when the dimensions come
+    /// from untrusted input (e.g. a parsed file).
     pub fn add_cell(
         &mut self,
         name: impl Into<String>,
@@ -290,23 +292,44 @@ impl NetlistBuilder {
         height: f64,
         kind: CellKind,
     ) -> CellId {
-        assert!(
-            width > 0.0 && width.is_finite(),
-            "cell width must be positive"
-        );
-        assert!(
-            height > 0.0 && height.is_finite(),
-            "cell height must be positive"
-        );
+        self.try_add_cell(name, width, height, kind)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`NetlistBuilder::add_cell`]: a zero-area, negative, or
+    /// non-finite dimension is a [`DbError::Validate`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Validate`] when `width` or `height` is not
+    /// strictly positive and finite.
+    pub fn try_add_cell(
+        &mut self,
+        name: impl Into<String>,
+        width: f64,
+        height: f64,
+        kind: CellKind,
+    ) -> Result<CellId, DbError> {
+        let name = name.into();
+        if !(width > 0.0 && width.is_finite()) {
+            return Err(DbError::Validate(format!(
+                "cell '{name}' width must be positive and finite, got {width}"
+            )));
+        }
+        if !(height > 0.0 && height.is_finite()) {
+            return Err(DbError::Validate(format!(
+                "cell '{name}' height must be positive and finite, got {height}"
+            )));
+        }
         let id = CellId(self.cells.len() as u32);
         self.cells.push(Cell {
-            name: name.into(),
+            name,
             width,
             height,
             kind,
             pins: Vec::new(),
         });
-        id
+        Ok(id)
     }
 
     /// Adds a net with weight 1 and returns its id.
@@ -318,19 +341,37 @@ impl NetlistBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `weight` is negative or not finite.
+    /// Panics if `weight` is negative or not finite. Use
+    /// [`NetlistBuilder::try_add_weighted_net`] for untrusted input.
     pub fn add_weighted_net(&mut self, name: impl Into<String>, weight: f64) -> NetId {
-        assert!(
-            weight >= 0.0 && weight.is_finite(),
-            "net weight must be non-negative"
-        );
+        self.try_add_weighted_net(name, weight)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`NetlistBuilder::add_weighted_net`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Validate`] when `weight` is negative or not
+    /// finite.
+    pub fn try_add_weighted_net(
+        &mut self,
+        name: impl Into<String>,
+        weight: f64,
+    ) -> Result<NetId, DbError> {
+        let name = name.into();
+        if !(weight >= 0.0 && weight.is_finite()) {
+            return Err(DbError::Validate(format!(
+                "net '{name}' weight must be non-negative and finite, got {weight}"
+            )));
+        }
         let id = NetId(self.nets.len() as u32);
         self.nets.push(Net {
-            name: name.into(),
+            name,
             pins: Vec::new(),
             weight,
         });
-        id
+        Ok(id)
     }
 
     /// Connects `cell` to `net` with a pin at `offset` from the cell center,

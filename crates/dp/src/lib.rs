@@ -146,6 +146,11 @@ fn refine_impl(
     let row_h = design.tech().row_height;
     let y0 = design.region().yl;
     let n_rows = design.rows().len();
+    if n_rows == 0 && netlist.movable_cells().next().is_some() {
+        return Err(LegalizeError::BadInput(
+            "design has movable cells but no rows".into(),
+        ));
+    }
     let mut by_row: Vec<Vec<usize>> = vec![Vec::new(); n_rows];
     for (i, s) in segments.iter().enumerate() {
         let r = (((s.y - y0) / row_h).round() as usize).min(n_rows.saturating_sub(1));
@@ -616,6 +621,32 @@ mod tests {
         let x1 = out.placement.pos(c1).x;
         let x2 = out.placement.pos(c2).x;
         assert!(x0 < x2 && x2 < x1, "order {x0} {x2} {x1}");
+    }
+
+    #[test]
+    fn single_movable_cell_refines_without_panicking() {
+        // The windowed reorder needs >= 2 cells per segment; a one-cell
+        // design must simply come back unchanged.
+        let mut nb = NetlistBuilder::new();
+        let c0 = nb.add_cell("c0", 1.0, 1.0, CellKind::Movable);
+        let anchor = nb.add_cell("anchor", 1.0, 1.0, CellKind::FixedMacro);
+        let n0 = nb.add_net("n0");
+        nb.connect(n0, c0, Point::ORIGIN).unwrap();
+        nb.connect(n0, anchor, Point::ORIGIN).unwrap();
+        let mut d = Design::new(
+            "t",
+            nb.build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 8.0, 4.0),
+        )
+        .unwrap();
+        d.place_macro(anchor, Point::new(7.0, 0.5)).unwrap();
+        let mut p = d.initial_placement();
+        p.set(c0, Point::new(0.5, 0.5));
+        let pad = vec![0u32; 2];
+        let out = refine(&d, &p, &pad, &DetailedConfig::default()).unwrap();
+        assert_eq!(out.placement.pos(c0), p.pos(c0));
+        assert_eq!(out.hpwl_after, out.hpwl_before);
     }
 
     #[test]

@@ -28,18 +28,22 @@
 //!     &space,
 //!     |v| (v[0] - 1.0).powi(2) + (v[1] + 2.0).powi(2),
 //!     &ExplorationConfig { max_evals: 120, ..ExplorationConfig::default() },
-//! );
+//! ).unwrap();
 //! assert!(outcome.best_value < 1.0);
 //! # let _ = Domain::Continuous { lo: 0.0, hi: 1.0 };
 //! ```
 
+pub mod error;
+pub mod journal;
 pub mod smbo;
 pub mod space;
 pub mod tpe;
 
+pub use error::ExploreError;
+pub use journal::ExplorationJournal;
 pub use smbo::{
     explore_params, explore_strategy, ExplorationConfig, ExplorationOutcome, StrategyConfig,
-    StrategyOutcome,
+    StrategyOutcome, TrialOutcome,
 };
 pub use space::{Domain, ParamSpec, Space};
 pub use tpe::{Tpe, TpeConfig};

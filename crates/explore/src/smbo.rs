@@ -1,9 +1,51 @@
 //! SMBO driver: Algorithm 2 (parameter exploration) and Algorithm 3
 //! (strategy exploration with grouped, parallel local refinement).
+//!
+//! # Fault tolerance
+//!
+//! The objective is an arbitrary user callback (often a full placement
+//! flow); a panic or a NaN inside one trial must not abort a long
+//! exploration. Every evaluation therefore runs under
+//! [`std::panic::catch_unwind`]; a failing trial becomes
+//! [`TrialOutcome::Failed`] and is observed by the TPE at a
+//! worse-than-worst penalty value, steering the sampler away from the
+//! failing region. A run of [`ExplorationConfig::max_consecutive_failures`]
+//! failures ends the exploration (an error if nothing ever succeeded).
+//! With [`ExplorationConfig::journal`] set, every trial is appended to an
+//! [`crate::journal::ExplorationJournal`] and replayed on restart.
 
+use crate::error::ExploreError;
+use crate::journal::ExplorationJournal;
 use crate::space::Space;
 use crate::tpe::{Tpe, TpeConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::thread;
+
+/// Outcome of a single objective evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialOutcome {
+    /// The objective returned a finite value.
+    Ok(f64),
+    /// The objective panicked or returned a non-finite value; the payload
+    /// is the panic message (or a description of the bad value).
+    Failed(String),
+}
+
+impl TrialOutcome {
+    /// The objective value, if the trial succeeded.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            TrialOutcome::Ok(y) => Some(*y),
+            TrialOutcome::Failed(_) => None,
+        }
+    }
+
+    /// Whether the trial failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, TrialOutcome::Failed(_))
+    }
+}
 
 /// Configuration for one [`explore_params`] run (Algorithm 2's `TC`/`EC`).
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +60,14 @@ pub struct ExplorationConfig {
     /// Margin by which updated ranges are expanded around the good set
     /// (Algorithm 2 line 14).
     pub range_margin: f64,
+    /// Give up after this many failed trials in a row: stop early when
+    /// something already succeeded, error out when nothing ever has.
+    pub max_consecutive_failures: usize,
+    /// Append every trial to this journal file; when the file already
+    /// exists its trials are replayed into the model (counting against
+    /// `max_evals`) before any new evaluation runs — delete the file for a
+    /// fresh start.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for ExplorationConfig {
@@ -27,6 +77,8 @@ impl Default for ExplorationConfig {
             early_stop: 25,
             tpe: TpeConfig::default(),
             range_margin: 0.10,
+            max_consecutive_failures: 8,
+            journal: None,
         }
     }
 }
@@ -42,49 +94,166 @@ pub struct ExplorationOutcome {
     pub stopped_early: bool,
     /// The updated (narrowed) parameter ranges.
     pub narrowed: Space,
-    /// Number of evaluations spent.
+    /// Number of evaluations spent (including failed and replayed trials).
     pub evals: usize,
+    /// How many of them failed (panic or non-finite objective).
+    pub failed_trials: usize,
+}
+
+/// Evaluates the objective at `x` with panics contained.
+fn run_trial(eval: &mut impl FnMut(&[f64]) -> f64, x: &[f64]) -> TrialOutcome {
+    match catch_unwind(AssertUnwindSafe(|| eval(x))) {
+        Ok(y) if y.is_finite() => TrialOutcome::Ok(y),
+        Ok(y) => TrialOutcome::Failed(format!("objective returned {y}")),
+        Err(payload) => TrialOutcome::Failed(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Mutable bookkeeping of one Algorithm 2 run; shared between live trials
+/// and journal replay so both count identically.
+struct Run {
+    tpe: Tpe,
+    best: Option<(Vec<f64>, f64)>,
+    worst: Option<f64>,
+    since_improvement: usize,
+    consecutive_failures: usize,
+    evals: usize,
+    failed: usize,
+    last_failure: String,
+}
+
+impl Run {
+    fn new(space: &Space, config: &ExplorationConfig) -> Self {
+        Run {
+            tpe: Tpe::new(space.clone(), config.tpe.clone()),
+            best: None,
+            worst: None,
+            since_improvement: 0,
+            consecutive_failures: 0,
+            evals: 0,
+            failed: 0,
+            last_failure: String::new(),
+        }
+    }
+
+    /// The value a failed trial is observed at: strictly worse than every
+    /// finite observation, so the TPE's quantile split files the failing
+    /// region under the "bad" density.
+    fn penalty(&self) -> f64 {
+        match (self.best.as_ref(), self.worst) {
+            (Some((_, best)), Some(worst)) => worst + (worst - best).abs().max(1.0),
+            _ => 1e300,
+        }
+    }
+
+    fn observe(&mut self, x: Vec<f64>, outcome: TrialOutcome) {
+        self.evals += 1;
+        match outcome {
+            TrialOutcome::Ok(y) => {
+                self.consecutive_failures = 0;
+                self.worst = Some(self.worst.map_or(y, |w| w.max(y)));
+                self.tpe.observe(x.clone(), y);
+                if self.best.as_ref().is_none_or(|(_, by)| y < *by) {
+                    self.best = Some((x, y));
+                    self.since_improvement = 0;
+                } else {
+                    self.since_improvement += 1;
+                }
+            }
+            TrialOutcome::Failed(message) => {
+                self.failed += 1;
+                self.consecutive_failures += 1;
+                self.since_improvement += 1;
+                self.last_failure = message;
+                let penalty = self.penalty();
+                self.tpe.observe(x, penalty);
+            }
+        }
+    }
 }
 
 /// Algorithm 2: explore `space` with TPE, minimising `eval`, then narrow
 /// each parameter's range around the best observations.
+///
+/// Trials are panic-isolated (see the module docs): a panicking or
+/// NaN-returning objective degrades the search instead of aborting it.
+///
+/// # Errors
+///
+/// [`ExploreError::AllTrialsFailed`] when the failure budget is exhausted
+/// before any trial succeeds, and [`ExploreError::Journal`] when a
+/// configured journal cannot be used.
 pub fn explore_params(
     space: &Space,
     mut eval: impl FnMut(&[f64]) -> f64,
     config: &ExplorationConfig,
-) -> ExplorationOutcome {
-    let mut tpe = Tpe::new(space.clone(), config.tpe.clone());
-    let mut best: Option<(Vec<f64>, f64)> = None;
-    let mut since_improvement = 0usize;
-    let mut evals = 0usize;
+) -> Result<ExplorationOutcome, ExploreError> {
+    let mut run = Run::new(space, config);
     let mut stopped_early = false;
 
-    while evals < config.max_evals {
-        if since_improvement >= config.early_stop {
+    let mut journal = match &config.journal {
+        Some(path) => {
+            let (journal, prior) = ExplorationJournal::open(path, space.params().len())?;
+            for (x, outcome) in prior {
+                run.observe(x, outcome);
+            }
+            Some(journal)
+        }
+        None => None,
+    };
+
+    while run.evals < config.max_evals {
+        if run.since_improvement >= config.early_stop {
             stopped_early = true;
             break;
         }
-        let x = tpe.suggest();
-        let y = eval(&x);
-        evals += 1;
-        tpe.observe(x.clone(), y);
-        if best.as_ref().is_none_or(|(_, by)| y < *by) {
-            best = Some((x, y));
-            since_improvement = 0;
-        } else {
-            since_improvement += 1;
+        if run.consecutive_failures >= config.max_consecutive_failures {
+            if run.best.is_none() {
+                return Err(ExploreError::AllTrialsFailed {
+                    attempted: run.evals,
+                    last_failure: run.last_failure,
+                });
+            }
+            stopped_early = true;
+            break;
         }
+        let x = run.tpe.suggest();
+        let outcome = run_trial(&mut eval, &x);
+        if let Some(journal) = &mut journal {
+            journal.record(&x, &outcome)?;
+        }
+        run.observe(x, outcome);
+    }
+    if run.best.is_none() && run.failed > 0 {
+        // Budget ran out with only failures on the books.
+        return Err(ExploreError::AllTrialsFailed {
+            attempted: run.evals,
+            last_failure: run.last_failure,
+        });
     }
 
-    let narrowed = narrow_ranges(space, tpe.observations(), config);
-    let (best, best_value) = best.unwrap_or_else(|| (space.midpoint(), f64::INFINITY));
-    ExplorationOutcome {
+    let narrowed = narrow_ranges(space, run.tpe.observations(), config);
+    let (best, best_value) = run
+        .best
+        .unwrap_or_else(|| (space.midpoint(), f64::INFINITY));
+    Ok(ExplorationOutcome {
         best,
         best_value,
         stopped_early,
         narrowed,
-        evals,
-    }
+        evals: run.evals,
+        failed_trials: run.failed,
+    })
 }
 
 /// `updateParamRange` of Algorithm 2: shrink each continuous/integer range
@@ -170,6 +339,9 @@ pub struct StrategyOutcome {
     pub evals: usize,
     /// Rounds of grouped local exploration executed.
     pub rounds: usize,
+    /// Trials that failed (panic or non-finite objective) across every
+    /// phase.
+    pub failed_trials: usize,
 }
 
 /// Algorithm 3: global exploration over all parameters, then repeated
@@ -180,52 +352,91 @@ pub struct StrategyOutcome {
 /// `groups` lists parameter names per group; parameters not mentioned in
 /// any group keep their post-global ranges. The evaluation function must be
 /// `Sync` because groups are explored on parallel threads (the paper notes
-/// this parallelism explicitly).
+/// this parallelism explicitly). Objective panics are contained per trial
+/// (see the module docs), so a crashing configuration costs one trial, not
+/// the exploration. When journaling is configured, the global phase uses
+/// [`ExplorationConfig::journal`] of `config.global` as-is and each group
+/// round appends `.r<round>.g<group>` to the one in `config.local`.
+///
+/// # Errors
+///
+/// [`ExploreError::AllTrialsFailed`] when the global phase (or every group
+/// of a round) exhausts its failure budget without a single success,
+/// [`ExploreError::Journal`] for journal problems, and
+/// [`ExploreError::GroupPanicked`] if an exploration thread itself dies
+/// (a driver bug, not an objective failure).
 pub fn explore_strategy(
     space: &Space,
     groups: &[Vec<String>],
     eval: impl Fn(&[f64]) -> f64 + Sync,
     config: &StrategyConfig,
-) -> StrategyOutcome {
+) -> Result<StrategyOutcome, ExploreError> {
     // Line 1–2: initial ranges + global exploration.
-    let global = explore_params(space, &eval, &config.global);
+    let global = explore_params(space, &eval, &config.global)?;
     let mut ranges = global.narrowed;
     let mut best_observed = global.best;
     let mut best_value = global.best_value;
     let mut evals = global.evals;
+    let mut failed_trials = global.failed_trials;
 
     let mut rounds = 0usize;
-    for _ in 0..config.max_rounds {
+    for round in 0..config.max_rounds {
         rounds += 1;
         // Explore each group with the others fixed at range midpoints.
         let base = ranges.midpoint();
-        let group_results: Vec<(Vec<usize>, ExplorationOutcome)> = if config.parallel {
+        let configs: Vec<ExplorationConfig> = (0..groups.len())
+            .map(|g| group_config(&config.local, round, g))
+            .collect();
+        type GroupResult = Result<(Vec<usize>, ExplorationOutcome), ExploreError>;
+        let group_results: Vec<GroupResult> = if config.parallel {
             thread::scope(|scope| {
                 let handles: Vec<_> = groups
                     .iter()
-                    .map(|group| {
+                    .zip(&configs)
+                    .map(|(group, local_cfg)| {
                         let ranges = &ranges;
                         let base = &base;
                         let eval = &eval;
-                        let local_cfg = &config.local;
                         scope.spawn(move || explore_group(ranges, base, group, eval, local_cfg))
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("group thread panicked"))
+                    .map(|h| {
+                        h.join().unwrap_or_else(|payload| {
+                            Err(ExploreError::GroupPanicked(panic_message(
+                                payload.as_ref(),
+                            )))
+                        })
+                    })
                     .collect()
             })
         } else {
             groups
                 .iter()
-                .map(|group| explore_group(&ranges, &base, group, &eval, &config.local))
+                .zip(&configs)
+                .map(|(group, local_cfg)| explore_group(&ranges, &base, group, &eval, local_cfg))
                 .collect()
         };
 
         let mut all_early = true;
-        for (indices, outcome) in group_results {
+        let mut first_err = None;
+        let mut failed_groups = 0usize;
+        for result in group_results {
+            let (indices, outcome) = match result {
+                Ok(r) => r,
+                Err(e) => {
+                    // A fully-failing group cannot improve anything this
+                    // round; drop its contribution but keep the others.
+                    failed_groups += 1;
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    continue;
+                }
+            };
             evals += outcome.evals;
+            failed_trials += outcome.failed_trials;
             all_early &= outcome.stopped_early;
             if outcome.best_value < best_value {
                 best_value = outcome.best_value;
@@ -242,18 +453,36 @@ pub fn explore_strategy(
                 ranges = ranges.with_range(&name, p.domain.lo(), p.domain.hi());
             }
         }
+        if failed_groups == groups.len() && !groups.is_empty() {
+            return Err(first_err.expect("failed_groups > 0 implies an error"));
+        }
         if all_early {
             break;
         }
     }
 
-    StrategyOutcome {
+    Ok(StrategyOutcome {
         values: ranges.midpoint(),
         best_observed,
         best_value,
         evals,
         rounds,
+        failed_trials,
+    })
+}
+
+/// The local config for one group in one round, with a per-group journal
+/// path derived from the shared one so parallel groups never collide.
+fn group_config(base: &ExplorationConfig, round: usize, group: usize) -> ExplorationConfig {
+    let mut config = base.clone();
+    if let Some(path) = &base.journal {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "exploration".to_string());
+        config.journal = Some(path.with_file_name(format!("{name}.r{round}.g{group}")));
     }
+    config
 }
 
 /// Runs Algorithm 2 on one group's sub-space, evaluating full assignments
@@ -264,7 +493,7 @@ fn explore_group(
     group: &[String],
     eval: impl Fn(&[f64]) -> f64,
     config: &ExplorationConfig,
-) -> (Vec<usize>, ExplorationOutcome) {
+) -> Result<(Vec<usize>, ExplorationOutcome), ExploreError> {
     let indices: Vec<usize> = group.iter().filter_map(|n| ranges.index_of(n)).collect();
     let sub = Space::new(
         indices
@@ -282,8 +511,8 @@ fn explore_group(
             eval(&full)
         },
         config,
-    );
-    (indices, outcome)
+    )?;
+    Ok((indices, outcome))
 }
 
 #[cfg(test)]
@@ -310,7 +539,8 @@ mod tests {
                 early_stop: 60,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(outcome.best_value < 2.0, "best {}", outcome.best_value);
         assert!(outcome.evals <= 150);
     }
@@ -326,7 +556,8 @@ mod tests {
                 early_stop: 12,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(outcome.stopped_early);
         assert!(outcome.evals <= 14);
     }
@@ -341,7 +572,8 @@ mod tests {
                 early_stop: 120,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let d = outcome.narrowed.params()[0].domain;
         assert!(
             d.lo() > -10.0 || d.hi() < 10.0,
@@ -367,7 +599,8 @@ mod tests {
             &groups,
             |v| v.iter().zip(&target).map(|(x, t)| (x - t) * (x - t)).sum(),
             &StrategyConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(outcome.best_value < 20.0, "best {}", outcome.best_value);
         assert_eq!(outcome.values.len(), 4);
         // Final midpoints should be pulled towards the target.
@@ -392,7 +625,8 @@ mod tests {
                 parallel: true,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.evals, count.load(Ordering::Relaxed));
     }
 
@@ -409,7 +643,218 @@ mod tests {
                 parallel: false,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.values.len(), 1);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("puffer-smbo-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn panicking_trials_are_isolated_and_recorded() {
+        // A quarter of the domain panics; exploration must survive, count
+        // the failures, and still find the bowl bottom outside the crater.
+        let space = bowl(2);
+        let outcome = explore_params(
+            &space,
+            |v| {
+                if v[0] > 5.0 && v[1] > 5.0 {
+                    panic!("deliberate objective crash at {v:?}");
+                }
+                v.iter().map(|x| x * x).sum()
+            },
+            &ExplorationConfig {
+                max_evals: 120,
+                early_stop: 120,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(outcome.failed_trials > 0, "crater was never sampled");
+        assert!(outcome.best_value.is_finite());
+        assert!(outcome.best_value < 25.0, "best {}", outcome.best_value);
+        assert_eq!(outcome.evals, 120, "failed trials must count as evals");
+    }
+
+    #[test]
+    fn always_failing_objective_is_an_error() {
+        let space = bowl(1);
+        let err = explore_params(
+            &space,
+            |_: &[f64]| -> f64 { panic!("nothing ever works") },
+            &ExplorationConfig {
+                max_evals: 50,
+                max_consecutive_failures: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            ExploreError::AllTrialsFailed {
+                attempted,
+                last_failure,
+            } => {
+                assert_eq!(attempted, 5, "failure budget bounds the attempts");
+                assert!(last_failure.contains("nothing ever works"));
+            }
+            other => panic!("expected AllTrialsFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_objective_counts_as_failure() {
+        let space = bowl(1);
+        let outcome = explore_params(
+            &space,
+            |v| if v[0] < 0.0 { f64::NAN } else { v[0] },
+            &ExplorationConfig {
+                max_evals: 60,
+                early_stop: 60,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(outcome.failed_trials > 0, "negative half never sampled");
+        assert!(outcome.best_value >= 0.0);
+    }
+
+    #[test]
+    fn consecutive_failures_stop_early_after_a_success() {
+        let space = bowl(1);
+        let evals = AtomicUsize::new(0);
+        // First trial succeeds, everything after panics: the run should
+        // stop at 1 success + max_consecutive_failures, not burn the budget.
+        let outcome = explore_params(
+            &space,
+            |v| {
+                if evals.fetch_add(1, Ordering::Relaxed) == 0 {
+                    v[0] * v[0]
+                } else {
+                    panic!("flaky after warmup")
+                }
+            },
+            &ExplorationConfig {
+                max_evals: 200,
+                early_stop: 200,
+                max_consecutive_failures: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(outcome.stopped_early);
+        assert_eq!(outcome.evals, 5);
+        assert_eq!(outcome.failed_trials, 4);
+        assert!(outcome.best_value.is_finite());
+    }
+
+    #[test]
+    fn journal_replay_skips_completed_trials() {
+        let path = tmp("resume.ej");
+        let space = bowl(2);
+        let objective = |v: &[f64]| -> f64 {
+            if v[0] > 8.0 {
+                panic!("edge crash");
+            }
+            v.iter().map(|x| x * x).sum()
+        };
+        let config = ExplorationConfig {
+            max_evals: 40,
+            early_stop: 40,
+            journal: Some(path.clone()),
+            ..Default::default()
+        };
+
+        let live = AtomicUsize::new(0);
+        let first = explore_params(
+            &space,
+            |v| {
+                live.fetch_add(1, Ordering::Relaxed);
+                objective(v)
+            },
+            &config,
+        )
+        .unwrap();
+        assert_eq!(live.load(Ordering::Relaxed), 40);
+        assert_eq!(first.evals, 40);
+
+        // Same budget, same journal: every trial is replayed from disk and
+        // the objective never runs again.
+        let live2 = AtomicUsize::new(0);
+        let second = explore_params(
+            &space,
+            |v| {
+                live2.fetch_add(1, Ordering::Relaxed);
+                objective(v)
+            },
+            &config,
+        )
+        .unwrap();
+        assert_eq!(live2.load(Ordering::Relaxed), 0, "no evaluation repeated");
+        assert_eq!(second.evals, 40);
+        assert_eq!(second.failed_trials, first.failed_trials);
+        assert_eq!(second.best_value, first.best_value);
+
+        // A larger budget resumes: 40 replayed + 20 live.
+        let live3 = AtomicUsize::new(0);
+        let third = explore_params(
+            &space,
+            |v| {
+                live3.fetch_add(1, Ordering::Relaxed);
+                objective(v)
+            },
+            &ExplorationConfig {
+                max_evals: 60,
+                early_stop: 60,
+                ..config.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(live3.load(Ordering::Relaxed), 20);
+        assert_eq!(third.evals, 60);
+        assert!(third.best_value <= first.best_value);
+    }
+
+    #[test]
+    fn strategy_exploration_survives_a_panicking_region() {
+        let space = bowl(2);
+        let groups = vec![vec!["x0".to_string()], vec!["x1".to_string()]];
+        let outcome = explore_strategy(
+            &space,
+            &groups,
+            |v| {
+                if v[0] < -9.0 {
+                    panic!("strategy crash corner");
+                }
+                v.iter().map(|x| x * x).sum()
+            },
+            &StrategyConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.best_value.is_finite());
+        assert!(outcome.best_value < 20.0, "best {}", outcome.best_value);
+    }
+
+    #[test]
+    fn strategy_group_journals_get_distinct_paths() {
+        let base = ExplorationConfig {
+            journal: Some(std::path::PathBuf::from("/tmp/run.ej")),
+            ..Default::default()
+        };
+        let a = group_config(&base, 0, 0).journal.unwrap();
+        let b = group_config(&base, 0, 1).journal.unwrap();
+        let c = group_config(&base, 1, 0).journal.unwrap();
+        assert_eq!(a, std::path::PathBuf::from("/tmp/run.ej.r0.g0"));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert!(group_config(&base, 2, 3).journal.is_some());
+        assert!(group_config(&ExplorationConfig::default(), 0, 0)
+            .journal
+            .is_none());
     }
 }

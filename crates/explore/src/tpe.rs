@@ -7,8 +7,7 @@
 //! expected improvement.
 
 use crate::space::{Domain, Space};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use puffer_rng::StdRng;
 
 /// TPE configuration.
 #[derive(Debug, Clone, PartialEq)]

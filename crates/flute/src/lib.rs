@@ -485,7 +485,7 @@ mod tests {
 
     #[test]
     fn rsmt_never_exceeds_mst_randomized() {
-        use rand::prelude::*;
+        use puffer_rng::StdRng;
         let mut rng = StdRng::seed_from_u64(7);
         for trial in 0..50 {
             let n = rng.gen_range(2..25);

@@ -36,8 +36,7 @@ use puffer_db::error::DbError;
 use puffer_db::geom::{Point, Rect};
 use puffer_db::netlist::{CellId, CellKind, NetlistBuilder};
 use puffer_db::tech::Technology;
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use puffer_rng::StdRng;
 
 pub mod presets;
 

@@ -87,11 +87,23 @@ pub fn legalize(
 
     // Sort movable cells by x (standard Abacus order).
     let mut order: Vec<CellId> = netlist.movable_cells().collect();
+    for &cell in &order {
+        let p = global.pos(cell);
+        if !p.x.is_finite() || !p.y.is_finite() {
+            return Err(LegalizeError::BadInput(format!(
+                "cell '{}' has a non-finite global position {p}",
+                netlist.cell(cell).name
+            )));
+        }
+    }
     order.sort_by(|&a, &b| global.pos(a).x.total_cmp(&global.pos(b).x));
 
     // Index segments per row band for fast candidate lookup.
     let y0 = design.region().yl;
     let n_rows = design.rows().len();
+    if n_rows == 0 {
+        return Err(LegalizeError::OutOfCapacity("design has no rows".into()));
+    }
     let mut by_row: Vec<Vec<usize>> = vec![Vec::new(); n_rows];
     for (i, s) in segments.iter().enumerate() {
         let r = (((s.y - y0) / row_h).round() as usize).min(n_rows - 1);

@@ -81,6 +81,25 @@ mod tests {
     }
 
     #[test]
+    fn nan_coordinates_are_a_bad_input_error() {
+        use puffer_db::geom::Point;
+        use puffer_gen::{generate, GeneratorConfig};
+        let d = generate(&GeneratorConfig {
+            num_cells: 50,
+            num_nets: 55,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let mut p = d.initial_placement();
+        let victim = d.netlist().movable_cells().next().unwrap();
+        p.set(victim, Point::new(f64::NAN, 1.0));
+        let pad = vec![0u32; d.netlist().num_cells()];
+        let err = legalize(&d, &p, &pad).unwrap_err();
+        assert!(matches!(err, LegalizeError::BadInput(_)), "{err}");
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
     fn end_to_end_with_generated_design_and_padding() {
         use puffer_gen::{generate, GeneratorConfig};
         let d = generate(&GeneratorConfig {

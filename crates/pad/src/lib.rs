@@ -107,6 +107,37 @@ impl RoutabilityOptimizer {
         &self.state
     }
 
+    /// Replaces the padding history, e.g. when resuming a checkpointed
+    /// flow. The optimizer continues exactly as if it had produced the
+    /// state itself (same rounds executed, same accumulated padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's vectors do not match the design's cell count
+    /// or contain negative/non-finite padding — callers restoring from
+    /// external data must validate first (the flow layer does).
+    pub fn set_state(&mut self, state: PaddingState) {
+        assert_eq!(
+            state.pad.len(),
+            self.state.pad.len(),
+            "padding state cell count mismatch"
+        );
+        assert_eq!(
+            state.pad_count.len(),
+            self.state.pad_count.len(),
+            "pad_count cell count mismatch"
+        );
+        assert!(
+            state.pad.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "padding must be finite and non-negative"
+        );
+        assert!(
+            !state.last_utilization.is_nan(),
+            "last_utilization must not be NaN (infinity marks a fresh state)"
+        );
+        self.state = state;
+    }
+
     /// Current cumulative per-cell padding.
     pub fn padding(&self) -> &[f64] {
         &self.state.pad
@@ -211,6 +242,41 @@ mod tests {
         opt.optimize(&d, &p);
         opt.optimize(&d, &p);
         assert!(!opt.should_trigger(0.05), "round cap ξ reached");
+    }
+
+    #[test]
+    fn state_roundtrip_continues_identically() {
+        let d = design();
+        let p = clustered(&d);
+        let fresh = || {
+            RoutabilityOptimizer::new(
+                &d,
+                puffer_congest::EstimatorConfig::default(),
+                PaddingStrategy::default(),
+            )
+        };
+        let mut reference = fresh();
+        reference.optimize(&d, &p);
+        let saved = reference.state().clone();
+        reference.optimize(&d, &p);
+
+        let mut resumed = fresh();
+        resumed.set_state(saved);
+        resumed.optimize(&d, &p);
+        assert_eq!(reference.state(), resumed.state());
+        assert_eq!(reference.padding(), resumed.padding());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn set_state_rejects_wrong_cell_count() {
+        let d = design();
+        let mut opt = RoutabilityOptimizer::new(
+            &d,
+            puffer_congest::EstimatorConfig::default(),
+            PaddingStrategy::default(),
+        );
+        opt.set_state(PaddingState::new(3));
     }
 
     #[test]

@@ -168,6 +168,7 @@ impl DensityModel {
             *dst += src;
         }
         let mut movable_rho: Grid<f64> = Grid::new(self.region, mx, my);
+        let mut of_extra = 0.0;
         for (id, cell) in netlist.iter_cells() {
             if !cell.is_movable() {
                 continue;
@@ -175,7 +176,15 @@ impl DensityModel {
             let q = eff_width[id.index()] * cell.height;
             let w_s = eff_width[id.index()].max(dx);
             let h_s = cell.height.max(dy);
-            let r = Rect::from_center(self.region.clamp_point(placement.pos(id)), w_s, h_s);
+            let p = placement.pos(id);
+            if !p.x.is_finite() || !p.y.is_finite() {
+                // A poisoned coordinate has no meaningful bin: count the
+                // cell's full charge as overflow and leave the divergence
+                // sentinel (which sees the NaN wirelength) to recover.
+                of_extra += q;
+                continue;
+            }
+            let r = Rect::from_center(self.region.clamp_point(p), w_s, h_s);
             rho.splat(&r, q);
             movable_rho.splat(&r, q);
         }
@@ -189,7 +198,7 @@ impl DensityModel {
             }
         }
         let overflow = if self.movable_area > 0.0 {
-            of / self.movable_area
+            (of + of_extra) / self.movable_area
         } else {
             0.0
         };
@@ -260,7 +269,15 @@ impl DensityModel {
             let q = eff_width[id.index()] * cell.height;
             let w_s = eff_width[id.index()].max(dx);
             let h_s = cell.height.max(dy);
-            let r = Rect::from_center(self.region.clamp_point(placement.pos(id)), w_s, h_s);
+            let p = placement.pos(id);
+            if !p.x.is_finite() || !p.y.is_finite() {
+                // No meaningful field at a poisoned coordinate; report a
+                // NaN gradient so the sentinel sees the divergence.
+                out.grad_x[id.index()] = f64::NAN;
+                out.grad_y[id.index()] = f64::NAN;
+                continue;
+            }
+            let r = Rect::from_center(self.region.clamp_point(p), w_s, h_s);
             let (_p_avg, ex_avg, ey_avg) = gather3(&psi_grid, &ex_grid, &ey_grid, &r);
             // Force on a positive charge is qE; the energy gradient is −qE.
             out.grad_x[id.index()] = -q * ex_avg;

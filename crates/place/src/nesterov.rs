@@ -18,6 +18,25 @@
 //! `α_k = ‖v_k − v_{k−1}‖ / ‖∇f(v_k) − ∇f(v_{k−1})‖`, refined by a short
 //! backtracking loop exactly as in ePlace.
 
+/// The full serializable state of a [`NesterovOptimizer`], exposed so the
+/// placement engine can snapshot and restore the solver exactly (divergence
+/// rollback and checkpoint/resume both need bit-identical continuation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NesterovState {
+    /// Major solution `u_k`.
+    pub u: Vec<f64>,
+    /// Reference solution `v_k`.
+    pub v: Vec<f64>,
+    /// Previous reference solution.
+    pub v_prev: Vec<f64>,
+    /// Gradient at `v_prev`.
+    pub g_prev: Vec<f64>,
+    /// Optimization parameter `a_k`.
+    pub a: f64,
+    /// Current step size.
+    pub alpha: f64,
+}
+
 /// Nesterov optimizer state over a flat `f64` parameter vector.
 #[derive(Debug, Clone)]
 pub struct NesterovOptimizer {
@@ -74,6 +93,47 @@ impl NesterovOptimizer {
     /// Current step size.
     pub fn step_size(&self) -> f64 {
         self.alpha
+    }
+
+    /// Copies out the full solver state (see [`NesterovState`]).
+    pub fn state(&self) -> NesterovState {
+        NesterovState {
+            u: self.u.clone(),
+            v: self.v.clone(),
+            v_prev: self.v_prev.clone(),
+            g_prev: self.g_prev.clone(),
+            a: self.a,
+            alpha: self.alpha,
+        }
+    }
+
+    /// Rebuilds an optimizer from a previously captured state; stepping the
+    /// rebuilt optimizer continues the original trajectory exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's vectors differ in length or the step size is
+    /// not positive.
+    pub fn from_state(state: NesterovState) -> Self {
+        assert!(
+            state.u.len() == state.v.len()
+                && state.v.len() == state.v_prev.len()
+                && state.v_prev.len() == state.g_prev.len(),
+            "state vector lengths differ"
+        );
+        assert!(
+            state.alpha > 0.0 && state.alpha.is_finite(),
+            "step size must be positive"
+        );
+        NesterovOptimizer {
+            u: state.u,
+            v: state.v,
+            v_prev: state.v_prev,
+            g_prev: state.g_prev,
+            a: state.a,
+            alpha: state.alpha,
+            max_backtracks: 3,
+        }
     }
 
     /// Performs one accelerated step.
@@ -243,6 +303,25 @@ mod tests {
     #[should_panic(expected = "lengths differ")]
     fn mismatched_lengths_panic() {
         let _ = NesterovOptimizer::new(vec![0.0; 3], vec![0.0; 2], 0.1);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_identically() {
+        let c = vec![1.0, 4.0, 0.5];
+        let t = vec![3.0, -2.0, 10.0];
+        let g = quad_grad(&c, &t);
+        let x0 = vec![0.0, 0.0, 0.0];
+        let mut opt = NesterovOptimizer::new(x0.clone(), g(&x0), 0.1);
+        for _ in 0..20 {
+            opt.step(&g, |_| {});
+        }
+        let mut restored = NesterovOptimizer::from_state(opt.state());
+        for _ in 0..20 {
+            opt.step(&g, |_| {});
+            restored.step(&g, |_| {});
+        }
+        assert_eq!(opt.solution(), restored.solution());
+        assert_eq!(opt.step_size(), restored.step_size());
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Deterministic pseudo-random numbers for the PUFFER workspace.
+//!
+//! The workspace must build and test with no network access, so instead of
+//! depending on the external `rand` crate this crate provides the small
+//! slice of its API the placement framework actually uses:
+//!
+//! * [`StdRng`] — a xoshiro256++ generator seeded via splitmix64, with
+//!   [`StdRng::seed_from_u64`], [`StdRng::gen_range`] over integer and
+//!   float ranges, [`StdRng::gen_bool`], and [`StdRng::shuffle`];
+//! * [`check`] — a tiny property-test harness replacing `proptest` for the
+//!   workspace's randomized invariant tests.
+//!
+//! Everything is deterministic: the same seed always produces the same
+//! stream, on every platform (only integer ops and IEEE-754 arithmetic).
+//!
+//! # Example
+//!
+//! ```
+//! use puffer_rng::StdRng;
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x = rng.gen_range(0..10);
+//! assert!((0..10).contains(&x));
+//! let f = rng.gen_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&f));
+//! let again = StdRng::seed_from_u64(42).gen_range(0..10);
+//! assert_eq!(x, again);
+//! ```
+
+pub mod check;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Splitmix64 step: seeds the main generator and breaks up weak seeds.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256++ generator (Blackman & Vigna) — the workspace's standard
+/// RNG. Fast, 256-bit state, passes BigCrush; more than enough for
+/// synthetic-benchmark generation and TPE sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform value in `range` (see [`SampleRange`] for supported range
+    /// types: half-open and inclusive ranges over the common integer types
+    /// and `f64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.uniform_usize(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniform integer in `[0, bound)`, unbiased via rejection sampling.
+    #[inline]
+    fn uniform_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Reject the first (2^64 mod bound) values so the modulo is exact.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let v = self.next_u64();
+            if v >= threshold {
+                return v % bound;
+            }
+        }
+    }
+
+    #[inline]
+    fn uniform_usize(&mut self, bound: usize) -> usize {
+        self.uniform_u64(bound as u64) as usize
+    }
+}
+
+/// Range types [`StdRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.uniform_u64(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.uniform_u64(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "gen_range: empty or non-finite float range"
+        );
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Guard against rounding up to the (excluded) end.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "gen_range: empty or non-finite float range"
+        );
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let u = rng.gen_range(0usize..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&v));
+            let w = rng.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "{hits}");
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(5..5);
+    }
+}

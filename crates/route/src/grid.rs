@@ -77,6 +77,11 @@ impl RoutingGrid {
         self.h_cap.cell_of(p)
     }
 
+    /// Total horizontal capacity over the whole grid.
+    pub fn total_capacity(&self, d: Dir) -> f64 {
+        self.cap_of(d).sum()
+    }
+
     fn use_of(&self, d: Dir) -> &Grid<f64> {
         match d {
             Dir::H => &self.h_use,

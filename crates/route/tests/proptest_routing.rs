@@ -1,8 +1,10 @@
-//! Property-based tests on the routing path search.
+//! Property-based tests on the routing path search, driven by the
+//! in-workspace `puffer_rng::check` harness.
 
-use proptest::prelude::*;
 use puffer_db::geom::Rect;
 use puffer_db::grid::Grid;
+use puffer_rng::check::{run_cases, vec_of};
+use puffer_rng::{prop_check, StdRng};
 use puffer_route::path::{apply_path, maze_route, path_cost, pattern_route};
 use puffer_route::RoutingGrid;
 
@@ -25,63 +27,114 @@ fn is_connected(p: &[(usize, usize)]) -> bool {
         .all(|w| w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1) == 1)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn endpoints(rng: &mut StdRng) -> ((usize, usize), (usize, usize)) {
+    (
+        (rng.gen_range(0..12usize), rng.gen_range(0..12usize)),
+        (rng.gen_range(0..12usize), rng.gen_range(0..12usize)),
+    )
+}
 
-    /// Pattern routes are connected, endpoint-correct, and of minimal
-    /// rectilinear length.
-    #[test]
-    fn pattern_routes_are_minimal(
-        ax in 0usize..12, ay in 0usize..12,
-        bx in 0usize..12, by in 0usize..12,
-        usage in prop::collection::vec((0usize..12, 0usize..12, 0.0..20.0f64, any::<bool>()), 0..10),
-    ) {
-        let g = grid_with_noise(&usage);
-        let p = pattern_route(&g, (ax, ay), (bx, by), 4);
-        prop_assert!(is_connected(&p));
-        prop_assert_eq!(*p.first().unwrap(), (ax, ay));
-        prop_assert_eq!(*p.last().unwrap(), (bx, by));
-        // Pattern routes never detour: length = manhattan + 1.
-        prop_assert_eq!(p.len(), ax.abs_diff(bx) + ay.abs_diff(by) + 1);
-    }
+fn usage(rng: &mut StdRng, max: usize, max_amount: f64) -> Vec<(usize, usize, f64, bool)> {
+    vec_of(rng, 0..max, |r| {
+        (
+            r.gen_range(0..12usize),
+            r.gen_range(0..12usize),
+            r.gen_range(0.0..max_amount),
+            r.gen_bool(0.5),
+        )
+    })
+}
 
-    /// Maze routes are connected and never cost more than the best pattern
-    /// route under the same grid state.
-    #[test]
-    fn maze_routes_never_lose_to_patterns(
-        ax in 0usize..12, ay in 0usize..12,
-        bx in 0usize..12, by in 0usize..12,
-        usage in prop::collection::vec((0usize..12, 0usize..12, 0.0..30.0f64, any::<bool>()), 0..14),
-    ) {
-        let g = grid_with_noise(&usage);
-        let maze = maze_route(&g, (ax, ay), (bx, by));
-        prop_assert!(is_connected(&maze));
-        prop_assert_eq!(*maze.last().unwrap(), (bx, by));
-        let pattern = pattern_route(&g, (ax, ay), (bx, by), 4);
-        prop_assert!(
-            path_cost(&g, &maze) <= path_cost(&g, &pattern) + 1e-6,
-            "maze {} > pattern {}", path_cost(&g, &maze), path_cost(&g, &pattern)
-        );
-    }
+/// Pattern routes are connected, endpoint-correct, and of minimal
+/// rectilinear length.
+#[test]
+fn pattern_routes_are_minimal() {
+    run_cases(
+        48,
+        0x3001,
+        |rng| {
+            let (a, b) = endpoints(rng);
+            (a, b, usage(rng, 10, 20.0))
+        },
+        |((ax, ay), (bx, by), usage)| {
+            let g = grid_with_noise(usage);
+            let p = pattern_route(&g, (*ax, *ay), (*bx, *by), 4);
+            prop_check!(is_connected(&p));
+            prop_check!(*p.first().unwrap() == (*ax, *ay));
+            prop_check!(*p.last().unwrap() == (*bx, *by));
+            // Pattern routes never detour: length = manhattan + 1.
+            prop_check!(
+                p.len() == ax.abs_diff(*bx) + ay.abs_diff(*by) + 1,
+                "detouring pattern route of length {}",
+                p.len()
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Applying then refunding any path restores the exact usage state.
-    #[test]
-    fn apply_refund_is_lossless(
-        ax in 0usize..12, ay in 0usize..12,
-        bx in 0usize..12, by in 0usize..12,
-        usage in prop::collection::vec((0usize..12, 0usize..12, 0.0..10.0f64, any::<bool>()), 0..8),
-    ) {
-        let mut g = grid_with_noise(&usage);
-        let before = g.to_congestion_map();
-        let p = maze_route(&g, (ax, ay), (bx, by));
-        apply_path(&mut g, &p, 1.0);
-        apply_path(&mut g, &p, -1.0);
-        let after = g.to_congestion_map();
-        for (a, b) in before.h_demand().as_slice().iter().zip(after.h_demand().as_slice()) {
-            prop_assert!((a - b).abs() < 1e-9);
-        }
-        for (a, b) in before.v_demand().as_slice().iter().zip(after.v_demand().as_slice()) {
-            prop_assert!((a - b).abs() < 1e-9);
-        }
-    }
+/// Maze routes are connected and never cost more than the best pattern
+/// route under the same grid state.
+#[test]
+fn maze_routes_never_lose_to_patterns() {
+    run_cases(
+        48,
+        0x3002,
+        |rng| {
+            let (a, b) = endpoints(rng);
+            (a, b, usage(rng, 14, 30.0))
+        },
+        |((ax, ay), (bx, by), usage)| {
+            let g = grid_with_noise(usage);
+            let maze = maze_route(&g, (*ax, *ay), (*bx, *by));
+            prop_check!(is_connected(&maze));
+            prop_check!(*maze.last().unwrap() == (*bx, *by));
+            let pattern = pattern_route(&g, (*ax, *ay), (*bx, *by), 4);
+            prop_check!(
+                path_cost(&g, &maze) <= path_cost(&g, &pattern) + 1e-6,
+                "maze {} > pattern {}",
+                path_cost(&g, &maze),
+                path_cost(&g, &pattern)
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Applying then refunding any path restores the exact usage state.
+#[test]
+fn apply_refund_is_lossless() {
+    run_cases(
+        48,
+        0x3003,
+        |rng| {
+            let (a, b) = endpoints(rng);
+            (a, b, usage(rng, 8, 10.0))
+        },
+        |((ax, ay), (bx, by), usage)| {
+            let mut g = grid_with_noise(usage);
+            let before = g.to_congestion_map();
+            let p = maze_route(&g, (*ax, *ay), (*bx, *by));
+            apply_path(&mut g, &p, 1.0);
+            apply_path(&mut g, &p, -1.0);
+            let after = g.to_congestion_map();
+            for (a, b) in before
+                .h_demand()
+                .as_slice()
+                .iter()
+                .zip(after.h_demand().as_slice())
+            {
+                prop_check!((a - b).abs() < 1e-9, "h demand drifted: {a} vs {b}");
+            }
+            for (a, b) in before
+                .v_demand()
+                .as_slice()
+                .iter()
+                .zip(after.v_demand().as_slice())
+            {
+                prop_check!((a - b).abs() < 1e-9, "v demand drifted: {a} vs {b}");
+            }
+            Ok(())
+        },
+    );
 }

@@ -67,7 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             early_stop: 14,
             ..Default::default()
         },
-    );
+    )
+    .expect("exploration failed");
     println!(
         "\nexploration done after {} evaluations; best HOF+VOF {:.3}",
         outcome.evals, outcome.best_value

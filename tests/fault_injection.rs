@@ -1,0 +1,312 @@
+//! Fault injection: hostile inputs and mid-run failures must surface as
+//! typed errors or recovered results — never a process abort.
+//!
+//! Covers the resilience layer end to end: corrupt/truncated design files
+//! and checkpoint journals, NaN coordinates at every stage boundary,
+//! zero-capacity routing grids, a panicking exploration objective, and
+//! divergence recovery inside the full PUFFER flow.
+
+use puffer::{
+    CheckpointPolicy, FlowCheckpoint, FlowStage, PufferConfig, PufferError, PufferPlacer,
+};
+use puffer_db::design::Design;
+use puffer_db::geom::Point;
+use puffer_db::DbError;
+use puffer_explore::{explore_params, ExplorationConfig, ExploreError, ParamSpec, Space};
+use puffer_gen::{generate, GeneratorConfig};
+use puffer_legal::LegalizeError;
+use puffer_pad::PaddingState;
+use puffer_place::{GlobalPlacer, PlacerConfig};
+use puffer_route::{GlobalRouter, RouteError, RouterConfig};
+use std::path::PathBuf;
+
+fn quick_config() -> PufferConfig {
+    let mut c = PufferConfig::default();
+    c.placer.max_iters = 120;
+    c.placer.stop_overflow = 0.15;
+    c.strategy.tau = 0.30;
+    c.strategy.max_rounds = 2;
+    c
+}
+
+fn small_design() -> Design {
+    generate(&GeneratorConfig {
+        num_cells: 250,
+        num_nets: 280,
+        num_macros: 1,
+        utilization: 0.6,
+        hotspot: 0.4,
+        ..GeneratorConfig::default()
+    })
+    .expect("generate")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("puffer-fault-injection").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// --- corrupt and truncated inputs -----------------------------------------
+
+#[test]
+fn corrupt_native_design_is_a_parse_error() {
+    let cases = [
+        "not a design at all",
+        "design d\ntech abc 1.0\n",                        // non-numeric tech
+        "design d\ntech 1.0 0.5\ncell c0 0.0 1.0 movable", // zero-area cell
+        "design d\ntech 1.0 0.5\ncell c0 NaN 1.0 movable", // NaN-sized cell
+        "design d\ntech 1.0 0.5\nnet n0 -1.0",             // negative net weight
+        "design d\ntech 1.0 0.5\npin 0 0 0.0 0.0",         // pin to nothing
+    ];
+    for text in cases {
+        let err = puffer_db::io::read_design(text.as_bytes())
+            .expect_err(&format!("accepted corrupt input: {text:?}"));
+        assert!(
+            matches!(err, DbError::Parse { .. } | DbError::Validate(_)),
+            "wanted a parse/validate error for {text:?}, got {err}"
+        );
+    }
+}
+
+#[test]
+fn truncated_native_design_is_an_error_not_a_panic() {
+    // Serialize a real design, then cut it off mid-file at several points.
+    let d = small_design();
+    let mut full = Vec::new();
+    puffer_db::io::write_design(&d, &mut full).unwrap();
+    for frac in [0.1, 0.5, 0.9] {
+        let cut = (full.len() as f64 * frac) as usize;
+        // Truncation may land mid-line; both a clean parse error and a
+        // "missing section" error are acceptable — a panic is not.
+        let _ = puffer_db::io::read_design(&full[..cut]);
+    }
+}
+
+#[test]
+fn corrupt_bookshelf_nodes_are_parse_errors() {
+    let nodes_cases = [
+        "UCLA nodes 1.0\na 0 1\n",   // zero width
+        "UCLA nodes 1.0\na nan 1\n", // NaN width
+        "UCLA nodes 1.0\na 2\n",     // missing height
+    ];
+    for nodes in nodes_cases {
+        let err = puffer_db::bookshelf::parse_bookshelf("t", nodes, "UCLA nets 1.0\n", "", "")
+            .expect_err(&format!("accepted corrupt nodes: {nodes:?}"));
+        assert!(matches!(err, DbError::Parse { .. }), "{err}");
+    }
+}
+
+#[test]
+fn truncated_checkpoint_journal_is_a_resume_error() {
+    let dir = tmp_dir("truncated-journal");
+    let d = small_design();
+    let placer = PufferPlacer::new(quick_config());
+    let journal = dir.join("run.pj");
+    placer
+        .place_with_checkpoints(&d, &CheckpointPolicy::new(journal.clone()))
+        .expect("checkpointed place");
+
+    // Cut the journal off before the `end` marker and try to resume.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    std::fs::write(&journal, &text[..text.len() / 2]).unwrap();
+    let err = placer.resume(&d, &journal).unwrap_err();
+    assert!(matches!(err, PufferError::Journal(_)), "{err}");
+
+    // Outright garbage fails the same way.
+    std::fs::write(&journal, "definitely not a checkpoint").unwrap();
+    let err = placer.resume(&d, &journal).unwrap_err();
+    assert!(matches!(err, PufferError::Journal(_)), "{err}");
+}
+
+#[test]
+fn checkpoint_for_a_different_design_is_a_resume_error() {
+    let dir = tmp_dir("wrong-design");
+    let d = small_design();
+    let journal = dir.join("run.pj");
+    PufferPlacer::new(quick_config())
+        .place_with_checkpoints(&d, &CheckpointPolicy::new(journal.clone()))
+        .expect("checkpointed place");
+
+    let other = generate(&GeneratorConfig {
+        num_cells: 90,
+        num_nets: 100,
+        ..GeneratorConfig::default()
+    })
+    .unwrap();
+    let err = PufferPlacer::new(quick_config())
+        .resume(&other, &journal)
+        .unwrap_err();
+    assert!(matches!(err, PufferError::Resume(_)), "{err}");
+}
+
+// --- NaN coordinates at stage boundaries ----------------------------------
+
+#[test]
+fn nan_coordinates_are_rejected_by_legalizer_and_router() {
+    let d = small_design();
+    let mut p = d.initial_placement();
+    let victim = d.netlist().movable_cells().next().unwrap();
+    p.set(victim, Point::new(f64::NAN, f64::INFINITY));
+
+    let pad = vec![0u32; d.netlist().num_cells()];
+    let err = puffer_legal::legalize(&d, &p, &pad).unwrap_err();
+    assert!(matches!(err, LegalizeError::BadInput(_)), "{err}");
+
+    let router = GlobalRouter::new(&d, RouterConfig::default());
+    let err = router.try_route(&d, &p).unwrap_err();
+    assert!(matches!(err, RouteError::NonFinitePlacement { .. }), "{err}");
+}
+
+#[test]
+fn nan_divergence_inside_the_flow_recovers_to_a_flow_result() {
+    // Poison the global-placement state mid-flow via a checkpoint: the
+    // divergence sentinel must roll back / back off and the flow must
+    // still deliver a complete, legal FlowResult.
+    let d = small_design();
+    let config = quick_config();
+
+    // A mid-flow snapshot whose placement is partially NaN.
+    let mut poisoned = d.initial_placement();
+    for id in d.netlist().movable_cells().take(25) {
+        poisoned.set(id, Point::new(f64::NAN, f64::NAN));
+    }
+    let placer = GlobalPlacer::with_placement(
+        &d,
+        PlacerConfig {
+            max_iters: config.placer.max_iters,
+            stop_overflow: config.placer.stop_overflow,
+            ..PlacerConfig::default()
+        },
+        poisoned,
+    )
+    .expect("placer");
+    let checkpoint = FlowCheckpoint::capture(
+        &d,
+        FlowStage::GlobalPlace,
+        placer.snapshot(),
+        PaddingState::new(d.netlist().num_cells()),
+    );
+
+    let result = PufferPlacer::new(config)
+        .place_from(&d, checkpoint, None)
+        .expect("flow must recover, not die");
+    assert!(result.hpwl.is_finite());
+    for id in d.netlist().movable_cells() {
+        let pos = result.placement.pos(id);
+        assert!(pos.x.is_finite() && pos.y.is_finite(), "cell at {pos}");
+    }
+    let zeros = vec![0u32; d.netlist().num_cells()];
+    puffer_legal::check_legal(&d, &result.placement, &zeros).expect("legal after recovery");
+}
+
+// --- zero-capacity congestion grids ----------------------------------------
+
+#[test]
+fn zero_capacity_grid_is_a_route_error() {
+    use puffer_db::geom::Rect;
+    use puffer_db::grid::Grid;
+    let d = small_design();
+    let r = d.region();
+    let grid = puffer_route::RoutingGrid::new(
+        Grid::filled(r, 8, 8, 0.0),
+        Grid::filled(r, 8, 8, 0.0),
+    );
+    assert_eq!(grid.total_capacity(puffer_route::Dir::H), 0.0);
+    let _ = Rect::new(0.0, 0.0, 1.0, 1.0);
+
+    // A router whose derates consume all capacity must refuse to report
+    // meaningless overflow ratios.
+    let router = GlobalRouter::new(
+        &d,
+        RouterConfig {
+            power_derate: 1.0, // 100% of tracks eaten by the power grid
+            ..RouterConfig::default()
+        },
+    );
+    match router.try_route(&d, &d.initial_placement()) {
+        Err(RouteError::ZeroCapacity(_)) => {}
+        Err(other) => panic!("wanted ZeroCapacity, got {other}"),
+        // Some blockage models keep a sliver of capacity; finite metrics
+        // are acceptable then.
+        Ok(report) => assert!(report.hof_pct.is_finite() && report.vof_pct.is_finite()),
+    }
+}
+
+// --- panicking exploration objective ----------------------------------------
+
+#[test]
+fn panicking_exploration_objective_is_contained() {
+    let space = Space::new(vec![
+        ParamSpec::continuous("a", 0.0, 10.0),
+        ParamSpec::continuous("b", 0.0, 10.0),
+    ]);
+    let outcome = explore_params(
+        &space,
+        |v| {
+            if v[0] > 5.0 {
+                panic!("objective crashed at {v:?}");
+            }
+            (v[0] - 2.0).powi(2) + (v[1] - 3.0).powi(2)
+        },
+        &ExplorationConfig {
+            max_evals: 80,
+            early_stop: 80,
+            ..Default::default()
+        },
+    )
+    .expect("exploration must survive the crashing corner");
+    assert!(outcome.failed_trials > 0, "crash corner never hit");
+    assert!(outcome.best_value < 10.0, "best {}", outcome.best_value);
+}
+
+#[test]
+fn hopeless_exploration_objective_is_a_typed_error() {
+    let space = Space::new(vec![ParamSpec::continuous("a", 0.0, 1.0)]);
+    let err = explore_params(
+        &space,
+        |_: &[f64]| -> f64 { panic!("always broken") },
+        &ExplorationConfig {
+            max_evals: 30,
+            max_consecutive_failures: 6,
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, ExploreError::AllTrialsFailed { .. }), "{err}");
+}
+
+// --- kill + resume determinism ----------------------------------------------
+
+#[test]
+fn killed_flow_resumed_from_journal_matches_uninterrupted_run() {
+    let dir = tmp_dir("kill-resume");
+    let d = small_design();
+    let config = quick_config();
+
+    let uninterrupted = PufferPlacer::new(config.clone())
+        .place(&d)
+        .expect("uninterrupted");
+
+    // keep_history preserves every periodic checkpoint: each file is
+    // byte-for-byte what a kill right after that write would leave behind.
+    let journal = dir.join("run.pj");
+    let policy = CheckpointPolicy {
+        path: journal.clone(),
+        every: 30,
+        keep_history: true,
+    };
+    PufferPlacer::new(config.clone())
+        .place_with_checkpoints(&d, &policy)
+        .expect("journaled run");
+
+    let kill_point = dir.join("run.pj.iter000030");
+    assert!(kill_point.exists(), "periodic checkpoint missing");
+    let resumed = PufferPlacer::new(config)
+        .resume(&d, &kill_point)
+        .expect("resume");
+
+    assert_eq!(resumed.placement, uninterrupted.placement);
+    assert_eq!(resumed.hpwl, uninterrupted.hpwl);
+}

@@ -1,6 +1,6 @@
-//! Property-based tests on cross-crate invariants.
+//! Property-based tests on cross-crate invariants, driven by the
+//! in-workspace `puffer_rng::check` harness.
 
-use proptest::prelude::*;
 use puffer_db::design::{Design, Placement};
 use puffer_db::geom::{Point, Rect};
 use puffer_db::grid::Grid;
@@ -10,132 +10,206 @@ use puffer_db::tech::Technology;
 use puffer_flute::{mst_wirelength, Topology};
 use puffer_legal::{check_legal, discretize_padding, legalize};
 use puffer_place::wa_wirelength_grad;
+use puffer_rng::check::{run_cases, vec_of};
+use puffer_rng::{prop_check, StdRng};
 
-fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..max)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+fn arb_points(rng: &mut StdRng, max: usize) -> Vec<Point> {
+    vec_of(rng, 1..max, |r| {
+        Point::new(r.gen_range(0.0..100.0), r.gen_range(0.0..100.0))
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// RSMT wirelength is sandwiched between the Steiner lower bound and
+/// the MST, and the topology is always a connected tree.
+#[test]
+fn rsmt_is_bounded_and_connected() {
+    run_cases(
+        64,
+        0x1001,
+        |rng| arb_points(rng, 20),
+        |points| {
+            let topo = Topology::from_points(points);
+            let mst = mst_wirelength(points);
+            prop_check!(topo.wirelength() <= mst + 1e-6);
+            prop_check!(topo.wirelength() >= mst / 1.5 - 1e-6);
+            prop_check!(topo.is_connected_tree());
+            Ok(())
+        },
+    );
+}
 
-    /// RSMT wirelength is sandwiched between the Steiner lower bound and
-    /// the MST, and the topology is always a connected tree.
-    #[test]
-    fn rsmt_is_bounded_and_connected(points in arb_points(20)) {
-        let topo = Topology::from_points(&points);
-        let mst = mst_wirelength(&points);
-        prop_assert!(topo.wirelength() <= mst + 1e-6);
-        prop_assert!(topo.wirelength() >= mst / 1.5 - 1e-6);
-        prop_assert!(topo.is_connected_tree());
-    }
+/// Splatting arbitrary rectangles into a grid conserves mass for
+/// rectangles inside the region.
+#[test]
+fn grid_splat_conserves_mass() {
+    run_cases(
+        64,
+        0x1002,
+        |rng| {
+            (
+                rng.gen_range(0.0..80.0),
+                rng.gen_range(0.0..80.0),
+                rng.gen_range(0.1..20.0),
+                rng.gen_range(0.1..20.0),
+                rng.gen_range(0.1..100.0),
+            )
+        },
+        |&(xl, yl, w, h, amount)| {
+            let mut g: Grid<f64> = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 16, 16);
+            g.splat(&Rect::new(xl, yl, xl + w, yl + h), amount);
+            prop_check!(
+                (g.sum() - amount).abs() < 1e-6,
+                "mass {} != {amount}",
+                g.sum()
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Splatting arbitrary rectangles into a grid conserves mass for
-    /// rectangles inside the region.
-    #[test]
-    fn grid_splat_conserves_mass(
-        xl in 0.0..80.0f64,
-        yl in 0.0..80.0f64,
-        w in 0.1..20.0f64,
-        h in 0.1..20.0f64,
-        amount in 0.1..100.0f64,
-    ) {
-        let mut g: Grid<f64> = Grid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 16, 16);
-        g.splat(&Rect::new(xl, yl, xl + w, yl + h), amount);
-        prop_assert!((g.sum() - amount).abs() < 1e-6);
-    }
-
-    /// WA wirelength is always a lower bound of HPWL and converges to it.
-    #[test]
-    fn wa_lower_bounds_hpwl(points in arb_points(8)) {
-        prop_assume!(points.len() >= 2);
-        let mut nb = NetlistBuilder::new();
-        let ids: Vec<_> = (0..points.len())
-            .map(|i| nb.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::Movable))
-            .collect();
-        let n = nb.add_net("n");
-        for &c in &ids {
-            nb.connect(n, c, Point::ORIGIN).unwrap();
-        }
-        let nl = nb.build().unwrap();
-        let mut p = Placement::zeroed(points.len());
-        for (i, pt) in points.iter().enumerate() {
-            p.set(ids[i], *pt);
-        }
-        let hp = total_hpwl(&nl, &p);
-        let tight = wa_wirelength_grad(&nl, &p, 0.01).value;
-        let loose = wa_wirelength_grad(&nl, &p, 10.0).value;
-        prop_assert!(tight <= hp + 1e-6, "tight {tight} > hpwl {hp}");
-        prop_assert!(loose <= hp + 1e-6, "loose {loose} > hpwl {hp}");
-        prop_assert!((hp - tight) <= (hp - loose) + 1e-6, "smaller gamma is tighter");
-    }
-
-    /// Legalization of any in-region placement yields a legal placement.
-    #[test]
-    fn legalization_always_legal(
-        seed_positions in prop::collection::vec((0.0..40.0f64, 0.0..40.0f64), 30..60),
-        pad_pattern in prop::collection::vec(0u32..4, 60),
-    ) {
-        let mut nb = NetlistBuilder::new();
-        for i in 0..seed_positions.len() {
-            nb.add_cell(format!("c{i}"), 0.6, 1.0, CellKind::Movable);
-        }
-        let d = Design::new(
-            "t",
-            nb.build().unwrap(),
-            Technology::default(),
-            Rect::new(0.0, 0.0, 40.0, 40.0),
-        )
-        .unwrap();
-        let mut p = Placement::zeroed(seed_positions.len());
-        for (i, &(x, y)) in seed_positions.iter().enumerate() {
-            p.set(CellId(i as u32), Point::new(x, y));
-        }
-        let pads: Vec<u32> =
-            (0..seed_positions.len()).map(|i| pad_pattern[i % pad_pattern.len()]).collect();
-        let out = legalize(&d, &p, &pads).expect("ample capacity");
-        check_legal(&d, &out.placement, &pads).expect("must be legal");
-    }
-
-    /// Discretized padding is monotone in the continuous padding and never
-    /// maps positive padding to zero.
-    #[test]
-    fn discretization_is_monotone(
-        mut pads in prop::collection::vec(0.0..10.0f64, 2..40),
-        theta in 1.0..8.0f64,
-    ) {
-        pads.sort_by(f64::total_cmp);
-        let d = discretize_padding(&pads, theta);
-        for w in d.windows(2) {
-            prop_assert!(w[0] <= w[1]);
-        }
-        for (c, disc) in pads.iter().zip(&d) {
-            if *c > 0.0 {
-                prop_assert!(*disc >= 1);
-            } else {
-                prop_assert_eq!(*disc, 0);
+/// WA wirelength is always a lower bound of HPWL and converges to it.
+#[test]
+fn wa_lower_bounds_hpwl() {
+    run_cases(
+        64,
+        0x1003,
+        |rng| {
+            let mut pts = arb_points(rng, 8);
+            // The property needs at least two pins.
+            if pts.len() < 2 {
+                pts.push(Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)));
             }
-        }
-    }
+            pts
+        },
+        |points| {
+            let mut nb = NetlistBuilder::new();
+            let ids: Vec<_> = (0..points.len())
+                .map(|i| nb.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::Movable))
+                .collect();
+            let n = nb.add_net("n");
+            for &c in &ids {
+                nb.connect(n, c, Point::ORIGIN).unwrap();
+            }
+            let nl = nb.build().unwrap();
+            let mut p = Placement::zeroed(points.len());
+            for (i, pt) in points.iter().enumerate() {
+                p.set(ids[i], *pt);
+            }
+            let hp = total_hpwl(&nl, &p);
+            let tight = wa_wirelength_grad(&nl, &p, 0.01).value;
+            let loose = wa_wirelength_grad(&nl, &p, 10.0).value;
+            prop_check!(tight <= hp + 1e-6, "tight {tight} > hpwl {hp}");
+            prop_check!(loose <= hp + 1e-6, "loose {loose} > hpwl {hp}");
+            prop_check!(
+                (hp - tight) <= (hp - loose) + 1e-6,
+                "smaller gamma is tighter"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// The congestion-map combination rule (Eq. 10) is monotone in demand.
-    #[test]
-    fn congestion_monotone_in_demand(
-        base in 0.0..20.0f64,
-        extra in 0.0..20.0f64,
-        cap in 1.0..30.0f64,
-    ) {
-        use puffer_congest::CongestionMap;
-        let r = Rect::new(0.0, 0.0, 4.0, 4.0);
-        let mk = |dmd: f64| CongestionMap::new(
-            Grid::filled(r, 2, 2, cap),
-            Grid::filled(r, 2, 2, cap),
-            Grid::filled(r, 2, 2, dmd),
-            Grid::filled(r, 2, 2, 0.0),
-        );
-        let lo = mk(base);
-        let hi = mk(base + extra);
-        prop_assert!(hi.cg(0, 0) >= lo.cg(0, 0) - 1e-12);
-        prop_assert!(hi.overflow_ratio_h() >= lo.overflow_ratio_h() - 1e-12);
-    }
+/// Legalization of any in-region placement yields a legal placement.
+#[test]
+fn legalization_always_legal() {
+    run_cases(
+        64,
+        0x1004,
+        |rng| {
+            let positions = vec_of(rng, 30..60, |r| {
+                (r.gen_range(0.0..40.0), r.gen_range(0.0..40.0))
+            });
+            let pad_pattern: Vec<u32> = (0..60).map(|_| rng.gen_range(0..4u32)).collect();
+            (positions, pad_pattern)
+        },
+        |(seed_positions, pad_pattern)| {
+            let mut nb = NetlistBuilder::new();
+            for i in 0..seed_positions.len() {
+                nb.add_cell(format!("c{i}"), 0.6, 1.0, CellKind::Movable);
+            }
+            let d = Design::new(
+                "t",
+                nb.build().unwrap(),
+                Technology::default(),
+                Rect::new(0.0, 0.0, 40.0, 40.0),
+            )
+            .unwrap();
+            let mut p = Placement::zeroed(seed_positions.len());
+            for (i, &(x, y)) in seed_positions.iter().enumerate() {
+                p.set(CellId(i as u32), Point::new(x, y));
+            }
+            let pads: Vec<u32> = (0..seed_positions.len())
+                .map(|i| pad_pattern[i % pad_pattern.len()])
+                .collect();
+            let out = legalize(&d, &p, &pads).expect("ample capacity");
+            prop_check!(
+                check_legal(&d, &out.placement, &pads).is_ok(),
+                "legalized placement is not legal"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Discretized padding is monotone in the continuous padding and never
+/// maps positive padding to zero.
+#[test]
+fn discretization_is_monotone() {
+    run_cases(
+        64,
+        0x1005,
+        |rng| {
+            let mut pads = vec_of(rng, 2..40, |r| r.gen_range(0.0..10.0));
+            pads.sort_by(f64::total_cmp);
+            let theta = rng.gen_range(1.0..8.0);
+            (pads, theta)
+        },
+        |(pads, theta)| {
+            let d = discretize_padding(pads, *theta);
+            for w in d.windows(2) {
+                prop_check!(w[0] <= w[1], "not monotone: {} then {}", w[0], w[1]);
+            }
+            for (c, disc) in pads.iter().zip(&d) {
+                if *c > 0.0 {
+                    prop_check!(*disc >= 1, "positive padding {c} mapped to zero");
+                } else {
+                    prop_check!(*disc == 0, "zero padding mapped to {disc}");
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The congestion-map combination rule (Eq. 10) is monotone in demand.
+#[test]
+fn congestion_monotone_in_demand() {
+    run_cases(
+        64,
+        0x1006,
+        |rng| {
+            (
+                rng.gen_range(0.0..20.0),
+                rng.gen_range(0.0..20.0),
+                rng.gen_range(1.0..30.0),
+            )
+        },
+        |&(base, extra, cap)| {
+            use puffer_congest::CongestionMap;
+            let r = Rect::new(0.0, 0.0, 4.0, 4.0);
+            let mk = |dmd: f64| {
+                CongestionMap::new(
+                    Grid::filled(r, 2, 2, cap),
+                    Grid::filled(r, 2, 2, cap),
+                    Grid::filled(r, 2, 2, dmd),
+                    Grid::filled(r, 2, 2, 0.0),
+                )
+            };
+            let lo = mk(base);
+            let hi = mk(base + extra);
+            prop_check!(hi.cg(0, 0) >= lo.cg(0, 0) - 1e-12);
+            prop_check!(hi.overflow_ratio_h() >= lo.overflow_ratio_h() - 1e-12);
+            Ok(())
+        },
+    );
 }
