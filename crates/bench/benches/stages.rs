@@ -260,6 +260,49 @@ fn tpe_benches() {
     });
 }
 
+fn trace_benches() {
+    use puffer_trace::Trace;
+    let design = bench_design();
+    // Ten Nesterov steps with and without a telemetry handle attached.
+    // The disabled/no-sink rows must stay within noise of the untraced
+    // row: a disabled sink is a no-op and allocates nothing per step.
+    let step_run = |trace: Option<Trace>| {
+        let mut placer = GlobalPlacer::new(&design, PlacerConfig::default()).expect("placer");
+        if let Some(t) = trace {
+            placer.set_trace(t);
+        }
+        for _ in 0..10 {
+            placer.step();
+        }
+    };
+    bench("trace", "ten_steps_untraced", 1, 10, || step_run(None));
+    bench("trace", "ten_steps_disabled", 1, 10, || {
+        step_run(Some(Trace::disabled()))
+    });
+    bench("trace", "ten_steps_no_sink", 1, 10, || {
+        step_run(Some(Trace::enabled()))
+    });
+    let dir = std::env::temp_dir().join("puffer-bench-trace");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("steps.jsonl");
+    bench("trace", "ten_steps_jsonl_sink", 1, 10, || {
+        step_run(Some(Trace::with_sink(&path).expect("sink")))
+    });
+    // Micro-costs of the primitives themselves.
+    let disabled = Trace::disabled();
+    bench("trace", "span_disabled", 10, 100, || {
+        for _ in 0..1000 {
+            let _s = disabled.span("x");
+        }
+    });
+    let enabled = Trace::enabled();
+    bench("trace", "span_enabled", 10, 100, || {
+        for _ in 0..1000 {
+            let _s = enabled.span("x");
+        }
+    });
+}
+
 fn main() {
     // `cargo bench` passes flags like `--bench`; the first non-flag
     // argument (if any) filters the groups to run.
@@ -267,7 +310,7 @@ fn main() {
         .skip(1)
         .find(|a| !a.starts_with('-'))
         .unwrap_or_default();
-    let groups: [(&str, fn()); 12] = [
+    let groups: [(&str, fn()); 13] = [
         ("fft", fft_benches),
         ("rsmt", rsmt_benches),
         ("congestion", congestion_benches),
@@ -280,6 +323,7 @@ fn main() {
         ("detailed_place", dp_benches),
         ("layers", layer_benches),
         ("tpe", tpe_benches),
+        ("trace", trace_benches),
     ];
     for (name, run) in groups {
         if filter.is_empty() || name.contains(&filter) {

@@ -1,0 +1,78 @@
+//! Machine-readable flow benchmark.
+//!
+//! Runs the full PUFFER flow under telemetry on each selected design and
+//! writes one `BENCH_<design>.json` per design into the output directory:
+//! the per-stage wall-times from the span timers (init / gp / gp-pad /
+//! legal / route) plus the Table II quantities (HOF, VOF, WL, RT).
+//!
+//! ```text
+//! cargo run --release -p puffer-bench --bin benchflow -- \
+//!     --scale 0.003 --designs or1200 --out target/bench
+//! ```
+//!
+//! `scripts/bench.sh` wraps this binary; CI keeps the JSON as artifacts.
+
+use puffer::{evaluate_traced, PufferConfig, PufferPlacer};
+use puffer_bench::{generate_logged, HarnessArgs};
+use puffer_route::RouterConfig;
+use puffer_trace::Trace;
+use std::fmt::Write as _;
+
+/// Appends `"key": value` (6 decimal places, non-finite becomes `null`).
+fn field(json: &mut String, indent: &str, key: &str, value: f64, last: bool) {
+    let comma = if last { "" } else { "," };
+    if value.is_finite() {
+        let _ = writeln!(json, "{indent}\"{key}\": {value:.6}{comma}");
+    } else {
+        let _ = writeln!(json, "{indent}\"{key}\": null{comma}");
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse(0.003);
+    let out_dir = args.ensure_out_dir().clone();
+    for config in args.configs() {
+        let design = generate_logged(&config);
+        let trace = Trace::enabled();
+        let result = PufferPlacer::new(PufferConfig::default())
+            .with_trace(trace.clone())
+            .place(&design)
+            .unwrap_or_else(|e| panic!("PUFFER failed on {}: {e}", design.name()));
+        let report = evaluate_traced(&design, &result.placement, &RouterConfig::default(), &trace);
+
+        let spans = trace.span_stats();
+        let total = |label: &str| {
+            spans
+                .iter()
+                .find(|(l, _)| l == label)
+                .map_or(0.0, |(_, s)| s.total)
+        };
+
+        let mut json = String::from("{\n");
+        // Preset names are plain ASCII identifiers; no escaping needed.
+        let _ = writeln!(json, "  \"design\": \"{}\",", design.name());
+        let _ = writeln!(json, "  \"cells\": {},", design.stats().movable_cells);
+        json.push_str("  \"stages_s\": {\n");
+        field(&mut json, "    ", "init", total("init"), false);
+        field(&mut json, "    ", "gp", total("gp"), false);
+        field(&mut json, "    ", "gp_pad", total("gp/pad"), false);
+        field(&mut json, "    ", "legal", total("legal"), false);
+        field(&mut json, "    ", "route", total("route"), true);
+        json.push_str("  },\n");
+        json.push_str("  \"metrics\": {\n");
+        field(&mut json, "    ", "hof_pct", report.hof_pct, false);
+        field(&mut json, "    ", "vof_pct", report.vof_pct, false);
+        field(&mut json, "    ", "wirelength", report.wirelength, false);
+        field(&mut json, "    ", "hpwl", result.hpwl, false);
+        field(&mut json, "    ", "runtime_s", result.runtime_s, false);
+        let _ = writeln!(json, "    \"gp_iterations\": {},", result.gp_iterations);
+        let _ = writeln!(json, "    \"pad_rounds\": {}", result.pad_rounds);
+        json.push_str("  }\n}\n");
+
+        let path = out_dir.join(format!("BENCH_{}.json", design.name()));
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("{}", path.display());
+        eprint!("{}", trace.summary_table());
+    }
+}

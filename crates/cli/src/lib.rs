@@ -15,13 +15,14 @@
 //! forwards `std::env::args` and sets the exit code.
 
 use puffer::{
-    evaluate, CheckpointPolicy, FlowCheckpoint, PufferConfig, PufferPlacer, ReferenceConfig,
-    ReferencePlacer, ReplaceConfig, ReplacePlacer,
+    evaluate, evaluate_traced, evaluate_with, CheckpointPolicy, FlowCheckpoint, PufferConfig,
+    PufferPlacer, ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer,
 };
 use puffer_db::io::{read_design, read_placement, write_design, write_placement};
 use puffer_dp::{refine, refine_with_congestion, DetailedConfig};
 use puffer_gen::{generate, presets, GeneratorConfig};
-use puffer_route::{assign_layers, LayerConfig};
+use puffer_route::{assign_layers, LayerConfig, RouterConfig};
+use puffer_trace::Trace;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::path::Path;
@@ -71,8 +72,11 @@ usage:
   puffer stats  <design.pd>
   puffer place  <design.pd> -o <placed.pl> [--flow puffer|reference|replace]
                 [--max-iters <n>] [--journal <run.pj>] [--checkpoint-every <n>]
-                [--resume <run.pj>]
+                [--resume <run.pj>] [--threads <n>]
+                [--metrics <run.jsonl>] [--trace-summary]
   puffer eval   <design.pd> <placed.pl> [--maps <dir>] [--layers]
+                [--threads <n>] [--metrics <run.jsonl>] [--trace-summary]
+  puffer trace  <run.jsonl> [--check]
   puffer refine <design.pd> <placed.pl> -o <refined.pl> [--guard]
   puffer draw   <design.pd> <placed.pl> -o <out.svg> [--rows]
 
@@ -97,6 +101,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
         "stats" => cmd_stats(rest, out),
         "place" => cmd_place(rest, out),
         "eval" => cmd_eval(rest, out),
+        "trace" => cmd_trace(rest, out),
         "refine" => cmd_refine(rest, out),
         "draw" => cmd_draw(rest, out),
         "--help" | "-h" | "help" => {
@@ -283,11 +288,48 @@ fn cmd_stats(args: &[String], out: &mut String) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Builds the optional telemetry handle for `--metrics` / `--trace-summary`.
+fn open_trace(flags: &Flags) -> Result<Option<Trace>, CliError> {
+    if let Some(path) = flags.get("metrics") {
+        Trace::with_sink(path)
+            .map(Some)
+            .map_err(|e| CliError::run(format!("cannot create {path}: {e}")))
+    } else if flags.has("trace-summary") {
+        Ok(Some(Trace::enabled()))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Finishes a traced run: emits the span/counter/gauge summary records to
+/// the sink, surfaces any deferred sink write error, and prints the
+/// per-stage timing table to stderr under `--trace-summary`.
+fn finish_trace(trace: &Option<Trace>, flags: &Flags) -> Result<(), CliError> {
+    let Some(trace) = trace else { return Ok(()) };
+    trace.write_summary();
+    trace
+        .flush()
+        .map_err(|e| CliError::run(format!("metrics write failed: {e}")))?;
+    if flags.has("trace-summary") {
+        eprint!("{}", trace.summary_table());
+    }
+    Ok(())
+}
+
 fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
     let flags = Flags::parse(
         args,
-        &["o", "flow", "max-iters", "journal", "checkpoint-every", "resume"],
-        &[],
+        &[
+            "o",
+            "flow",
+            "max-iters",
+            "journal",
+            "checkpoint-every",
+            "resume",
+            "threads",
+            "metrics",
+        ],
+        &["trace-summary"],
     )?;
     let [design_path] = flags.positional.as_slice() else {
         return Err(CliError::usage("place needs exactly one <design.pd>"));
@@ -296,6 +338,10 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
         .get("o")
         .ok_or_else(|| CliError::usage("place needs -o <placed.pl>"))?;
     let max_iters: Option<usize> = flags.get_parsed("max-iters")?;
+    let threads: Option<usize> = flags.get_parsed("threads")?;
+    if threads == Some(0) {
+        return Err(CliError::usage("--threads must be at least 1"));
+    }
     let flow = flags.get("flow").unwrap_or("puffer");
     let journal = flags.get("journal");
     let every: usize = flags.get_parsed("checkpoint-every")?.unwrap_or(25);
@@ -305,6 +351,12 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             "--journal/--resume only apply to --flow puffer",
         ));
     }
+    if flow != "puffer" && (flags.get("metrics").is_some() || flags.has("trace-summary")) {
+        return Err(CliError::usage(
+            "--metrics/--trace-summary only apply to --flow puffer",
+        ));
+    }
+    let trace = open_trace(&flags)?;
     let design = load_design(design_path)?;
     let result = match flow {
         "puffer" => {
@@ -312,7 +364,13 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             if let Some(n) = max_iters {
                 cfg.placer.max_iters = n;
             }
-            let placer = PufferPlacer::new(cfg);
+            if let Some(n) = threads {
+                cfg.estimator.threads = n;
+            }
+            let mut placer = PufferPlacer::new(cfg);
+            if let Some(t) = &trace {
+                placer = placer.with_trace(t.clone());
+            }
             if let Some(from) = resume {
                 // Resume keeps journaling: to --journal when given, else
                 // back to the journal it resumed from.
@@ -340,6 +398,9 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             if let Some(n) = max_iters {
                 cfg.placer.max_iters = n;
             }
+            if let Some(n) = threads {
+                cfg.router.threads = n;
+            }
             ReferencePlacer::new(cfg).place(&design)
         }
         "replace" => {
@@ -347,11 +408,15 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             if let Some(n) = max_iters {
                 cfg.placer.max_iters = n;
             }
+            if let Some(n) = threads {
+                cfg.estimator.threads = n;
+            }
             ReplacePlacer::new(cfg).place(&design)
         }
         other => return Err(CliError::usage(format!("unknown flow '{other}'"))),
     }
     .map_err(|e| CliError::run(format!("placement failed: {e}")))?;
+    finish_trace(&trace, &flags)?;
     let file =
         File::create(output).map_err(|e| CliError::run(format!("cannot create {output}: {e}")))?;
     write_placement(&result.placement, file)
@@ -365,13 +430,26 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
 }
 
 fn cmd_eval(args: &[String], out: &mut String) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["maps"], &["layers"])?;
+    let flags = Flags::parse(args, &["maps", "threads", "metrics"], &["layers", "trace-summary"])?;
     let [design_path, placement_path] = flags.positional.as_slice() else {
         return Err(CliError::usage("eval needs <design.pd> <placed.pl>"));
     };
+    let threads: Option<usize> = flags.get_parsed("threads")?;
+    if threads == Some(0) {
+        return Err(CliError::usage("--threads must be at least 1"));
+    }
     let design = load_design(design_path)?;
     let placement = load_placement(placement_path, design.netlist().num_cells())?;
-    let report = evaluate(&design, &placement);
+    let mut router_cfg = RouterConfig::default();
+    if let Some(n) = threads {
+        router_cfg.threads = n;
+    }
+    let trace = open_trace(&flags)?;
+    let report = match &trace {
+        Some(t) => evaluate_traced(&design, &placement, &router_cfg, t),
+        None => evaluate_with(&design, &placement, &router_cfg),
+    };
+    finish_trace(&trace, &flags)?;
     let _ = writeln!(
         out,
         "HOF {:.2}%  VOF {:.2}%  WL {:.0}  ({} overflowed Gcells; 1%-criterion: {})",
@@ -412,6 +490,64 @@ fn cmd_eval(args: &[String], out: &mut String) -> Result<(), CliError> {
             .map_err(|e| CliError::run(format!("write failed: {e}")))?;
         }
         let _ = writeln!(out, "wrote congestion maps to {dir}/");
+    }
+    Ok(())
+}
+
+/// `puffer trace <run.jsonl>` — validates a telemetry file and prints the
+/// record inventory. With `--check` it additionally requires the stage
+/// spans and per-iteration records a complete `place --metrics` run emits
+/// (this is what the CI metrics smoke step calls).
+fn cmd_trace(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[], &["check"])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::usage("trace needs exactly one <run.jsonl>"));
+    };
+    let records = puffer_trace::read_jsonl(Path::new(path))
+        .map_err(|e| CliError::run(format!("invalid metrics file {path}: {e}")))?;
+    if records.is_empty() {
+        return Err(CliError::run(format!("{path}: no telemetry records")));
+    }
+    let mut kinds: Vec<(String, usize)> = Vec::new();
+    for r in &records {
+        let Some(kind) = r.kind() else {
+            return Err(CliError::run(format!(
+                "{path}: record without a \"t\" kind field"
+            )));
+        };
+        if r.num("elapsed_s").is_none() {
+            return Err(CliError::run(format!(
+                "{path}: {kind} record missing the elapsed_s timestamp"
+            )));
+        }
+        match kinds.iter_mut().find(|(k, _)| k == kind) {
+            Some((_, n)) => *n += 1,
+            None => kinds.push((kind.to_string(), 1)),
+        }
+    }
+    for (k, n) in &kinds {
+        let _ = writeln!(out, "{k:<16} {n:>7}");
+    }
+    let _ = writeln!(out, "{:<16} {:>7}", "total", records.len());
+    if flags.has("check") {
+        let span_labels: Vec<&str> = records
+            .iter()
+            .filter(|r| r.kind() == Some("span"))
+            .filter_map(|r| r.str_field("label"))
+            .collect();
+        for stage in ["init", "gp", "legal"] {
+            if !span_labels.contains(&stage) {
+                return Err(CliError::run(format!(
+                    "{path}: missing stage span '{stage}'"
+                )));
+            }
+        }
+        for kind in ["place.iter", "flow.done"] {
+            if !kinds.iter().any(|(k, _)| k == kind) {
+                return Err(CliError::run(format!("{path}: missing {kind} records")));
+            }
+        }
+        let _ = writeln!(out, "check OK: stage spans and flow records complete");
     }
     Ok(())
 }
@@ -716,6 +852,98 @@ mod tests {
             std::fs::read_to_string(&resumed_path).unwrap(),
             "resumed run diverged from the original"
         );
+    }
+
+    #[test]
+    fn place_metrics_produces_a_checkable_trace() {
+        let design_path = tmp("metrics.pd");
+        let placed_path = tmp("metrics.pl");
+        let metrics_path = tmp("metrics.jsonl");
+        run(
+            &strs(&["gen", "--cells", "200", "-o", &design_path]),
+            &mut String::new(),
+        )
+        .unwrap();
+        run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &placed_path,
+                "--max-iters",
+                "80",
+                "--threads",
+                "2",
+                "--metrics",
+                &metrics_path,
+                "--trace-summary",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap();
+
+        // The validator accepts the file and sees the full stage set.
+        let mut out = String::new();
+        run(&strs(&["trace", &metrics_path, "--check"]), &mut out).unwrap();
+        assert!(out.contains("place.iter"), "{out}");
+        assert!(out.contains("flow.done"), "{out}");
+        assert!(out.contains("check OK"), "{out}");
+
+        // eval shares the trace plumbing via evaluate_traced.
+        let eval_metrics = tmp("metrics_eval.jsonl");
+        run(
+            &strs(&[
+                "eval",
+                &design_path,
+                &placed_path,
+                "--threads",
+                "2",
+                "--metrics",
+                &eval_metrics,
+            ]),
+            &mut String::new(),
+        )
+        .unwrap();
+        let mut out = String::new();
+        run(&strs(&["trace", &eval_metrics]), &mut out).unwrap();
+        assert!(out.contains("route.done"), "{out}");
+    }
+
+    #[test]
+    fn trace_rejects_garbage_and_zero_threads_are_usage_errors() {
+        let bad = tmp("bad.jsonl");
+        std::fs::write(&bad, "not json at all\n").unwrap();
+        let err = run(&strs(&["trace", &bad]), &mut String::new()).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("invalid metrics file"), "{}", err.message);
+
+        let err = run(
+            &strs(&["place", "x.pd", "-o", "y.pl", "--threads", "0"]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--threads"), "{}", err.message);
+    }
+
+    #[test]
+    fn metrics_flags_require_puffer_flow() {
+        let err = run(
+            &strs(&[
+                "place",
+                "x.pd",
+                "-o",
+                "y.pl",
+                "--flow",
+                "replace",
+                "--metrics",
+                "m.jsonl",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--flow puffer"), "{}", err.message);
     }
 
     #[test]

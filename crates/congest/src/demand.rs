@@ -6,6 +6,7 @@
 //! of the two possible L routes uniformly over their bounding box. A pin
 //! penalty adds demand for local nets whose pins land in one Gcell.
 
+use crate::CongestError;
 use puffer_db::design::{Design, Placement};
 use puffer_db::grid::Grid;
 use puffer_flute::Topology;
@@ -52,6 +53,10 @@ impl SegmentRecord {
     }
 }
 
+/// Horizontal demand grid, vertical demand grid, and the routed segment
+/// records they were accumulated from.
+pub type DemandMaps = (Grid<f64>, Grid<f64>, Vec<SegmentRecord>);
+
 /// Builds `(h_demand, v_demand, segments)` for a placement snapshot.
 ///
 /// `template` supplies the Gcell geometry (any capacity map works); demand
@@ -65,6 +70,26 @@ pub fn build_demand(
     pin_penalty: f64,
     threads: usize,
 ) -> (Grid<f64>, Grid<f64>, Vec<SegmentRecord>) {
+    try_build_demand(design, placement, template, pin_penalty, threads)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`build_demand`]: a panicking worker thread (e.g. a placement
+/// shorter than the netlist indexing out of bounds) is reported as
+/// [`CongestError::WorkerPanic`] instead of unwinding through `join()` —
+/// re-raising inside `thread::scope` aborts the process outright when more
+/// than one worker panics.
+///
+/// # Errors
+///
+/// [`CongestError::WorkerPanic`] with the first worker's panic message.
+pub fn try_build_demand(
+    design: &Design,
+    placement: &Placement,
+    template: &Grid<f64>,
+    pin_penalty: f64,
+    threads: usize,
+) -> Result<DemandMaps, CongestError> {
     let mut h_dmd: Grid<f64> = Grid::new(template.region(), template.nx(), template.ny());
     let mut v_dmd: Grid<f64> = Grid::new(template.region(), template.nx(), template.ny());
     let netlist = design.netlist();
@@ -74,7 +99,7 @@ pub fn build_demand(
     let threads = threads.clamp(1, 64);
     let chunk_len = net_ids.len().div_ceil(threads).max(1);
     type Partial = (Grid<f64>, Grid<f64>, Vec<SegmentRecord>);
-    let partials: Vec<Partial> = std::thread::scope(|scope| {
+    let partials: Result<Vec<Partial>, String> = std::thread::scope(|scope| {
         let handles: Vec<_> = net_ids
             .chunks(chunk_len)
             .map(|chunk| {
@@ -110,12 +135,9 @@ pub fn build_demand(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("demand thread panicked"))
-            .collect()
+        join_workers(handles)
     });
-    for (h, v, segs) in partials {
+    for (h, v, segs) in partials.map_err(CongestError::WorkerPanic)? {
         for (dst, src) in h_dmd.as_mut_slice().iter_mut().zip(h.as_slice()) {
             *dst += src;
         }
@@ -136,7 +158,42 @@ pub fn build_demand(
         }
     }
 
-    (h_dmd, v_dmd, segments)
+    Ok((h_dmd, v_dmd, segments))
+}
+
+/// Joins every worker before reporting, converting panics to messages.
+/// Draining all handles (rather than re-panicking on the first failed
+/// `join()`) is what prevents a second panicking worker from aborting the
+/// process during the unwind out of `thread::scope`.
+fn join_workers<T>(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, T>>,
+) -> Result<Vec<T>, String> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut first_panic: Option<String> = None;
+    for h in handles {
+        match h.join() {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    // `&*payload` reborrows the boxed payload itself; a
+                    // plain `&payload` would coerce the `Box` into the
+                    // `dyn Any` and the downcasts would miss.
+                    let p: &(dyn std::any::Any + Send) = &*payload;
+                    first_panic = Some(if let Some(s) = p.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = p.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_string()
+                    });
+                }
+            }
+        }
+    }
+    match first_panic {
+        None => Ok(out),
+        Some(m) => Err(m),
+    }
 }
 
 /// Deposits one segment's probabilistic demand into the grids.
@@ -309,6 +366,26 @@ mod tests {
         for (a, b) in v1.as_slice().iter().zip(v8.as_slice()) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn panicking_workers_become_an_error_not_an_abort() {
+        use puffer_gen::{generate, GeneratorConfig};
+        let d = generate(&GeneratorConfig {
+            num_cells: 200,
+            num_nets: 220,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        // A placement shorter than the netlist makes every worker index out
+        // of bounds; with 4 workers this used to abort the process (first
+        // `join().expect` re-panicked while other panicked handles were
+        // still pending in the scope).
+        let short = Placement::zeroed(1);
+        let template: Grid<f64> = Grid::new(d.region(), 8, 8);
+        let err = try_build_demand(&d, &short, &template, 0.0, 4).unwrap_err();
+        assert!(matches!(err, CongestError::WorkerPanic(_)), "{err}");
+        assert!(err.to_string().contains("worker"), "{err}");
     }
 
     #[test]

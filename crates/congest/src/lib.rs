@@ -41,10 +41,40 @@ pub mod detour;
 pub mod map;
 
 pub use capacity::build_capacity;
+pub use demand::try_build_demand;
 pub use map::CongestionMap;
 
 use puffer_db::design::{Design, Placement};
 use puffer_db::grid::Grid;
+use puffer_trace::Trace;
+
+/// Errors from the fallible estimator entry points.
+#[derive(Debug)]
+pub enum CongestError {
+    /// A demand worker thread panicked; the payload message is preserved
+    /// instead of unwinding (and possibly aborting) through `join()`.
+    WorkerPanic(String),
+}
+
+impl std::fmt::Display for CongestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CongestError::WorkerPanic(m) => write!(f, "demand worker panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CongestError {}
+
+/// Default worker-thread count: the machine's available parallelism,
+/// clamped to keep tiny containers at one thread and huge hosts from
+/// oversubscribing the per-net chunking.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .clamp(1, 32)
+}
 
 /// Configuration of the congestion estimator.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,7 +106,7 @@ impl Default for EstimatorConfig {
             expansion_radius: 2,
             expansion_strength: 0.7,
             expand_detours: true,
-            threads: 8,
+            threads: default_threads(),
         }
     }
 }
@@ -88,6 +118,7 @@ pub struct CongestionEstimator {
     config: EstimatorConfig,
     h_cap: Grid<f64>,
     v_cap: Grid<f64>,
+    trace: Trace,
 }
 
 impl CongestionEstimator {
@@ -99,7 +130,15 @@ impl CongestionEstimator {
             config,
             h_cap,
             v_cap,
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every [`CongestionEstimator::estimate`]
+    /// call emits one `congest.round` record (overflow ratios plus 8-bucket
+    /// congestion histograms).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// The estimator configuration.
@@ -119,20 +158,75 @@ impl CongestionEstimator {
 
     /// Estimates congestion for a placement snapshot: probabilistic demand,
     /// then (if enabled) detour-imitating expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a demand worker panics (e.g. a placement shorter than
+    /// the netlist); use [`CongestionEstimator::try_estimate`] when the
+    /// placement comes from an untrusted source.
     pub fn estimate(&self, design: &Design, placement: &Placement) -> CongestionMap {
-        let (h_dmd, v_dmd, segments) = demand::build_demand(
+        self.try_estimate(design, placement)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`CongestionEstimator::estimate`].
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::WorkerPanic`] when a demand worker thread panics.
+    pub fn try_estimate(
+        &self,
+        design: &Design,
+        placement: &Placement,
+    ) -> Result<CongestionMap, CongestError> {
+        let (h_dmd, v_dmd, segments) = demand::try_build_demand(
             design,
             placement,
             &self.h_cap,
             self.config.pin_penalty,
             self.config.threads,
-        );
+        )?;
         let mut map = CongestionMap::new(self.h_cap.clone(), self.v_cap.clone(), h_dmd, v_dmd);
         if self.config.expand_detours {
             detour::expand(&mut map, &segments, &self.config);
         }
-        map
+        if self.trace.is_enabled() {
+            self.trace.add("congest.rounds", 1);
+            self.trace
+                .record("congest.round")
+                .num("overflow_h", map.overflow_ratio_h())
+                .num("overflow_v", map.overflow_ratio_v())
+                .num("demand", map.total_demand())
+                .num(
+                    "capacity",
+                    map.h_capacity().sum() + map.v_capacity().sum(),
+                )
+                .int("congested", map.congested_cells() as i64)
+                .nums("h_hist", &congestion_histogram(&map, true))
+                .nums("v_hist", &congestion_histogram(&map, false))
+                .write();
+        }
+        Ok(map)
     }
+}
+
+/// 8-bucket histogram of per-Gcell congestion (demand/capacity), bucket
+/// width 0.25 with the last bucket catching everything ≥ 1.75. Computed
+/// only when a trace is attached — it walks the whole grid.
+fn congestion_histogram(map: &CongestionMap, horizontal: bool) -> Vec<f64> {
+    let mut hist = vec![0.0; 8];
+    for iy in 0..map.ny() {
+        for ix in 0..map.nx() {
+            let cg = if horizontal {
+                map.cg_h(ix, iy)
+            } else {
+                map.cg_v(ix, iy)
+            };
+            let bucket = ((cg / 0.25) as usize).min(7);
+            hist[bucket] += 1.0;
+        }
+    }
+    hist
 }
 
 #[cfg(test)]
@@ -205,6 +299,36 @@ mod tests {
             loose.overflow_ratio_h(),
             loose.overflow_ratio_v()
         );
+    }
+
+    #[test]
+    fn traced_estimate_emits_round_records() {
+        let d = tiny_design();
+        let mut est = CongestionEstimator::new(&d, EstimatorConfig::default());
+        let dir = std::env::temp_dir().join("puffer-congest-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rounds.jsonl");
+        let trace = Trace::with_sink(&path).unwrap();
+        est.set_trace(trace.clone());
+        est.estimate(&d, &d.initial_placement());
+        est.estimate(&d, &d.initial_placement());
+        trace.flush().unwrap();
+        let records = puffer_trace::read_jsonl(&path).unwrap();
+        let rounds: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind() == Some("congest.round"))
+            .collect();
+        assert_eq!(rounds.len(), 2);
+        let r = rounds[0];
+        assert!(r.num("overflow_h").unwrap() >= 0.0);
+        assert!(r.num("demand").unwrap() > 0.0);
+        let Some(puffer_trace::Value::Arr(hist)) = r.get("h_hist") else {
+            panic!("missing h_hist");
+        };
+        assert_eq!(hist.len(), 8);
+        let total: f64 = hist.iter().map(|b| b.unwrap_or(0.0)).sum();
+        assert_eq!(total as usize, est.h_capacity().nx() * est.h_capacity().ny());
+        assert_eq!(trace.counters(), vec![("congest.rounds".to_string(), 2)]);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use puffer_db::hpwl::total_hpwl;
 use puffer_legal::{check_legal, discretize_padding, enforce_budget, legalize};
 use puffer_pad::{FeatureConfig, PaddingStrategy, RoutabilityOptimizer};
 use puffer_place::{GlobalPlacer, IterationStats, PlacerConfig};
+use puffer_trace::Trace;
 use std::path::Path;
 use std::time::Instant;
 
@@ -81,12 +82,26 @@ pub struct FlowResult {
 #[derive(Debug, Clone)]
 pub struct PufferPlacer {
     config: PufferConfig,
+    trace: Trace,
 }
 
 impl PufferPlacer {
     /// Creates the placer with a configuration.
     pub fn new(config: PufferConfig) -> Self {
-        PufferPlacer { config }
+        PufferPlacer {
+            config,
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle, returning `self` for chaining. The flow
+    /// stamps its stage boundaries as nested spans (`init`, `gp` with `pad`
+    /// rounds inside, `legal`), forwards the handle to the placer, padding
+    /// optimizer, and congestion estimator for their per-iteration records,
+    /// and emits a final `flow.done` record.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The configuration.
@@ -162,12 +177,15 @@ impl PufferPlacer {
         from: Option<FlowCheckpoint>,
     ) -> Result<FlowResult, PufferError> {
         let start = Instant::now();
+        let trace = &self.trace;
+        let init_span = trace.span("init");
         let mut optimizer = RoutabilityOptimizer::new(
             design,
             self.config.estimator.clone(),
             self.config.strategy.clone(),
         )
         .with_feature_config(self.config.features.clone());
+        optimizer.set_trace(trace.clone());
 
         // Either a fresh placer after its first step, or the journaled one.
         // `resumed_stage` remembers where the journal left off; `skip_round`
@@ -177,6 +195,7 @@ impl PufferPlacer {
             None => {
                 let mut placer = GlobalPlacer::new(design, self.config.placer.clone())
                     .map_err(|e| PufferError::Place(e.to_string()))?;
+                placer.set_trace(trace.clone());
                 let last = placer.step();
                 (placer, last, false, false)
             }
@@ -202,16 +221,20 @@ impl PufferPlacer {
                 placer
                     .restore(checkpoint.placer)
                     .map_err(|e| PufferError::Resume(e.to_string()))?;
+                placer.set_trace(trace.clone());
                 optimizer.set_state(checkpoint.pad);
                 (placer, last, true, done)
             }
         };
+        drop(init_span);
 
         // --- global placement with interleaved routability optimization ---
         if !resumed_done {
+            let _gp_span = trace.span("gp");
             loop {
                 if !skip_round {
                     if optimizer.should_trigger(last.overflow) {
+                        let _pad_span = trace.span("pad");
                         let snapshot = placer.placement().clone();
                         optimizer.optimize(design, &snapshot);
                         placer.set_padding(optimizer.padding().to_vec());
@@ -243,6 +266,7 @@ impl PufferPlacer {
         let global_placement = placer.placement().clone();
 
         // --- white-space-assisted legalization (§III-D) --------------------
+        let legal_span = trace.span("legal");
         let discrete = if self.config.inherit_padding {
             let continuous = optimizer.padding().to_vec();
             let mut d = discretize_padding(&continuous, self.config.strategy.theta);
@@ -273,8 +297,9 @@ impl PufferPlacer {
         let zeros = vec![0u32; design.netlist().num_cells()];
         check_legal(design, &outcome.placement, &zeros)
             .map_err(|e| PufferError::Legalize(e.to_string()))?;
+        drop(legal_span);
 
-        Ok(FlowResult {
+        let result = FlowResult {
             hpwl: total_hpwl(design.netlist(), &outcome.placement),
             placement: outcome.placement,
             global_placement,
@@ -283,7 +308,16 @@ impl PufferPlacer {
             final_overflow: placer.overflow(),
             runtime_s: start.elapsed().as_secs_f64(),
             avg_displacement: outcome.avg_displacement,
-        })
+        };
+        trace
+            .record("flow.done")
+            .num("runtime_s", result.runtime_s)
+            .int("gp_iterations", result.gp_iterations as i64)
+            .int("pad_rounds", result.pad_rounds as i64)
+            .num("hpwl", result.hpwl)
+            .num("overflow", result.final_overflow)
+            .write();
+        Ok(result)
     }
 
     fn write_checkpoint(
@@ -348,6 +382,51 @@ mod tests {
             r.pad_rounds > 0,
             "padding rounds should trigger on a congested design"
         );
+    }
+
+    #[test]
+    fn traced_flow_emits_stage_spans_and_records() {
+        let d = design();
+        let path = tmp_dir("trace").join("metrics.jsonl");
+        let trace = Trace::with_sink(&path).unwrap();
+        let r = PufferPlacer::new(quick_config())
+            .with_trace(trace.clone())
+            .place(&d)
+            .unwrap();
+        trace.flush().unwrap();
+
+        // Stage spans: init, gp (with nested pad rounds), legal.
+        let spans = trace.span_stats();
+        let span = |label: &str| {
+            spans
+                .iter()
+                .find(|(l, _)| l == label)
+                .unwrap_or_else(|| panic!("missing span {label:?}"))
+                .1
+                .clone()
+        };
+        for stage in ["init", "gp", "legal"] {
+            span(stage);
+        }
+        assert_eq!(span("gp/pad").count, r.pad_rounds as u64);
+
+        // The sink holds one place.iter per GP iteration plus the stage
+        // records from the optimizer and the final flow.done.
+        let records = puffer_trace::read_jsonl(&path).unwrap();
+        let iters = records.iter().filter(|r| r.kind() == Some("place.iter"));
+        assert_eq!(iters.count(), r.gp_iterations);
+        let pads = records.iter().filter(|r| r.kind() == Some("pad.round"));
+        assert_eq!(pads.count(), r.pad_rounds);
+        let done = records
+            .iter()
+            .find(|r| r.kind() == Some("flow.done"))
+            .expect("flow.done record");
+        assert_eq!(done.num("gp_iterations"), Some(r.gp_iterations as f64));
+        assert!(done.num("runtime_s").unwrap() > 0.0);
+
+        // Trace must not perturb the flow itself.
+        let plain = PufferPlacer::new(quick_config()).place(&d).unwrap();
+        assert_eq!(plain.placement, r.placement);
     }
 
     #[test]

@@ -97,7 +97,40 @@ impl Error for PufferError {}
 /// Routes a placement with the shared evaluator (default router settings)
 /// and returns the Table II quantities.
 pub fn evaluate(design: &Design, placement: &Placement) -> RouteReport {
-    GlobalRouter::new(design, RouterConfig::default()).route(design, placement)
+    evaluate_with(design, placement, &RouterConfig::default())
+}
+
+/// [`evaluate`] with explicit router settings (e.g. a `--threads`
+/// override from the CLI).
+pub fn evaluate_with(
+    design: &Design,
+    placement: &Placement,
+    config: &RouterConfig,
+) -> RouteReport {
+    GlobalRouter::new(design, config.clone()).route(design, placement)
+}
+
+/// [`evaluate_with`] under telemetry: routing runs inside a `route` span
+/// and emits one `route.done` record with the Table II quantities.
+pub fn evaluate_traced(
+    design: &Design,
+    placement: &Placement,
+    config: &RouterConfig,
+    trace: &puffer_trace::Trace,
+) -> RouteReport {
+    let report = {
+        let _route = trace.span("route");
+        evaluate_with(design, placement, config)
+    };
+    trace
+        .record("route.done")
+        .num("hof_pct", report.hof_pct)
+        .num("vof_pct", report.vof_pct)
+        .num("wirelength", report.wirelength)
+        .int("overflow_gcells", report.overflow_gcells as i64)
+        .int("rounds", report.rounds as i64)
+        .write();
+    report
 }
 
 /// The strategy-exploration space of §III-C as a [`puffer_explore::Space`]

@@ -112,31 +112,36 @@ impl ComparisonTable {
         let mut rows = Vec::new();
         let mut wl_log = 0.0;
         let mut rt_log = 0.0;
-        let mut ratio_count = 0usize;
+        // WL and RT need separate counts: a row can contribute a valid
+        // wirelength ratio while its runtime fails the `> 0.0` guard (or
+        // vice versa), and sharing one count would bias the other ratio
+        // toward 1.0 by averaging over contributions that never happened.
+        let mut wl_count = 0usize;
+        let mut rt_count = 0usize;
         for b in &benches {
             let Some(r) = self.row(flow, b) else { continue };
             rows.push(r);
             if let Some(base) = self.row(reference_flow, b) {
                 if base.wirelength > 0.0 && r.wirelength > 0.0 {
                     wl_log += (r.wirelength / base.wirelength).ln();
+                    wl_count += 1;
                 }
                 if base.runtime_s > 0.0 && r.runtime_s > 0.0 {
                     rt_log += (r.runtime_s / base.runtime_s).ln();
+                    rt_count += 1;
                 }
-                ratio_count += 1;
             }
         }
         if rows.is_empty() {
             return None;
         }
         let n = rows.len() as f64;
-        let rc = ratio_count.max(1) as f64;
         Some(FlowSummary {
             flow: flow.to_string(),
             avg_hof: rows.iter().map(|r| r.hof_pct).sum::<f64>() / n,
             avg_vof: rows.iter().map(|r| r.vof_pct).sum::<f64>() / n,
-            wl_ratio: (wl_log / rc).exp(),
-            rt_ratio: (rt_log / rc).exp(),
+            wl_ratio: (wl_log / wl_count.max(1) as f64).exp(),
+            rt_ratio: (rt_log / rt_count.max(1) as f64).exp(),
             pass_h: rows.iter().filter(|r| r.passes_h()).count(),
             pass_v: rows.iter().filter(|r| r.passes_v()).count(),
             count: rows.len(),
@@ -305,5 +310,37 @@ mod tests {
     fn missing_flow_summary_is_none() {
         let t = table();
         assert!(t.summarize("ghost", "puffer").is_none());
+    }
+
+    #[test]
+    fn zero_runtime_row_does_not_skew_rt_ratio() {
+        // Benchmark B has no runtime measurement (0.0) but a valid
+        // wirelength: it must contribute to the WL geomean only, and the RT
+        // geomean must average over benchmark A alone.
+        let mut t = ComparisonTable::new();
+        t.push(row("A", "ref", 0.0, 0.0, 100.0, 10.0));
+        t.push(row("A", "puffer", 0.0, 0.0, 100.0, 5.0));
+        t.push(row("B", "ref", 0.0, 0.0, 200.0, 0.0));
+        t.push(row("B", "puffer", 0.0, 0.0, 100.0, 8.0));
+        let s = t.summarize("ref", "puffer").unwrap();
+        // RT: only A counts, ratio 10/5 = 2.0 exactly (was sqrt(2) with the
+        // shared count).
+        assert!((s.rt_ratio - 2.0).abs() < 1e-12, "{}", s.rt_ratio);
+        // WL: both benchmarks count, geomean(1.0, 2.0) = sqrt(2).
+        assert!((s.wl_ratio - 2.0f64.sqrt()).abs() < 1e-12, "{}", s.wl_ratio);
+    }
+
+    #[test]
+    fn zero_wirelength_row_does_not_skew_wl_ratio() {
+        let mut t = ComparisonTable::new();
+        t.push(row("A", "ref", 0.0, 0.0, 300.0, 10.0));
+        t.push(row("A", "puffer", 0.0, 0.0, 100.0, 10.0));
+        t.push(row("B", "ref", 0.0, 0.0, 0.0, 20.0));
+        t.push(row("B", "puffer", 0.0, 0.0, 100.0, 10.0));
+        let s = t.summarize("ref", "puffer").unwrap();
+        // WL: only A counts, ratio exactly 3.0.
+        assert!((s.wl_ratio - 3.0).abs() < 1e-12, "{}", s.wl_ratio);
+        // RT: both count, geomean(1.0, 2.0) = sqrt(2).
+        assert!((s.rt_ratio - 2.0f64.sqrt()).abs() < 1e-12, "{}", s.rt_ratio);
     }
 }

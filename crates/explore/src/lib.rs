@@ -42,8 +42,8 @@ pub mod tpe;
 pub use error::ExploreError;
 pub use journal::ExplorationJournal;
 pub use smbo::{
-    explore_params, explore_strategy, ExplorationConfig, ExplorationOutcome, StrategyConfig,
-    StrategyOutcome, TrialOutcome,
+    explore_params, explore_params_traced, explore_strategy, explore_strategy_traced,
+    ExplorationConfig, ExplorationOutcome, StrategyConfig, StrategyOutcome, TrialOutcome,
 };
 pub use space::{Domain, ParamSpec, Space};
 pub use tpe::{Tpe, TpeConfig};

@@ -18,6 +18,7 @@ use crate::error::ExploreError;
 use crate::journal::ExplorationJournal;
 use crate::space::Space;
 use crate::tpe::{Tpe, TpeConfig};
+use puffer_trace::Trace;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::thread;
@@ -195,8 +196,24 @@ impl Run {
 /// configured journal cannot be used.
 pub fn explore_params(
     space: &Space,
+    eval: impl FnMut(&[f64]) -> f64,
+    config: &ExplorationConfig,
+) -> Result<ExplorationOutcome, ExploreError> {
+    explore_params_traced(space, eval, config, &Trace::disabled())
+}
+
+/// [`explore_params`] with telemetry: every live trial (journal-replayed
+/// ones excluded) emits an `explore.trial` record — trial index, status,
+/// objective, and the full parameter vector — to `trace`.
+///
+/// # Errors
+///
+/// Same as [`explore_params`].
+pub fn explore_params_traced(
+    space: &Space,
     mut eval: impl FnMut(&[f64]) -> f64,
     config: &ExplorationConfig,
+    trace: &Trace,
 ) -> Result<ExplorationOutcome, ExploreError> {
     let mut run = Run::new(space, config);
     let mut stopped_early = false;
@@ -231,6 +248,21 @@ pub fn explore_params(
         let outcome = run_trial(&mut eval, &x);
         if let Some(journal) = &mut journal {
             journal.record(&x, &outcome)?;
+        }
+        if trace.is_enabled() {
+            trace.add("explore.trials", 1);
+            let record = trace
+                .record("explore.trial")
+                .int("trial", run.evals as i64)
+                .nums("params", &x);
+            match &outcome {
+                TrialOutcome::Ok(y) => record.str("status", "ok").num("objective", *y),
+                TrialOutcome::Failed(m) => record
+                    .str("status", "failed")
+                    .num("objective", f64::NAN)
+                    .str("error", m),
+            }
+            .write();
         }
         run.observe(x, outcome);
     }
@@ -371,8 +403,25 @@ pub fn explore_strategy(
     eval: impl Fn(&[f64]) -> f64 + Sync,
     config: &StrategyConfig,
 ) -> Result<StrategyOutcome, ExploreError> {
+    explore_strategy_traced(space, groups, eval, config, &Trace::disabled())
+}
+
+/// [`explore_strategy`] with telemetry: every trial of the global phase and
+/// of every group round emits an `explore.trial` record to `trace` (clones
+/// of the handle share one sink, so parallel groups interleave safely).
+///
+/// # Errors
+///
+/// Same as [`explore_strategy`].
+pub fn explore_strategy_traced(
+    space: &Space,
+    groups: &[Vec<String>],
+    eval: impl Fn(&[f64]) -> f64 + Sync,
+    config: &StrategyConfig,
+    trace: &Trace,
+) -> Result<StrategyOutcome, ExploreError> {
     // Line 1–2: initial ranges + global exploration.
-    let global = explore_params(space, &eval, &config.global)?;
+    let global = explore_params_traced(space, &eval, &config.global, trace)?;
     let mut ranges = global.narrowed;
     let mut best_observed = global.best;
     let mut best_value = global.best_value;
@@ -397,7 +446,10 @@ pub fn explore_strategy(
                         let ranges = &ranges;
                         let base = &base;
                         let eval = &eval;
-                        scope.spawn(move || explore_group(ranges, base, group, eval, local_cfg))
+                        let trace = &*trace;
+                        scope.spawn(move || {
+                            explore_group(ranges, base, group, eval, local_cfg, trace)
+                        })
                     })
                     .collect();
                 handles
@@ -415,7 +467,9 @@ pub fn explore_strategy(
             groups
                 .iter()
                 .zip(&configs)
-                .map(|(group, local_cfg)| explore_group(&ranges, &base, group, &eval, local_cfg))
+                .map(|(group, local_cfg)| {
+                    explore_group(&ranges, &base, group, &eval, local_cfg, trace)
+                })
                 .collect()
         };
 
@@ -493,6 +547,7 @@ fn explore_group(
     group: &[String],
     eval: impl Fn(&[f64]) -> f64,
     config: &ExplorationConfig,
+    trace: &Trace,
 ) -> Result<(Vec<usize>, ExplorationOutcome), ExploreError> {
     let indices: Vec<usize> = group.iter().filter_map(|n| ranges.index_of(n)).collect();
     let sub = Space::new(
@@ -501,7 +556,7 @@ fn explore_group(
             .map(|&i| ranges.params()[i].clone())
             .collect(),
     );
-    let outcome = explore_params(
+    let outcome = explore_params_traced(
         &sub,
         |xs| {
             let mut full = base.to_vec();
@@ -511,6 +566,7 @@ fn explore_group(
             eval(&full)
         },
         config,
+        trace,
     )?;
     Ok((indices, outcome))
 }
@@ -543,6 +599,53 @@ mod tests {
         .unwrap();
         assert!(outcome.best_value < 2.0, "best {}", outcome.best_value);
         assert!(outcome.evals <= 150);
+    }
+
+    #[test]
+    fn traced_exploration_emits_one_record_per_trial() {
+        let dir = std::env::temp_dir().join("puffer-explore-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trials.jsonl");
+        let trace = Trace::with_sink(&path).unwrap();
+        let outcome = explore_params_traced(
+            &bowl(1),
+            |v| {
+                if v[0] < 0.0 {
+                    f64::NAN // a failing region → Failed trials
+                } else {
+                    v[0] * v[0]
+                }
+            },
+            &ExplorationConfig {
+                max_evals: 30,
+                early_stop: 30,
+                ..Default::default()
+            },
+            &trace,
+        )
+        .unwrap();
+        trace.flush().unwrap();
+        let records = puffer_trace::read_jsonl(&path).unwrap();
+        let trials: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind() == Some("explore.trial"))
+            .collect();
+        assert_eq!(trials.len(), outcome.evals);
+        // Trial indices are the 0-based evaluation order.
+        for (i, r) in trials.iter().enumerate() {
+            assert_eq!(r.num("trial"), Some(i as f64));
+            let status = r.str_field("status").unwrap();
+            match status {
+                "ok" => assert!(r.num("objective").unwrap().is_finite()),
+                "failed" => assert!(r.str_field("error").is_some()),
+                other => panic!("unexpected status {other:?}"),
+            }
+            assert_eq!(r.get("params").is_some(), true, "params vector missing");
+        }
+        assert!(
+            trials.iter().any(|r| r.str_field("status") == Some("ok")),
+            "no successful trials traced"
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub use strategy::{PaddingStrategy, ParamRange};
 
 use puffer_congest::{CongestionEstimator, EstimatorConfig};
 use puffer_db::design::{Design, Placement};
+use puffer_trace::Trace;
 
 /// PUFFER's routability optimizer: congestion estimation → feature
 /// extraction → padding computation/recycling/scaling (Algorithm 1),
@@ -56,6 +57,7 @@ pub struct RoutabilityOptimizer {
     strategy: PaddingStrategy,
     state: PaddingState,
     available_area: f64,
+    trace: Trace,
 }
 
 impl RoutabilityOptimizer {
@@ -77,7 +79,17 @@ impl RoutabilityOptimizer {
             strategy,
             state: PaddingState::new(design.netlist().num_cells()),
             available_area,
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every [`RoutabilityOptimizer::optimize`]
+    /// round emits a `pad.round` record (utilization, padded/recycled cell
+    /// counts, scale), and the handle is forwarded to the embedded
+    /// congestion estimator for its per-round records.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.estimator.set_trace(trace.clone());
+        self.trace = trace;
     }
 
     /// Replaces the feature-extraction configuration (kernel radius, Z-bend
@@ -155,13 +167,26 @@ impl RoutabilityOptimizer {
     pub fn optimize(&mut self, design: &Design, placement: &Placement) -> PaddingRound {
         let map = self.estimator.estimate(design, placement);
         let features = extract_features(design, placement, &map, &self.feature_config);
-        padding_round(
+        let round = padding_round(
             design.netlist(),
             &features,
             &self.strategy,
             &mut self.state,
             self.available_area,
-        )
+        );
+        if self.trace.is_enabled() {
+            self.trace.add("pad.recycled_cells", round.recycled_cells as u64);
+            self.trace
+                .record("pad.round")
+                .int("round", round.round as i64)
+                .num("utilization", round.utilization)
+                .num("target_utilization", round.target_utilization)
+                .int("padded_cells", round.padded_cells as i64)
+                .int("recycled_cells", round.recycled_cells as i64)
+                .num("scale", round.scale)
+                .write();
+        }
+        round
     }
 
     /// The most recent congestion map (recomputed; diagnostics only).

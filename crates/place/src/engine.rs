@@ -15,6 +15,7 @@ use crate::PlaceError;
 use puffer_db::design::{Design, Placement};
 use puffer_db::hpwl::total_hpwl;
 use puffer_db::netlist::CellId;
+use puffer_trace::Trace;
 
 /// Configuration of the global placer.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,6 +134,9 @@ pub struct GlobalPlacer<'a> {
     frozen: bool,
     /// Reason of the most recent recovery, if any.
     last_divergence: Option<Divergence>,
+    /// Telemetry handle (disabled by default); one `place.iter` record per
+    /// step plus a `place.recoveries` counter. Not part of the snapshot.
+    trace: Trace,
 }
 
 #[derive(Debug, Clone)]
@@ -260,7 +264,16 @@ impl<'a> GlobalPlacer<'a> {
             recoveries: 0,
             frozen: false,
             last_divergence: None,
+            trace: Trace::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: every [`GlobalPlacer::step`] emits one
+    /// `place.iter` record (HPWL, WA wirelength, overflow, γ, λ, step
+    /// length) and divergence recoveries bump the `place.recoveries`
+    /// counter. The handle is not captured by snapshots.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// The current placement (macros fixed, movable cells at their latest
@@ -574,6 +587,7 @@ impl<'a> GlobalPlacer<'a> {
             self.iter += 1;
             let mut stats = self.healthy_stats();
             stats.iter = self.iter;
+            self.emit_iter(&stats);
             return stats;
         }
         self.ensure_optimizer();
@@ -610,7 +624,9 @@ impl<'a> GlobalPlacer<'a> {
         };
 
         if let Some(reason) = self.sentinel.check(&stats) {
-            return self.recover(reason, prev_placement);
+            let stats = self.recover(reason, prev_placement);
+            self.emit_iter(&stats);
+            return stats;
         }
 
         // Healthy iterate: commit and remember it as the rollback target.
@@ -622,7 +638,29 @@ impl<'a> GlobalPlacer<'a> {
             lambda: self.lambda,
             last_overflow: self.last_overflow,
         });
+        self.emit_iter(&stats);
         stats
+    }
+
+    /// Emits one `place.iter` telemetry record; a no-op without a trace.
+    fn emit_iter(&self, stats: &IterationStats) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace
+            .record("place.iter")
+            .int("iter", stats.iter as i64)
+            .num("hpwl", stats.hpwl)
+            .num("wa", stats.wa)
+            .num("overflow", stats.overflow)
+            .num("gamma", self.gamma())
+            .num("lambda", stats.lambda)
+            .num(
+                "alpha",
+                self.opt.as_ref().map_or(0.0, NesterovOptimizer::step_size),
+            )
+            .int("recoveries", self.recoveries as i64)
+            .write();
     }
 
     /// Statistics of the solution currently held (used by the frozen path
@@ -656,6 +694,7 @@ impl<'a> GlobalPlacer<'a> {
     /// recovery budget freezes the placer at the last healthy solution.
     fn recover(&mut self, reason: Divergence, prev_placement: Placement) -> IterationStats {
         self.recoveries += 1;
+        self.trace.add("place.recoveries", 1);
         self.last_divergence = Some(reason);
         self.step_scale = (self.step_scale * self.config.recovery_backoff).max(1e-9);
         self.opt = None; // momentum reset; the next step re-bootstraps

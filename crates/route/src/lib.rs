@@ -60,6 +60,11 @@ pub enum RouteError {
     ZeroCapacity(String),
     /// The placement's coordinate vectors do not match the design.
     BadInput(String),
+    /// A worker thread panicked; the payload message is preserved. The
+    /// panic is contained here instead of unwinding through `join()` —
+    /// re-raising inside `thread::scope` aborts the whole process when a
+    /// second worker panics during the unwind.
+    WorkerPanic(String),
 }
 
 impl std::fmt::Display for RouteError {
@@ -70,6 +75,7 @@ impl std::fmt::Display for RouteError {
             }
             RouteError::ZeroCapacity(m) => write!(f, "routing grid has no capacity: {m}"),
             RouteError::BadInput(m) => write!(f, "bad routing input: {m}"),
+            RouteError::WorkerPanic(m) => write!(f, "router worker panicked: {m}"),
         }
     }
 }
@@ -98,9 +104,19 @@ impl Default for RouterConfig {
             power_derate: 0.12,
             max_rounds: 12,
             max_bends: 6,
-            threads: 8,
+            threads: default_threads(),
         }
     }
+}
+
+/// Default worker-thread count: the machine's available parallelism,
+/// clamped so tiny containers still get a thread and huge hosts are not
+/// oversubscribed by per-net chunking overhead.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .clamp(1, 32)
 }
 
 /// The routing result: the quantities of the paper's Table II.
@@ -216,7 +232,7 @@ impl GlobalRouter {
             .collect();
         type Endpoints = Vec<((usize, usize), (usize, usize))>;
         let mut endpoints: Endpoints = Vec::new();
-        let results: Vec<Endpoints> = std::thread::scope(|scope| {
+        let results: Result<Vec<Endpoints>, String> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
@@ -240,12 +256,9 @@ impl GlobalRouter {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("router thread panicked"))
-                .collect()
+            join_workers(handles)
         });
-        for r in results {
+        for r in results.map_err(RouteError::WorkerPanic)? {
             endpoints.extend(r);
         }
         // Short segments first: they have the least routing freedom.
@@ -310,6 +323,47 @@ impl GlobalRouter {
 
 fn gcell_of(grid: &RoutingGrid, p: puffer_db::geom::Point) -> (usize, usize) {
     grid.cell_of(p)
+}
+
+/// Joins every worker before reporting, converting panics to messages.
+///
+/// Draining all handles matters: re-panicking on the first `join()` (the
+/// old `expect` path) starts unwinding inside `thread::scope`, and if a
+/// second worker also panicked the scope's drop re-raises it mid-unwind,
+/// aborting the process. Here the first panic message is returned as an
+/// `Err` after every worker has stopped.
+fn join_workers<T>(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, T>>,
+) -> Result<Vec<T>, String> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut first_panic: Option<String> = None;
+    for h in handles {
+        match h.join() {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    // `&*payload`: reborrow the boxed payload itself — a
+                    // plain `&payload` would coerce the `Box` into the
+                    // `dyn Any` and every downcast would miss.
+                    first_panic = Some(panic_message(&*payload));
+                }
+            }
+        }
+    }
+    match first_panic {
+        None => Ok(out),
+        Some(m) => Err(m),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -475,6 +529,45 @@ mod tests {
             .try_route(&d, &d.initial_placement())
             .unwrap_err();
         assert!(matches!(err, RouteError::ZeroCapacity(_)), "{err}");
+    }
+
+    #[test]
+    fn panicking_worker_becomes_an_error_not_an_abort() {
+        // Exercises the join path behind try_route's decomposition scope:
+        // a panicking worker must surface as Err, and — critically — a
+        // *second* panicking worker must not abort the process (the old
+        // `join().expect(...)` re-panic did exactly that by unwinding
+        // through `thread::scope` while another handle was still hot).
+        let result: Result<Vec<usize>, String> = std::thread::scope(|scope| {
+            let handles = vec![
+                scope.spawn(|| 1usize),
+                scope.spawn(|| panic!("worker one exploded")),
+                scope.spawn(|| std::panic::panic_any("worker two exploded".to_string())),
+                scope.spawn(|| 4usize),
+            ];
+            join_workers(handles)
+        });
+        let msg = result.unwrap_err();
+        assert!(msg.contains("exploded"), "{msg}");
+        assert!(matches!(
+            RouteError::WorkerPanic(msg),
+            RouteError::WorkerPanic(_)
+        ));
+    }
+
+    #[test]
+    fn join_workers_preserves_results_when_no_panic() {
+        let result: Result<Vec<usize>, String> = std::thread::scope(|scope| {
+            let handles = (0..4).map(|i| scope.spawn(move || i * i)).collect();
+            join_workers(handles)
+        });
+        assert_eq!(result.unwrap(), vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn default_threads_is_clamped() {
+        let t = default_threads();
+        assert!((1..=32).contains(&t), "{t}");
     }
 
     #[test]

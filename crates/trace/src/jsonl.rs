@@ -1,0 +1,492 @@
+//! Append-only JSONL sink plus the minimal writer/parser it needs.
+//!
+//! The workspace is dependency-free, so both directions are hand-rolled and
+//! intentionally small: records are *flat* JSON objects whose values are
+//! strings, numbers, `null`, or arrays of numbers/`null`. That is exactly
+//! what [`crate::Trace::record`] can emit, and the parser here exists so
+//! tests and the `puffer trace` CLI command can validate a metrics file
+//! without pulling in a JSON crate.
+//!
+//! Crash discipline matches the checkpoint journal: every record is one
+//! line, flushed before `write_line` returns, so a crash can only lose (or
+//! truncate) the final line. [`read_jsonl`] therefore skips an unterminated
+//! trailing line but treats any other malformed line as corruption.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Line-buffered append sink; one flushed line per record.
+#[derive(Debug)]
+pub(crate) struct JsonlSink {
+    writer: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the sink file.
+    pub(crate) fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// Appends `line` plus a newline and flushes, so previously written
+    /// records survive any later crash.
+    pub(crate) fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    pub(crate) fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Appends `s` to `out` with JSON string escaping.
+pub(crate) fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends `,"key":<value>` to `line`; non-finite values become `null`.
+pub(crate) fn push_num(line: &mut String, key: &str, value: f64) {
+    line.push_str(",\"");
+    escape_into(key, line);
+    line.push_str("\":");
+    push_num_value(line, value);
+}
+
+/// Appends a bare JSON number (or `null` when non-finite).
+pub(crate) fn push_num_value(line: &mut String, value: f64) {
+    if value.is_finite() {
+        line.push_str(&format!("{value}"));
+    } else {
+        line.push_str("null");
+    }
+}
+
+/// Errors from [`read_jsonl`].
+#[derive(Debug)]
+pub enum TraceError {
+    /// The file could not be read.
+    Io {
+        /// The file being read.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A line (other than an unterminated trailing one) is not a valid
+    /// record.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            TraceError::Parse { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io { source, .. } => Some(source),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+/// A field value in a parsed record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A finite JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// `null` (how the writer encodes non-finite numbers).
+    Null,
+    /// An array of numbers, with `None` for `null` entries.
+    Arr(Vec<Option<f64>>),
+}
+
+impl Value {
+    /// Whether this value is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// One parsed JSONL record: an ordered list of `(key, value)` fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRecord {
+    /// Fields in file order; the first is normally `("t", kind)`.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl ParsedRecord {
+    /// Looks up a field by key (first occurrence).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The record kind: the `"t"` field, when it is a string.
+    pub fn kind(&self) -> Option<&str> {
+        self.str_field("t")
+    }
+
+    /// A numeric field, when present and finite.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A string field, when present.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat-object JSON line.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the line is not a flat JSON
+/// object of string/number/null/number-array values.
+pub fn parse_record(line: &str) -> Result<ParsedRecord, String> {
+    let mut p = Parser {
+        chars: line.char_indices().peekable(),
+        src: line,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.eat('}') {
+        p.expect_end()?;
+        return Ok(ParsedRecord { fields });
+    }
+    loop {
+        p.skip_ws();
+        let key = p.parse_string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        let value = p.parse_value()?;
+        fields.push((key, value));
+        p.skip_ws();
+        if p.eat(',') {
+            continue;
+        }
+        p.expect('}')?;
+        p.expect_end()?;
+        return Ok(ParsedRecord { fields });
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if matches!(self.chars.peek(), Some((_, c)) if *c == want) {
+            self.chars.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected '{want}' at byte {i}, found '{c}'")),
+            None => Err(format!("expected '{want}', found end of line")),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.next() {
+            None => Ok(()),
+            Some((i, c)) => Err(format!("trailing content at byte {i}: '{c}'")),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.chars.peek() {
+            Some((_, '"')) => Ok(Value::Str(self.parse_string()?)),
+            Some((_, '[')) => self.parse_array(),
+            Some((_, 'n')) => {
+                self.parse_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some((_, c)) if *c == '-' || c.is_ascii_digit() => {
+                Ok(Value::Num(self.parse_number()?))
+            }
+            Some((i, c)) => Err(format!("unexpected value at byte {i}: '{c}'")),
+            None => Err("expected a value, found end of line".to_string()),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str) -> Result<(), String> {
+        for want in lit.chars() {
+            match self.chars.next() {
+                Some((_, c)) if c == want => {}
+                _ => return Err(format!("invalid literal (expected '{lit}')")),
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        let start = match self.chars.peek() {
+            Some((i, _)) => *i,
+            None => return Err("expected a number".to_string()),
+        };
+        let mut end = start;
+        while let Some((i, c)) = self.chars.peek() {
+            if matches!(c, '-' | '+' | '.' | 'e' | 'E') || c.is_ascii_digit() {
+                end = i + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        self.src[start..end]
+            .parse::<f64>()
+            .map_err(|_| format!("invalid number '{}'", &self.src[start..end]))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(']') {
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some((_, 'n')) => {
+                    self.parse_literal("null")?;
+                    items.push(None);
+                }
+                _ => items.push(Some(self.parse_number()?)),
+            }
+            self.skip_ws();
+            if self.eat(',') {
+                continue;
+            }
+            self.expect(']')?;
+            return Ok(Value::Arr(items));
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".to_string()),
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = match self.chars.next() {
+                                Some((_, c)) => c
+                                    .to_digit(16)
+                                    .ok_or_else(|| "invalid \\u escape".to_string())?,
+                                None => return Err("truncated \\u escape".to_string()),
+                            };
+                            code = code * 16 + d;
+                        }
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            None => return Err(format!("invalid \\u{code:04x} escape")),
+                        }
+                    }
+                    Some((i, c)) => {
+                        return Err(format!("invalid escape '\\{c}' at byte {i}"));
+                    }
+                    None => return Err("truncated escape".to_string()),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+}
+
+/// Reads and validates a metrics file.
+///
+/// Every line must parse as a flat-object record, except that a final line
+/// with no terminating newline is allowed to be malformed (a crash while
+/// writing it) and is silently skipped.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] when the file cannot be read, [`TraceError::Parse`]
+/// when any fully written line is malformed.
+pub fn read_jsonl(path: impl AsRef<Path>) -> Result<Vec<ParsedRecord>, TraceError> {
+    let path = path.as_ref();
+    let content = std::fs::read_to_string(path).map_err(|source| TraceError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let terminated = content.ends_with('\n');
+    let lines: Vec<&str> = content.lines().collect();
+    let mut records = Vec::with_capacity(lines.len());
+    for (idx, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_record(line) {
+            Ok(r) => records.push(r),
+            Err(message) => {
+                let is_last = idx + 1 == lines.len();
+                if is_last && !terminated {
+                    break; // crash-truncated trailing line
+                }
+                return Err(TraceError::Parse {
+                    line: idx + 1,
+                    message,
+                });
+            }
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flat_record() {
+        let r = parse_record(
+            r#"{"t":"place.iter","iter":3,"hpwl":1.25e2,"bad":null,"note":"a\"b\n","hist":[1,null,2.5]}"#,
+        )
+        .unwrap();
+        assert_eq!(r.kind(), Some("place.iter"));
+        assert_eq!(r.num("iter"), Some(3.0));
+        assert_eq!(r.num("hpwl"), Some(125.0));
+        assert!(r.get("bad").unwrap().is_null());
+        assert_eq!(r.str_field("note"), Some("a\"b\n"));
+        assert_eq!(
+            r.get("hist"),
+            Some(&Value::Arr(vec![Some(1.0), None, Some(2.5)]))
+        );
+        assert_eq!(r.num("missing"), None);
+    }
+
+    #[test]
+    fn parse_empty_object() {
+        assert!(parse_record("{}").unwrap().fields.is_empty());
+        assert!(parse_record("  { }  ").unwrap().fields.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_record("").is_err());
+        assert!(parse_record("{").is_err());
+        assert!(parse_record(r#"{"a":}"#).is_err());
+        assert!(parse_record(r#"{"a":1} extra"#).is_err());
+        assert!(parse_record(r#"{"a":true}"#).is_err());
+        assert!(parse_record(r#"{"a":{"nested":1}}"#).is_err());
+        assert!(parse_record(r#"{"a":"unterminated}"#).is_err());
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let original = "tabs\t \"quotes\" \\slashes\\ \u{1}control \u{263a}";
+        let mut line = String::from("{\"t\":\"");
+        escape_into(original, &mut line);
+        line.push_str("\"}");
+        let r = parse_record(&line).unwrap();
+        assert_eq!(r.kind(), Some(original));
+    }
+
+    #[test]
+    fn nonfinite_numbers_become_null() {
+        let mut line = String::from("{\"t\":\"x\"");
+        push_num(&mut line, "a", f64::INFINITY);
+        push_num(&mut line, "b", 2.5);
+        line.push('}');
+        let r = parse_record(&line).unwrap();
+        assert!(r.get("a").unwrap().is_null());
+        assert_eq!(r.num("b"), Some(2.5));
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("puffer-trace-jsonl-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn read_jsonl_skips_only_unterminated_trailing_line() {
+        let path = tmp("truncated.jsonl");
+        std::fs::write(&path, "{\"t\":\"a\"}\n{\"t\":\"b\"}\n{\"t\":\"tru").unwrap();
+        let records = read_jsonl(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].kind(), Some("b"));
+
+        // The same malformed line *with* a newline is corruption.
+        let bad = tmp("corrupt.jsonl");
+        std::fs::write(&bad, "{\"t\":\"a\"}\n{\"t\":\"tru\n{\"t\":\"b\"}\n").unwrap();
+        let err = read_jsonl(&bad).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn read_jsonl_missing_file_is_io_error() {
+        let err = read_jsonl(tmp("does-not-exist.jsonl")).unwrap_err();
+        assert!(matches!(err, TraceError::Io { .. }), "{err}");
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Flow benchmark: runs the PUFFER flow under telemetry and emits one
+# machine-readable BENCH_<design>.json per design (stage wall-times +
+# Table II metrics). CI keeps the JSON files as artifacts.
+#
+# usage: scripts/bench.sh [out_dir]
+#   BENCH_SCALE   scale factor for the Table I presets (default 0.003)
+#   BENCH_DESIGNS comma-separated preset names (default or1200)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-target/bench}"
+SCALE="${BENCH_SCALE:-0.003}"
+DESIGNS="${BENCH_DESIGNS:-or1200}"
+
+cargo build --release -p puffer-bench --bin benchflow
+target/release/benchflow --scale "$SCALE" --designs "$DESIGNS" --out "$OUT"
+
+ls -l "$OUT"/BENCH_*.json

@@ -25,7 +25,7 @@ cargo clippy --all-targets -- -D warnings
 LIB_CRATES=(
   puffer-db puffer-gen puffer-flute puffer-fft puffer-place puffer-congest
   puffer-pad puffer-explore puffer-legal puffer-dp puffer-route puffer-rng
-  puffer
+  puffer-trace puffer
 )
 echo "==> advisory clippy (unwrap_used/expect_used) on library crates"
 for crate in "${LIB_CRATES[@]}"; do
@@ -34,5 +34,20 @@ for crate in "${LIB_CRATES[@]}"; do
     grep -c "^warning: used" |
     xargs -I{} echo "    $crate: {} unwrap/expect sites" || true
 done
+
+# Metrics smoke: a tiny traced run must produce a JSONL file the
+# validator accepts with the complete stage set.
+echo "==> metrics smoke (place --metrics + puffer trace --check)"
+SMOKE_DIR="target/ci-smoke"
+mkdir -p "$SMOKE_DIR"
+PUFFER=target/release/puffer
+"$PUFFER" gen --preset or1200 --scale 0.003 -o "$SMOKE_DIR/smoke.pd"
+"$PUFFER" place "$SMOKE_DIR/smoke.pd" -o "$SMOKE_DIR/smoke.pl" \
+  --metrics "$SMOKE_DIR/smoke.jsonl" --trace-summary
+"$PUFFER" trace "$SMOKE_DIR/smoke.jsonl" --check
+
+# Flow benchmark artifacts (BENCH_<design>.json under target/bench).
+echo "==> scripts/bench.sh (BENCH_*.json artifacts)"
+scripts/bench.sh target/bench
 
 echo "==> CI green"
