@@ -1,0 +1,830 @@
+//! The workspace lint driver behind `puffer lint`: a hand-rolled static
+//! analysis pass over `crates/*/src` and every `Cargo.toml`, with no
+//! dependency on rustc or external parsers.
+//!
+//! Enforced policy:
+//!
+//! * `no-panic` — no `.unwrap()`, `.expect(`, `panic!`, `todo!`, or
+//!   `unimplemented!` in non-test *library* code (binary roots under
+//!   `src/bin/` and `src/main.rs` are exempt; `#[cfg(test)]` blocks, doc
+//!   comments, and string literals are masked out before matching).
+//! * `no-bare-spawn` — `thread::spawn` is banned everywhere; scoped
+//!   threads (`thread::scope`) are sanctioned only in the `route` and
+//!   `congest` crates, whose workers drain every join handle on panic.
+//! * `forbid-unsafe` — every crate root (`src/lib.rs`, `src/main.rs`,
+//!   `src/bin/*.rs`) must declare `#![forbid(unsafe_code)]`.
+//! * `layering` — crate dependencies parsed from the workspace manifests
+//!   must respect the architecture layers (e.g. `db` depends on nothing,
+//!   only the assembly layers may depend on `core`), so erosion becomes a
+//!   build failure instead of a review comment.
+//!
+//! Violations can be waived in the repo-root `lint-allow.toml`, each entry
+//! naming the rule, the file, and a justification; the waiver budget is
+//! capped at [`MAX_WAIVERS`] entries and stale waivers are themselves
+//! findings.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Hard cap on `lint-allow.toml` entries: the waiver file documents
+/// deliberate exceptions, not a parallel policy.
+pub const MAX_WAIVERS: usize = 10;
+
+/// Architecture layers, bottom-up. A crate may only depend on workspace
+/// crates with a strictly lower layer; a workspace crate missing from this
+/// table is itself a finding, so the table can never silently rot.
+const LAYERS: &[(&str, u8)] = &[
+    // Substrate: no workspace dependencies at all.
+    ("puffer-rng", 0),
+    ("puffer-db", 0),
+    ("puffer-fft", 0),
+    ("puffer-trace", 0),
+    // Geometry / generation / legalization over the database.
+    ("puffer-flute", 1),
+    ("puffer-gen", 1),
+    ("puffer-legal", 1),
+    // Analysis engines.
+    ("puffer-congest", 2),
+    ("puffer-place", 2),
+    ("puffer-explore", 2),
+    // Optimizers composing the engines.
+    ("puffer-pad", 3),
+    ("puffer-route", 3),
+    ("puffer-dp", 3),
+    // The assembled flow.
+    ("puffer", 4),
+    // Verification over the assembled flow.
+    ("puffer-audit", 5),
+    // Tooling over the whole stack.
+    ("puffer-cli", 6),
+    ("puffer-bench", 6),
+    ("puffer-suite", 7),
+];
+
+/// Crates whose `thread::scope` use is sanctioned (panic-draining worker
+/// pools reviewed in PR 2); everything else needs a waiver.
+const SCOPED_THREAD_CRATES: &[&str] = &["route", "congest"];
+
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!(", "unimplemented!("];
+
+/// Configuration for a lint run.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace root: the directory holding `crates/` and
+    /// `lint-allow.toml`.
+    pub root: PathBuf,
+}
+
+/// A failure of the lint run itself (as opposed to findings in the code).
+#[derive(Debug)]
+pub enum LintError {
+    /// A file could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// `lint-allow.toml` is malformed or over budget.
+    Waiver(String),
+    /// The root does not look like the workspace.
+    BadRoot(PathBuf),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "cannot read {}: {source}", path.display()),
+            LintError::Waiver(m) => write!(f, "lint-allow.toml: {m}"),
+            LintError::BadRoot(p) => {
+                write!(f, "{} does not contain a crates/ directory", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// One policy violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Which rule tripped (`no-panic`, `no-bare-spawn`, `forbid-unsafe`,
+    /// `layering`, or `waiver` for stale allow-entries).
+    pub rule: &'static str,
+    /// Path relative to the workspace root, with forward slashes.
+    pub path: String,
+    /// 1-based line, or 0 for whole-file findings.
+    pub line: usize,
+    /// What was found.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.path, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unwaived findings; the run fails when this is non-empty.
+    pub findings: Vec<LintFinding>,
+    /// Source files scanned.
+    pub files_scanned: usize,
+    /// Crates scanned.
+    pub crates_scanned: usize,
+    /// Findings suppressed by `lint-allow.toml` entries.
+    pub waived: usize,
+}
+
+/// One `[[allow]]` entry from `lint-allow.toml`.
+#[derive(Debug, Default, Clone)]
+struct Waiver {
+    rule: String,
+    path: String,
+    reason: String,
+    line: usize,
+}
+
+/// Lints the workspace rooted at `config.root`.
+///
+/// # Errors
+///
+/// [`LintError`] when the root is not a workspace, a source file cannot be
+/// read, or the waiver file is malformed / over its entry budget.
+/// Policy violations are *not* errors — they come back in the report.
+pub fn lint_workspace(config: &LintConfig) -> Result<LintReport, LintError> {
+    let root = &config.root;
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(LintError::BadRoot(root.clone()));
+    }
+    let mut report = LintReport::default();
+    let mut findings = Vec::new();
+
+    let mut crate_dirs: Vec<PathBuf> = read_dir_sorted(&crates_dir)?
+        .into_iter()
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .collect();
+    // The workspace root package participates too (umbrella crate).
+    if root.join("Cargo.toml").is_file() && root.join("src").is_dir() {
+        crate_dirs.push(root.clone());
+    }
+
+    for dir in &crate_dirs {
+        report.crates_scanned += 1;
+        let manifest_path = dir.join("Cargo.toml");
+        let manifest = read_file(&manifest_path)?;
+        let rel_manifest = rel_path(root, &manifest_path);
+        let (package, deps) = parse_manifest(&manifest);
+        let Some(package) = package else {
+            findings.push(LintFinding {
+                rule: "layering",
+                path: rel_manifest,
+                line: 0,
+                message: "manifest has no [package] name".to_string(),
+            });
+            continue;
+        };
+        check_layering(&package, &deps, &rel_manifest, &mut findings);
+
+        let crate_short = package.strip_prefix("puffer-").unwrap_or(&package);
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut roots = vec![src.join("lib.rs"), src.join("main.rs")];
+        let bin = src.join("bin");
+        if bin.is_dir() {
+            roots.extend(
+                read_dir_sorted(&bin)?
+                    .into_iter()
+                    .filter(|p| p.extension().is_some_and(|e| e == "rs")),
+            );
+        }
+        let crate_roots: Vec<PathBuf> = roots.into_iter().filter(|p| p.is_file()).collect();
+
+        for file in rust_files(&src)? {
+            report.files_scanned += 1;
+            let rel = rel_path(root, &file);
+            let text = read_file(&file)?;
+            let is_binary_root = file
+                .parent()
+                .is_some_and(|p| p.file_name().is_some_and(|n| n == "bin"))
+                || file.file_name().is_some_and(|n| n == "main.rs");
+            if crate_roots.contains(&file) && !text.contains("#![forbid(unsafe_code)]") {
+                findings.push(LintFinding {
+                    rule: "forbid-unsafe",
+                    path: rel.clone(),
+                    line: 0,
+                    message: "crate root lacks #![forbid(unsafe_code)]".to_string(),
+                });
+            }
+            scan_source(&text, &rel, crate_short, !is_binary_root, &mut findings);
+        }
+    }
+
+    let waivers = load_waivers(&root.join("lint-allow.toml"))?;
+    apply_waivers(&waivers, findings, &mut report);
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Source scanning
+// ---------------------------------------------------------------------------
+
+/// Scans one source file (already read) and appends findings. `library`
+/// selects whether the `no-panic` rule applies; threading rules always do.
+fn scan_source(
+    text: &str,
+    rel: &str,
+    crate_short: &str,
+    library: bool,
+    findings: &mut Vec<LintFinding>,
+) {
+    let masked = mask_tests(&strip_literals(text));
+    for (i, line) in masked.lines().enumerate() {
+        let line_no = i + 1;
+        if library {
+            for token in PANIC_TOKENS {
+                if line.contains(token) {
+                    findings.push(LintFinding {
+                        rule: "no-panic",
+                        path: rel.to_string(),
+                        line: line_no,
+                        message: format!("{token} in non-test library code"),
+                    });
+                }
+            }
+        }
+        if line.contains("thread::spawn(") {
+            findings.push(LintFinding {
+                rule: "no-bare-spawn",
+                path: rel.to_string(),
+                line: line_no,
+                message: "bare thread::spawn (unjoined threads outlive their work)".to_string(),
+            });
+        }
+        if line.contains("thread::scope(") && !SCOPED_THREAD_CRATES.contains(&crate_short) {
+            findings.push(LintFinding {
+                rule: "no-bare-spawn",
+                path: rel.to_string(),
+                line: line_no,
+                message: format!(
+                    "thread::scope outside the sanctioned crates ({})",
+                    SCOPED_THREAD_CRATES.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// Blanks comments and the contents of string/char literals, preserving
+/// line structure, so token matching never fires inside documentation or
+/// data. Handles nested block comments, escapes, raw strings with any
+/// number of `#`s, and distinguishes char literals from lifetimes.
+fn strip_literals(text: &str) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. doc comments): blank to end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                out.push_str("  ");
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if starts_raw_string(&chars, i) => {
+                // r"...", r#"..."#, br##"..."## — find the opening quote,
+                // count hashes, blank until the matching close.
+                let mut j = i;
+                while chars[j] != '"' {
+                    out.push(chars[j]);
+                    j += 1;
+                }
+                let hashes = chars[i..j].iter().filter(|&&c| c == '#').count();
+                out.push('"');
+                j += 1;
+                loop {
+                    if j >= chars.len() {
+                        break;
+                    }
+                    if chars[j] == '"' && closes_raw(&chars, j, hashes) {
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        j += 1 + hashes;
+                        break;
+                    }
+                    out.push(if chars[j] == '\n' { '\n' } else { ' ' });
+                    j += 1;
+                }
+                i = j;
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    if chars[i] == '\\' {
+                        out.push(' ');
+                        i += 1;
+                        if i < chars.len() {
+                            out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+                            i += 1;
+                        }
+                    } else {
+                        out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+                if i < chars.len() {
+                    out.push('"');
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. 'x' / '\n' / '\'' are literals;
+                // 'ident (no closing quote right after) is a lifetime.
+                if chars.get(i + 1) == Some(&'\\') {
+                    out.push('\'');
+                    i += 2; // consume the backslash
+                    out.push(' ');
+                    while i < chars.len() && chars[i] != '\'' {
+                        out.push(' ');
+                        i += 1;
+                    }
+                    if i < chars.len() {
+                        out.push('\'');
+                        i += 1;
+                    }
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    out.push('\'');
+                    out.push(' ');
+                    out.push('\'');
+                    i += 3;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    // r" r#" b" (byte strings share the handler) br" — scan forward over
+    // [br]+#* and require a quote.
+    let mut j = i;
+    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') && j - i < 2 {
+        j += 1;
+    }
+    if j == i {
+        return false;
+    }
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn closes_raw(chars: &[char], at: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(at + k) == Some(&'#'))
+}
+
+/// Blanks every `#[cfg(test)]`-guarded block in already-stripped source,
+/// preserving line structure. Tracks brace depth character-wise; the
+/// attribute arms a skip that engages at the next `{` (a `;` first, e.g. a
+/// guarded `use`, disarms it and blanks just that item's line).
+fn mask_tests(stripped: &str) -> String {
+    let mut out = String::with_capacity(stripped.len());
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut skip_target: Option<i64> = None;
+    for line in stripped.lines() {
+        if skip_target.is_none() && line.contains("#[cfg(test)]") {
+            armed = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if armed && skip_target.is_none() {
+                        skip_target = Some(depth);
+                        armed = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if skip_target.is_some_and(|t| depth <= t) {
+                        skip_target = None;
+                        out.push(' ');
+                        continue;
+                    }
+                }
+                ';' if armed && skip_target.is_none() => armed = false,
+                _ => {}
+            }
+            out.push(if skip_target.is_some() { ' ' } else { c });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Manifest parsing & layering
+// ---------------------------------------------------------------------------
+
+/// Extracts the package name and the `[dependencies]` keys from a
+/// manifest. Hand-rolled for the subset of TOML the workspace uses:
+/// section headers and `key = ...` / `key.workspace = true` lines.
+/// Dev-dependencies are deliberately ignored — tests may cross layers.
+fn parse_manifest(text: &str) -> (Option<String>, Vec<String>) {
+    let mut section = String::new();
+    let mut package = None;
+    let mut deps = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('[') {
+            section = h.trim_end_matches(']').trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if section == "package" && key == "name" {
+            package = Some(value.trim().trim_matches('"').to_string());
+        }
+        if section == "dependencies" {
+            // `puffer-db.workspace = true` parses as key "puffer-db.workspace".
+            let name = key.split('.').next().unwrap_or(key);
+            deps.push(name.to_string());
+        }
+    }
+    (package, deps)
+}
+
+fn layer_of(package: &str) -> Option<u8> {
+    LAYERS
+        .iter()
+        .find(|(name, _)| *name == package)
+        .map(|&(_, l)| l)
+}
+
+fn check_layering(
+    package: &str,
+    deps: &[String],
+    rel_manifest: &str,
+    findings: &mut Vec<LintFinding>,
+) {
+    let Some(layer) = layer_of(package) else {
+        findings.push(LintFinding {
+            rule: "layering",
+            path: rel_manifest.to_string(),
+            line: 0,
+            message: format!(
+                "crate '{package}' is not in the architecture layer table; add it to \
+                 LAYERS in puffer-audit"
+            ),
+        });
+        return;
+    };
+    for dep in deps {
+        if !dep.starts_with("puffer") {
+            continue; // external deps are policed by the offline-build rule, not layering
+        }
+        match layer_of(dep) {
+            None => findings.push(LintFinding {
+                rule: "layering",
+                path: rel_manifest.to_string(),
+                line: 0,
+                message: format!("dependency '{dep}' is not in the architecture layer table"),
+            }),
+            Some(dep_layer) if dep_layer >= layer => findings.push(LintFinding {
+                rule: "layering",
+                path: rel_manifest.to_string(),
+                line: 0,
+                message: format!(
+                    "'{package}' (layer {layer}) may not depend on '{dep}' (layer \
+                     {dep_layer}); dependencies must point strictly downward"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+fn load_waivers(path: &Path) -> Result<Vec<Waiver>, LintError> {
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let text = read_file(path)?;
+    let mut waivers: Vec<Waiver> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            waivers.push(Waiver {
+                line: i + 1,
+                ..Waiver::default()
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(LintError::Waiver(format!("line {}: expected key = \"value\"", i + 1)));
+        };
+        let Some(entry) = waivers.last_mut() else {
+            return Err(LintError::Waiver(format!(
+                "line {}: key outside an [[allow]] entry",
+                i + 1
+            )));
+        };
+        let value = value.trim();
+        let Some(value) = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+        else {
+            return Err(LintError::Waiver(format!(
+                "line {}: value must be a double-quoted string",
+                i + 1
+            )));
+        };
+        match key.trim() {
+            "rule" => entry.rule = value.to_string(),
+            "path" => entry.path = value.to_string(),
+            "reason" => entry.reason = value.to_string(),
+            other => {
+                return Err(LintError::Waiver(format!(
+                    "line {}: unknown key '{other}' (expected rule/path/reason)",
+                    i + 1
+                )))
+            }
+        }
+    }
+    if waivers.len() > MAX_WAIVERS {
+        return Err(LintError::Waiver(format!(
+            "{} entries exceed the budget of {MAX_WAIVERS}; fix violations instead of \
+             waiving them",
+            waivers.len()
+        )));
+    }
+    for w in &waivers {
+        if w.rule.is_empty() || w.path.is_empty() {
+            return Err(LintError::Waiver(format!(
+                "entry at line {}: rule and path are required",
+                w.line
+            )));
+        }
+        if w.reason.trim().len() < 10 {
+            return Err(LintError::Waiver(format!(
+                "entry at line {} ({} in {}): a justification of at least 10 characters \
+                 is required",
+                w.line, w.rule, w.path
+            )));
+        }
+    }
+    Ok(waivers)
+}
+
+/// Splits findings into waived and reported, and flags stale waivers.
+fn apply_waivers(waivers: &[Waiver], findings: Vec<LintFinding>, report: &mut LintReport) {
+    let mut used = vec![false; waivers.len()];
+    for finding in findings {
+        let slot = waivers
+            .iter()
+            .position(|w| w.rule == finding.rule && w.path == finding.path);
+        match slot {
+            Some(i) => {
+                used[i] = true;
+                report.waived += 1;
+            }
+            None => report.findings.push(finding),
+        }
+    }
+    for (w, used) in waivers.iter().zip(used) {
+        if !used {
+            report.findings.push(LintFinding {
+                rule: "waiver",
+                path: w.path.clone(),
+                line: 0,
+                message: format!(
+                    "stale lint-allow.toml entry (line {}): rule '{}' no longer fires \
+                     in this file — delete the waiver",
+                    w.line, w.rule
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem helpers
+// ---------------------------------------------------------------------------
+
+fn read_file(path: &Path) -> Result<String, LintError> {
+    std::fs::read_to_string(path).map_err(|source| LintError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|source| LintError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| LintError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for stable output.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for p in read_dir_sorted(&d)? {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_blanks_comments_strings_and_doc_examples() {
+        let src = r###"
+/// Doc example: x.unwrap() never trips.
+// neither does this panic!("x")
+fn f() {
+    let s = "panic!(\"inside a string\")";
+    let r = r#"thread::spawn( in a raw string "quoted" "#;
+    let c = '"';
+    let l: &'static str = s;
+    g(s, r, c, l)
+}
+"###;
+        let stripped = strip_literals(src);
+        assert!(!stripped.contains("unwrap"), "{stripped}");
+        assert!(!stripped.contains("panic!"), "{stripped}");
+        assert!(!stripped.contains("thread::spawn"), "{stripped}");
+        // Code outside literals survives.
+        assert!(stripped.contains("fn f()"));
+        assert!(stripped.contains("&'static str"));
+        assert_eq!(stripped.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn test_blocks_are_masked() {
+        let src = "
+fn live() { x.unwrap() }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); panic!(\"boom\") }
+}
+fn also_live() { z.expect(\"msg\") }
+";
+        let masked = mask_tests(&strip_literals(src));
+        let hits: Vec<usize> = masked
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| PANIC_TOKENS.iter().any(|t| l.contains(t)))
+            .map(|(i, _)| i + 1)
+            .collect();
+        assert_eq!(hits, vec![2, 7], "{masked}");
+    }
+
+    #[test]
+    fn cfg_test_on_a_single_item_does_not_swallow_the_file() {
+        let src = "
+#[cfg(test)]
+use std::fmt;
+fn live() { x.unwrap() }
+";
+        let masked = mask_tests(&strip_literals(src));
+        assert!(masked.contains(".unwrap()"), "{masked}");
+    }
+
+    #[test]
+    fn manifest_parser_reads_name_and_dependencies_only() {
+        let toml = "
+[package]
+name = \"puffer-db\"
+version.workspace = true
+
+[dependencies]
+puffer-rng.workspace = true
+libm = \"0.2\"
+
+[dev-dependencies]
+puffer-gen.workspace = true
+";
+        let (name, deps) = parse_manifest(toml);
+        assert_eq!(name.as_deref(), Some("puffer-db"));
+        assert_eq!(deps, vec!["puffer-rng".to_string(), "libm".to_string()]);
+    }
+
+    #[test]
+    fn layering_rejects_upward_and_unknown_dependencies() {
+        let mut findings = Vec::new();
+        check_layering(
+            "puffer-db",
+            &["puffer-place".to_string()],
+            "crates/db/Cargo.toml",
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("strictly downward"));
+
+        findings.clear();
+        check_layering(
+            "puffer-cli",
+            &["puffer-mystery".to_string()],
+            "crates/cli/Cargo.toml",
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("not in the architecture layer table"));
+
+        findings.clear();
+        check_layering(
+            "puffer-pad",
+            &["puffer-congest".to_string(), "puffer-db".to_string()],
+            "crates/pad/Cargo.toml",
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,298 @@
+//! Fixture workspaces for the lint driver: each rule must trip on a
+//! minimal source that violates it and stay quiet on the clean variant,
+//! and the waiver machinery must suppress, budget, and stale-check.
+
+use puffer_audit::{lint_workspace, LintConfig, LintError, LintReport};
+use std::path::PathBuf;
+
+const FORBID: &str = "#![forbid(unsafe_code)]\n";
+
+/// A throwaway fixture workspace under the system temp dir.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let root = std::env::temp_dir().join("puffer-lint-fixtures").join(name);
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates")).unwrap();
+        Fixture { root }
+    }
+
+    /// Adds `crates/<dir>` with a manifest naming `package`, workspace
+    /// dependencies `deps`, and the given `lib.rs` source.
+    fn add_crate(&self, dir: &str, package: &str, deps: &[&str], lib: &str) -> &Fixture {
+        let c = self.root.join("crates").join(dir);
+        std::fs::create_dir_all(c.join("src")).unwrap();
+        let mut manifest = format!("[package]\nname = \"{package}\"\n\n[dependencies]\n");
+        for d in deps {
+            manifest.push_str(&format!("{d}.workspace = true\n"));
+        }
+        std::fs::write(c.join("Cargo.toml"), manifest).unwrap();
+        std::fs::write(c.join("src/lib.rs"), lib).unwrap();
+        self
+    }
+
+    fn write(&self, rel: &str, content: &str) -> &Fixture {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, content).unwrap();
+        self
+    }
+
+    fn lint(&self) -> Result<LintReport, LintError> {
+        lint_workspace(&LintConfig {
+            root: self.root.clone(),
+        })
+    }
+}
+
+fn rules_of(report: &LintReport) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn clean_crate_produces_no_findings() {
+    let fx = Fixture::new("clean");
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &[],
+        &format!("{FORBID}pub fn ok() -> Option<u8> {{ None }}\n"),
+    );
+    let report = fx.lint().unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.crates_scanned, 1);
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn unwrap_in_library_code_is_a_no_panic_finding() {
+    let fx = Fixture::new("no-panic");
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &[],
+        &format!("{FORBID}pub fn bad(v: Option<u8>) -> u8 {{ v.unwrap() }}\n"),
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["no-panic"]);
+    assert_eq!(report.findings[0].line, 2);
+    assert_eq!(report.findings[0].path, "crates/db/src/lib.rs");
+}
+
+#[test]
+fn test_blocks_strings_and_comments_do_not_trip_no_panic() {
+    let fx = Fixture::new("masked");
+    let lib = format!(
+        "{FORBID}\
+         // a comment mentioning x.unwrap() is fine\n\
+         pub const HINT: &str = \"call .unwrap() at your peril\";\n\
+         #[cfg(test)]\n\
+         mod tests {{\n\
+             #[test]\n\
+             fn t() {{ Some(1).unwrap(); panic!(\"in tests this is fine\") }}\n\
+         }}\n"
+    );
+    fx.add_crate("db", "puffer-db", &[], &lib);
+    let report = fx.lint().unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn binary_roots_are_exempt_from_no_panic() {
+    let fx = Fixture::new("bin-exempt");
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &[],
+        &format!("{FORBID}pub fn ok() {{}}\n"),
+    );
+    fx.write(
+        "crates/db/src/main.rs",
+        &format!("{FORBID}fn main() {{ std::env::args().next().unwrap(); }}\n"),
+    );
+    let report = fx.lint().unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn bare_thread_spawn_is_always_a_finding() {
+    let fx = Fixture::new("spawn");
+    // Even in the sanctioned scoped-thread crates, bare spawn is banned.
+    fx.add_crate(
+        "route",
+        "puffer-route",
+        &[],
+        &format!("{FORBID}pub fn run() {{ std::thread::spawn(|| ()); }}\n"),
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["no-bare-spawn"]);
+}
+
+#[test]
+fn thread_scope_is_sanctioned_only_in_route_and_congest() {
+    let scope_src = format!("{FORBID}pub fn run() {{ std::thread::scope(|_| ()); }}\n");
+
+    let fx = Fixture::new("scope-ok");
+    fx.add_crate("congest", "puffer-congest", &[], &scope_src);
+    assert!(fx.lint().unwrap().findings.is_empty());
+
+    let fx = Fixture::new("scope-bad");
+    fx.add_crate("db", "puffer-db", &[], &scope_src);
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["no-bare-spawn"]);
+}
+
+#[test]
+fn missing_forbid_unsafe_is_a_finding() {
+    let fx = Fixture::new("forbid");
+    fx.add_crate("db", "puffer-db", &[], "pub fn ok() {}\n");
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["forbid-unsafe"]);
+    assert_eq!(report.findings[0].line, 0);
+}
+
+#[test]
+fn upward_dependency_is_a_layering_finding() {
+    let fx = Fixture::new("layering-up");
+    // puffer-db (layer 0) depending on puffer (layer 4) points upward.
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &["puffer"],
+        &format!("{FORBID}pub fn ok() {{}}\n"),
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["layering"]);
+    assert!(report.findings[0].message.contains("strictly downward"));
+}
+
+#[test]
+fn unknown_crate_is_a_layering_finding() {
+    let fx = Fixture::new("layering-unknown");
+    fx.add_crate(
+        "mystery",
+        "puffer-mystery",
+        &[],
+        &format!("{FORBID}pub fn ok() {{}}\n"),
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["layering"]);
+    assert!(report.findings[0].message.contains("layer table"));
+}
+
+#[test]
+fn waiver_suppresses_a_finding_and_counts_it() {
+    let fx = Fixture::new("waive");
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &[],
+        &format!("{FORBID}pub fn bad(v: Option<u8>) -> u8 {{ v.unwrap() }}\n"),
+    );
+    fx.write(
+        "lint-allow.toml",
+        "[[allow]]\n\
+         rule = \"no-panic\"\n\
+         path = \"crates/db/src/lib.rs\"\n\
+         reason = \"fixture exercising the waiver machinery\"\n",
+    );
+    let report = fx.lint().unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.waived, 1);
+}
+
+#[test]
+fn stale_waiver_is_itself_a_finding() {
+    let fx = Fixture::new("stale-waiver");
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &[],
+        &format!("{FORBID}pub fn ok() {{}}\n"),
+    );
+    fx.write(
+        "lint-allow.toml",
+        "[[allow]]\n\
+         rule = \"no-panic\"\n\
+         path = \"crates/db/src/lib.rs\"\n\
+         reason = \"nothing here fires any more\"\n",
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["waiver"]);
+    assert!(report.findings[0].message.contains("stale"));
+}
+
+#[test]
+fn waiver_budget_is_enforced() {
+    let fx = Fixture::new("waiver-budget");
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &[],
+        &format!("{FORBID}pub fn ok() {{}}\n"),
+    );
+    let mut allow = String::new();
+    for i in 0..11 {
+        allow.push_str(&format!(
+            "[[allow]]\nrule = \"no-panic\"\npath = \"crates/db/src/f{i}.rs\"\n\
+             reason = \"padding out the waiver budget\"\n"
+        ));
+    }
+    fx.write("lint-allow.toml", &allow);
+    let err = fx.lint().unwrap_err();
+    assert!(matches!(err, LintError::Waiver(_)), "{err}");
+    assert!(err.to_string().contains("budget"));
+}
+
+#[test]
+fn waiver_without_a_real_reason_is_rejected() {
+    let fx = Fixture::new("waiver-reason");
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &[],
+        &format!("{FORBID}pub fn ok() {{}}\n"),
+    );
+    fx.write(
+        "lint-allow.toml",
+        "[[allow]]\nrule = \"no-panic\"\npath = \"crates/db/src/lib.rs\"\nreason = \"because\"\n",
+    );
+    let err = fx.lint().unwrap_err();
+    assert!(matches!(err, LintError::Waiver(_)), "{err}");
+    assert!(err.to_string().contains("justification"));
+}
+
+#[test]
+fn missing_crates_dir_is_a_bad_root() {
+    let root = std::env::temp_dir()
+        .join("puffer-lint-fixtures")
+        .join("not-a-workspace");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let err = lint_workspace(&LintConfig { root }).unwrap_err();
+    assert!(matches!(err, LintError::BadRoot(_)), "{err}");
+}
+
+#[test]
+fn the_real_workspace_passes_its_own_lint() {
+    // CARGO_MANIFEST_DIR is crates/audit; the workspace root is two up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .unwrap()
+        .to_path_buf();
+    let report = lint_workspace(&LintConfig { root }).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "the repository must lint clean:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

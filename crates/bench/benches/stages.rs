@@ -303,6 +303,39 @@ fn trace_benches() {
     });
 }
 
+fn audit_benches() {
+    use puffer::{PufferConfig, PufferPlacer};
+    use puffer_audit::Validate;
+    let design = bench_design();
+    let mut config = PufferConfig::default();
+    config.placer.max_iters = 40;
+    config.strategy.max_rounds = 1;
+    // The full flow with and without the `--validate` stage observers.
+    // The off row IS the no-observer baseline: when no observer is set the
+    // stage boundaries skip straight past the hook, so having the audit
+    // layer in the codebase costs nothing unless it is switched on.
+    let flow_run = |validate: bool| {
+        let mut placer = PufferPlacer::new(config.clone());
+        if validate {
+            placer = placer.with_observer(puffer_audit::flow_validator());
+        }
+        placer.place(&design).expect("place")
+    };
+    bench("audit", "flow_validate_off", 1, 5, || flow_run(false));
+    bench("audit", "flow_validate_on", 1, 5, || flow_run(true));
+    // The standalone checkers, for sizing the per-boundary cost.
+    bench("audit", "design_validate", 2, 20, || design.validate());
+    let placement = design.initial_placement();
+    bench("audit", "placement_validate", 2, 20, || {
+        puffer_audit::PlacementAudit {
+            design: &design,
+            placement: &placement,
+            stage: puffer_audit::PlacementStage::Global,
+        }
+        .validate()
+    });
+}
+
 fn main() {
     // `cargo bench` passes flags like `--bench`; the first non-flag
     // argument (if any) filters the groups to run.
@@ -310,7 +343,7 @@ fn main() {
         .skip(1)
         .find(|a| !a.starts_with('-'))
         .unwrap_or_default();
-    let groups: [(&str, fn()); 13] = [
+    let groups: [(&str, fn()); 14] = [
         ("fft", fft_benches),
         ("rsmt", rsmt_benches),
         ("congestion", congestion_benches),
@@ -324,6 +357,7 @@ fn main() {
         ("layers", layer_benches),
         ("tpe", tpe_benches),
         ("trace", trace_benches),
+        ("audit", audit_benches),
     ];
     for (name, run) in groups {
         if filter.is_empty() || name.contains(&filter) {

@@ -18,6 +18,8 @@
 //! * `wsa`             — white-space allocation instead of padding (the
 //!   alternative strategy family of §I refs \[10\]–\[11\]).
 
+#![forbid(unsafe_code)]
+
 use puffer::{
     evaluate, ComparisonTable, EvalRow, PufferConfig, PufferPlacer, WsaConfig, WsaPlacer,
 };

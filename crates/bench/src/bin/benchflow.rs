@@ -12,6 +12,8 @@
 //!
 //! `scripts/bench.sh` wraps this binary; CI keeps the JSON as artifacts.
 
+#![forbid(unsafe_code)]
+
 use puffer::{evaluate_traced, PufferConfig, PufferPlacer};
 use puffer_bench::{generate_logged, HarnessArgs};
 use puffer_route::RouterConfig;

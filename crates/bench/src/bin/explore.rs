@@ -12,6 +12,8 @@
 //! uses Algorithm 3: a global TPE pass over all parameters, then grouped
 //! local refinement with groups explored on parallel threads.
 
+#![forbid(unsafe_code)]
+
 use puffer::{evaluate, strategy_space, tuned_strategy, PufferConfig, PufferPlacer};
 use puffer_bench::{generate_logged, HarnessArgs};
 use puffer_explore::{explore_strategy, ExplorationConfig, StrategyConfig};

@@ -11,6 +11,8 @@
 //! the darker the glyph, the higher demand/capacity, mirroring the paper's
 //! red zones.
 
+#![forbid(unsafe_code)]
+
 use puffer::{
     evaluate, PufferConfig, PufferPlacer, ReferenceConfig, ReferencePlacer, ReplaceConfig,
     ReplacePlacer,

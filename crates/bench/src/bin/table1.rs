@@ -7,6 +7,8 @@
 //! Prints #Macros / #Cells / #Nets / #Pins per design in the paper's
 //! format (`K` counts) and writes `table1.csv` to the output directory.
 
+#![forbid(unsafe_code)]
+
 use puffer_bench::{generate_logged, HarnessArgs};
 use puffer_db::stats::format_k;
 use std::fmt::Write as _;

@@ -12,6 +12,8 @@
 //! *shape* of the paper's table, not its absolute numbers (see
 //! EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use puffer::ComparisonTable;
 use puffer_bench::{generate_logged, run_flow, FlowKind, HarnessArgs};
 

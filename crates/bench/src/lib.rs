@@ -16,6 +16,8 @@
 //! default `target/paper`). Designs are generated deterministically, so
 //! artifacts are reproducible run-to-run.
 
+#![forbid(unsafe_code)]
+
 use puffer::{
     evaluate, EvalRow, PufferConfig, PufferPlacer, ReferenceConfig, ReferencePlacer, ReplaceConfig,
     ReplacePlacer,

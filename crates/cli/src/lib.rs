@@ -14,10 +14,13 @@
 //! All logic lives in this library so it can be unit-tested; `main.rs` only
 //! forwards `std::env::args` and sets the exit code.
 
+#![forbid(unsafe_code)]
+
 use puffer::{
     evaluate, evaluate_traced, evaluate_with, CheckpointPolicy, FlowCheckpoint, PufferConfig,
     PufferPlacer, ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer,
 };
+use puffer_audit::{audit_metrics, audit_run, flow_validator, lint_workspace, LintConfig, Validate};
 use puffer_db::io::{read_design, read_placement, write_design, write_placement};
 use puffer_dp::{refine, refine_with_congestion, DetailedConfig};
 use puffer_gen::{generate, presets, GeneratorConfig};
@@ -72,13 +75,18 @@ usage:
   puffer stats  <design.pd>
   puffer place  <design.pd> -o <placed.pl> [--flow puffer|reference|replace]
                 [--max-iters <n>] [--journal <run.pj>] [--checkpoint-every <n>]
-                [--resume <run.pj>] [--threads <n>]
+                [--resume <run.pj>] [--threads <n>] [--validate]
                 [--metrics <run.jsonl>] [--trace-summary]
-  puffer eval   <design.pd> <placed.pl> [--maps <dir>] [--layers]
+  puffer eval   <design.pd> <placed.pl> [--maps <dir>] [--layers] [--validate]
                 [--threads <n>] [--metrics <run.jsonl>] [--trace-summary]
   puffer trace  <run.jsonl> [--check]
   puffer refine <design.pd> <placed.pl> -o <refined.pl> [--guard]
   puffer draw   <design.pd> <placed.pl> -o <out.svg> [--rows]
+  puffer lint   [--root <dir>]                    (workspace policy check)
+  puffer audit  design  <design.pd>
+  puffer audit  journal <run.pj> [<design.pd>]
+  puffer audit  metrics <run.jsonl>
+  puffer audit  run     <run.pj> <run.jsonl>      (cross-file consistency)
 
 presets: or1200 asic_entity bit_coin media_subsys media_pg_modify
          a53_adb_wrap ct_scan ct_top e31_ecoreplex openc910
@@ -104,6 +112,8 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
         "trace" => cmd_trace(rest, out),
         "refine" => cmd_refine(rest, out),
         "draw" => cmd_draw(rest, out),
+        "lint" => cmd_lint(rest, out),
+        "audit" => cmd_audit(rest, out),
         "--help" | "-h" | "help" => {
             out.push_str(USAGE);
             Ok(())
@@ -329,7 +339,7 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             "threads",
             "metrics",
         ],
-        &["trace-summary"],
+        &["trace-summary", "validate"],
     )?;
     let [design_path] = flags.positional.as_slice() else {
         return Err(CliError::usage("place needs exactly one <design.pd>"));
@@ -356,6 +366,9 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             "--metrics/--trace-summary only apply to --flow puffer",
         ));
     }
+    if flow != "puffer" && flags.has("validate") {
+        return Err(CliError::usage("--validate only applies to --flow puffer"));
+    }
     let trace = open_trace(&flags)?;
     let design = load_design(design_path)?;
     let result = match flow {
@@ -370,6 +383,9 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             let mut placer = PufferPlacer::new(cfg);
             if let Some(t) = &trace {
                 placer = placer.with_trace(t.clone());
+            }
+            if flags.has("validate") {
+                placer = placer.with_observer(flow_validator());
             }
             if let Some(from) = resume {
                 // Resume keeps journaling: to --journal when given, else
@@ -430,7 +446,11 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
 }
 
 fn cmd_eval(args: &[String], out: &mut String) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["maps", "threads", "metrics"], &["layers", "trace-summary"])?;
+    let flags = Flags::parse(
+        args,
+        &["maps", "threads", "metrics"],
+        &["layers", "trace-summary", "validate"],
+    )?;
     let [design_path, placement_path] = flags.positional.as_slice() else {
         return Err(CliError::usage("eval needs <design.pd> <placed.pl>"));
     };
@@ -450,6 +470,16 @@ fn cmd_eval(args: &[String], out: &mut String) -> Result<(), CliError> {
         None => evaluate_with(&design, &placement, &router_cfg),
     };
     finish_trace(&trace, &flags)?;
+    if flags.has("validate") {
+        design
+            .validate()
+            .map_err(|r| CliError::run(r.to_string()))?;
+        report
+            .congestion
+            .validate()
+            .map_err(|r| CliError::run(r.to_string()))?;
+        let _ = writeln!(out, "validate OK: design and congestion map invariants hold");
+    }
     let _ = writeln!(
         out,
         "HOF {:.2}%  VOF {:.2}%  WL {:.0}  ({} overflowed Gcells; 1%-criterion: {})",
@@ -607,6 +637,111 @@ fn cmd_refine(args: &[String], out: &mut String) -> Result<(), CliError> {
         output, outcome.hpwl_before, outcome.hpwl_after, outcome.moves
     );
     Ok(())
+}
+
+/// `puffer lint [--root <dir>]` — runs the workspace policy check (see
+/// [`puffer_audit::lint`]) and exits non-zero when any unwaived finding
+/// remains. This is the CI gate.
+fn cmd_lint(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["root"], &[])?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::usage("lint takes no positional arguments"));
+    }
+    let root = flags.get("root").unwrap_or(".");
+    let report = lint_workspace(&LintConfig {
+        root: Path::new(root).to_path_buf(),
+    })
+    .map_err(|e| CliError::run(format!("lint failed: {e}")))?;
+    for finding in &report.findings {
+        let _ = writeln!(out, "{finding}");
+    }
+    let _ = writeln!(
+        out,
+        "lint: {} files in {} crates, {} finding(s), {} waived",
+        report.files_scanned,
+        report.crates_scanned,
+        report.findings.len(),
+        report.waived
+    );
+    if report.findings.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::run(format!(
+            "{} lint finding(s); fix them or waive with a justification in lint-allow.toml",
+            report.findings.len()
+        )))
+    }
+}
+
+/// `puffer audit <design|journal|metrics|run> <files..>` — deep invariant
+/// verification of on-disk artifacts (see [`puffer_audit::validate`]).
+fn cmd_audit(args: &[String], out: &mut String) -> Result<(), CliError> {
+    const AUDIT_USAGE: &str = "audit needs: design <design.pd> | journal <run.pj> \
+                               [<design.pd>] | metrics <run.jsonl> | run <run.pj> <run.jsonl>";
+    let flags = Flags::parse(args, &[], &[])?;
+    let positional: Vec<&str> = flags.positional.iter().map(String::as_str).collect();
+    match positional.as_slice() {
+        ["design", path] => {
+            let design = load_design(path)?;
+            design.validate().map_err(|r| CliError::run(r.to_string()))?;
+            let s = design.stats();
+            let _ = writeln!(
+                out,
+                "audit OK: design '{}' ({} cells, {} nets, {} pins)",
+                design.name(),
+                s.movable_cells,
+                s.nets,
+                s.movable_pins
+            );
+            Ok(())
+        }
+        ["journal", path, rest @ ..] if rest.len() <= 1 => {
+            let checkpoint = FlowCheckpoint::load(Path::new(path))
+                .map_err(|e| CliError::run(format!("cannot read {path}: {e}")))?;
+            checkpoint
+                .validate()
+                .map_err(|r| CliError::run(r.to_string()))?;
+            if let [design_path] = rest {
+                let design = load_design(design_path)?;
+                checkpoint
+                    .matches(&design)
+                    .map_err(|e| CliError::run(format!("journal does not fit the design: {e}")))?;
+            }
+            let _ = writeln!(
+                out,
+                "audit OK: checkpoint of '{}' at iteration {} ({} cells)",
+                checkpoint.design_name, checkpoint.placer.iter, checkpoint.num_cells
+            );
+            Ok(())
+        }
+        ["metrics", path] => {
+            let summary =
+                audit_metrics(Path::new(path)).map_err(|r| CliError::run(r.to_string()))?;
+            let _ = writeln!(
+                out,
+                "audit OK: {} records ({} GP iterations, {} pad rounds{})",
+                summary.records,
+                summary.last_iter.unwrap_or(0),
+                summary.pad_rounds,
+                match summary.gcells {
+                    Some(g) => format!(", {g} Gcells"),
+                    None => String::new(),
+                }
+            );
+            Ok(())
+        }
+        ["run", journal, metrics] => {
+            let summary = audit_run(Path::new(journal), Path::new(metrics))
+                .map_err(|r| CliError::run(r.to_string()))?;
+            let _ = writeln!(
+                out,
+                "audit OK: journal and metrics are consistent ({} records)",
+                summary.records
+            );
+            Ok(())
+        }
+        _ => Err(CliError::usage(AUDIT_USAGE)),
+    }
 }
 
 #[cfg(test)]
@@ -1013,5 +1148,122 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("unknown flow"));
+    }
+
+    #[test]
+    fn validate_flag_runs_the_flow_observers() {
+        let design_path = tmp("val.pd");
+        let placed_path = tmp("val.pl");
+        let mut out = String::new();
+        run(
+            &strs(&["gen", "--cells", "220", "--nets", "240", "-o", &design_path]),
+            &mut out,
+        )
+        .unwrap();
+        run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &placed_path,
+                "--validate",
+                "--max-iters",
+                "50",
+            ]),
+            &mut out,
+        )
+        .expect("a validated flow on a healthy design must pass");
+
+        // --validate is an observer of the PUFFER flow only.
+        let err = run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &placed_path,
+                "--flow",
+                "replace",
+                "--validate",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--validate"), "{}", err.message);
+
+        let mut out = String::new();
+        run(
+            &strs(&["eval", &design_path, &placed_path, "--validate"]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("validate OK"), "{out}");
+    }
+
+    #[test]
+    fn audit_command_checks_artifacts() {
+        let design_path = tmp("audit.pd");
+        let placed_path = tmp("audit.pl");
+        let journal_path = tmp("audit.pj");
+        let metrics_path = tmp("audit.jsonl");
+        let mut out = String::new();
+        run(
+            &strs(&["gen", "--cells", "220", "--nets", "240", "-o", &design_path]),
+            &mut out,
+        )
+        .unwrap();
+        run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &placed_path,
+                "--max-iters",
+                "50",
+                "--journal",
+                &journal_path,
+                "--metrics",
+                &metrics_path,
+            ]),
+            &mut out,
+        )
+        .unwrap();
+
+        let mut out = String::new();
+        run(&strs(&["audit", "design", &design_path]), &mut out).unwrap();
+        run(
+            &strs(&["audit", "journal", &journal_path, &design_path]),
+            &mut out,
+        )
+        .unwrap();
+        run(&strs(&["audit", "metrics", &metrics_path]), &mut out).unwrap();
+        run(
+            &strs(&["audit", "run", &journal_path, &metrics_path]),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.matches("audit OK").count(), 4, "{out}");
+
+        // Corrupt the metrics file; the audit must fail with exit code 1.
+        std::fs::write(&metrics_path, "{\"t\":\"place.iter\",\"elapsed_s\":0.1,\"iter\":0}\n")
+            .unwrap();
+        let err = run(&strs(&["audit", "metrics", &metrics_path]), &mut String::new()).unwrap_err();
+        assert_eq!(err.code, 1);
+
+        let err = run(&strs(&["audit", "bogus"]), &mut String::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn lint_rejects_a_non_workspace_root() {
+        let dir = std::env::temp_dir().join("puffer-cli-tests").join("empty-root");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run(
+            &strs(&["lint", "--root", dir.to_str().unwrap()]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("lint failed"), "{}", err.message);
     }
 }

@@ -7,10 +7,12 @@ use puffer_congest::EstimatorConfig;
 use puffer_db::design::{Design, Placement};
 use puffer_db::hpwl::total_hpwl;
 use puffer_legal::{check_legal, discretize_padding, enforce_budget, legalize};
-use puffer_pad::{FeatureConfig, PaddingStrategy, RoutabilityOptimizer};
+use puffer_pad::{FeatureConfig, PaddingState, PaddingStrategy, RoutabilityOptimizer};
 use puffer_place::{GlobalPlacer, IterationStats, PlacerConfig};
 use puffer_trace::Trace;
+use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of the PUFFER flow.
@@ -38,6 +40,86 @@ impl Default for PufferConfig {
             features: FeatureConfig::default(),
             inherit_padding: true,
         }
+    }
+}
+
+/// A boundary inside the flow at which a [`StageObserver`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StagePoint {
+    /// The placer is set up (fresh or restored from a checkpoint) and has
+    /// taken its first step.
+    Init,
+    /// A routability-optimization round just updated the padding.
+    PadRound,
+    /// Global placement converged; the snapshot is about to be legalized.
+    GlobalDone,
+    /// Legalization produced the final physical placement.
+    Legalized,
+}
+
+impl fmt::Display for StagePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StagePoint::Init => "init",
+            StagePoint::PadRound => "pad-round",
+            StagePoint::GlobalDone => "global-done",
+            StagePoint::Legalized => "legalized",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Everything a [`StageObserver`] may inspect at a stage boundary.
+pub struct StageReport<'a> {
+    /// Which boundary fired.
+    pub point: StagePoint,
+    /// The design being placed.
+    pub design: &'a Design,
+    /// The placement at this boundary (global until `Legalized`).
+    pub placement: &'a Placement,
+    /// The routability optimizer's padding history.
+    pub padding: &'a PaddingState,
+    /// The active padding strategy (for utilization-cap checks).
+    pub strategy: &'a PaddingStrategy,
+    /// Density overflow of the latest placer step.
+    pub overflow: f64,
+    /// Global-placement iterations completed.
+    pub iter: usize,
+}
+
+/// A callback the flow invokes at every stage boundary (see
+/// [`StagePoint`]); returning `Err` aborts the flow with
+/// [`PufferError::Validate`]. This is how `--validate` plugs the
+/// `puffer-audit` invariant checkers into the flow without the core crate
+/// depending on them.
+#[derive(Clone)]
+pub struct StageObserver {
+    f: Arc<ObserverFn>,
+}
+
+/// The boxed callback type behind [`StageObserver`].
+type ObserverFn = dyn Fn(&StageReport<'_>) -> Result<(), String> + Send + Sync;
+
+impl StageObserver {
+    /// Wraps a checker callback.
+    pub fn new(f: impl Fn(&StageReport<'_>) -> Result<(), String> + Send + Sync + 'static) -> Self {
+        StageObserver { f: Arc::new(f) }
+    }
+
+    /// Runs the checker on one boundary report.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the wrapped callback reports; the flow converts it to
+    /// [`PufferError::Validate`].
+    pub fn check(&self, report: &StageReport<'_>) -> Result<(), String> {
+        (self.f)(report)
+    }
+}
+
+impl fmt::Debug for StageObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StageObserver(..)")
     }
 }
 
@@ -83,6 +165,7 @@ pub struct FlowResult {
 pub struct PufferPlacer {
     config: PufferConfig,
     trace: Trace,
+    observer: Option<StageObserver>,
 }
 
 impl PufferPlacer {
@@ -91,6 +174,7 @@ impl PufferPlacer {
         PufferPlacer {
             config,
             trace: Trace::disabled(),
+            observer: None,
         }
     }
 
@@ -101,6 +185,15 @@ impl PufferPlacer {
     /// and emits a final `flow.done` record.
     pub fn with_trace(mut self, trace: Trace) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attaches a stage observer, returning `self` for chaining. The
+    /// observer runs at every [`StagePoint`]; an `Err` aborts the flow
+    /// with [`PufferError::Validate`]. Without an observer the boundary
+    /// reports are never built, so the unused hook costs nothing.
+    pub fn with_observer(mut self, observer: StageObserver) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -227,6 +320,14 @@ impl PufferPlacer {
             }
         };
         drop(init_span);
+        self.observe(
+            StagePoint::Init,
+            design,
+            placer.placement(),
+            &optimizer,
+            last.overflow,
+            last.iter,
+        )?;
 
         // --- global placement with interleaved routability optimization ---
         if !resumed_done {
@@ -238,6 +339,14 @@ impl PufferPlacer {
                         let snapshot = placer.placement().clone();
                         optimizer.optimize(design, &snapshot);
                         placer.set_padding(optimizer.padding().to_vec());
+                        self.observe(
+                            StagePoint::PadRound,
+                            design,
+                            placer.placement(),
+                            &optimizer,
+                            last.overflow,
+                            last.iter,
+                        )?;
                     }
                     if let Some(policy) = policy {
                         if policy.due(last.iter) {
@@ -264,6 +373,14 @@ impl PufferPlacer {
             self.write_checkpoint(design, policy, FlowStage::GlobalDone, &placer, &optimizer)?;
         }
         let global_placement = placer.placement().clone();
+        self.observe(
+            StagePoint::GlobalDone,
+            design,
+            &global_placement,
+            &optimizer,
+            placer.overflow(),
+            placer.iterations(),
+        )?;
 
         // --- white-space-assisted legalization (§III-D) --------------------
         let legal_span = trace.span("legal");
@@ -297,6 +414,14 @@ impl PufferPlacer {
         let zeros = vec![0u32; design.netlist().num_cells()];
         check_legal(design, &outcome.placement, &zeros)
             .map_err(|e| PufferError::Legalize(e.to_string()))?;
+        self.observe(
+            StagePoint::Legalized,
+            design,
+            &outcome.placement,
+            &optimizer,
+            placer.overflow(),
+            placer.iterations(),
+        )?;
         drop(legal_span);
 
         let result = FlowResult {
@@ -318,6 +443,33 @@ impl PufferPlacer {
             .num("overflow", result.final_overflow)
             .write();
         Ok(result)
+    }
+
+    /// Runs the attached observer (if any) on one stage boundary.
+    fn observe(
+        &self,
+        point: StagePoint,
+        design: &Design,
+        placement: &Placement,
+        optimizer: &RoutabilityOptimizer,
+        overflow: f64,
+        iter: usize,
+    ) -> Result<(), PufferError> {
+        let Some(observer) = &self.observer else {
+            return Ok(());
+        };
+        let report = StageReport {
+            point,
+            design,
+            placement,
+            padding: optimizer.state(),
+            strategy: &self.config.strategy,
+            overflow,
+            iter,
+        };
+        observer
+            .check(&report)
+            .map_err(|m| PufferError::Validate(format!("at stage boundary '{point}': {m}")))
     }
 
     fn write_checkpoint(
@@ -403,7 +555,6 @@ mod tests {
                 .find(|(l, _)| l == label)
                 .unwrap_or_else(|| panic!("missing span {label:?}"))
                 .1
-                .clone()
         };
         for stage in ["init", "gp", "legal"] {
             span(stage);

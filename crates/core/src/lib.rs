@@ -49,6 +49,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod checkpoint;
 pub mod flow;
@@ -58,7 +60,9 @@ pub use baselines::{
     ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer, WsaConfig, WsaPlacer,
 };
 pub use checkpoint::{CheckpointPolicy, FlowCheckpoint, FlowStage, JournalError};
-pub use flow::{FlowResult, PufferConfig, PufferPlacer};
+pub use flow::{
+    FlowResult, PufferConfig, PufferPlacer, StageObserver, StagePoint, StageReport,
+};
 pub use report::{ComparisonTable, EvalRow, FlowSummary};
 
 use puffer_db::design::{Design, Placement};
@@ -79,6 +83,8 @@ pub enum PufferError {
     Journal(String),
     /// A loaded checkpoint could not be applied to the design.
     Resume(String),
+    /// A `--validate` stage observer rejected an intermediate state.
+    Validate(String),
 }
 
 impl fmt::Display for PufferError {
@@ -88,6 +94,7 @@ impl fmt::Display for PufferError {
             PufferError::Legalize(m) => write!(f, "legalization failed: {m}"),
             PufferError::Journal(m) => write!(f, "checkpoint journal failed: {m}"),
             PufferError::Resume(m) => write!(f, "resume failed: {m}"),
+            PufferError::Validate(m) => write!(f, "validation failed: {m}"),
         }
     }
 }

@@ -46,6 +46,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bookshelf;
 pub mod design;
 pub mod error;

@@ -142,6 +142,15 @@ pub struct Netlist {
 }
 
 impl Netlist {
+    /// Assembles a netlist directly from its parts, **bypassing all
+    /// builder validation**. This exists so the invariant checkers in
+    /// `puffer-audit` can be exercised against deliberately corrupted
+    /// netlists; real construction must go through [`NetlistBuilder`].
+    #[doc(hidden)]
+    pub fn from_raw_parts(cells: Vec<Cell>, nets: Vec<Net>, pins: Vec<Pin>) -> Netlist {
+        Netlist { cells, nets, pins }
+    }
+
     /// All cells, indexable by [`CellId::index`].
     pub fn cells(&self) -> &[Cell] {
         &self.cells

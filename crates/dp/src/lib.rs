@@ -38,6 +38,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 use puffer_congest::CongestionMap;
 use puffer_db::design::{Design, Placement};
 use puffer_db::geom::Point;
@@ -134,7 +136,18 @@ fn refine_impl(
 ) -> Result<DetailedOutcome, LegalizeError> {
     let netlist = design.netlist();
     if padding_sites.len() != netlist.num_cells() {
-        return Err(LegalizeError::BadInput("padding length mismatch".into()));
+        return Err(LegalizeError::BadInput(format!(
+            "padding has {} entries for {} cells",
+            padding_sites.len(),
+            netlist.num_cells()
+        )));
+    }
+    if placement.len() != netlist.num_cells() {
+        return Err(LegalizeError::BadInput(format!(
+            "placement has {} entries for {} cells",
+            placement.len(),
+            netlist.num_cells()
+        )));
     }
     let site = design.tech().site_width;
     let segments = row_segments(design);

@@ -33,6 +33,8 @@
 //! # let _ = Domain::Continuous { lo: 0.0, hi: 1.0 };
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod journal;
 pub mod smbo;

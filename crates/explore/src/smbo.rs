@@ -508,7 +508,9 @@ pub fn explore_strategy_traced(
             }
         }
         if failed_groups == groups.len() && !groups.is_empty() {
-            return Err(first_err.expect("failed_groups > 0 implies an error"));
+            if let Some(err) = first_err {
+                return Err(err);
+            }
         }
         if all_early {
             break;
@@ -640,7 +642,7 @@ mod tests {
                 "failed" => assert!(r.str_field("error").is_some()),
                 other => panic!("unexpected status {other:?}"),
             }
-            assert_eq!(r.get("params").is_some(), true, "params vector missing");
+            assert!(r.get("params").is_some(), "params vector missing");
         }
         assert!(
             trials.iter().any(|r| r.str_field("status") == Some("ok")),

@@ -93,15 +93,19 @@ impl Tpe {
             .map(|&i| self.observations[i].0.clone())
             .collect();
 
-        let mut best: Option<(Vec<f64>, f64)> = None;
-        for _ in 0..self.config.n_candidates {
+        // Seed `best` with a first draw so the selection never starts empty,
+        // then keep the highest-scoring of the remaining candidates.
+        let first = self.draw_from(&good);
+        let first_score = self.log_ratio(&first, &good, &bad);
+        let mut best: (Vec<f64>, f64) = (first, first_score);
+        for _ in 1..self.config.n_candidates.max(1) {
             let cand = self.draw_from(&good);
             let score = self.log_ratio(&cand, &good, &bad);
-            if best.as_ref().is_none_or(|(_, s)| score > *s) {
-                best = Some((cand, score));
+            if score > best.1 {
+                best = (cand, score);
             }
         }
-        let mut out = best.expect("at least one candidate drawn").0;
+        let mut out = best.0;
         self.space.canon(&mut out);
         out
     }

@@ -27,6 +27,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::f64::consts::PI;
 use std::ops::{Add, Mul, Neg, Sub};
 

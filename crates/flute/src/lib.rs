@@ -26,6 +26,8 @@
 //! assert!(topo.nodes().iter().any(|n| n.kind == NodeKind::Steiner));
 //! ```
 
+#![forbid(unsafe_code)]
+
 use puffer_db::design::Placement;
 use puffer_db::geom::Point;
 use puffer_db::netlist::{NetId, Netlist, PinId};

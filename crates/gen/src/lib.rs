@@ -31,6 +31,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 use puffer_db::design::Design;
 use puffer_db::error::DbError;
 use puffer_db::geom::{Point, Rect};
@@ -210,14 +212,29 @@ pub fn generate(config: &GeneratorConfig) -> Result<Design, DbError> {
             let (w, h) = (cell_widths[cell], row_h);
             let dx = rng.gen_range(-0.4..0.4) * w;
             let dy = rng.gen_range(-0.4..0.4) * h;
-            nb.connect(net, c, Point::new(dx, dy))
-                .expect("generator produced a bad id");
+            nb.connect(net, c, Point::new(dx, dy))?;
+        }
+        // A net needs at least two distinct pins to contribute wirelength;
+        // duplicate picks above may have left it degenerate, so top it up
+        // with fresh cells (bounded re-draws keep this loop finite).
+        let mut attempts = 0;
+        while used.len() < 2 && config.num_cells >= 2 && attempts < 64 {
+            attempts += 1;
+            let cell = rng.gen_range(0..config.num_cells);
+            if used.contains(&cell) {
+                continue;
+            }
+            used.push(cell);
+            let c = cell_ids[cell];
+            let (w, h) = (cell_widths[cell], row_h);
+            let dx = rng.gen_range(-0.4..0.4) * w;
+            let dy = rng.gen_range(-0.4..0.4) * h;
+            nb.connect(net, c, Point::new(dx, dy))?;
         }
         // Occasionally tie a net to a macro pin (I/O of the block).
         if !macro_ids.is_empty() && rng.gen_bool(0.02) {
             let m = macro_ids[rng.gen_range(0..macro_ids.len())];
-            nb.connect(net, m, Point::ORIGIN)
-                .expect("generator produced a bad id");
+            nb.connect(net, m, Point::ORIGIN)?;
         }
     }
 
@@ -229,8 +246,7 @@ pub fn generate(config: &GeneratorConfig) -> Result<Design, DbError> {
             let net = nb.add_net(format!("hot{i}"));
             for _ in 0..2 {
                 let cell = rng.gen_range(0..hot_cells.max(2));
-                nb.connect(net, cell_ids[cell], Point::ORIGIN)
-                    .expect("generator produced a bad id");
+                nb.connect(net, cell_ids[cell], Point::ORIGIN)?;
             }
         }
     }

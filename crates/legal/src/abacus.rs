@@ -74,6 +74,13 @@ pub fn legalize(
             netlist.num_cells()
         )));
     }
+    if global.len() != netlist.num_cells() {
+        return Err(LegalizeError::BadInput(format!(
+            "placement has {} entries for {} cells",
+            global.len(),
+            netlist.num_cells()
+        )));
+    }
     let site = design.tech().site_width;
     let row_h = design.tech().row_height;
 
@@ -278,10 +285,11 @@ fn commit_insert(
 
 fn collapse(state: &mut SegmentState, seg: Segment, site: f64) {
     loop {
-        let n = state.clusters.len();
         // Position the last cluster optimally & clamp.
         {
-            let cl = &mut state.clusters[n - 1];
+            let Some(cl) = state.clusters.last_mut() else {
+                return; // no clusters yet: nothing to place
+            };
             let x_opt = cl.q / cl.e;
             cl.x = align_to_site(
                 x_opt.clamp(seg.x_min, (seg.x_max - cl.w).max(seg.x_min)),
@@ -294,19 +302,20 @@ fn collapse(state: &mut SegmentState, seg: Segment, site: f64) {
                 cl.x = x.max(seg.x_min);
             }
         }
-        if n < 2 {
-            return;
-        }
-        let (prev, last) = {
-            let (a, b) = state.clusters.split_at(n - 1);
-            (&a[n - 2], &b[0])
+        let [.., prev, last] = state.clusters.as_slice() else {
+            return; // fewer than two clusters: nothing to merge
         };
         if prev.x + prev.w <= last.x + 1e-9 {
             return; // no overlap: done
         }
-        // Merge last into prev (Abacus AddCluster).
-        let last = state.clusters.pop().expect("n >= 2");
-        let prev = state.clusters.last_mut().expect("n >= 2");
+        // Merge last into prev (Abacus AddCluster). The pattern above
+        // guarantees both clusters exist.
+        let Some(last) = state.clusters.pop() else {
+            return;
+        };
+        let Some(prev) = state.clusters.last_mut() else {
+            return;
+        };
         prev.q += last.q - last.e * prev.w;
         prev.e += last.e;
         prev.w += last.w;

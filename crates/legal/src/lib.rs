@@ -27,6 +27,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod abacus;
 pub mod check;
 pub mod discrete;

@@ -33,6 +33,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod features;
 pub mod padding;
 pub mod strategy;

@@ -593,7 +593,15 @@ impl<'a> GlobalPlacer<'a> {
         self.ensure_optimizer();
         let gamma = self.gamma();
         let lambda = self.lambda;
-        let mut opt = self.opt.take().expect("optimizer just ensured");
+        let Some(mut opt) = self.opt.take() else {
+            // `ensure_optimizer` always fills the slot; behave like the
+            // frozen path rather than asserting if it somehow did not.
+            self.iter += 1;
+            let mut stats = self.healthy_stats();
+            stats.iter = self.iter;
+            self.emit_iter(&stats);
+            return stats;
+        };
         {
             let grad = |flat: &[f64]| self.combined_grad(flat, lambda, gamma);
             let project = self.projector();

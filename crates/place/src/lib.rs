@@ -17,6 +17,8 @@
 //!
 //! See [`GlobalPlacer`] for a runnable example.
 
+#![forbid(unsafe_code)]
+
 pub mod density;
 pub mod engine;
 pub mod nesterov;

@@ -26,6 +26,8 @@
 //! assert_eq!(x, again);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod check;
 
 use std::ops::{Range, RangeInclusive};

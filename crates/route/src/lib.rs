@@ -35,6 +35,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod grid;
 pub mod layers;
 pub mod path;

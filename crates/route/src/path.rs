@@ -112,7 +112,13 @@ pub fn pattern_route(
     candidates
         .into_iter()
         .min_by(|p, q| path_cost(grid, p).total_cmp(&path_cost(grid, q)))
-        .expect("at least one candidate")
+        .unwrap_or_else(|| {
+            // Both branches above push at least one candidate; as a
+            // defensive fallback, route the two pins with a single L.
+            let mut p = vec![a];
+            straight(&mut p, a, b);
+            p
+        })
 }
 
 fn sample(lo: usize, hi: usize, max: usize) -> Vec<usize> {

@@ -188,7 +188,7 @@ pub fn parse_record(line: &str) -> Result<ParsedRecord, String> {
         src: line,
     };
     p.skip_ws();
-    p.expect('{')?;
+    p.expect_char('{')?;
     let mut fields = Vec::new();
     p.skip_ws();
     if p.eat('}') {
@@ -199,7 +199,7 @@ pub fn parse_record(line: &str) -> Result<ParsedRecord, String> {
         p.skip_ws();
         let key = p.parse_string()?;
         p.skip_ws();
-        p.expect(':')?;
+        p.expect_char(':')?;
         p.skip_ws();
         let value = p.parse_value()?;
         fields.push((key, value));
@@ -207,7 +207,7 @@ pub fn parse_record(line: &str) -> Result<ParsedRecord, String> {
         if p.eat(',') {
             continue;
         }
-        p.expect('}')?;
+        p.expect_char('}')?;
         p.expect_end()?;
         return Ok(ParsedRecord { fields });
     }
@@ -234,7 +234,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, want: char) -> Result<(), String> {
+    fn expect_char(&mut self, want: char) -> Result<(), String> {
         match self.chars.next() {
             Some((_, c)) if c == want => Ok(()),
             Some((i, c)) => Err(format!("expected '{want}' at byte {i}, found '{c}'")),
@@ -296,7 +296,7 @@ impl Parser<'_> {
     }
 
     fn parse_array(&mut self) -> Result<Value, String> {
-        self.expect('[')?;
+        self.expect_char('[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.eat(']') {
@@ -315,13 +315,13 @@ impl Parser<'_> {
             if self.eat(',') {
                 continue;
             }
-            self.expect(']')?;
+            self.expect_char(']')?;
             return Ok(Value::Arr(items));
         }
     }
 
     fn parse_string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
+        self.expect_char('"')?;
         let mut out = String::new();
         loop {
             match self.chars.next() {

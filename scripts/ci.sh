@@ -17,8 +17,14 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+# The workspace policy gate: panic-free library code, sanctioned threading
+# only, #![forbid(unsafe_code)] in every crate root, and downward-only
+# crate layering. Waivers live in lint-allow.toml.
+echo "==> puffer lint"
+target/release/puffer lint
 
 # Advisory pass: surface unwrap/expect density on library code. Library
 # crates only — binaries, benches, and tests legitimately unwrap.
@@ -45,6 +51,15 @@ PUFFER=target/release/puffer
 "$PUFFER" place "$SMOKE_DIR/smoke.pd" -o "$SMOKE_DIR/smoke.pl" \
   --metrics "$SMOKE_DIR/smoke.jsonl" --trace-summary
 "$PUFFER" trace "$SMOKE_DIR/smoke.jsonl" --check
+
+# Validated-flow smoke: the stage-boundary invariant checkers must accept
+# a full PUFFER run, and the artifact audits must accept its outputs.
+echo "==> validated flow smoke (place --validate + puffer audit)"
+"$PUFFER" place "$SMOKE_DIR/smoke.pd" -o "$SMOKE_DIR/val.pl" --validate \
+  --journal "$SMOKE_DIR/val.pj" --metrics "$SMOKE_DIR/val.jsonl"
+"$PUFFER" audit design "$SMOKE_DIR/smoke.pd"
+"$PUFFER" audit run "$SMOKE_DIR/val.pj" "$SMOKE_DIR/val.jsonl"
+"$PUFFER" eval "$SMOKE_DIR/smoke.pd" "$SMOKE_DIR/val.pl" --validate
 
 # Flow benchmark artifacts (BENCH_<design>.json under target/bench).
 echo "==> scripts/bench.sh (BENCH_*.json artifacts)"

@@ -5,6 +5,8 @@
 //! [`puffer`] crate and its substrates; this crate simply re-exports them so
 //! examples can use one import root.
 
+#![forbid(unsafe_code)]
+
 pub use puffer;
 pub use puffer_congest as congest;
 pub use puffer_db as db;

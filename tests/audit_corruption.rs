@@ -1,0 +1,347 @@
+//! Seeded-corruption tests for the `puffer-audit` invariant checkers: each
+//! [`Validate`] implementation must catch its corruption with a precise,
+//! named violation — and must pass the same artifact uncorrupted.
+//!
+//! The netlist corruptions use `Netlist::from_raw_parts`, the deliberately
+//! unvalidated constructor that exists exactly for this purpose; the
+//! file-level corruptions damage real artifacts written by the flow.
+
+use puffer::{CheckpointPolicy, PufferConfig, PufferPlacer};
+use puffer_audit::{
+    audit_metrics, audit_run, PadAudit, PlacementAudit, PlacementStage, Validate,
+};
+use puffer_db::design::Design;
+use puffer_db::geom::{Point, Rect};
+use puffer_db::netlist::{Cell, CellKind, Net, Netlist, Pin};
+use puffer_db::tech::Technology;
+use puffer_gen::{generate, GeneratorConfig};
+use puffer_pad::{PaddingState, PaddingStrategy};
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("puffer-audit-corruption").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_design() -> Design {
+    generate(&GeneratorConfig {
+        num_cells: 220,
+        num_nets: 240,
+        num_macros: 1,
+        utilization: 0.6,
+        hotspot: 0.4,
+        ..GeneratorConfig::default()
+    })
+    .expect("generate")
+}
+
+/// Asserts that validating `subject` fails and that some violation carries
+/// the expected check name.
+fn assert_caught<V: Validate>(subject: &V, check: &str) {
+    let report = subject.validate().expect_err("corruption must be caught");
+    assert!(
+        report.violations.iter().any(|v| v.check == check),
+        "expected a '{check}' violation, got: {report}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Netlist corruptions
+// ---------------------------------------------------------------------------
+
+/// A two-cell, one-net netlist assembled by hand so tests can corrupt it.
+fn raw_two_cell_netlist() -> (Vec<Cell>, Vec<Net>, Vec<Pin>) {
+    let cells = vec![
+        Cell {
+            name: "a".into(),
+            width: 2.0,
+            height: 1.0,
+            kind: CellKind::Movable,
+            pins: vec![puffer_db::netlist::PinId(0)],
+        },
+        Cell {
+            name: "b".into(),
+            width: 2.0,
+            height: 1.0,
+            kind: CellKind::Movable,
+            pins: vec![puffer_db::netlist::PinId(1)],
+        },
+    ];
+    let nets = vec![Net {
+        name: "n".into(),
+        pins: vec![puffer_db::netlist::PinId(0), puffer_db::netlist::PinId(1)],
+        weight: 1.0,
+    }];
+    let pins = vec![
+        Pin {
+            cell: puffer_db::netlist::CellId(0),
+            net: puffer_db::netlist::NetId(0),
+            offset: Point::ORIGIN,
+        },
+        Pin {
+            cell: puffer_db::netlist::CellId(1),
+            net: puffer_db::netlist::NetId(0),
+            offset: Point::ORIGIN,
+        },
+    ];
+    (cells, nets, pins)
+}
+
+fn design_of(netlist: Netlist) -> Design {
+    Design::new(
+        "corrupt",
+        netlist,
+        Technology::default(),
+        Rect::new(0.0, 0.0, 40.0, 40.0),
+    )
+    .unwrap()
+}
+
+#[test]
+fn pristine_raw_netlist_passes() {
+    let (cells, nets, pins) = raw_two_cell_netlist();
+    let d = design_of(Netlist::from_raw_parts(cells, nets, pins));
+    d.validate().expect("uncorrupted design must validate");
+}
+
+#[test]
+fn dangling_pin_is_detected() {
+    let (cells, nets, mut pins) = raw_two_cell_netlist();
+    // A third pin exists in the pin table but neither its cell nor its net
+    // lists it — wirelength and density would silently ignore it.
+    pins.push(Pin {
+        cell: puffer_db::netlist::CellId(0),
+        net: puffer_db::netlist::NetId(0),
+        offset: Point::ORIGIN,
+    });
+    let d = design_of(Netlist::from_raw_parts(cells, nets, pins));
+    assert_caught(&d, "dangling-pin");
+}
+
+#[test]
+fn degenerate_weighted_net_is_detected() {
+    let (cells, mut nets, pins) = raw_two_cell_netlist();
+    // Drop the net's second pin: weight 1 but degree 1 can never
+    // contribute wirelength.
+    nets[0].pins.truncate(1);
+    let d = design_of(Netlist::from_raw_parts(cells, nets, pins));
+    assert_caught(&d, "degenerate-net");
+}
+
+#[test]
+fn pin_outside_cell_bounds_is_detected() {
+    let (cells, nets, mut pins) = raw_two_cell_netlist();
+    pins[0].offset = Point::new(5.0, 0.0); // half-width is 1.0
+    let d = design_of(Netlist::from_raw_parts(cells, nets, pins));
+    assert_caught(&d, "pin-outside-cell");
+}
+
+#[test]
+fn zero_area_cell_is_detected() {
+    let (mut cells, nets, pins) = raw_two_cell_netlist();
+    cells[1].width = 0.0;
+    let d = design_of(Netlist::from_raw_parts(cells, nets, pins));
+    assert_caught(&d, "zero-area-cell");
+}
+
+#[test]
+fn generated_design_passes_the_audit() {
+    small_design().validate().expect("generator output is valid");
+}
+
+// ---------------------------------------------------------------------------
+// Placement corruptions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nan_coordinate_is_detected() {
+    let d = small_design();
+    let mut p = d.initial_placement();
+    let victim = d.netlist().movable_cells().next().unwrap();
+    p.set(victim, Point::new(f64::NAN, 1.0));
+    let audit = PlacementAudit {
+        design: &d,
+        placement: &p,
+        stage: PlacementStage::Global,
+    };
+    assert_caught(&audit, "finite-coords");
+}
+
+#[test]
+fn cell_outside_core_is_detected() {
+    let d = small_design();
+    let mut p = d.initial_placement();
+    let victim = d.netlist().movable_cells().next().unwrap();
+    let r = d.region();
+    p.set(victim, Point::new(r.xh + 100.0, r.yl));
+    let audit = PlacementAudit {
+        design: &d,
+        placement: &p,
+        stage: PlacementStage::Global,
+    };
+    assert_caught(&audit, "outside-core");
+
+    // The uncorrupted initial placement passes at the same stage.
+    let p = d.initial_placement();
+    PlacementAudit {
+        design: &d,
+        placement: &p,
+        stage: PlacementStage::Global,
+    }
+    .validate()
+    .expect("initial placement is inside the core");
+}
+
+#[test]
+fn truncated_placement_vector_is_detected() {
+    let d = small_design();
+    let p = puffer_db::design::Placement::zeroed(d.netlist().num_cells() - 1);
+    let audit = PlacementAudit {
+        design: &d,
+        placement: &p,
+        stage: PlacementStage::Global,
+    };
+    assert_caught(&audit, "cell-count");
+}
+
+// ---------------------------------------------------------------------------
+// Padding corruptions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn negative_and_oversized_padding_are_detected() {
+    let d = small_design();
+    let n = d.netlist().num_cells();
+    let strategy = PaddingStrategy::default();
+
+    let mut state = PaddingState::new(n);
+    state.pad[0] = -1.0;
+    assert_caught(
+        &PadAudit {
+            design: &d,
+            state: &state,
+            strategy: &strategy,
+        },
+        "pad-width",
+    );
+
+    let mut state = PaddingState::new(n);
+    state.round = 1;
+    let victim = d.netlist().movable_cells().next().unwrap();
+    let width = d.netlist().cell(victim).width;
+    state.pad[victim.index()] = strategy.max_pad_widths * width * 10.0;
+    state.pad_count[victim.index()] = 1;
+    assert_caught(
+        &PadAudit {
+            design: &d,
+            state: &state,
+            strategy: &strategy,
+        },
+        "pad-cap",
+    );
+
+    // A fresh state passes.
+    let state = PaddingState::new(n);
+    PadAudit {
+        design: &d,
+        state: &state,
+        strategy: &strategy,
+    }
+    .validate()
+    .expect("fresh padding state is valid");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics-file corruptions
+// ---------------------------------------------------------------------------
+
+fn write_lines(path: &PathBuf, lines: &[&str]) {
+    std::fs::write(path, lines.join("\n") + "\n").unwrap();
+}
+
+#[test]
+fn mismatched_histogram_is_detected() {
+    let dir = tmp_dir("histogram");
+    let path = dir.join("bad.jsonl");
+    // h_hist buckets 100 Gcells, v_hist only 99 — the same grid must
+    // bucket the same count in both directions.
+    write_lines(
+        &path,
+        &[
+            r#"{"t":"congest.round","elapsed_s":0.1,"h_hist":[50,20,10,10,5,3,1,1],"v_hist":[50,20,10,10,5,3,1,0],"congested":2}"#,
+        ],
+    );
+    let report = audit_metrics(&path).expect_err("mismatched histogram must be caught");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.check == "histogram-conservation"),
+        "got: {report}"
+    );
+
+    // The consistent version passes.
+    let good = dir.join("good.jsonl");
+    write_lines(
+        &good,
+        &[
+            r#"{"t":"congest.round","elapsed_s":0.1,"h_hist":[50,20,10,10,5,3,1,1],"v_hist":[49,21,10,10,5,3,1,1],"congested":2}"#,
+        ],
+    );
+    let summary = audit_metrics(&good).expect("consistent histograms pass");
+    assert_eq!(summary.gcells, Some(100));
+}
+
+#[test]
+fn shrinking_iteration_stream_is_detected() {
+    let dir = tmp_dir("iter-stream");
+    let path = dir.join("bad.jsonl");
+    write_lines(
+        &path,
+        &[
+            r#"{"t":"place.iter","elapsed_s":0.1,"iter":2,"hpwl":10.0,"overflow":0.5,"lambda":1e-4}"#,
+            r#"{"t":"place.iter","elapsed_s":0.2,"iter":2,"hpwl":9.0,"overflow":0.4,"lambda":2e-4}"#,
+        ],
+    );
+    let report = audit_metrics(&path).expect_err("repeated iteration must be caught");
+    assert!(
+        report.violations.iter().any(|v| v.check == "place-iter"),
+        "got: {report}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Journal corruptions and cross-file consistency
+// ---------------------------------------------------------------------------
+
+#[test]
+fn truncated_journal_fails_the_run_audit() {
+    let dir = tmp_dir("truncated-journal");
+    let d = small_design();
+    let mut config = PufferConfig::default();
+    config.placer.max_iters = 60;
+    config.strategy.max_rounds = 1;
+
+    let journal = dir.join("run.pj");
+    let metrics = dir.join("run.jsonl");
+    let trace = puffer_trace::Trace::with_sink(&metrics).unwrap();
+    PufferPlacer::new(config)
+        .with_trace(trace)
+        .place_with_checkpoints(&d, &CheckpointPolicy::new(journal.clone()))
+        .expect("place");
+
+    // The intact pair is consistent.
+    audit_run(&journal, &metrics).expect("intact run must audit clean");
+
+    // Cut the journal mid-file: the audit must report a parse violation
+    // rather than succeed or abort.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    std::fs::write(&journal, &text[..text.len() / 2]).unwrap();
+    let report = audit_run(&journal, &metrics).expect_err("truncation must be caught");
+    assert!(
+        report.violations.iter().any(|v| v.check == "journal-parse"),
+        "got: {report}"
+    );
+}
