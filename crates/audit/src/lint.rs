@@ -35,6 +35,7 @@ pub const MAX_WAIVERS: usize = 10;
 /// table is itself a finding, so the table can never silently rot.
 const LAYERS: &[(&str, u8)] = &[
     // Substrate: no workspace dependencies at all.
+    ("puffer-budget", 0),
     ("puffer-rng", 0),
     ("puffer-db", 0),
     ("puffer-fft", 0),

@@ -604,7 +604,8 @@ pub struct MetricsSummary {
     pub last_iter: Option<usize>,
     /// Number of `pad.round` records.
     pub pad_rounds: usize,
-    /// Gcell count every congestion histogram agreed on.
+    /// Gcell count the congestion histograms agreed on (updated when a
+    /// recorded `coarse-congestion` degradation shrinks the grid mid-run).
     pub gcells: Option<usize>,
     /// `gp_iterations` claimed by the `flow.done` record.
     pub done_iterations: Option<usize>,
@@ -665,6 +666,7 @@ pub fn audit_metrics(path: &Path) -> Result<MetricsSummary, crate::AuditReport> 
     };
     summary.records = records.len();
     let mut congest_index = 0usize;
+    let mut pending_coarsen = false;
     for (i, r) in records.iter().enumerate() {
         let Some(kind) = r.kind() else {
             out.push(Violation {
@@ -712,6 +714,9 @@ pub fn audit_metrics(path: &Path) -> Result<MetricsSummary, crate::AuditReport> 
                 }
             }
             "pad.round" => summary.pad_rounds += 1,
+            "flow.degrade" if r.str_field("step") == Some("coarse-congestion") => {
+                pending_coarsen = true;
+            }
             "congest.round" => {
                 let h = hist_sum(r, "h_hist", congest_index, &mut out);
                 let v = hist_sum(r, "v_hist", congest_index, &mut out);
@@ -728,6 +733,13 @@ pub fn audit_metrics(path: &Path) -> Result<MetricsSummary, crate::AuditReport> 
                     let gcells = h as usize;
                     match summary.gcells {
                         None => summary.gcells = Some(gcells),
+                        // A recorded coarse-congestion degradation shrinks
+                        // the estimation grid; later rounds bucket fewer
+                        // Gcells, never more.
+                        Some(expected) if pending_coarsen && gcells < expected => {
+                            summary.gcells = Some(gcells);
+                            pending_coarsen = false;
+                        }
                         Some(expected) if expected != gcells => {
                             out.push(Violation {
                                 check: "histogram-conservation",

@@ -174,6 +174,46 @@ fn placer_benches() {
     });
 }
 
+fn budget_benches() {
+    use puffer_budget::Budget;
+    use std::time::Duration;
+
+    // The raw cost of one cooperative cancellation check, for both budget
+    // shapes the flow uses.
+    let unbounded = Budget::unbounded();
+    let deadline = Budget::with_deadline(Duration::from_secs(3600));
+    bench("budget", "check_unbounded", 100, 1000, || {
+        for _ in 0..1000 {
+            black_box(black_box(&unbounded).check().is_ok());
+        }
+    });
+    bench("budget", "check_deadline", 100, 1000, || {
+        for _ in 0..1000 {
+            black_box(black_box(&deadline).check().is_ok());
+        }
+    });
+
+    // The flow-level question: ten GP steps with the per-iteration budget
+    // check the bounded flow adds, versus the same ten steps without it.
+    // The delta is the cancellation-check overhead on the GP loop (<1%).
+    let design = bench_design();
+    bench("budget", "ten_gp_steps_unchecked", 1, 10, || {
+        let mut placer = GlobalPlacer::new(&design, PlacerConfig::default()).expect("placer");
+        for _ in 0..10 {
+            placer.step();
+        }
+    });
+    bench("budget", "ten_gp_steps_budgeted", 1, 10, || {
+        let mut placer = GlobalPlacer::new(&design, PlacerConfig::default()).expect("placer");
+        for _ in 0..10 {
+            if deadline.is_exhausted() {
+                break;
+            }
+            placer.step();
+        }
+    });
+}
+
 fn router_benches() {
     let design = bench_design();
     let placement = snapshot(&design);
@@ -343,8 +383,9 @@ fn main() {
         .skip(1)
         .find(|a| !a.starts_with('-'))
         .unwrap_or_default();
-    let groups: [(&str, fn()); 14] = [
+    let groups: [(&str, fn()); 15] = [
         ("fft", fft_benches),
+        ("budget", budget_benches),
         ("rsmt", rsmt_benches),
         ("congestion", congestion_benches),
         ("padding", feature_benches),

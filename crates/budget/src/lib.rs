@@ -1,0 +1,718 @@
+//! Cooperative execution budgets for the PUFFER flow.
+//!
+//! Every long-running stage of the flow (Nesterov iterations, congestion
+//! rounds, SMBO trials, rip-up routing rounds, detailed-placement passes)
+//! checks a [`Budget`] at its loop boundary. An expired deadline or an
+//! external [`CancelToken`] then produces a clean best-so-far result (or a
+//! typed `Cancelled` error where no partial result exists) instead of a
+//! `kill -9`. On top of the raw budget sit three cooperating mechanisms:
+//!
+//! * [`DegradationLadder`] — a declared order in which the flow steps down
+//!   fidelity as the deadline nears (coarsen congestion estimation, freeze
+//!   padding updates, cap remaining SMBO trials, early-exit global
+//!   placement at the current overflow);
+//! * [`StallWatchdog`] — detects a stage whose progress counter stops
+//!   advancing within a configurable window, so the flow can
+//!   checkpoint-then-degrade (or abort) instead of spinning;
+//! * [`FaultClass`]/[`ChaosPlan`] — the deterministic fault-injection
+//!   vocabulary consumed by the `chaos` feature of the core flow and the
+//!   `puffer chaos` harness.
+//!
+//! The crate sits at layer 0 of the workspace (no dependencies), so every
+//! stage crate can consume it without violating the downward-only layering
+//! that `puffer lint` enforces. It also hosts the worker-thread sizing
+//! helpers shared by the router and the congestion estimator.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+/// Why a budget check failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cancelled {
+    /// The wall-clock deadline expired.
+    Deadline,
+    /// The [`CancelToken`] was triggered externally.
+    Token,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cancelled::Deadline => f.write_str("deadline expired"),
+            Cancelled::Token => f.write_str("cancelled by token"),
+        }
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A shareable cancellation flag. Cloning shares the flag: cancelling any
+/// clone cancels them all, so one token can fan out across worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Triggers the token; every [`Budget`] carrying it fails its next
+    /// check. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been triggered.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A cooperative execution budget: an optional wall-clock deadline plus a
+/// shared [`CancelToken`]. Checking is cheap (one `Instant::now()` and one
+/// relaxed atomic load), so loops may check every iteration.
+///
+/// Cloning shares the token and keeps the same absolute deadline, so a
+/// budget handed down to a sub-stage counts against the same wall clock.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    started: Instant,
+    deadline: Option<Instant>,
+    total: Option<Duration>,
+    token: CancelToken,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unbounded()
+    }
+}
+
+impl Budget {
+    /// A budget that never expires (checks always succeed unless the token
+    /// is cancelled).
+    pub fn unbounded() -> Self {
+        Budget {
+            started: Instant::now(),
+            deadline: None,
+            total: None,
+            token: CancelToken::new(),
+        }
+    }
+
+    /// A budget expiring `limit` from now.
+    pub fn with_deadline(limit: Duration) -> Self {
+        let started = Instant::now();
+        Budget {
+            started,
+            deadline: Some(started + limit),
+            total: Some(limit),
+            token: CancelToken::new(),
+        }
+    }
+
+    /// Replaces the cancel token (e.g. to share one token across several
+    /// budgets), returning `self` for chaining.
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = token;
+        self
+    }
+
+    /// The shared cancellation token.
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Whether a deadline is attached at all.
+    pub fn is_bounded(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// The cooperative cancellation point: `Err` once the deadline expired
+    /// or the token fired.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled::Token`] when the token fired (checked first, so an
+    /// explicit cancel wins over a simultaneous deadline),
+    /// [`Cancelled::Deadline`] when the wall clock passed the deadline.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.token.is_cancelled() {
+            return Err(Cancelled::Token);
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(Cancelled::Deadline),
+            _ => Ok(()),
+        }
+    }
+
+    /// `check()` as a boolean, for loop conditions.
+    pub fn is_exhausted(&self) -> bool {
+        self.check().is_err()
+    }
+
+    /// Remaining wall-clock time, `None` when unbounded. Zero once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Fraction of the budget still available in `[0, 1]`; `1.0` for an
+    /// unbounded budget. This is what the [`DegradationLadder`] thresholds
+    /// are compared against.
+    pub fn fraction_remaining(&self) -> f64 {
+        match (self.remaining(), self.total) {
+            (Some(rem), Some(total)) if total > Duration::ZERO => {
+                (rem.as_secs_f64() / total.as_secs_f64()).clamp(0.0, 1.0)
+            }
+            (Some(_), _) => 0.0,
+            (None, _) => 1.0,
+        }
+    }
+
+    /// Time elapsed since the budget was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation
+// ---------------------------------------------------------------------------
+
+/// One fidelity step the flow can give up as the deadline nears, in the
+/// paper-flow vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeStep {
+    /// Coarsen the congestion-estimation grid (cheaper, blurrier maps).
+    CoarseCongestion,
+    /// Stop updating the cell padding (keep the accumulated padding).
+    FreezePadding,
+    /// Cap the remaining SMBO exploration trials.
+    CapTrials,
+    /// Exit global placement at the current overflow and legalize.
+    EarlyExitGp,
+}
+
+impl DegradeStep {
+    /// Every step, in the default ladder order.
+    pub const ALL: [DegradeStep; 4] = [
+        DegradeStep::CoarseCongestion,
+        DegradeStep::FreezePadding,
+        DegradeStep::CapTrials,
+        DegradeStep::EarlyExitGp,
+    ];
+
+    /// The CLI / journal / trace spelling of the step.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeStep::CoarseCongestion => "coarse-congestion",
+            DegradeStep::FreezePadding => "freeze-padding",
+            DegradeStep::CapTrials => "cap-trials",
+            DegradeStep::EarlyExitGp => "early-exit-gp",
+        }
+    }
+
+    /// The default fraction-remaining threshold at which the step engages.
+    /// Ordered: cheaper fidelity losses engage earlier.
+    pub fn default_threshold(self) -> f64 {
+        match self {
+            DegradeStep::CoarseCongestion => 0.50,
+            DegradeStep::FreezePadding => 0.35,
+            DegradeStep::CapTrials => 0.20,
+            DegradeStep::EarlyExitGp => 0.08,
+        }
+    }
+}
+
+impl fmt::Display for DegradeStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for DegradeStep {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DegradeStep::ALL
+            .into_iter()
+            .find(|step| step.as_str() == s)
+            .ok_or_else(|| {
+                let known: Vec<&str> = DegradeStep::ALL.iter().map(|s| s.as_str()).collect();
+                format!("unknown degradation step '{s}' (known: {})", known.join(", "))
+            })
+    }
+}
+
+/// A declared, ordered fidelity-reduction schedule: each step engages once
+/// the [`Budget::fraction_remaining`] drops to its threshold. Thresholds
+/// must be non-increasing so the declared order is also the engagement
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationLadder {
+    steps: Vec<(DegradeStep, f64)>,
+}
+
+impl Default for DegradationLadder {
+    fn default() -> Self {
+        DegradationLadder {
+            steps: DegradeStep::ALL
+                .into_iter()
+                .map(|s| (s, s.default_threshold()))
+                .collect(),
+        }
+    }
+}
+
+impl DegradationLadder {
+    /// An empty ladder: never degrade, only hard-cancel at the deadline.
+    pub fn none() -> Self {
+        DegradationLadder { steps: Vec::new() }
+    }
+
+    /// The declared `(step, threshold)` schedule.
+    pub fn steps(&self) -> &[(DegradeStep, f64)] {
+        &self.steps
+    }
+
+    /// Parses a CLI ladder spec: a comma-separated list of step names, each
+    /// optionally carrying an explicit threshold as `name@fraction`
+    /// (e.g. `coarse-congestion,freeze-padding@0.3,early-exit-gp`).
+    /// `default` yields [`DegradationLadder::default`], `none` an empty
+    /// ladder.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown step, a malformed/out-of-range
+    /// threshold, or an order whose thresholds increase (which would engage
+    /// steps out of the declared order).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec.trim() {
+            "default" | "" => return Ok(DegradationLadder::default()),
+            "none" => return Ok(DegradationLadder::none()),
+            _ => {}
+        }
+        let mut steps = Vec::new();
+        let mut prev = f64::INFINITY;
+        for part in spec.split(',') {
+            let part = part.trim();
+            let (name, threshold) = match part.split_once('@') {
+                Some((name, frac)) => {
+                    let t: f64 = frac
+                        .parse()
+                        .map_err(|_| format!("bad threshold '{frac}' in '{part}'"))?;
+                    if !(0.0..=1.0).contains(&t) {
+                        return Err(format!("threshold {t} in '{part}' must be in [0, 1]"));
+                    }
+                    (name, Some(t))
+                }
+                None => (part, None),
+            };
+            let step: DegradeStep = name.parse()?;
+            let threshold = threshold.unwrap_or_else(|| step.default_threshold().min(prev));
+            if threshold > prev {
+                return Err(format!(
+                    "ladder thresholds must be non-increasing: {step} engages at \
+                     {threshold} after a step at {prev}"
+                ));
+            }
+            if steps.iter().any(|(s, _)| *s == step) {
+                return Err(format!("duplicate ladder step '{step}'"));
+            }
+            prev = threshold;
+            steps.push((step, threshold));
+        }
+        Ok(DegradationLadder { steps })
+    }
+}
+
+/// Engagement state of a [`DegradationLadder`] over one run.
+#[derive(Debug, Clone)]
+pub struct LadderState {
+    ladder: DegradationLadder,
+    engaged: usize,
+}
+
+impl LadderState {
+    /// Fresh state: nothing engaged yet.
+    pub fn new(ladder: DegradationLadder) -> Self {
+        LadderState { ladder, engaged: 0 }
+    }
+
+    /// Engages every step whose threshold the budget has crossed and
+    /// returns the newly engaged ones, in ladder order. Steps engage at
+    /// most once; an unbounded budget never engages anything.
+    pub fn poll(&mut self, budget: &Budget) -> Vec<DegradeStep> {
+        if !budget.is_bounded() {
+            return Vec::new();
+        }
+        let frac = budget.fraction_remaining();
+        let mut fresh = Vec::new();
+        while let Some(&(step, threshold)) = self.ladder.steps.get(self.engaged) {
+            if frac > threshold {
+                break;
+            }
+            self.engaged += 1;
+            fresh.push(step);
+        }
+        fresh
+    }
+
+    /// Whether `step` has engaged.
+    pub fn is_engaged(&self, step: DegradeStep) -> bool {
+        self.ladder.steps[..self.engaged]
+            .iter()
+            .any(|(s, _)| *s == step)
+    }
+
+    /// Every engaged step so far, in engagement order.
+    pub fn engaged(&self) -> Vec<DegradeStep> {
+        self.ladder.steps[..self.engaged]
+            .iter()
+            .map(|(s, _)| *s)
+            .collect()
+    }
+
+    /// Force-engages a step out of schedule (e.g. the watchdog demoting a
+    /// stalled stage straight to [`DegradeStep::EarlyExitGp`]). Returns
+    /// `true` when the step was in the ladder and not yet engaged.
+    pub fn force(&mut self, step: DegradeStep) -> bool {
+        let Some(pos) = self.ladder.steps.iter().position(|(s, _)| *s == step) else {
+            return false;
+        };
+        if pos < self.engaged {
+            return false;
+        }
+        // Engage everything up to and including `step`, preserving order.
+        self.ladder.steps.swap(self.engaged, pos);
+        self.engaged += 1;
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stall watchdog
+// ---------------------------------------------------------------------------
+
+/// What the flow does when the watchdog trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StallAction {
+    /// Checkpoint, then degrade: finish from the best state so far.
+    #[default]
+    Degrade,
+    /// Checkpoint, then abort with a stall error.
+    Abort,
+}
+
+/// A cooperative stall detector: the owning loop feeds it a monotone
+/// progress counter at every boundary; if the counter stops advancing for
+/// longer than the window, [`StallWatchdog::observe`] reports the stall.
+///
+/// Being cooperative (the workspace bans free-running monitor threads), it
+/// can only fire at a boundary the loop actually reaches — it catches
+/// non-advancing loops (a frozen stage spinning without progress, an
+/// injected slow-stage delay), not a single blocking call that never
+/// returns.
+#[derive(Debug, Clone)]
+pub struct StallWatchdog {
+    window: Duration,
+    action: StallAction,
+    last_progress: Option<u64>,
+    last_advance: Instant,
+    tripped: bool,
+}
+
+impl StallWatchdog {
+    /// A watchdog tripping after `window` without progress.
+    pub fn new(window: Duration) -> Self {
+        StallWatchdog {
+            window,
+            action: StallAction::default(),
+            last_progress: None,
+            last_advance: Instant::now(),
+            tripped: false,
+        }
+    }
+
+    /// Sets the on-trip action, returning `self` for chaining.
+    pub fn with_action(mut self, action: StallAction) -> Self {
+        self.action = action;
+        self
+    }
+
+    /// The configured window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// The configured on-trip action.
+    pub fn action(&self) -> StallAction {
+        self.action
+    }
+
+    /// Feeds the current progress counter. Returns `Some(stalled_for)` the
+    /// first time the counter has not advanced for longer than the window;
+    /// afterwards the watchdog stays tripped and reports `None` (the owner
+    /// is expected to act on the first report).
+    pub fn observe(&mut self, progress: u64) -> Option<Duration> {
+        if self.tripped {
+            return None;
+        }
+        let now = Instant::now();
+        if self.last_progress != Some(progress) {
+            self.last_progress = Some(progress);
+            self.last_advance = now;
+            return None;
+        }
+        let stalled = now.saturating_duration_since(self.last_advance);
+        if stalled >= self.window {
+            self.tripped = true;
+            return Some(stalled);
+        }
+        None
+    }
+
+    /// Whether the watchdog has tripped.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic chaos vocabulary
+// ---------------------------------------------------------------------------
+
+/// The fault classes the chaos harness injects at instrumented points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// An SMBO objective (worker) panics mid-trial.
+    WorkerPanic,
+    /// A burst of NaN coordinates poisons the placer trajectory.
+    NanBurst,
+    /// A stage stops advancing for a stretch of wall-clock time.
+    SlowStage,
+    /// A checkpoint-journal write fails part-way through.
+    JournalWrite,
+}
+
+impl FaultClass {
+    /// Every class, in the `seed % 4` dispatch order of `puffer chaos`.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::WorkerPanic,
+        FaultClass::NanBurst,
+        FaultClass::SlowStage,
+        FaultClass::JournalWrite,
+    ];
+
+    /// The CLI / trace spelling of the class.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::WorkerPanic => "worker-panic",
+            FaultClass::NanBurst => "nan-burst",
+            FaultClass::SlowStage => "slow-stage",
+            FaultClass::JournalWrite => "journal-write",
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One deterministic injection: fire `class` when the instrumented stage
+/// reaches iteration/trial/round `at`, with a class-specific `magnitude`
+/// (cells to poison, stall passes, …). Consumed by the `chaos` feature of
+/// the core flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Which fault to inject.
+    pub class: FaultClass,
+    /// The loop index at which it fires.
+    pub at: usize,
+    /// Class-specific intensity (poisoned cells, stall passes, …).
+    pub magnitude: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Worker-thread sizing (shared by route and congest)
+// ---------------------------------------------------------------------------
+
+/// Upper clamp for worker pools: beyond this, per-thread overhead dominates
+/// on the net-decomposition workloads both users run.
+pub const MAX_WORKER_THREADS: usize = 32;
+
+/// Clamps a requested worker count into `1..=MAX_WORKER_THREADS`.
+pub fn clamp_threads(requested: usize) -> usize {
+    requested.clamp(1, MAX_WORKER_THREADS)
+}
+
+/// The default worker-thread count: the machine's available parallelism,
+/// clamped into `1..=MAX_WORKER_THREADS`; 4 when the machine will not say.
+pub fn default_threads() -> usize {
+    clamp_threads(
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_budget_never_expires() {
+        let b = Budget::unbounded();
+        assert!(b.check().is_ok());
+        assert!(!b.is_exhausted());
+        assert_eq!(b.fraction_remaining(), 1.0);
+        assert!(b.remaining().is_none());
+        assert!(!b.is_bounded());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        assert_eq!(b.check(), Err(Cancelled::Deadline));
+        assert!(b.is_exhausted());
+        assert_eq!(b.fraction_remaining(), 0.0);
+    }
+
+    #[test]
+    fn token_cancels_all_clones() {
+        let b = Budget::with_deadline(Duration::from_secs(3600));
+        let clone = b.clone();
+        assert!(clone.check().is_ok());
+        b.token().cancel();
+        assert_eq!(clone.check(), Err(Cancelled::Token));
+        // Token beats the (distant) deadline in the error.
+        assert_eq!(b.check(), Err(Cancelled::Token));
+    }
+
+    #[test]
+    fn fraction_remaining_decreases() {
+        let b = Budget::with_deadline(Duration::from_secs(3600));
+        let f = b.fraction_remaining();
+        assert!(f > 0.99 && f <= 1.0, "{f}");
+    }
+
+    #[test]
+    fn degrade_step_round_trips_through_names() {
+        for step in DegradeStep::ALL {
+            assert_eq!(step.as_str().parse::<DegradeStep>(), Ok(step));
+        }
+        assert!("bogus".parse::<DegradeStep>().is_err());
+    }
+
+    #[test]
+    fn ladder_parses_specs() {
+        assert_eq!(
+            DegradationLadder::parse("default").unwrap(),
+            DegradationLadder::default()
+        );
+        assert!(DegradationLadder::parse("none").unwrap().steps().is_empty());
+        let l = DegradationLadder::parse("freeze-padding@0.4,early-exit-gp@0.1").unwrap();
+        assert_eq!(
+            l.steps(),
+            &[
+                (DegradeStep::FreezePadding, 0.4),
+                (DegradeStep::EarlyExitGp, 0.1)
+            ]
+        );
+        assert!(DegradationLadder::parse("nope").is_err());
+        assert!(DegradationLadder::parse("freeze-padding@2.0").is_err());
+        assert!(DegradationLadder::parse("freeze-padding,freeze-padding").is_err());
+        // Increasing thresholds violate the declared order.
+        assert!(DegradationLadder::parse("early-exit-gp@0.1,freeze-padding@0.4").is_err());
+    }
+
+    #[test]
+    fn ladder_defaults_respect_declared_order() {
+        // A step listed after a tighter one inherits the tighter threshold
+        // rather than erroring (its default would be higher).
+        let l = DegradationLadder::parse("early-exit-gp@0.1,cap-trials").unwrap();
+        assert_eq!(l.steps()[1], (DegradeStep::CapTrials, 0.1));
+    }
+
+    #[test]
+    fn ladder_state_engages_in_order() {
+        let mut state = LadderState::new(DegradationLadder::default());
+        assert!(state.poll(&Budget::unbounded()).is_empty());
+        // An already-expired budget engages the whole ladder at once.
+        let expired = Budget::with_deadline(Duration::ZERO);
+        let fresh = state.poll(&expired);
+        assert_eq!(fresh, DegradeStep::ALL.to_vec());
+        assert!(state.poll(&expired).is_empty(), "steps engage once");
+        for step in DegradeStep::ALL {
+            assert!(state.is_engaged(step));
+        }
+    }
+
+    #[test]
+    fn ladder_force_engages_once() {
+        let mut state = LadderState::new(DegradationLadder::default());
+        assert!(state.force(DegradeStep::EarlyExitGp));
+        assert!(state.is_engaged(DegradeStep::EarlyExitGp));
+        assert!(!state.force(DegradeStep::EarlyExitGp), "already engaged");
+        assert!(!state.is_engaged(DegradeStep::FreezePadding));
+        let mut empty = LadderState::new(DegradationLadder::none());
+        assert!(!empty.force(DegradeStep::EarlyExitGp), "not in ladder");
+    }
+
+    #[test]
+    fn watchdog_trips_only_without_progress() {
+        let mut dog = StallWatchdog::new(Duration::from_millis(20));
+        assert!(dog.observe(1).is_none());
+        assert!(dog.observe(2).is_none(), "advancing counter never trips");
+        std::thread::sleep(Duration::from_millis(30));
+        let stalled = dog.observe(2).expect("stall past the window");
+        assert!(stalled >= Duration::from_millis(20));
+        assert!(dog.is_tripped());
+        assert!(dog.observe(2).is_none(), "reports once");
+    }
+
+    #[test]
+    fn watchdog_resets_on_progress() {
+        let mut dog = StallWatchdog::new(Duration::from_millis(30));
+        assert!(dog.observe(1).is_none());
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(dog.observe(2).is_none());
+        std::thread::sleep(Duration::from_millis(15));
+        // 30ms elapsed overall but only 15ms since the last advance.
+        assert!(dog.observe(2).is_none());
+        assert!(!dog.is_tripped());
+    }
+
+    #[test]
+    fn fault_classes_have_stable_names() {
+        let names: Vec<&str> = FaultClass::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(
+            names,
+            ["worker-panic", "nan-burst", "slow-stage", "journal-write"]
+        );
+    }
+
+    #[test]
+    fn thread_helpers_clamp() {
+        assert_eq!(clamp_threads(0), 1);
+        assert_eq!(clamp_threads(8), 8);
+        assert_eq!(clamp_threads(10_000), MAX_WORKER_THREADS);
+        let d = default_threads();
+        assert!((1..=MAX_WORKER_THREADS).contains(&d));
+    }
+}

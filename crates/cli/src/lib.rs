@@ -17,18 +17,23 @@
 #![forbid(unsafe_code)]
 
 use puffer::{
-    evaluate, evaluate_traced, evaluate_with, CheckpointPolicy, FlowCheckpoint, PufferConfig,
-    PufferPlacer, ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer,
+    evaluate, evaluate_bounded, evaluate_traced, evaluate_with, CheckpointPolicy, FlowCheckpoint,
+    PufferConfig, PufferPlacer, ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer,
 };
 use puffer_audit::{audit_metrics, audit_run, flow_validator, lint_workspace, LintConfig, Validate};
+use puffer_budget::{Budget, ChaosPlan, DegradationLadder, FaultClass, LadderState, StallWatchdog};
 use puffer_db::io::{read_design, read_placement, write_design, write_placement};
-use puffer_dp::{refine, refine_with_congestion, DetailedConfig};
+use puffer_dp::{refine, refine_bounded, refine_with_congestion, DetailedConfig};
+use puffer_explore::{explore_params_bounded, ExplorationConfig};
 use puffer_gen::{generate, presets, GeneratorConfig};
+use puffer_legal::check_legal;
+use puffer_rng::StdRng;
 use puffer_route::{assign_layers, LayerConfig, RouterConfig};
 use puffer_trace::Trace;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::path::Path;
+use std::time::Duration;
 
 /// A CLI failure: message for stderr plus the process exit code.
 #[derive(Debug)]
@@ -77,11 +82,18 @@ usage:
                 [--max-iters <n>] [--journal <run.pj>] [--checkpoint-every <n>]
                 [--resume <run.pj>] [--threads <n>] [--validate]
                 [--metrics <run.jsonl>] [--trace-summary]
+                [--deadline <secs>] [--degrade <ladder>] [--watchdog <secs>]
   puffer eval   <design.pd> <placed.pl> [--maps <dir>] [--layers] [--validate]
                 [--threads <n>] [--metrics <run.jsonl>] [--trace-summary]
+                [--deadline <secs>]
+  puffer explore <design.pd> [--trials <n>] [--max-iters <n>]
+                [--deadline <secs>] [--degrade <ladder>] [--metrics <run.jsonl>]
   puffer trace  <run.jsonl> [--check]
   puffer refine <design.pd> <placed.pl> -o <refined.pl> [--guard]
+                [--deadline <secs>]
   puffer draw   <design.pd> <placed.pl> -o <out.svg> [--rows]
+  puffer chaos  [--seeds <n>] [--cells <n>] [--max-iters <n>]
+                (deterministic fault-injection harness)
   puffer lint   [--root <dir>]                    (workspace policy check)
   puffer audit  design  <design.pd>
   puffer audit  journal <run.pj> [<design.pd>]
@@ -90,6 +102,8 @@ usage:
 
 presets: or1200 asic_entity bit_coin media_subsys media_pg_modify
          a53_adb_wrap ct_scan ct_top e31_ecoreplex openc910
+ladders: default | none | <step>[@<fraction>][,<step>...] with steps
+         coarse-congestion freeze-padding cap-trials early-exit-gp
 ";
 
 /// Runs the CLI on the given arguments (without the program name).
@@ -109,6 +123,8 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
         "stats" => cmd_stats(rest, out),
         "place" => cmd_place(rest, out),
         "eval" => cmd_eval(rest, out),
+        "explore" => cmd_explore(rest, out),
+        "chaos" => cmd_chaos(rest, out),
         "trace" => cmd_trace(rest, out),
         "refine" => cmd_refine(rest, out),
         "draw" => cmd_draw(rest, out),
@@ -326,6 +342,74 @@ fn finish_trace(trace: &Option<Trace>, flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses the bounded-execution flags shared by `place` and `explore`:
+/// `--deadline <secs>` (cooperative budget), `--degrade <ladder>` (fidelity
+/// step-down schedule; needs a deadline to engage against), and
+/// `--watchdog <secs>` (stall window).
+fn parse_bounded_flags(flags: &Flags) -> Result<BoundedFlags, CliError> {
+    let deadline: Option<f64> = flags.get_parsed("deadline")?;
+    if let Some(d) = deadline {
+        if !d.is_finite() || d <= 0.0 {
+            return Err(CliError::usage("--deadline must be positive seconds"));
+        }
+    }
+    let budget = deadline.map(|d| Budget::with_deadline(Duration::from_secs_f64(d)));
+    let ladder = match flags.get("degrade") {
+        None => None,
+        Some(spec) => Some(
+            DegradationLadder::parse(spec)
+                .map_err(|e| CliError::usage(format!("--degrade: {e}")))?,
+        ),
+    };
+    if ladder.is_some() && budget.is_none() {
+        return Err(CliError::usage(
+            "--degrade needs --deadline (the ladder engages on remaining budget)",
+        ));
+    }
+    let window: Option<f64> = flags.get_parsed("watchdog")?;
+    if let Some(w) = window {
+        if !w.is_finite() || w <= 0.0 {
+            return Err(CliError::usage("--watchdog must be positive seconds"));
+        }
+    }
+    let watchdog = window.map(|w| StallWatchdog::new(Duration::from_secs_f64(w)));
+    Ok(BoundedFlags {
+        budget,
+        ladder,
+        watchdog,
+    })
+}
+
+/// The parsed bounded-execution flag set.
+struct BoundedFlags {
+    budget: Option<Budget>,
+    ladder: Option<DegradationLadder>,
+    watchdog: Option<StallWatchdog>,
+}
+
+/// One summary line for a run that stopped early under a budget.
+fn degradation_note(out: &mut String, result: &puffer::FlowResult) {
+    if !result.cancelled {
+        return;
+    }
+    let steps = if result.degradation.is_empty() {
+        "none".to_string()
+    } else {
+        result
+            .degradation
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let _ = writeln!(
+        out,
+        "deadline: stopped early at iteration {} (degradation: {steps}); \
+         placement is the legalized best-so-far",
+        result.gp_iterations
+    );
+}
+
 fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
     let flags = Flags::parse(
         args,
@@ -338,6 +422,9 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             "resume",
             "threads",
             "metrics",
+            "deadline",
+            "degrade",
+            "watchdog",
         ],
         &["trace-summary", "validate"],
     )?;
@@ -369,6 +456,16 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
     if flow != "puffer" && flags.has("validate") {
         return Err(CliError::usage("--validate only applies to --flow puffer"));
     }
+    let BoundedFlags {
+        budget,
+        ladder,
+        watchdog,
+    } = parse_bounded_flags(&flags)?;
+    if flow != "puffer" && (budget.is_some() || watchdog.is_some()) {
+        return Err(CliError::usage(
+            "--deadline/--degrade/--watchdog only apply to --flow puffer",
+        ));
+    }
     let trace = open_trace(&flags)?;
     let design = load_design(design_path)?;
     let result = match flow {
@@ -386,6 +483,15 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             }
             if flags.has("validate") {
                 placer = placer.with_observer(flow_validator());
+            }
+            if let Some(b) = &budget {
+                placer = placer.with_budget(b.clone());
+            }
+            if let Some(l) = &ladder {
+                placer = placer.with_ladder(l.clone());
+            }
+            if let Some(w) = &watchdog {
+                placer = placer.with_watchdog(w.clone());
             }
             if let Some(from) = resume {
                 // Resume keeps journaling: to --journal when given, else
@@ -442,13 +548,14 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
         "wrote {} (HPWL {:.0}, {} GP iterations, {} padding rounds, {:.1}s)",
         output, result.hpwl, result.gp_iterations, result.pad_rounds, result.runtime_s
     );
+    degradation_note(out, &result);
     Ok(())
 }
 
 fn cmd_eval(args: &[String], out: &mut String) -> Result<(), CliError> {
     let flags = Flags::parse(
         args,
-        &["maps", "threads", "metrics"],
+        &["maps", "threads", "metrics", "deadline"],
         &["layers", "trace-summary", "validate"],
     )?;
     let [design_path, placement_path] = flags.positional.as_slice() else {
@@ -458,6 +565,7 @@ fn cmd_eval(args: &[String], out: &mut String) -> Result<(), CliError> {
     if threads == Some(0) {
         return Err(CliError::usage("--threads must be at least 1"));
     }
+    let budget = parse_bounded_flags(&flags)?.budget;
     let design = load_design(design_path)?;
     let placement = load_placement(placement_path, design.netlist().num_cells())?;
     let mut router_cfg = RouterConfig::default();
@@ -465,9 +573,13 @@ fn cmd_eval(args: &[String], out: &mut String) -> Result<(), CliError> {
         router_cfg.threads = n;
     }
     let trace = open_trace(&flags)?;
-    let report = match &trace {
-        Some(t) => evaluate_traced(&design, &placement, &router_cfg, t),
-        None => evaluate_with(&design, &placement, &router_cfg),
+    let report = match (&trace, &budget) {
+        (Some(t), Some(b)) => evaluate_bounded(&design, &placement, &router_cfg, b, t),
+        (Some(t), None) => evaluate_traced(&design, &placement, &router_cfg, t),
+        (None, Some(b)) => {
+            evaluate_bounded(&design, &placement, &router_cfg, b, &Trace::disabled())
+        }
+        (None, None) => evaluate_with(&design, &placement, &router_cfg),
     };
     finish_trace(&trace, &flags)?;
     if flags.has("validate") {
@@ -604,17 +716,32 @@ fn cmd_draw(args: &[String], out: &mut String) -> Result<(), CliError> {
 }
 
 fn cmd_refine(args: &[String], out: &mut String) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["o"], &["guard"])?;
+    let flags = Flags::parse(args, &["o", "deadline"], &["guard"])?;
     let [design_path, placement_path] = flags.positional.as_slice() else {
         return Err(CliError::usage("refine needs <design.pd> <placed.pl>"));
     };
     let output = flags
         .get("o")
         .ok_or_else(|| CliError::usage("refine needs -o <refined.pl>"))?;
+    let budget = parse_bounded_flags(&flags)?.budget;
     let design = load_design(design_path)?;
     let placement = load_placement(placement_path, design.netlist().num_cells())?;
     let zeros = vec![0u32; design.netlist().num_cells()];
-    let outcome = if flags.has("guard") {
+    let outcome = if let Some(b) = &budget {
+        let congestion = if flags.has("guard") {
+            Some(evaluate(&design, &placement).congestion)
+        } else {
+            None
+        };
+        refine_bounded(
+            &design,
+            &placement,
+            &zeros,
+            &DetailedConfig::default(),
+            congestion.as_ref(),
+            b,
+        )
+    } else if flags.has("guard") {
         let report = evaluate(&design, &placement);
         refine_with_congestion(
             &design,
@@ -637,6 +764,271 @@ fn cmd_refine(args: &[String], out: &mut String) -> Result<(), CliError> {
         output, outcome.hpwl_before, outcome.hpwl_after, outcome.moves
     );
     Ok(())
+}
+
+/// `puffer explore <design.pd>` — SMBO strategy exploration (§III-C) over
+/// the padding-parameter space. Each trial runs a short PUFFER flow with
+/// the candidate strategy and scores it by routed overflow; `--deadline`
+/// bounds the whole search cooperatively and `--degrade cap-trials@<f>`
+/// caps the remaining trials as the deadline nears.
+fn cmd_explore(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &["trials", "max-iters", "deadline", "degrade", "metrics"],
+        &["trace-summary"],
+    )?;
+    let [design_path] = flags.positional.as_slice() else {
+        return Err(CliError::usage("explore needs exactly one <design.pd>"));
+    };
+    let trials: usize = flags.get_parsed("trials")?.unwrap_or(12);
+    if trials == 0 {
+        return Err(CliError::usage("--trials must be at least 1"));
+    }
+    let max_iters: usize = flags.get_parsed("max-iters")?.unwrap_or(60);
+    let bounded = parse_bounded_flags(&flags)?;
+    let ladder = bounded.ladder;
+    let budget = bounded.budget;
+    let budget = budget.unwrap_or_else(Budget::unbounded);
+    let mut ladder_state = ladder.map(LadderState::new);
+    let design = load_design(design_path)?;
+    let trace = open_trace(&flags)?;
+    let space = puffer::strategy_space();
+    let config = ExplorationConfig {
+        max_evals: trials,
+        ..ExplorationConfig::default()
+    };
+    let objective = |values: &[f64]| -> f64 {
+        let mut cfg = PufferConfig::default();
+        cfg.placer.max_iters = max_iters;
+        cfg.strategy = puffer::tuned_strategy(&space, values);
+        // Trials share the search budget, so a mid-trial expiry returns the
+        // trial's best-so-far quickly instead of overrunning the deadline.
+        match PufferPlacer::new(cfg).with_budget(budget.clone()).place(&design) {
+            Ok(result) => {
+                let report = evaluate(&design, &result.placement);
+                report.hof_pct + report.vof_pct
+            }
+            // Non-finite objectives are counted as failed trials.
+            Err(_) => f64::NAN,
+        }
+    };
+    let outcome = explore_params_bounded(
+        &space,
+        objective,
+        &config,
+        trace.as_ref().unwrap_or(&Trace::disabled()),
+        &budget,
+        ladder_state.as_mut(),
+    )
+    .map_err(|e| CliError::run(format!("exploration failed: {e}")))?;
+    finish_trace(&trace, &flags)?;
+    let _ = writeln!(
+        out,
+        "explore: best overflow score {:.4} after {} trial(s) ({} failed{})",
+        outcome.best_value,
+        outcome.evals,
+        outcome.failed_trials,
+        if outcome.stopped_early {
+            ", stopped early"
+        } else {
+            ""
+        }
+    );
+    for (param, value) in space.params().iter().zip(&outcome.best) {
+        let _ = writeln!(out, "  {:<24} {value:.4}", param.name);
+    }
+    Ok(())
+}
+
+/// `puffer chaos` — the deterministic fault-injection harness. Every seed
+/// deterministically picks a fault class (`seed % 4`), injection point, and
+/// magnitude, drives an instrumented flow, and asserts the bounded-execution
+/// contract: a valid degraded result or a resumable checkpoint — never a
+/// hang or a corrupt artifact.
+fn cmd_chaos(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &["seeds", "cells", "max-iters"], &[])?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::usage("chaos takes no positional arguments"));
+    }
+    let seeds: u64 = flags.get_parsed("seeds")?.unwrap_or(8);
+    if seeds == 0 {
+        return Err(CliError::usage("--seeds must be at least 1"));
+    }
+    let cells: usize = flags.get_parsed("cells")?.unwrap_or(250);
+    let max_iters: usize = flags.get_parsed("max-iters")?.unwrap_or(60);
+    let dir = std::env::temp_dir().join("puffer-chaos");
+    let mut exercised: Vec<&str> = Vec::new();
+    for seed in 0..seeds {
+        let class = FaultClass::ALL[(seed % 4) as usize];
+        let mut rng = StdRng::seed_from_u64(0xC4A05 ^ seed);
+        let at: usize = rng.gen_range(2..10);
+        let magnitude: usize = rng.gen_range(5..30);
+        let verdict = run_chaos_case(seed, class, at, magnitude, cells, max_iters, &dir)?;
+        let _ = writeln!(out, "seed {seed:>2} {:<13} {verdict}", class.as_str());
+        if !exercised.contains(&class.as_str()) {
+            exercised.push(class.as_str());
+        }
+    }
+    let _ = writeln!(
+        out,
+        "chaos OK: {seeds} seed(s), {} fault class(es) exercised, every injection \
+         yielded a valid degraded result or a resumable checkpoint",
+        exercised.len()
+    );
+    Ok(())
+}
+
+/// Drives one chaos injection and verifies its contract; the `Ok` string
+/// describes what was checked, `Err` is a contract violation.
+fn run_chaos_case(
+    seed: u64,
+    class: FaultClass,
+    at: usize,
+    magnitude: usize,
+    cells: usize,
+    max_iters: usize,
+    dir: &Path,
+) -> Result<String, CliError> {
+    let case_dir = dir.join(format!("seed{seed}"));
+    std::fs::create_dir_all(&case_dir)
+        .map_err(|e| CliError::run(format!("cannot create {}: {e}", case_dir.display())))?;
+    let fail =
+        |m: String| CliError::run(format!("chaos seed {seed} ({}): {m}", class.as_str()));
+    let design = generate(&GeneratorConfig {
+        name: format!("chaos{seed}"),
+        num_cells: cells,
+        num_nets: cells + cells / 10,
+        utilization: 0.6,
+        hotspot: 0.5,
+        seed: 9000 + seed,
+        ..GeneratorConfig::default()
+    })
+    .map_err(|e| fail(format!("generation failed: {e}")))?;
+    let zeros = vec![0u32; design.netlist().num_cells()];
+    let flow_config = || {
+        let mut cfg = PufferConfig::default();
+        cfg.placer.max_iters = max_iters;
+        cfg
+    };
+
+    match class {
+        FaultClass::WorkerPanic => {
+            // One SMBO objective call panics; the run must isolate it as a
+            // failed trial and still return an outcome.
+            let space = puffer::strategy_space();
+            let config = ExplorationConfig {
+                max_evals: 6,
+                ..ExplorationConfig::default()
+            };
+            let panic_at = at % 5;
+            let mut trial = 0usize;
+            let outcome = explore_params_bounded(
+                &space,
+                |values| {
+                    let i = trial;
+                    trial += 1;
+                    // assert! (not the banned panic! token) fires only on
+                    // the injected trial.
+                    assert!(i != panic_at, "chaos: injected worker panic");
+                    values.iter().map(|v| (v - 1.0) * (v - 1.0)).sum::<f64>()
+                },
+                &config,
+                &Trace::disabled(),
+                &Budget::unbounded(),
+                None,
+            )
+            .map_err(|e| fail(format!("exploration died instead of isolating the panic: {e}")))?;
+            if outcome.failed_trials == 0 {
+                return Err(fail("panic was not recorded as a failed trial".into()));
+            }
+            Ok(format!(
+                "OK: panic isolated ({} trials, {} failed)",
+                outcome.evals, outcome.failed_trials
+            ))
+        }
+        FaultClass::NanBurst | FaultClass::SlowStage => {
+            let journal = case_dir.join("run.pj");
+            let metrics = case_dir.join("run.jsonl");
+            let trace = Trace::with_sink(&metrics)
+                .map_err(|e| fail(format!("cannot create metrics sink: {e}")))?;
+            let policy = CheckpointPolicy {
+                path: journal.clone(),
+                every: 10,
+                keep_history: false,
+            };
+            let mut placer = PufferPlacer::new(flow_config())
+                .with_trace(trace.clone())
+                .with_chaos(ChaosPlan {
+                    class,
+                    at,
+                    magnitude,
+                });
+            if class == FaultClass::SlowStage {
+                placer = placer.with_watchdog(StallWatchdog::new(Duration::from_millis(100)));
+            }
+            let result = placer
+                .place_with_checkpoints(&design, &policy)
+                .map_err(|e| fail(format!("flow must degrade, not fail: {e}")))?;
+            trace.write_summary();
+            trace
+                .flush()
+                .map_err(|e| fail(format!("metrics write failed: {e}")))?;
+            check_legal(&design, &result.placement, &zeros)
+                .map_err(|e| fail(format!("degraded placement is not legal: {e}")))?;
+            audit_run(&journal, &metrics)
+                .map_err(|r| fail(format!("journal/metrics inconsistent: {r}")))?;
+            match class {
+                FaultClass::SlowStage => {
+                    if !result.cancelled {
+                        return Err(fail("watchdog did not demote the stalled stage".into()));
+                    }
+                    Ok(format!(
+                        "OK: watchdog degraded at iteration {}, artifacts audit clean",
+                        result.gp_iterations
+                    ))
+                }
+                _ => Ok("OK: sentinel recovered the burst, artifacts audit clean".to_string()),
+            }
+        }
+        FaultClass::JournalWrite => {
+            let journal = case_dir.join("run.pj");
+            let policy = CheckpointPolicy {
+                path: journal.clone(),
+                every: 2,
+                keep_history: false,
+            };
+            // Fire strictly after the first committed checkpoint so there
+            // is a prior journal to fall back to.
+            let fire_at = at.max(4);
+            let err = PufferPlacer::new(flow_config())
+                .with_chaos(ChaosPlan {
+                    class,
+                    at: fire_at,
+                    magnitude,
+                })
+                .place_with_checkpoints(&design, &policy);
+            let Err(e) = err else {
+                return Err(fail("injected journal failure did not surface".into()));
+            };
+            if !matches!(e, puffer::PufferError::Journal(_)) {
+                return Err(fail(format!("wrong error class: {e}")));
+            }
+            let checkpoint = FlowCheckpoint::load(&journal)
+                .map_err(|e| fail(format!("prior journal corrupted by half-write: {e}")))?;
+            checkpoint
+                .validate()
+                .map_err(|r| fail(format!("prior journal invalid: {r}")))?;
+            let resumed = PufferPlacer::new(flow_config())
+                .resume(&design, &journal)
+                .map_err(|e| fail(format!("resume from prior journal failed: {e}")))?;
+            check_legal(&design, &resumed.placement, &zeros)
+                .map_err(|e| fail(format!("resumed placement is not legal: {e}")))?;
+            Ok(format!(
+                "OK: half-write left prior journal valid, resume completed ({} iterations)",
+                resumed.gp_iterations
+            ))
+        }
+    }
 }
 
 /// `puffer lint [--root <dir>]` — runs the workspace policy check (see
@@ -1265,5 +1657,130 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code, 1);
         assert!(err.message.contains("lint failed"), "{}", err.message);
+    }
+
+    #[test]
+    fn place_with_expired_deadline_reports_best_so_far() {
+        let design_path = tmp("deadline.pd");
+        let placed_path = tmp("deadline.pl");
+        run(
+            &strs(&["gen", "--cells", "250", "-o", &design_path]),
+            &mut String::new(),
+        )
+        .unwrap();
+        // A microscopic deadline expires on the first budget check: the run
+        // must still exit 0 with a legalized best-so-far placement.
+        let mut out = String::new();
+        run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &placed_path,
+                "--deadline",
+                "0.000001",
+                "--degrade",
+                "default",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("stopped early"), "{out}");
+        assert!(std::path::Path::new(&placed_path).exists());
+    }
+
+    #[test]
+    fn bounded_flags_are_validated() {
+        let design_path = tmp("boundedflags.pd");
+        let out_pl = tmp("boundedflags.pl");
+        run(
+            &strs(&["gen", "--cells", "200", "-o", &design_path]),
+            &mut String::new(),
+        )
+        .unwrap();
+        let err = run(
+            &strs(&["place", &design_path, "-o", &out_pl, "--deadline", "-3"]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &out_pl,
+                "--deadline",
+                "5",
+                "--degrade",
+                "bogus-step",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--degrade"), "{}", err.message);
+        // The ladder is meaningless without a deadline to measure against.
+        let err = run(
+            &strs(&["place", &design_path, "-o", &out_pl, "--degrade", "default"]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        // Bounded execution is a property of the PUFFER flow.
+        let err = run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &out_pl,
+                "--flow",
+                "reference",
+                "--deadline",
+                "5",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn explore_reports_best_strategy() {
+        let design_path = tmp("explore.pd");
+        run(
+            &strs(&["gen", "--cells", "150", "-o", &design_path]),
+            &mut String::new(),
+        )
+        .unwrap();
+        let mut out = String::new();
+        run(
+            &strs(&[
+                "explore",
+                &design_path,
+                "--trials",
+                "3",
+                "--max-iters",
+                "30",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("best overflow score"), "{out}");
+        assert!(out.contains("3 trial(s)"), "{out}");
+    }
+
+    #[test]
+    fn chaos_harness_covers_every_fault_class() {
+        let mut out = String::new();
+        run(
+            &strs(&["chaos", "--seeds", "4", "--cells", "200", "--max-iters", "40"]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("chaos OK"), "{out}");
+        assert!(out.contains("4 fault class(es)"), "{out}");
+        let err = run(&strs(&["chaos", "--seeds", "0"]), &mut String::new()).unwrap_err();
+        assert_eq!(err.code, 2);
     }
 }

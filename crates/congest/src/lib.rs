@@ -46,6 +46,10 @@ pub use capacity::build_capacity;
 pub use demand::try_build_demand;
 pub use map::CongestionMap;
 
+use puffer_budget::Budget;
+/// Shared worker-thread defaults (hoisted to `puffer-budget` so the
+/// estimator and the global router clamp identically).
+pub use puffer_budget::{clamp_threads, default_threads};
 use puffer_db::design::{Design, Placement};
 use puffer_db::grid::Grid;
 use puffer_trace::Trace;
@@ -67,16 +71,6 @@ impl std::fmt::Display for CongestError {
 }
 
 impl std::error::Error for CongestError {}
-
-/// Default worker-thread count: the machine's available parallelism,
-/// clamped to keep tiny containers at one thread and huge hosts from
-/// oversubscribing the per-net chunking.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .clamp(1, 32)
-}
 
 /// Configuration of the congestion estimator.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,6 +115,7 @@ pub struct CongestionEstimator {
     h_cap: Grid<f64>,
     v_cap: Grid<f64>,
     trace: Trace,
+    budget: Budget,
 }
 
 impl CongestionEstimator {
@@ -133,7 +128,28 @@ impl CongestionEstimator {
             h_cap,
             v_cap,
             trace: Trace::disabled(),
+            budget: Budget::unbounded(),
         }
+    }
+
+    /// Attaches an execution budget. When it is exhausted the estimator
+    /// skips the detour-imitating expansion — a cheaper, slightly less
+    /// accurate estimate instead of blowing the deadline.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Coarsens the estimation grid by `factor` (e.g. `2.0` doubles the
+    /// Gcell edge, quartering the cell count) and rebuilds the capacity
+    /// maps. First rung of the graceful-degradation ladder: demand and
+    /// expansion cost scale with the Gcell count, so a coarser grid trades
+    /// map resolution for time.
+    pub fn coarsen(&mut self, design: &Design, factor: f64) {
+        assert!(factor.is_finite() && factor >= 1.0, "bad coarsen factor {factor}");
+        self.config.gcell_rows *= factor;
+        let (h_cap, v_cap) = capacity::build_capacity(design, &self.config);
+        self.h_cap = h_cap;
+        self.v_cap = v_cap;
     }
 
     /// Attaches a telemetry handle: every [`CongestionEstimator::estimate`]
@@ -186,10 +202,10 @@ impl CongestionEstimator {
             placement,
             &self.h_cap,
             self.config.pin_penalty,
-            self.config.threads,
+            clamp_threads(self.config.threads),
         )?;
         let mut map = CongestionMap::new(self.h_cap.clone(), self.v_cap.clone(), h_dmd, v_dmd);
-        if self.config.expand_detours {
+        if self.config.expand_detours && !self.budget.is_exhausted() {
             detour::expand(&mut map, &segments, &self.config);
         }
         if self.trace.is_enabled() {
@@ -331,6 +347,41 @@ mod tests {
         let total: f64 = hist.iter().map(|b| b.unwrap_or(0.0)).sum();
         assert_eq!(total as usize, est.h_capacity().nx() * est.h_capacity().ny());
         assert_eq!(trace.counters(), vec![("congest.rounds".to_string(), 2)]);
+    }
+
+    #[test]
+    fn coarsen_shrinks_the_grid() {
+        let d = tiny_design();
+        let mut est = CongestionEstimator::new(&d, EstimatorConfig::default());
+        let (nx, ny) = (est.h_capacity().nx(), est.h_capacity().ny());
+        est.coarsen(&d, 2.0);
+        assert!(est.h_capacity().nx() < nx, "{} < {nx}", est.h_capacity().nx());
+        assert!(est.h_capacity().ny() < ny, "{} < {ny}", est.h_capacity().ny());
+        assert_eq!(est.config().gcell_rows, 6.0);
+        // The coarser estimator still produces a usable map.
+        let map = est.estimate(&d, &d.initial_placement());
+        assert!(map.total_demand() > 0.0);
+    }
+
+    #[test]
+    fn exhausted_budget_skips_detour_expansion() {
+        let d = tiny_design();
+        let p = clustered_placement(&d, 0.2);
+        let mut bounded = CongestionEstimator::new(&d, EstimatorConfig::default());
+        let token = puffer_budget::CancelToken::new();
+        token.cancel();
+        bounded.set_budget(Budget::unbounded().with_token(token));
+        let without = CongestionEstimator::new(
+            &d,
+            EstimatorConfig {
+                expand_detours: false,
+                ..EstimatorConfig::default()
+            },
+        );
+        let a = bounded.estimate(&d, &p);
+        let b = without.estimate(&d, &p);
+        assert_eq!(a.h_demand().as_slice(), b.h_demand().as_slice());
+        assert_eq!(a.v_demand().as_slice(), b.v_demand().as_slice());
     }
 
     #[test]

@@ -146,6 +146,8 @@ impl ReferencePlacer {
             final_overflow: placer.overflow(),
             runtime_s: start.elapsed().as_secs_f64(),
             avg_displacement: outcome.avg_displacement,
+            degradation: Vec::new(),
+            cancelled: false,
         })
     }
 }
@@ -276,6 +278,8 @@ impl ReplacePlacer {
             final_overflow: placer.overflow(),
             runtime_s: start.elapsed().as_secs_f64(),
             avg_displacement: outcome.avg_displacement,
+            degradation: Vec::new(),
+            cancelled: false,
         })
     }
 }
@@ -404,6 +408,8 @@ impl WsaPlacer {
             final_overflow: placer.overflow(),
             runtime_s: start.elapsed().as_secs_f64(),
             avg_displacement: outcome.avg_displacement,
+            degradation: Vec::new(),
+            cancelled: false,
         })
     }
 }

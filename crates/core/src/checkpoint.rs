@@ -21,13 +21,15 @@
 //! cell <i> <x> <y> <engine_pad> <history_pad> <pad_rounds>
 //! opt_scalars <a> <alpha>        (present only when the solver was live)
 //! opt_u <2n floats> ...          (solver vectors, one line each)
+//! degradation <step,step,...>    (present only when the ladder engaged)
 //! end
 //! ```
 //!
-//! Writes are atomic (temp file + rename), so a crash mid-write leaves the
-//! previous journal intact, and the trailing `end` marker detects files
-//! truncated by a crash mid-copy.
+//! Writes are atomic (temp file + fsync + rename), so a crash mid-write —
+//! or even right after the rename — leaves a complete journal on disk, and
+//! the trailing `end` marker detects files truncated by a crash mid-copy.
 
+use puffer_budget::DegradeStep;
 use puffer_db::design::{Design, Placement};
 use puffer_pad::PaddingState;
 use puffer_place::{NesterovState, PlacerSnapshot};
@@ -157,6 +159,10 @@ pub struct FlowCheckpoint {
     pub placer: PlacerSnapshot,
     /// Routability-optimizer padding history.
     pub pad: PaddingState,
+    /// Degradation-ladder rungs engaged before this checkpoint (in
+    /// engagement order). A resumed run re-applies them so its fidelity
+    /// matches the run that wrote the journal.
+    pub degradation: Vec<DegradeStep>,
 }
 
 impl FlowCheckpoint {
@@ -173,7 +179,14 @@ impl FlowCheckpoint {
             stage,
             placer,
             pad,
+            degradation: Vec::new(),
         }
+    }
+
+    /// Records the degradation-ladder rungs engaged at capture time.
+    pub fn with_degradation(mut self, steps: Vec<DegradeStep>) -> Self {
+        self.degradation = steps;
+        self
     }
 
     /// Checks that the checkpoint belongs to `design` (same cell count;
@@ -241,24 +254,37 @@ impl FlowCheckpoint {
                 out.push('\n');
             }
         }
+        if !self.degradation.is_empty() {
+            let list: Vec<&str> = self.degradation.iter().map(|s| s.as_str()).collect();
+            let _ = writeln!(out, "degradation {}", list.join(","));
+        }
         out.push_str("end\n");
         out
     }
 
     /// Atomically writes the journal: the text goes to a sibling temp file
-    /// which is then renamed over `path`, so a crash mid-write leaves any
-    /// previous journal intact.
+    /// which is fsynced and then renamed over `path`. The sync-before-rename
+    /// ordering matters: without it a crash (or power cut) shortly after the
+    /// rename could persist the new name pointing at not-yet-flushed data,
+    /// replacing a good journal with a truncated one. With it, a crash at
+    /// any point leaves either the complete previous journal or the complete
+    /// new one — never a half-record that happens to parse.
     ///
     /// # Errors
     ///
     /// [`JournalError::Io`] when the filesystem refuses.
     pub fn save(&self, path: &Path) -> Result<(), JournalError> {
+        use std::io::Write as _;
         let name = path
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| "checkpoint".to_string());
         let tmp = path.with_file_name(format!("{name}.tmp"));
-        std::fs::write(&tmp, self.render()).map_err(JournalError::Io)?;
+        let mut file = std::fs::File::create(&tmp).map_err(JournalError::Io)?;
+        file.write_all(self.render().as_bytes())
+            .map_err(JournalError::Io)?;
+        file.sync_all().map_err(JournalError::Io)?;
+        drop(file);
         std::fs::rename(&tmp, path).map_err(JournalError::Io)
     }
 
@@ -346,6 +372,21 @@ impl FlowCheckpoint {
             None
         };
 
+        let degradation = if p.peek_tag() == Some("degradation") {
+            let rest = p.line_rest("degradation")?.trim().to_string();
+            let mut steps = Vec::new();
+            for token in rest.split(',').filter(|t| !t.is_empty()) {
+                steps.push(
+                    token
+                        .parse::<DegradeStep>()
+                        .map_err(|e| p.err(format!("bad degradation step: {e}")))?,
+                );
+            }
+            steps
+        } else {
+            Vec::new()
+        };
+
         let end = p.line_rest("end").map_err(|_| JournalError::Parse {
             line: p.line_no,
             message: "missing 'end' marker (journal truncated?)".into(),
@@ -374,6 +415,7 @@ impl FlowCheckpoint {
                 round: pad_round,
                 last_utilization: pad_util,
             },
+            degradation,
         })
     }
 }
@@ -538,6 +580,26 @@ mod tests {
         let path = tmp("roundtrip.pj");
         ckpt.save(&path).unwrap();
         assert_eq!(FlowCheckpoint::load(&path).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn degradation_line_roundtrips() {
+        let d = design();
+        let ckpt = checkpoint_after(&d, 2).with_degradation(vec![
+            DegradeStep::CoarseCongestion,
+            DegradeStep::FreezePadding,
+        ]);
+        let text = ckpt.render();
+        assert!(
+            text.contains("degradation coarse-congestion,freeze-padding"),
+            "{text}"
+        );
+        let parsed = FlowCheckpoint::parse(&text).unwrap();
+        assert_eq!(parsed, ckpt);
+        // Unknown steps are a parse error, not silently dropped.
+        let bad = text.replace("coarse-congestion", "melt-everything");
+        let err = FlowCheckpoint::parse(&bad).unwrap_err();
+        assert!(err.to_string().contains("degradation"), "{err}");
     }
 
     #[test]

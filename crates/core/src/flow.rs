@@ -3,6 +3,9 @@
 
 use crate::checkpoint::{CheckpointPolicy, FlowCheckpoint, FlowStage};
 use crate::PufferError;
+#[cfg(feature = "chaos")]
+use puffer_budget::{ChaosPlan, FaultClass};
+use puffer_budget::{Budget, DegradationLadder, DegradeStep, LadderState, StallAction, StallWatchdog};
 use puffer_congest::EstimatorConfig;
 use puffer_db::design::{Design, Placement};
 use puffer_db::hpwl::total_hpwl;
@@ -142,6 +145,12 @@ pub struct FlowResult {
     pub runtime_s: f64,
     /// Average legalization displacement.
     pub avg_displacement: f64,
+    /// Degradation-ladder steps that engaged, in engagement order.
+    pub degradation: Vec<DegradeStep>,
+    /// Whether global placement stopped early (budget expired, external
+    /// cancel, early-exit rung, or watchdog demotion) rather than
+    /// converging. The placement is still the legalized best-so-far.
+    pub cancelled: bool,
 }
 
 /// The PUFFER placer: the paper's primary contribution, assembled.
@@ -166,6 +175,11 @@ pub struct PufferPlacer {
     config: PufferConfig,
     trace: Trace,
     observer: Option<StageObserver>,
+    budget: Budget,
+    ladder: Option<DegradationLadder>,
+    watchdog: Option<StallWatchdog>,
+    #[cfg(feature = "chaos")]
+    chaos: Option<ChaosPlan>,
 }
 
 impl PufferPlacer {
@@ -175,6 +189,11 @@ impl PufferPlacer {
             config,
             trace: Trace::disabled(),
             observer: None,
+            budget: Budget::unbounded(),
+            ladder: None,
+            watchdog: None,
+            #[cfg(feature = "chaos")]
+            chaos: None,
         }
     }
 
@@ -194,6 +213,46 @@ impl PufferPlacer {
     /// reports are never built, so the unused hook costs nothing.
     pub fn with_observer(mut self, observer: StageObserver) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches an execution budget, returning `self` for chaining. The
+    /// flow checks it cooperatively at every global-placement iteration
+    /// (the budget's clock starts at [`Budget::with_deadline`], not here);
+    /// when it expires the loop breaks as if converged — the best-so-far
+    /// snapshot is still legalized, so the flow exits cleanly within the
+    /// deadline plus one iteration's slack.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a graceful-degradation ladder, returning `self` for
+    /// chaining. As the budget's remaining fraction crosses each rung's
+    /// threshold the flow steps down fidelity in the declared order; each
+    /// engagement is recorded as a `flow.degrade` trace record and in the
+    /// checkpoint journal. Without a bounded budget the ladder never
+    /// engages.
+    pub fn with_ladder(mut self, ladder: DegradationLadder) -> Self {
+        self.ladder = Some(ladder);
+        self
+    }
+
+    /// Attaches a stall watchdog, returning `self` for chaining. The flow
+    /// feeds it the iteration counter at every loop boundary; if the
+    /// counter stops advancing for the watchdog's window, the flow
+    /// checkpoints (when journaling) and then either degrades to
+    /// best-so-far legalization ([`StallAction::Degrade`]) or aborts with
+    /// [`PufferError::Stalled`] ([`StallAction::Abort`]).
+    pub fn with_watchdog(mut self, watchdog: StallWatchdog) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Arms one deterministic fault injection (chaos-harness use only).
+    #[cfg(feature = "chaos")]
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 
@@ -271,6 +330,7 @@ impl PufferPlacer {
     ) -> Result<FlowResult, PufferError> {
         let start = Instant::now();
         let trace = &self.trace;
+        let budget = &self.budget;
         let init_span = trace.span("init");
         let mut optimizer = RoutabilityOptimizer::new(
             design,
@@ -279,6 +339,28 @@ impl PufferPlacer {
         )
         .with_feature_config(self.config.features.clone());
         optimizer.set_trace(trace.clone());
+        optimizer.set_budget(budget.clone());
+
+        // Bounded-execution state for this run. The ladder/watchdog handles
+        // on `self` are templates; each run works on its own copies.
+        let mut ladder = self.ladder.clone().map(LadderState::new);
+        let mut watchdog = self.watchdog.clone();
+        let mut engaged: Vec<DegradeStep> = Vec::new();
+        let mut frozen_padding = false;
+        let mut early_exit = false;
+        let mut cancelled = false;
+        #[cfg(feature = "chaos")]
+        let journal_fault: Option<usize> = self
+            .chaos
+            .as_ref()
+            .filter(|p| p.class == FaultClass::JournalWrite)
+            .map(|p| p.at);
+        #[cfg(not(feature = "chaos"))]
+        let journal_fault: Option<usize> = None;
+        #[cfg(feature = "chaos")]
+        let mut nan_fired = false;
+        #[cfg(feature = "chaos")]
+        let mut slow_fired = false;
 
         // Either a fresh placer after its first step, or the journaled one.
         // `resumed_stage` remembers where the journal left off; `skip_round`
@@ -333,8 +415,38 @@ impl PufferPlacer {
         if !resumed_done {
             let _gp_span = trace.span("gp");
             loop {
+                // Graceful degradation: engage every rung whose threshold
+                // the budget has crossed since the last pass, in ladder
+                // order. Each engagement is applied once, journaled, and
+                // traced.
+                if let Some(state) = ladder.as_mut() {
+                    for step in state.poll(budget) {
+                        match step {
+                            DegradeStep::CoarseCongestion => {
+                                optimizer.coarsen_estimator(design, 2.0);
+                            }
+                            DegradeStep::FreezePadding => frozen_padding = true,
+                            // SMBO-only rung; recorded so the journal still
+                            // reflects the declared ladder position.
+                            DegradeStep::CapTrials => {}
+                            DegradeStep::EarlyExitGp => early_exit = true,
+                        }
+                        trace
+                            .record("flow.degrade")
+                            .str("step", step.as_str())
+                            .num("fraction_remaining", budget.fraction_remaining())
+                            .int("iter", last.iter as i64)
+                            .write();
+                        engaged.push(step);
+                    }
+                }
                 if !skip_round {
-                    if optimizer.should_trigger(last.overflow) {
+                    // An exhausted budget also skips the (expensive) pad
+                    // round: the loop is about to break to legalization.
+                    if !frozen_padding
+                        && !budget.is_exhausted()
+                        && optimizer.should_trigger(last.overflow)
+                    {
                         let _pad_span = trace.span("pad");
                         let snapshot = placer.placement().clone();
                         optimizer.optimize(design, &snapshot);
@@ -356,21 +468,142 @@ impl PufferPlacer {
                                 FlowStage::GlobalPlace,
                                 &placer,
                                 &optimizer,
+                                &BoundedRun {
+                                    degradation: &engaged,
+                                    journal_fault,
+                                },
                             )?;
                         }
                     }
                 }
                 skip_round = false;
+
+                // Stall watchdog: the iteration counter is the heartbeat.
+                // A pass that reaches this point with the same counter as
+                // the previous pass is not advancing; once that lasts a
+                // full window, act.
+                trace.heartbeat("gp", last.iter as u64);
+                let mut stalled = None;
+                if let Some(wd) = watchdog.as_mut() {
+                    stalled = wd.observe(last.iter as u64);
+                }
+                #[cfg(feature = "chaos")]
+                if let Some(plan) = &self.chaos {
+                    if plan.class == FaultClass::SlowStage
+                        && !slow_fired
+                        && last.iter >= plan.at
+                        && stalled.is_none()
+                    {
+                        slow_fired = true;
+                        trace
+                            .record("chaos.inject")
+                            .str("class", plan.class.as_str())
+                            .int("at", last.iter as i64)
+                            .int("magnitude", plan.magnitude as i64)
+                            .write();
+                        // Hold the stage without advancing the counter,
+                        // feeding the watchdog so the stall is observable;
+                        // bounded so an unwatched run cannot hang.
+                        let cap = std::time::Duration::from_millis(
+                            (25 * plan.magnitude.max(1) as u64).min(2_000),
+                        );
+                        let held = Instant::now();
+                        while stalled.is_none() && held.elapsed() < cap && !budget.is_exhausted()
+                        {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            if let Some(wd) = watchdog.as_mut() {
+                                stalled = wd.observe(last.iter as u64);
+                            }
+                        }
+                    }
+                }
+                if let (Some(stalled_for), Some(wd)) = (stalled, watchdog.as_ref()) {
+                    trace
+                        .record("watchdog.stall")
+                        .str("stage", "gp")
+                        .num("stalled_s", stalled_for.as_secs_f64())
+                        .num("window_s", wd.window().as_secs_f64())
+                        .str(
+                            "action",
+                            match wd.action() {
+                                StallAction::Degrade => "degrade",
+                                StallAction::Abort => "abort",
+                            },
+                        )
+                        .int("iter", last.iter as i64)
+                        .write();
+                    if let Some(policy) = policy {
+                        self.write_checkpoint(
+                            design,
+                            policy,
+                            FlowStage::GlobalPlace,
+                            &placer,
+                            &optimizer,
+                            &BoundedRun {
+                                degradation: &engaged,
+                                journal_fault,
+                            },
+                        )?;
+                    }
+                    match wd.action() {
+                        StallAction::Degrade => {
+                            cancelled = true;
+                            break;
+                        }
+                        StallAction::Abort => {
+                            return Err(PufferError::Stalled(format!(
+                                "gp made no progress for {:.2}s (window {:.2}s) \
+                                 at iteration {}",
+                                stalled_for.as_secs_f64(),
+                                wd.window().as_secs_f64(),
+                                last.iter,
+                            )));
+                        }
+                    }
+                }
+
+                // Cooperative cancellation: an expired budget or the
+                // early-exit rung breaks as if converged; the best-so-far
+                // snapshot proceeds to (unbounded) legalization.
+                if budget.is_exhausted() || early_exit {
+                    cancelled = true;
+                    break;
+                }
                 if last.iter >= self.config.placer.max_iters
                     || last.overflow <= self.config.placer.stop_overflow
                 {
                     break;
                 }
+                #[cfg(feature = "chaos")]
+                if let Some(plan) = &self.chaos {
+                    if plan.class == FaultClass::NanBurst && !nan_fired && last.iter >= plan.at {
+                        nan_fired = true;
+                        trace
+                            .record("chaos.inject")
+                            .str("class", plan.class.as_str())
+                            .int("at", last.iter as i64)
+                            .int("magnitude", plan.magnitude as i64)
+                            .write();
+                        // Poison right before a step so the divergence
+                        // sentinel inside it must recover the burst.
+                        placer.chaos_poison_nan(plan.magnitude.max(1));
+                    }
+                }
                 last = placer.step();
             }
         }
         if let Some(policy) = policy {
-            self.write_checkpoint(design, policy, FlowStage::GlobalDone, &placer, &optimizer)?;
+            self.write_checkpoint(
+                design,
+                policy,
+                FlowStage::GlobalDone,
+                &placer,
+                &optimizer,
+                &BoundedRun {
+                    degradation: &engaged,
+                    journal_fault,
+                },
+            )?;
         }
         let global_placement = placer.placement().clone();
         self.observe(
@@ -433,6 +666,8 @@ impl PufferPlacer {
             final_overflow: placer.overflow(),
             runtime_s: start.elapsed().as_secs_f64(),
             avg_displacement: outcome.avg_displacement,
+            degradation: engaged,
+            cancelled,
         };
         trace
             .record("flow.done")
@@ -441,6 +676,8 @@ impl PufferPlacer {
             .int("pad_rounds", result.pad_rounds as i64)
             .num("hpwl", result.hpwl)
             .num("overflow", result.final_overflow)
+            .int("cancelled", result.cancelled as i64)
+            .int("degrade_steps", result.degradation.len() as i64)
             .write();
         Ok(result)
     }
@@ -479,13 +716,49 @@ impl PufferPlacer {
         stage: FlowStage,
         placer: &GlobalPlacer<'_>,
         optimizer: &RoutabilityOptimizer,
+        bounded: &BoundedRun<'_>,
     ) -> Result<(), PufferError> {
+        let path = policy.file_for(stage, placer.iterations());
+        if let Some(at) = bounded.journal_fault {
+            if placer.iterations() >= at {
+                return self.inject_journal_fault(&path, placer.iterations());
+            }
+        }
         let checkpoint =
-            FlowCheckpoint::capture(design, stage, placer.snapshot(), optimizer.state().clone());
+            FlowCheckpoint::capture(design, stage, placer.snapshot(), optimizer.state().clone())
+                .with_degradation(bounded.degradation.to_vec());
         checkpoint
-            .save(&policy.file_for(stage, placer.iterations()))
+            .save(&path)
             .map_err(|e| PufferError::Journal(e.to_string()))
     }
+
+    /// Chaos-harness fault point: simulates a crash part-way through a
+    /// journal write. A half-record lands under the temp name and is never
+    /// renamed, exactly what an interrupted [`FlowCheckpoint::save`] leaves
+    /// behind — the previously committed journal (if any) stays valid.
+    fn inject_journal_fault(&self, path: &Path, iter: usize) -> Result<(), PufferError> {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("journal");
+        let tmp = path.with_file_name(format!("{name}.tmp"));
+        let _ = std::fs::write(&tmp, "puffer_checkpoint 1\ndesign 40");
+        self.trace
+            .record("chaos.inject")
+            .str("class", "journal-write")
+            .int("at", iter as i64)
+            .write();
+        Err(PufferError::Journal(format!(
+            "chaos: injected journal write failure at iteration {iter}"
+        )))
+    }
+}
+
+/// Per-run bounded-execution state a checkpoint write must record: the
+/// engaged degradation rungs, plus the armed journal fault (chaos only).
+struct BoundedRun<'a> {
+    degradation: &'a [DegradeStep],
+    journal_fault: Option<usize>,
 }
 
 #[cfg(test)]
@@ -521,6 +794,8 @@ mod tests {
         assert!(r.gp_iterations > 0);
         assert!(r.hpwl > 0.0);
         assert!(r.runtime_s > 0.0);
+        assert!(!r.cancelled, "unbounded run must not report cancellation");
+        assert!(r.degradation.is_empty());
         // Legality is already asserted inside place(); double-check.
         let zeros = vec![0u32; d.netlist().num_cells()];
         puffer_legal::check_legal(&d, &r.placement, &zeros).unwrap();
@@ -676,6 +951,206 @@ mod tests {
         placer.place_with_checkpoints(&d, &policy).unwrap();
         let err = placer.resume(&other, &policy.path).unwrap_err();
         assert!(matches!(err, PufferError::Resume(_)), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_yields_cancelled_best_so_far() {
+        use std::time::Duration;
+        let d = design();
+        let r = PufferPlacer::new(quick_config())
+            .with_budget(puffer_budget::Budget::with_deadline(Duration::ZERO))
+            .place(&d)
+            .unwrap();
+        assert!(r.cancelled, "expired budget must report cancellation");
+        assert!(
+            r.gp_iterations <= 2,
+            "expired budget must break within one iteration's slack, ran {}",
+            r.gp_iterations
+        );
+        // The best-so-far snapshot is still legalized.
+        let zeros = vec![0u32; d.netlist().num_cells()];
+        puffer_legal::check_legal(&d, &r.placement, &zeros).unwrap();
+        assert!(r.hpwl.is_finite());
+    }
+
+    #[test]
+    fn cancel_token_stops_the_flow_cleanly() {
+        let d = design();
+        let token = puffer_budget::CancelToken::new();
+        token.cancel();
+        let r = PufferPlacer::new(quick_config())
+            .with_budget(puffer_budget::Budget::unbounded().with_token(token))
+            .place(&d)
+            .unwrap();
+        assert!(r.cancelled);
+        let zeros = vec![0u32; d.netlist().num_cells()];
+        puffer_legal::check_legal(&d, &r.placement, &zeros).unwrap();
+    }
+
+    #[test]
+    fn degradation_ladder_engages_in_order_and_is_journaled() {
+        use std::time::Duration;
+        let d = design();
+        let dir = tmp_dir("ladder");
+        let path = dir.join("metrics.jsonl");
+        let trace = Trace::with_sink(&path).unwrap();
+        let policy = CheckpointPolicy::new(dir.join("run.pj"));
+        // An already-expired deadline drops fraction_remaining to 0, so
+        // every rung engages on the first poll, in declared order.
+        let r = PufferPlacer::new(quick_config())
+            .with_budget(puffer_budget::Budget::with_deadline(Duration::ZERO))
+            .with_ladder(puffer_budget::DegradationLadder::default())
+            .with_trace(trace.clone())
+            .place_with_checkpoints(&d, &policy)
+            .unwrap();
+        trace.flush().unwrap();
+        assert_eq!(r.degradation, puffer_budget::DegradeStep::ALL.to_vec());
+        assert!(r.cancelled);
+
+        let records = puffer_trace::read_jsonl(&path).unwrap();
+        let steps: Vec<String> = records
+            .iter()
+            .filter(|rec| rec.kind() == Some("flow.degrade"))
+            .filter_map(|rec| rec.str_field("step").map(str::to_string))
+            .collect();
+        assert_eq!(
+            steps,
+            vec![
+                "coarse-congestion".to_string(),
+                "freeze-padding".to_string(),
+                "cap-trials".to_string(),
+                "early-exit-gp".to_string(),
+            ]
+        );
+
+        // The final journal carries the engaged ladder position.
+        let checkpoint = FlowCheckpoint::load(&policy.path).unwrap();
+        assert_eq!(checkpoint.degradation, puffer_budget::DegradeStep::ALL.to_vec());
+    }
+
+    #[test]
+    fn unbounded_budget_never_engages_the_ladder() {
+        let d = design();
+        let r = PufferPlacer::new(quick_config())
+            .with_ladder(puffer_budget::DegradationLadder::default())
+            .place(&d)
+            .unwrap();
+        assert!(r.degradation.is_empty());
+        assert!(!r.cancelled);
+    }
+
+    #[cfg(feature = "chaos")]
+    mod chaos {
+        use super::*;
+        use puffer_budget::{ChaosPlan, FaultClass, StallAction, StallWatchdog};
+        use std::time::Duration;
+
+        #[test]
+        fn slow_stage_trips_watchdog_and_degrades() {
+            let d = design();
+            let dir = tmp_dir("chaos-slow");
+            let path = dir.join("metrics.jsonl");
+            let trace = Trace::with_sink(&path).unwrap();
+            let r = PufferPlacer::new(quick_config())
+                .with_watchdog(
+                    StallWatchdog::new(Duration::from_millis(50))
+                        .with_action(StallAction::Degrade),
+                )
+                .with_chaos(ChaosPlan {
+                    class: FaultClass::SlowStage,
+                    at: 5,
+                    magnitude: 400,
+                })
+                .with_trace(trace.clone())
+                .place(&d)
+                .unwrap();
+            trace.flush().unwrap();
+            assert!(r.cancelled, "watchdog demotion must mark cancellation");
+            let zeros = vec![0u32; d.netlist().num_cells()];
+            puffer_legal::check_legal(&d, &r.placement, &zeros).unwrap();
+
+            let records = puffer_trace::read_jsonl(&path).unwrap();
+            let stall = records
+                .iter()
+                .find(|rec| rec.kind() == Some("watchdog.stall"))
+                .expect("watchdog.stall record");
+            assert_eq!(stall.str_field("stage"), Some("gp"));
+            assert_eq!(stall.str_field("action"), Some("degrade"));
+            assert!(stall.num("stalled_s").unwrap() >= 0.05);
+            assert!(records
+                .iter()
+                .any(|rec| rec.kind() == Some("chaos.inject")
+                    && rec.str_field("class") == Some("slow-stage")));
+        }
+
+        #[test]
+        fn slow_stage_abort_checkpoints_then_errors() {
+            let d = design();
+            let dir = tmp_dir("chaos-abort");
+            let policy = CheckpointPolicy::new(dir.join("run.pj"));
+            let err = PufferPlacer::new(quick_config())
+                .with_watchdog(
+                    StallWatchdog::new(Duration::from_millis(50)).with_action(StallAction::Abort),
+                )
+                .with_chaos(ChaosPlan {
+                    class: FaultClass::SlowStage,
+                    at: 5,
+                    magnitude: 400,
+                })
+                .place_with_checkpoints(&d, &policy)
+                .unwrap_err();
+            assert!(matches!(err, PufferError::Stalled(_)), "{err}");
+            // Checkpoint-then-abort: the stalled state is resumable.
+            let resumed = PufferPlacer::new(quick_config())
+                .resume(&d, &policy.path)
+                .unwrap();
+            assert!(resumed.hpwl > 0.0);
+        }
+
+        #[test]
+        fn nan_burst_is_recovered_by_the_sentinel() {
+            let d = design();
+            let r = PufferPlacer::new(quick_config())
+                .with_chaos(ChaosPlan {
+                    class: FaultClass::NanBurst,
+                    at: 3,
+                    magnitude: 25,
+                })
+                .place(&d)
+                .unwrap();
+            assert!(r.hpwl.is_finite());
+            let zeros = vec![0u32; d.netlist().num_cells()];
+            puffer_legal::check_legal(&d, &r.placement, &zeros).unwrap();
+        }
+
+        #[test]
+        fn journal_write_failure_leaves_prior_journal_valid() {
+            let d = design();
+            let dir = tmp_dir("chaos-journal");
+            let policy = CheckpointPolicy {
+                path: dir.join("run.pj"),
+                every: 2,
+                keep_history: false,
+            };
+            let err = PufferPlacer::new(quick_config())
+                .with_chaos(ChaosPlan {
+                    class: FaultClass::JournalWrite,
+                    at: 6,
+                    magnitude: 1,
+                })
+                .place_with_checkpoints(&d, &policy)
+                .unwrap_err();
+            assert!(matches!(err, PufferError::Journal(_)), "{err}");
+            // The injected half-record sits under the temp name; the last
+            // committed journal is untouched, loads, and resumes.
+            assert!(dir.join("run.pj.tmp").exists(), "half-record missing");
+            FlowCheckpoint::load(&policy.path).unwrap();
+            let resumed = PufferPlacer::new(quick_config())
+                .resume(&d, &policy.path)
+                .unwrap();
+            let plain = PufferPlacer::new(quick_config()).place(&d).unwrap();
+            assert_eq!(resumed.placement, plain.placement);
+        }
     }
 
     #[test]

@@ -85,6 +85,8 @@ pub enum PufferError {
     Resume(String),
     /// A `--validate` stage observer rejected an intermediate state.
     Validate(String),
+    /// The stall watchdog tripped with [`puffer_budget::StallAction::Abort`].
+    Stalled(String),
 }
 
 impl fmt::Display for PufferError {
@@ -95,6 +97,7 @@ impl fmt::Display for PufferError {
             PufferError::Journal(m) => write!(f, "checkpoint journal failed: {m}"),
             PufferError::Resume(m) => write!(f, "resume failed: {m}"),
             PufferError::Validate(m) => write!(f, "validation failed: {m}"),
+            PufferError::Stalled(m) => write!(f, "flow stalled: {m}"),
         }
     }
 }
@@ -125,9 +128,30 @@ pub fn evaluate_traced(
     config: &RouterConfig,
     trace: &puffer_trace::Trace,
 ) -> RouteReport {
+    evaluate_bounded(
+        design,
+        placement,
+        config,
+        &puffer_budget::Budget::unbounded(),
+        trace,
+    )
+}
+
+/// [`evaluate_traced`] under a cooperative budget: the router checks it
+/// between rip-up rounds and rerouted nets, so an expiring deadline stops
+/// refinement early and the report describes the best routing so far.
+pub fn evaluate_bounded(
+    design: &Design,
+    placement: &Placement,
+    config: &RouterConfig,
+    budget: &puffer_budget::Budget,
+    trace: &puffer_trace::Trace,
+) -> RouteReport {
     let report = {
         let _route = trace.span("route");
-        evaluate_with(design, placement, config)
+        let mut router = GlobalRouter::new(design, config.clone());
+        router.set_budget(budget.clone());
+        router.route(design, placement)
     };
     trace
         .record("route.done")

@@ -40,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 
+use puffer_budget::Budget;
 use puffer_congest::CongestionMap;
 use puffer_db::design::{Design, Placement};
 use puffer_db::geom::Point;
@@ -100,7 +101,28 @@ pub fn refine(
     padding_sites: &[u32],
     config: &DetailedConfig,
 ) -> Result<DetailedOutcome, LegalizeError> {
-    refine_impl(design, placement, padding_sites, config, None)
+    refine_impl(design, placement, padding_sites, config, None, &Budget::unbounded())
+}
+
+/// [`refine_with_congestion`] (or [`refine`], with `congestion: None`)
+/// under an execution [`Budget`], checked between refinement passes.
+///
+/// Every pass leaves the placement legal and no worse than before, so an
+/// expiring deadline simply stops after the current pass and returns the
+/// best placement reached — never an error.
+///
+/// # Errors
+///
+/// Same as [`refine`].
+pub fn refine_bounded(
+    design: &Design,
+    placement: &Placement,
+    padding_sites: &[u32],
+    config: &DetailedConfig,
+    congestion: Option<&CongestionMap>,
+    budget: &Budget,
+) -> Result<DetailedOutcome, LegalizeError> {
+    refine_impl(design, placement, padding_sites, config, congestion, budget)
 }
 
 /// Refines a legal placement, rejecting moves that worsen the congestion
@@ -117,7 +139,14 @@ pub fn refine_with_congestion(
     config: &DetailedConfig,
     congestion: &CongestionMap,
 ) -> Result<DetailedOutcome, LegalizeError> {
-    refine_impl(design, placement, padding_sites, config, Some(congestion))
+    refine_impl(
+        design,
+        placement,
+        padding_sites,
+        config,
+        Some(congestion),
+        &Budget::unbounded(),
+    )
 }
 
 /// The cells of one segment, in left-to-right order, with footprint data:
@@ -133,6 +162,7 @@ fn refine_impl(
     padding_sites: &[u32],
     config: &DetailedConfig,
     congestion: Option<&CongestionMap>,
+    budget: &Budget,
 ) -> Result<DetailedOutcome, LegalizeError> {
     let netlist = design.netlist();
     if padding_sites.len() != netlist.num_cells() {
@@ -197,6 +227,11 @@ fn refine_impl(
     let mut moves = 0usize;
     let mut passes = 0usize;
     for _ in 0..config.max_passes {
+        if budget.is_exhausted() {
+            // Each completed pass left the placement legal and no worse;
+            // stop here and return the best placement reached.
+            break;
+        }
         passes += 1;
         let mut improved = false;
         // Pass A: local reordering within segments.
@@ -721,6 +756,20 @@ mod tests {
         // within a row because footprints abut at minimum).
         let after = lefts(&out.placement);
         assert_eq!(after.len(), d.netlist().movable_cells().count());
+    }
+
+    #[test]
+    fn exhausted_budget_returns_input_unchanged_and_legal() {
+        let (d, legal, pad) = refined_design();
+        let token = puffer_budget::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unbounded().with_token(token);
+        let out = refine_bounded(&d, &legal, &pad, &DetailedConfig::default(), None, &budget)
+            .unwrap();
+        assert_eq!(out.passes, 0, "no pass may start after cancellation");
+        assert_eq!(out.placement, legal);
+        assert_eq!(out.hpwl_after, out.hpwl_before);
+        check_legal(&d, &out.placement, &pad).unwrap();
     }
 
     #[test]

@@ -44,8 +44,9 @@ pub mod tpe;
 pub use error::ExploreError;
 pub use journal::ExplorationJournal;
 pub use smbo::{
-    explore_params, explore_params_traced, explore_strategy, explore_strategy_traced,
-    ExplorationConfig, ExplorationOutcome, StrategyConfig, StrategyOutcome, TrialOutcome,
+    explore_params, explore_params_bounded, explore_params_traced, explore_strategy,
+    explore_strategy_traced, ExplorationConfig, ExplorationOutcome, StrategyConfig,
+    StrategyOutcome, TrialOutcome, CAPPED_TRIALS_REMAINING,
 };
 pub use space::{Domain, ParamSpec, Space};
 pub use tpe::{Tpe, TpeConfig};

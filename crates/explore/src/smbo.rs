@@ -18,6 +18,7 @@ use crate::error::ExploreError;
 use crate::journal::ExplorationJournal;
 use crate::space::Space;
 use crate::tpe::{Tpe, TpeConfig};
+use puffer_budget::{Budget, DegradeStep, LadderState};
 use puffer_trace::Trace;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -211,12 +212,49 @@ pub fn explore_params(
 /// Same as [`explore_params`].
 pub fn explore_params_traced(
     space: &Space,
-    mut eval: impl FnMut(&[f64]) -> f64,
+    eval: impl FnMut(&[f64]) -> f64,
     config: &ExplorationConfig,
     trace: &Trace,
 ) -> Result<ExplorationOutcome, ExploreError> {
+    explore_params_bounded(space, eval, config, trace, &Budget::unbounded(), None)
+}
+
+/// When the [`DegradeStep::CapTrials`] rung of a degradation ladder
+/// engages, this many further evaluations are allowed before the run stops
+/// (enough for the TPE to bank its current suggestion, cheap enough to
+/// leave the rest of the deadline to downstream stages).
+pub const CAPPED_TRIALS_REMAINING: usize = 2;
+
+/// [`explore_params_traced`] under an execution [`Budget`] and (optionally)
+/// a graceful-degradation ladder.
+///
+/// The budget is checked before every evaluation: an expired deadline or an
+/// external cancel ends the run as a clean early stop with the best
+/// assignment found so far — exactly like `early_stop`, never an error
+/// (unless nothing ever succeeded *and* failures occurred, which keeps
+/// [`ExploreError::AllTrialsFailed`] semantics intact).
+///
+/// The ladder is polled once per trial; only its [`DegradeStep::CapTrials`]
+/// rung applies here — on engagement the remaining evaluation budget is
+/// capped at [`CAPPED_TRIALS_REMAINING`] and a `flow.degrade` record is
+/// emitted. The other rungs belong to the placement flow and are ignored,
+/// so pass a ladder containing just the `cap-trials` rung when driving
+/// exploration standalone.
+///
+/// # Errors
+///
+/// Same as [`explore_params`].
+pub fn explore_params_bounded(
+    space: &Space,
+    mut eval: impl FnMut(&[f64]) -> f64,
+    config: &ExplorationConfig,
+    trace: &Trace,
+    budget: &Budget,
+    mut ladder: Option<&mut LadderState>,
+) -> Result<ExplorationOutcome, ExploreError> {
     let mut run = Run::new(space, config);
     let mut stopped_early = false;
+    let mut max_evals = config.max_evals;
 
     let mut journal = match &config.journal {
         Some(path) => {
@@ -229,7 +267,24 @@ pub fn explore_params_traced(
         None => None,
     };
 
-    while run.evals < config.max_evals {
+    while run.evals < max_evals {
+        if budget.is_exhausted() {
+            stopped_early = true;
+            break;
+        }
+        if let Some(ladder) = ladder.as_deref_mut() {
+            for step in ladder.poll(budget) {
+                if step == DegradeStep::CapTrials {
+                    max_evals = max_evals.min(run.evals + CAPPED_TRIALS_REMAINING);
+                    trace
+                        .record("flow.degrade")
+                        .str("step", step.as_str())
+                        .num("fraction_remaining", budget.fraction_remaining())
+                        .int("iter", run.evals as i64)
+                        .write();
+                }
+            }
+        }
         if run.since_improvement >= config.early_stop {
             stopped_early = true;
             break;
@@ -856,6 +911,72 @@ mod tests {
         assert_eq!(outcome.evals, 5);
         assert_eq!(outcome.failed_trials, 4);
         assert!(outcome.best_value.is_finite());
+    }
+
+    #[test]
+    fn cancelled_budget_stops_with_best_so_far() {
+        let space = bowl(1);
+        let token = puffer_budget::CancelToken::new();
+        let evals = AtomicUsize::new(0);
+        let outcome = explore_params_bounded(
+            &space,
+            |v| {
+                if evals.fetch_add(1, Ordering::Relaxed) == 4 {
+                    token.cancel(); // cancel mid-run, after 5 evaluations
+                }
+                v[0] * v[0]
+            },
+            &ExplorationConfig {
+                max_evals: 200,
+                early_stop: 200,
+                ..Default::default()
+            },
+            &Trace::disabled(),
+            &Budget::unbounded().with_token(token.clone()),
+            None,
+        )
+        .unwrap();
+        assert!(outcome.stopped_early, "cancel must read as an early stop");
+        assert_eq!(outcome.evals, 5, "no evaluation after the cancel");
+        assert!(outcome.best_value.is_finite());
+    }
+
+    #[test]
+    fn cap_trials_rung_caps_remaining_evaluations() {
+        use puffer_budget::DegradationLadder;
+        let space = bowl(1);
+        // The first trial burns 15% of a 200 ms deadline, dropping the
+        // remaining fraction below the rung's 0.9 threshold: the next poll
+        // engages cap-trials and the run stops after exactly
+        // CAPPED_TRIALS_REMAINING further (instant) evaluations — long
+        // before the deadline itself would have.
+        let ladder = DegradationLadder::parse("cap-trials@0.9").unwrap();
+        let mut state = LadderState::new(ladder);
+        let evals = AtomicUsize::new(0);
+        let outcome = explore_params_bounded(
+            &space,
+            |v| {
+                if evals.fetch_add(1, Ordering::Relaxed) == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                v[0] * v[0]
+            },
+            &ExplorationConfig {
+                max_evals: 500,
+                early_stop: 500,
+                ..Default::default()
+            },
+            &Trace::disabled(),
+            &Budget::with_deadline(std::time::Duration::from_millis(200)),
+            Some(&mut state),
+        )
+        .unwrap();
+        assert!(state.is_engaged(DegradeStep::CapTrials));
+        assert_eq!(
+            outcome.evals,
+            1 + CAPPED_TRIALS_REMAINING,
+            "cap must stop the run right after engaging"
+        );
     }
 
     #[test]

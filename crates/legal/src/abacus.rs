@@ -66,6 +66,27 @@ pub fn legalize(
     global: &Placement,
     padding_sites: &[u32],
 ) -> Result<LegalizeOutcome, LegalizeError> {
+    legalize_bounded(design, global, padding_sites, &puffer_budget::Budget::unbounded())
+}
+
+/// [`legalize`] under an execution [`Budget`](puffer_budget::Budget),
+/// checked every few hundred cell insertions.
+///
+/// Legalization is all-or-nothing — a half-inserted placement is not
+/// legal — so on expiry this returns [`LegalizeError::Cancelled`] and the
+/// caller keeps its pre-legalization snapshot. Flows that must always end
+/// legal (e.g. the deadline-bounded place flow) call the unbounded
+/// [`legalize`] for their final pass instead.
+///
+/// # Errors
+///
+/// The errors of [`legalize`], plus [`LegalizeError::Cancelled`].
+pub fn legalize_bounded(
+    design: &Design,
+    global: &Placement,
+    padding_sites: &[u32],
+    budget: &puffer_budget::Budget,
+) -> Result<LegalizeOutcome, LegalizeError> {
     let netlist = design.netlist();
     if padding_sites.len() != netlist.num_cells() {
         return Err(LegalizeError::BadInput(format!(
@@ -117,7 +138,10 @@ pub fn legalize(
         by_row[r].push(i);
     }
 
-    for &cell in &order {
+    for (done, &cell) in order.iter().enumerate() {
+        if done.is_multiple_of(256) {
+            budget.check().map_err(LegalizeError::Cancelled)?;
+        }
         let c = netlist.cell(cell);
         let foot_w = align_up(c.width + padding_sites[cell.index()] as f64 * site, site);
         let gp = global.pos(cell);
@@ -430,6 +454,20 @@ mod tests {
         }
         let out = legalize(&d, &g, &no_pad(&d)).unwrap();
         assert_legal(&d, &out.placement, &no_pad(&d));
+    }
+
+    #[test]
+    fn cancelled_budget_aborts_legalization_cleanly() {
+        let d = design(30, 1.0, 12.0);
+        let mut g = Placement::zeroed(30);
+        for i in 0..30u32 {
+            g.set(CellId(i), Point::new(6.0, 6.0));
+        }
+        let token = puffer_budget::CancelToken::new();
+        token.cancel();
+        let budget = puffer_budget::Budget::unbounded().with_token(token);
+        let err = legalize_bounded(&d, &g, &no_pad(&d), &budget).unwrap_err();
+        assert!(matches!(err, LegalizeError::Cancelled(_)), "{err}");
     }
 
     #[test]

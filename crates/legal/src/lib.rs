@@ -34,7 +34,7 @@ pub mod check;
 pub mod discrete;
 pub mod segments;
 
-pub use abacus::{legalize, LegalizeOutcome};
+pub use abacus::{legalize, legalize_bounded, LegalizeOutcome};
 pub use check::check_legal;
 pub use discrete::{discretize_padding, enforce_budget};
 pub use segments::{row_segments, RowSegment};
@@ -51,6 +51,10 @@ pub enum LegalizeError {
     OutOfCapacity(String),
     /// A legality check failed (from [`check_legal`]).
     Illegal(String),
+    /// The execution budget expired or was cancelled mid-legalization
+    /// (only from [`legalize_bounded`]). A partially legalized placement
+    /// is never returned — callers keep the pre-legalization snapshot.
+    Cancelled(puffer_budget::Cancelled),
 }
 
 impl fmt::Display for LegalizeError {
@@ -59,6 +63,7 @@ impl fmt::Display for LegalizeError {
             LegalizeError::BadInput(m) => write!(f, "bad legalization input: {m}"),
             LegalizeError::OutOfCapacity(m) => write!(f, "out of placement capacity: {m}"),
             LegalizeError::Illegal(m) => write!(f, "illegal placement: {m}"),
+            LegalizeError::Cancelled(c) => write!(f, "legalization cancelled: {c}"),
         }
     }
 }

@@ -191,6 +191,21 @@ impl RoutabilityOptimizer {
         round
     }
 
+    /// Coarsens the congestion-estimation grid by `factor` (see
+    /// [`puffer_congest::CongestionEstimator::coarsen`]). Used by the
+    /// graceful-degradation ladder when a deadline nears: later padding
+    /// rounds trade map resolution for time.
+    pub fn coarsen_estimator(&mut self, design: &Design, factor: f64) {
+        self.estimator.coarsen(design, factor);
+    }
+
+    /// Forwards a cooperative budget to the embedded congestion estimator,
+    /// so a long padding round skips its optional detour expansion once the
+    /// flow deadline expires.
+    pub fn set_budget(&mut self, budget: puffer_budget::Budget) {
+        self.estimator.set_budget(budget);
+    }
+
     /// The most recent congestion map (recomputed; diagnostics only).
     pub fn estimate_map(
         &self,

@@ -751,6 +751,22 @@ impl<'a> GlobalPlacer<'a> {
         }
     }
 
+    /// Chaos-harness fault point: poisons the first `count` movable cells
+    /// with NaN coordinates and discards the optimizer momentum, so the
+    /// next [`GlobalPlacer::step`] re-bootstraps from the poisoned state
+    /// and the divergence sentinel must catch the burst. Test/injection
+    /// use only — gated behind the `chaos` feature.
+    #[cfg(feature = "chaos")]
+    pub fn chaos_poison_nan(&mut self, count: usize) {
+        for &id in self.movable.iter().take(count.max(1)) {
+            self.placement
+                .set(id, puffer_db::geom::Point::new(f64::NAN, f64::NAN));
+        }
+        // Without this the next step would scatter the optimizer's own
+        // (healthy) solution over the poison and the burst would be lost.
+        self.opt = None;
+    }
+
     /// Runs until the stop overflow or the iteration cap is reached.
     pub fn run(&mut self) -> IterationStats {
         self.run_until(|_| false)

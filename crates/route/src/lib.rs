@@ -44,6 +44,10 @@ pub mod path;
 pub use grid::{Dir, RoutingGrid};
 pub use layers::{assign_layers, LayerAssignment, LayerConfig, LayerReport};
 
+use puffer_budget::Budget;
+/// Shared worker-thread defaults (hoisted to `puffer-budget` so the router
+/// and the congestion estimator clamp identically).
+pub use puffer_budget::{clamp_threads, default_threads};
 use puffer_congest::{build_capacity, CongestionMap, EstimatorConfig};
 use puffer_db::design::{Design, Placement};
 use puffer_flute::Topology;
@@ -111,16 +115,6 @@ impl Default for RouterConfig {
     }
 }
 
-/// Default worker-thread count: the machine's available parallelism,
-/// clamped so tiny containers still get a thread and huge hosts are not
-/// oversubscribed by per-net chunking overhead.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .clamp(1, 32)
-}
-
 /// The routing result: the quantities of the paper's Table II.
 #[derive(Debug, Clone)]
 pub struct RouteReport {
@@ -153,6 +147,7 @@ impl RouteReport {
 pub struct GlobalRouter {
     config: RouterConfig,
     base: RoutingGrid,
+    budget: Budget,
 }
 
 impl GlobalRouter {
@@ -167,12 +162,22 @@ impl GlobalRouter {
         GlobalRouter {
             config,
             base: RoutingGrid::new(h_cap, v_cap),
+            budget: Budget::unbounded(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &RouterConfig {
         &self.config
+    }
+
+    /// Attaches an execution budget. Rip-up-and-reroute checks it between
+    /// rounds (and every few hundred nets within a round): an expired
+    /// deadline or an external cancel stops refinement and reports the
+    /// best-so-far routing — the initial pattern pass always completes, so
+    /// the report is well-formed either way.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Routes a placement and reports HOF/VOF/WL.
@@ -228,7 +233,7 @@ impl GlobalRouter {
 
         // --- decompose all nets into two-point segments (parallel) -------
         let net_ids: Vec<_> = netlist.iter_nets().map(|(id, _)| id).collect();
-        let threads = self.config.threads.clamp(1, 64);
+        let threads = clamp_threads(self.config.threads);
         let chunks: Vec<&[puffer_db::netlist::NetId]> = net_ids
             .chunks(net_ids.len().div_ceil(threads).max(1))
             .collect();
@@ -275,9 +280,13 @@ impl GlobalRouter {
         }
 
         // --- negotiated rip-up-and-reroute --------------------------------
+        // Cancellation points: between rounds and every 256 maze routes
+        // within a round. Stopping mid-round is safe — each reroute leaves
+        // the grid and `paths` mutually consistent — so the report below is
+        // simply the best routing found so far.
         let mut rounds = 0;
-        for _ in 0..self.config.max_rounds {
-            if grid.overflow_gcells() == 0 {
+        'ripup: for _ in 0..self.config.max_rounds {
+            if grid.overflow_gcells() == 0 || self.budget.is_exhausted() {
                 break;
             }
             rounds += 1;
@@ -293,6 +302,9 @@ impl GlobalRouter {
                 path::apply_path(&mut grid, &p, 1.0);
                 paths[i] = p;
                 rerouted += 1;
+                if rerouted.is_multiple_of(256) && self.budget.is_exhausted() {
+                    break 'ripup;
+                }
             }
             if rerouted == 0 {
                 break;
@@ -526,6 +538,7 @@ mod tests {
                 puffer_db::grid::Grid::filled(r, 4, 4, 0.0),
                 puffer_db::grid::Grid::filled(r, 4, 4, 2.0),
             ),
+            budget: Budget::unbounded(),
         };
         let err = router
             .try_route(&d, &d.initial_placement())
@@ -564,6 +577,20 @@ mod tests {
             join_workers(handles)
         });
         assert_eq!(result.unwrap(), vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn cancelled_budget_skips_ripup_but_still_reports() {
+        let d = design(0.6);
+        let p = spread_placement(&d, 0.5);
+        let mut router = GlobalRouter::new(&d, RouterConfig::default());
+        let token = puffer_budget::CancelToken::new();
+        token.cancel();
+        router.set_budget(Budget::unbounded().with_token(token));
+        let rep = router.route(&d, &p);
+        assert_eq!(rep.rounds, 0, "cancelled budget must skip rip-up rounds");
+        assert!(rep.wirelength > 0.0, "pattern pass still routes everything");
+        assert!(rep.hof_pct.is_finite() && rep.vof_pct.is_finite());
     }
 
     #[test]

@@ -29,9 +29,9 @@ target/release/puffer lint
 # Advisory pass: surface unwrap/expect density on library code. Library
 # crates only — binaries, benches, and tests legitimately unwrap.
 LIB_CRATES=(
-  puffer-db puffer-gen puffer-flute puffer-fft puffer-place puffer-congest
-  puffer-pad puffer-explore puffer-legal puffer-dp puffer-route puffer-rng
-  puffer-trace puffer
+  puffer-budget puffer-db puffer-gen puffer-flute puffer-fft puffer-place
+  puffer-congest puffer-pad puffer-explore puffer-legal puffer-dp
+  puffer-route puffer-rng puffer-trace puffer
 )
 echo "==> advisory clippy (unwrap_used/expect_used) on library crates"
 for crate in "${LIB_CRATES[@]}"; do
@@ -60,6 +60,14 @@ echo "==> validated flow smoke (place --validate + puffer audit)"
 "$PUFFER" audit design "$SMOKE_DIR/smoke.pd"
 "$PUFFER" audit run "$SMOKE_DIR/val.pj" "$SMOKE_DIR/val.jsonl"
 "$PUFFER" eval "$SMOKE_DIR/smoke.pd" "$SMOKE_DIR/val.pl" --validate
+
+# Bounded-execution smoke: an expired deadline must still exit 0 with a
+# legal best-so-far placement, and the deterministic chaos harness must
+# survive one injection from every fault class.
+echo "==> bounded execution smoke (place --deadline + puffer chaos)"
+"$PUFFER" place "$SMOKE_DIR/smoke.pd" -o "$SMOKE_DIR/deadline.pl" \
+  --deadline 0.001 --degrade default
+"$PUFFER" chaos --seeds 8
 
 # Flow benchmark artifacts (BENCH_<design>.json under target/bench).
 echo "==> scripts/bench.sh (BENCH_*.json artifacts)"

@@ -295,6 +295,62 @@ fn mismatched_histogram_is_detected() {
 }
 
 #[test]
+fn grid_shrink_is_allowed_only_after_a_recorded_coarsening() {
+    let dir = tmp_dir("histogram-coarsen");
+    // An unexplained Gcell-count change across rounds is corruption...
+    let bad = dir.join("bad.jsonl");
+    write_lines(
+        &bad,
+        &[
+            r#"{"t":"congest.round","elapsed_s":0.1,"h_hist":[50,20,10,10,5,3,1,1],"v_hist":[50,20,10,10,5,3,1,1],"congested":2}"#,
+            r#"{"t":"congest.round","elapsed_s":0.2,"h_hist":[10,5,5,3,1,1,0,0],"v_hist":[10,5,5,3,1,1,0,0],"congested":1}"#,
+        ],
+    );
+    let report = audit_metrics(&bad).expect_err("silent grid change must be caught");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.check == "histogram-conservation"),
+        "got: {report}"
+    );
+
+    // ...but a journaled coarse-congestion degradation legitimately
+    // shrinks the estimation grid for the remaining rounds.
+    let degraded = dir.join("degraded.jsonl");
+    write_lines(
+        &degraded,
+        &[
+            r#"{"t":"congest.round","elapsed_s":0.1,"h_hist":[50,20,10,10,5,3,1,1],"v_hist":[50,20,10,10,5,3,1,1],"congested":2}"#,
+            r#"{"t":"flow.degrade","elapsed_s":0.15,"step":"coarse-congestion","fraction_remaining":0.45,"iter":3}"#,
+            r#"{"t":"congest.round","elapsed_s":0.2,"h_hist":[10,5,5,3,1,1,0,0],"v_hist":[10,5,5,3,1,1,0,0],"congested":1}"#,
+            r#"{"t":"congest.round","elapsed_s":0.3,"h_hist":[9,6,5,3,1,1,0,0],"v_hist":[9,6,5,3,1,1,0,0],"congested":1}"#,
+        ],
+    );
+    let summary = audit_metrics(&degraded).expect("recorded coarsening passes");
+    assert_eq!(summary.gcells, Some(25));
+
+    // One degrade record licenses one shrink — growing back is still wrong.
+    let grown = dir.join("grown.jsonl");
+    write_lines(
+        &grown,
+        &[
+            r#"{"t":"congest.round","elapsed_s":0.1,"h_hist":[10,5,5,3,1,1,0,0],"v_hist":[10,5,5,3,1,1,0,0],"congested":1}"#,
+            r#"{"t":"flow.degrade","elapsed_s":0.15,"step":"coarse-congestion","fraction_remaining":0.45,"iter":3}"#,
+            r#"{"t":"congest.round","elapsed_s":0.2,"h_hist":[50,20,10,10,5,3,1,1],"v_hist":[50,20,10,10,5,3,1,1],"congested":2}"#,
+        ],
+    );
+    let report = audit_metrics(&grown).expect_err("a coarsened grid cannot grow");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.check == "histogram-conservation"),
+        "got: {report}"
+    );
+}
+
+#[test]
 fn shrinking_iteration_stream_is_detected() {
     let dir = tmp_dir("iter-stream");
     let path = dir.join("bad.jsonl");

@@ -277,6 +277,111 @@ fn hopeless_exploration_objective_is_a_typed_error() {
     assert!(matches!(err, ExploreError::AllTrialsFailed { .. }), "{err}");
 }
 
+// --- deadline cancellation at every stage -----------------------------------
+
+#[test]
+fn cancel_mid_gp_yields_best_so_far_and_auditable_artifacts() {
+    use puffer::{StageObserver, StagePoint};
+    use puffer_budget::{Budget, CancelToken};
+
+    let dir = tmp_dir("cancel-mid-gp");
+    let d = small_design();
+    let journal = dir.join("run.pj");
+    let metrics = dir.join("run.jsonl");
+    let trace = puffer_trace::Trace::with_sink(&metrics).unwrap();
+
+    // The observer trips the token once global placement is underway, so
+    // the cancellation lands mid-GP at the next loop-boundary check.
+    let token = CancelToken::new();
+    let trip = token.clone();
+    let result = PufferPlacer::new(quick_config())
+        .with_budget(Budget::unbounded().with_token(token))
+        .with_trace(trace.clone())
+        .with_observer(StageObserver::new(move |r| {
+            if r.point == StagePoint::Init {
+                trip.cancel();
+            }
+            Ok(())
+        }))
+        .place_with_checkpoints(&d, &CheckpointPolicy::new(journal.clone()))
+        .expect("cancellation must degrade, not fail");
+    trace.write_summary();
+    trace.flush().unwrap();
+
+    assert!(result.cancelled, "flow must report the cancellation");
+    assert!(
+        result.gp_iterations < quick_config().placer.max_iters,
+        "cancel must cut the run short"
+    );
+    assert!(result.hpwl.is_finite());
+    let zeros = vec![0u32; d.netlist().num_cells()];
+    puffer_legal::check_legal(&d, &result.placement, &zeros).expect("best-so-far must be legal");
+    puffer_audit::audit_run(&journal, &metrics).expect("artifacts must stay consistent");
+}
+
+#[test]
+fn cancel_mid_route_reports_the_routing_so_far() {
+    use puffer_budget::{Budget, CancelToken};
+
+    let d = small_design();
+    let p = d.initial_placement();
+    let token = CancelToken::new();
+    token.cancel();
+    // The router checks its budget between rip-up rounds and rerouted
+    // nets: a cancelled token stops refinement but the initial-routing
+    // report must still be complete and finite.
+    let report = puffer::evaluate_bounded(
+        &d,
+        &p,
+        &RouterConfig::default(),
+        &Budget::unbounded().with_token(token),
+        &puffer_trace::Trace::disabled(),
+    );
+    assert!(report.hof_pct.is_finite() && report.vof_pct.is_finite());
+    assert!(report.wirelength.is_finite());
+    let unbounded = puffer::evaluate(&d, &p);
+    assert!(
+        report.rounds <= unbounded.rounds,
+        "cancelled routing must not refine longer than the free run"
+    );
+}
+
+#[test]
+fn cancel_mid_smbo_keeps_the_best_completed_trial() {
+    use puffer_budget::{Budget, CancelToken};
+    use puffer_explore::explore_params_bounded;
+
+    let space = Space::new(vec![
+        ParamSpec::continuous("a", 0.0, 10.0),
+        ParamSpec::continuous("b", 0.0, 10.0),
+    ]);
+    let token = CancelToken::new();
+    let trip = token.clone();
+    let mut trials = 0usize;
+    let outcome = explore_params_bounded(
+        &space,
+        |v: &[f64]| {
+            trials += 1;
+            if trials == 3 {
+                trip.cancel(); // expires mid-search, after three results
+            }
+            (v[0] - 2.0).powi(2) + (v[1] - 3.0).powi(2)
+        },
+        &ExplorationConfig {
+            max_evals: 40,
+            early_stop: 40,
+            ..Default::default()
+        },
+        &puffer_trace::Trace::disabled(),
+        &Budget::unbounded().with_token(token),
+        None,
+    )
+    .expect("cancellation must return the best-so-far, not an error");
+    assert!(outcome.evals <= 3, "search must stop at the cancellation");
+    assert!(outcome.stopped_early);
+    assert!(outcome.best_value.is_finite());
+}
+
 // --- kill + resume determinism ----------------------------------------------
 
 #[test]

@@ -115,3 +115,60 @@ fn metrics_run_is_schema_valid_and_consistent() {
     let out = run_cli(&["trace", metrics.to_str().unwrap(), "--check"]);
     assert!(out.contains("check OK"), "{out}");
 }
+
+/// Golden test for the stall watchdog: a deterministically stalled stage
+/// (the chaos `slow-stage` injection) must trip the watchdog, the metrics
+/// JSONL must record the `watchdog.stall` event with its full schema, and
+/// the flow must finish as a degraded (cancelled) run — not a hang.
+#[test]
+fn stalled_stage_emits_a_watchdog_stall_record() {
+    use puffer::{PufferConfig, PufferPlacer};
+    use puffer_budget::{ChaosPlan, FaultClass, StallWatchdog};
+    use puffer_gen::{generate, GeneratorConfig};
+    use std::time::Duration;
+
+    let design = generate(&GeneratorConfig {
+        num_cells: 250,
+        num_nets: 280,
+        utilization: 0.6,
+        ..GeneratorConfig::default()
+    })
+    .unwrap();
+    let metrics = tmp("watchdog.jsonl");
+    let trace = puffer_trace::Trace::with_sink(&metrics).unwrap();
+
+    let mut config = PufferConfig::default();
+    config.placer.max_iters = 60;
+    let result = PufferPlacer::new(config)
+        .with_trace(trace.clone())
+        .with_watchdog(StallWatchdog::new(Duration::from_millis(50)))
+        .with_chaos(ChaosPlan {
+            class: FaultClass::SlowStage,
+            at: 5,
+            magnitude: 400,
+        })
+        .place(&design)
+        .expect("a tripped watchdog degrades; it must not fail the flow");
+    trace.write_summary();
+    trace.flush().unwrap();
+    assert!(result.cancelled, "watchdog must demote the stalled run");
+
+    let records = read_jsonl(&metrics).expect("metrics must parse as JSONL");
+    let stall = records
+        .iter()
+        .find(|r| r.kind() == Some("watchdog.stall"))
+        .expect("metrics must record the stall event");
+    assert_eq!(stall.str_field("stage"), Some("gp"));
+    assert_eq!(stall.str_field("action"), Some("degrade"));
+    assert!(stall.num("stalled_s").unwrap() >= 0.05);
+    assert!(stall.num("window_s").unwrap() > 0.0);
+    assert!(stall.num("iter").unwrap() >= 1.0);
+    assert!(
+        records.iter().any(|r| r.kind() == Some("chaos.inject")),
+        "the injected stall must be visible in the record stream"
+    );
+
+    // The schema checker accepts the stall/injection records.
+    let out = run_cli(&["trace", metrics.to_str().unwrap(), "--check"]);
+    assert!(out.contains("check OK"), "{out}");
+}
