@@ -9,8 +9,10 @@
 //!   `src/bin/` and `src/main.rs` are exempt; `#[cfg(test)]` blocks, doc
 //!   comments, and string literals are masked out before matching).
 //! * `no-bare-spawn` — `thread::spawn` is banned everywhere; scoped
-//!   threads (`thread::scope`) are sanctioned only in the `route` and
-//!   `congest` crates, whose workers drain every join handle on panic.
+//!   threads (`thread::scope`) are sanctioned only in `par` (the
+//!   deterministic fork-join layer every other parallel loop must go
+//!   through) and in the `route`/`congest` crates, whose panic-draining
+//!   workers predate it and now delegate to puffer-par.
 //! * `forbid-unsafe` — every crate root (`src/lib.rs`, `src/main.rs`,
 //!   `src/bin/*.rs`) must declare `#![forbid(unsafe_code)]`.
 //! * `layering` — crate dependencies parsed from the workspace manifests
@@ -38,33 +40,38 @@ const LAYERS: &[(&str, u8)] = &[
     ("puffer-budget", 0),
     ("puffer-rng", 0),
     ("puffer-db", 0),
-    ("puffer-fft", 0),
     ("puffer-trace", 0),
+    // Deterministic fork-join over the budget substrate.
+    ("puffer-par", 1),
+    // Numerics over the fork-join layer.
+    ("puffer-fft", 2),
     // Geometry / generation / legalization over the database.
-    ("puffer-flute", 1),
-    ("puffer-gen", 1),
-    ("puffer-legal", 1),
+    ("puffer-flute", 2),
+    ("puffer-gen", 2),
+    ("puffer-legal", 2),
     // Analysis engines.
-    ("puffer-congest", 2),
-    ("puffer-place", 2),
-    ("puffer-explore", 2),
+    ("puffer-congest", 3),
+    ("puffer-place", 3),
+    ("puffer-explore", 3),
     // Optimizers composing the engines.
-    ("puffer-pad", 3),
-    ("puffer-route", 3),
-    ("puffer-dp", 3),
+    ("puffer-pad", 4),
+    ("puffer-route", 4),
+    ("puffer-dp", 4),
     // The assembled flow.
-    ("puffer", 4),
+    ("puffer", 5),
     // Verification over the assembled flow.
-    ("puffer-audit", 5),
+    ("puffer-audit", 6),
     // Tooling over the whole stack.
-    ("puffer-cli", 6),
-    ("puffer-bench", 6),
-    ("puffer-suite", 7),
+    ("puffer-cli", 7),
+    ("puffer-bench", 7),
+    ("puffer-suite", 8),
 ];
 
-/// Crates whose `thread::scope` use is sanctioned (panic-draining worker
-/// pools reviewed in PR 2); everything else needs a waiver.
-const SCOPED_THREAD_CRATES: &[&str] = &["route", "congest"];
+/// Crates whose `thread::scope` use is sanctioned: `par` is the
+/// deterministic fork-join layer itself, and the `route`/`congest`
+/// panic-draining pools (reviewed in PR 2) now delegate to it. Everything
+/// else must route parallel work through puffer-par or carry a waiver.
+const SCOPED_THREAD_CRATES: &[&str] = &["route", "congest", "par"];
 
 const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!(", "unimplemented!("];
 
@@ -284,7 +291,8 @@ fn scan_source(
                 path: rel.to_string(),
                 line: line_no,
                 message: format!(
-                    "thread::scope outside the sanctioned crates ({})",
+                    "direct thread::scope outside the sanctioned crates ({}) — route the \
+                     work through puffer-par instead",
                     SCOPED_THREAD_CRATES.join(", ")
                 ),
             });

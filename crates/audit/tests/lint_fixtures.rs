@@ -146,6 +146,41 @@ fn thread_scope_is_sanctioned_only_in_route_and_congest() {
 }
 
 #[test]
+fn thread_scope_in_the_fork_join_layer_is_sanctioned() {
+    // puffer-par *is* the deterministic fork-join layer: its scoped
+    // threads are the one place the workspace is allowed to spawn.
+    let fx = Fixture::new("scope-par-ok");
+    fx.add_crate(
+        "par",
+        "puffer-par",
+        &[],
+        &format!("{FORBID}pub fn run() {{ std::thread::scope(|_| ()); }}\n"),
+    );
+    let report = fx.lint().unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn thread_scope_elsewhere_recommends_puffer_par() {
+    // A kernel crate reaching for thread::scope directly must be pointed
+    // at the sanctioned fork-join layer instead.
+    let fx = Fixture::new("scope-place-bad");
+    fx.add_crate(
+        "place",
+        "puffer-place",
+        &[],
+        &format!("{FORBID}pub fn run() {{ std::thread::scope(|_| ()); }}\n"),
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["no-bare-spawn"]);
+    assert!(
+        report.findings[0].message.contains("puffer-par"),
+        "finding should point at the fork-join layer: {}",
+        report.findings[0].message
+    );
+}
+
+#[test]
 fn missing_forbid_unsafe_is_a_finding() {
     let fx = Fixture::new("forbid");
     fx.add_crate("db", "puffer-db", &[], "pub fn ok() {}\n");

@@ -343,6 +343,48 @@ fn trace_benches() {
     });
 }
 
+fn par_benches() {
+    use puffer_bench::par::{serial_transform2d, serial_wa_reference, THREADS};
+    use puffer_fft::transform2d_threaded;
+    use puffer_place::wa_wirelength_grad_threaded;
+
+    let design = bench_design();
+    let placement = snapshot(&design);
+    let nl = design.netlist();
+
+    // WA wirelength gradient: unchunked serial reference, then the
+    // chunked deterministic-parallel path at 1/2/4/8 threads.
+    bench("par", "wa_grad_serial_ref", 2, 20, || {
+        serial_wa_reference(nl, &placement, 4.0)
+    });
+    for t in THREADS {
+        bench("par", &format!("wa_grad_{t}t"), 2, 20, || {
+            wa_wirelength_grad_threaded(nl, &placement, 4.0, t)
+        });
+    }
+
+    // Electrostatic density evaluation (scatter + Poisson + gather).
+    let widths: Vec<f64> = nl.cells().iter().map(|c| c.width).collect();
+    let model = DensityModel::new(&design, 64, 64);
+    for t in THREADS {
+        bench("par", &format!("density_eval_{t}t"), 2, 20, || {
+            model.evaluate_threaded(nl, &placement, &widths, 1.0, t)
+        });
+    }
+
+    // 2-D DCT on a Poisson-solver-sized grid.
+    let (nx, ny) = (256, 256);
+    let data: Vec<f64> = (0..nx * ny).map(|i| (i as f64 * 0.13).sin()).collect();
+    bench("par", "transform2d_serial_ref", 2, 20, || {
+        serial_transform2d(&data, nx, ny, dct2)
+    });
+    for t in THREADS {
+        bench("par", &format!("transform2d_{t}t"), 2, 20, || {
+            transform2d_threaded(&data, nx, ny, dct2, t)
+        });
+    }
+}
+
 fn audit_benches() {
     use puffer::{PufferConfig, PufferPlacer};
     use puffer_audit::Validate;
@@ -383,8 +425,9 @@ fn main() {
         .skip(1)
         .find(|a| !a.starts_with('-'))
         .unwrap_or_default();
-    let groups: [(&str, fn()); 15] = [
+    let groups: [(&str, fn()); 16] = [
         ("fft", fft_benches),
+        ("par", par_benches),
         ("budget", budget_benches),
         ("rsmt", rsmt_benches),
         ("congestion", congestion_benches),

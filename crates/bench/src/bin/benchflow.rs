@@ -15,10 +15,66 @@
 #![forbid(unsafe_code)]
 
 use puffer::{evaluate_traced, PufferConfig, PufferPlacer};
+use puffer_bench::par::{serial_transform2d, serial_wa_reference, time_min, THREADS};
 use puffer_bench::{generate_logged, HarnessArgs};
+use puffer_fft::{dct2, transform2d_threaded};
+use puffer_place::{wa_wirelength_grad_threaded, DensityModel};
 use puffer_route::RouterConfig;
 use puffer_trace::Trace;
 use std::fmt::Write as _;
+
+/// Allowed slowdown of the chunked 1-thread kernel path over the
+/// unchunked serial reference: the deterministic-parallelism layer must
+/// cost less than 10% when no worker threads are spawned.
+const PAR_GATE_FACTOR: f64 = 1.10;
+
+/// Per-kernel timings for the `par` JSON section: the serial reference
+/// (where one exists) and the chunked path at [`THREADS`].
+struct ParTimes {
+    serial_s: Option<f64>,
+    by_threads: [f64; THREADS.len()],
+}
+
+impl ParTimes {
+    fn speedup_4t(&self) -> f64 {
+        self.by_threads[0] / self.by_threads[2]
+    }
+}
+
+/// Times the deterministic-parallel kernels on the placed design.
+fn par_times(
+    design: &puffer_db::design::Design,
+    placement: &puffer_db::design::Placement,
+) -> [(&'static str, ParTimes); 3] {
+    let nl = design.netlist();
+    let widths: Vec<f64> = nl.cells().iter().map(|c| c.width).collect();
+    let model = DensityModel::new(design, 64, 64);
+    let (nx, ny) = (256, 256);
+    let data: Vec<f64> = (0..nx * ny).map(|i| (i as f64 * 0.13).sin()).collect();
+
+    let wa = ParTimes {
+        serial_s: Some(time_min(2, 9, || serial_wa_reference(nl, placement, 4.0))),
+        by_threads: THREADS
+            .map(|t| time_min(2, 9, || wa_wirelength_grad_threaded(nl, placement, 4.0, t))),
+    };
+    let density = ParTimes {
+        serial_s: None,
+        by_threads: THREADS.map(|t| {
+            time_min(2, 9, || {
+                model.evaluate_threaded(nl, placement, &widths, 1.0, t)
+            })
+        }),
+    };
+    let transform = ParTimes {
+        serial_s: Some(time_min(2, 9, || serial_transform2d(&data, nx, ny, dct2))),
+        by_threads: THREADS.map(|t| time_min(2, 9, || transform2d_threaded(&data, nx, ny, dct2, t))),
+    };
+    [
+        ("wa_grad", wa),
+        ("density", density),
+        ("transform2d", transform),
+    ]
+}
 
 /// Appends `"key": value` (6 decimal places, non-finite becomes `null`).
 fn field(json: &mut String, indent: &str, key: &str, value: f64, last: bool) {
@@ -69,7 +125,47 @@ fn main() {
         field(&mut json, "    ", "runtime_s", result.runtime_s, false);
         let _ = writeln!(json, "    \"gp_iterations\": {},", result.gp_iterations);
         let _ = writeln!(json, "    \"pad_rounds\": {}", result.pad_rounds);
+        json.push_str("  },\n");
+
+        // Deterministic-parallelism kernels: serial reference vs the
+        // chunked path at 1/2/4/8 threads, plus the 4-thread speedup.
+        // CI gates the 1-thread path against the serial reference below.
+        let kernels = par_times(&design, &result.placement);
+        json.push_str("  \"par\": {\n");
+        for (ki, (name, times)) in kernels.iter().enumerate() {
+            let _ = writeln!(json, "    \"{name}\": {{");
+            if let Some(serial) = times.serial_s {
+                field(&mut json, "      ", "serial_s", serial, false);
+            }
+            for (t, secs) in THREADS.iter().zip(times.by_threads) {
+                field(&mut json, "      ", &format!("threads_{t}_s"), secs, false);
+            }
+            field(&mut json, "      ", "speedup_4t", times.speedup_4t(), true);
+            let comma = if ki + 1 == kernels.len() { "" } else { "," };
+            let _ = writeln!(json, "    }}{comma}");
+        }
         json.push_str("  }\n}\n");
+
+        for (name, times) in &kernels {
+            let Some(serial) = times.serial_s else { continue };
+            let one_thread = times.by_threads[0];
+            if one_thread > serial * PAR_GATE_FACTOR {
+                eprintln!(
+                    "par regression gate: {name} 1-thread path {:.1} us exceeds \
+                     {PAR_GATE_FACTOR}x the serial reference {:.1} us",
+                    one_thread * 1e6,
+                    serial * 1e6
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[par] {name}: serial {:.1} us, 1t {:.1} us ({:+.1}%), 4t speedup {:.2}x",
+                serial * 1e6,
+                one_thread * 1e6,
+                (one_thread / serial - 1.0) * 100.0,
+                times.speedup_4t()
+            );
+        }
 
         let path = out_dir.join(format!("BENCH_{}.json", design.name()));
         std::fs::write(&path, json)

@@ -475,6 +475,7 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
                 cfg.placer.max_iters = n;
             }
             if let Some(n) = threads {
+                cfg.placer.threads = n;
                 cfg.estimator.threads = n;
             }
             let mut placer = PufferPlacer::new(cfg);
@@ -521,6 +522,7 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
                 cfg.placer.max_iters = n;
             }
             if let Some(n) = threads {
+                cfg.placer.threads = n;
                 cfg.router.threads = n;
             }
             ReferencePlacer::new(cfg).place(&design)
@@ -531,6 +533,7 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
                 cfg.placer.max_iters = n;
             }
             if let Some(n) = threads {
+                cfg.placer.threads = n;
                 cfg.estimator.threads = n;
             }
             ReplacePlacer::new(cfg).place(&design)

@@ -61,8 +61,9 @@ pub type DemandMaps = (Grid<f64>, Grid<f64>, Vec<SegmentRecord>);
 ///
 /// `template` supplies the Gcell geometry (any capacity map works); demand
 /// grids share its region and resolution. Nets are processed on parallel
-/// threads (`threads`; clamped to ≥ 1) with a deterministic merge, so the
-/// result is independent of the thread count.
+/// workers via `puffer-par` (`threads`; clamped to `1..=32`) with fixed
+/// chunking and an ordered merge, so the result is bit-identical for any
+/// thread count.
 pub fn build_demand(
     design: &Design,
     placement: &Placement,
@@ -77,8 +78,9 @@ pub fn build_demand(
 /// Fallible [`build_demand`]: a panicking worker thread (e.g. a placement
 /// shorter than the netlist indexing out of bounds) is reported as
 /// [`CongestError::WorkerPanic`] instead of unwinding through `join()` —
-/// re-raising inside `thread::scope` aborts the process outright when more
-/// than one worker panics.
+/// puffer-par drains every worker before reporting, since re-raising
+/// inside `thread::scope` aborts the process outright when more than one
+/// worker panics.
 ///
 /// # Errors
 ///
@@ -95,55 +97,44 @@ pub fn try_build_demand(
     let netlist = design.netlist();
     let mut segments = Vec::new();
 
+    // Chunking, thread clamping, and panic draining all go through
+    // puffer-par: fixed net-index chunks, one demand-grid partial per
+    // chunk, merged in chunk order (so the result is bit-identical for
+    // any thread count).
     let net_ids: Vec<_> = netlist.iter_nets().map(|(id, _)| id).collect();
-    let threads = threads.clamp(1, 64);
-    let chunk_len = net_ids.len().div_ceil(threads).max(1);
-    type Partial = (Grid<f64>, Grid<f64>, Vec<SegmentRecord>);
-    let partials: Result<Vec<Partial>, String> = std::thread::scope(|scope| {
-        let handles: Vec<_> = net_ids
-            .chunks(chunk_len)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut h: Grid<f64> =
-                        Grid::new(template.region(), template.nx(), template.ny());
-                    let mut v: Grid<f64> =
-                        Grid::new(template.region(), template.nx(), template.ny());
-                    let mut segs = Vec::new();
-                    for &net_id in chunk {
-                        if netlist.net(net_id).degree() < 2 {
-                            continue;
-                        }
-                        let topo = Topology::for_net(netlist, placement, net_id);
-                        for seg in topo.segments() {
-                            let na = topo.nodes()[seg.a];
-                            let nb = topo.nodes()[seg.b];
-                            let (ax, ay) = h.cell_of(na.pos);
-                            let (bx, by) = h.cell_of(nb.pos);
-                            let rec = SegmentRecord {
-                                ax,
-                                ay,
-                                bx,
-                                by,
-                                a_steiner: na.kind.is_steiner(),
-                                b_steiner: nb.kind.is_steiner(),
-                            };
-                            deposit(&mut h, &mut v, &rec);
-                            segs.push(rec);
-                        }
-                    }
-                    (h, v, segs)
-                })
-            })
-            .collect();
-        join_workers(handles)
-    });
-    for (h, v, segs) in partials.map_err(CongestError::WorkerPanic)? {
-        for (dst, src) in h_dmd.as_mut_slice().iter_mut().zip(h.as_slice()) {
-            *dst += src;
+    let partials = puffer_par::try_map_chunks(net_ids.len(), threads, |range| {
+        let mut h: Grid<f64> = Grid::new(template.region(), template.nx(), template.ny());
+        let mut v: Grid<f64> = Grid::new(template.region(), template.nx(), template.ny());
+        let mut segs = Vec::new();
+        for i in range {
+            let net_id = net_ids[i];
+            if netlist.net(net_id).degree() < 2 {
+                continue;
+            }
+            let topo = Topology::for_net(netlist, placement, net_id);
+            for seg in topo.segments() {
+                let na = topo.nodes()[seg.a];
+                let nb = topo.nodes()[seg.b];
+                let (ax, ay) = h.cell_of(na.pos);
+                let (bx, by) = h.cell_of(nb.pos);
+                let rec = SegmentRecord {
+                    ax,
+                    ay,
+                    bx,
+                    by,
+                    a_steiner: na.kind.is_steiner(),
+                    b_steiner: nb.kind.is_steiner(),
+                };
+                deposit(&mut h, &mut v, &rec);
+                segs.push(rec);
+            }
         }
-        for (dst, src) in v_dmd.as_mut_slice().iter_mut().zip(v.as_slice()) {
-            *dst += src;
-        }
+        (h, v, segs)
+    })
+    .map_err(|e| CongestError::WorkerPanic(e.0))?;
+    for (h, v, segs) in partials {
+        puffer_par::merge_add(h_dmd.as_mut_slice(), h.as_slice());
+        puffer_par::merge_add(v_dmd.as_mut_slice(), v.as_slice());
         segments.extend(segs);
     }
 
@@ -159,41 +150,6 @@ pub fn try_build_demand(
     }
 
     Ok((h_dmd, v_dmd, segments))
-}
-
-/// Joins every worker before reporting, converting panics to messages.
-/// Draining all handles (rather than re-panicking on the first failed
-/// `join()`) is what prevents a second panicking worker from aborting the
-/// process during the unwind out of `thread::scope`.
-fn join_workers<T>(
-    handles: Vec<std::thread::ScopedJoinHandle<'_, T>>,
-) -> Result<Vec<T>, String> {
-    let mut out = Vec::with_capacity(handles.len());
-    let mut first_panic: Option<String> = None;
-    for h in handles {
-        match h.join() {
-            Ok(v) => out.push(v),
-            Err(payload) => {
-                if first_panic.is_none() {
-                    // `&*payload` reborrows the boxed payload itself; a
-                    // plain `&payload` would coerce the `Box` into the
-                    // `dyn Any` and the downcasts would miss.
-                    let p: &(dyn std::any::Any + Send) = &*payload;
-                    first_panic = Some(if let Some(s) = p.downcast_ref::<&str>() {
-                        (*s).to_string()
-                    } else if let Some(s) = p.downcast_ref::<String>() {
-                        s.clone()
-                    } else {
-                        "non-string panic payload".to_string()
-                    });
-                }
-            }
-        }
-    }
-    match first_panic {
-        None => Ok(out),
-        Some(m) => Err(m),
-    }
 }
 
 /// Deposits one segment's probabilistic demand into the grids.

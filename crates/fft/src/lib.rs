@@ -12,7 +12,10 @@
 //! * [`dct2`]/[`dct3`] — classical DCT-II/III pairs (an independent
 //!   cross-check and available for Neumann-boundary variants);
 //! * [`transform2d`]/[`transform2d_mixed`] — separable application of 1-D
-//!   transforms to rows and columns of a dense matrix.
+//!   transforms to rows and columns of a dense matrix, with
+//!   [`transform2d_threaded`]/[`transform2d_mixed_threaded`] variants that
+//!   chunk rows/columns across workers via `puffer-par` and are
+//!   bit-identical to the serial path for any thread count.
 //!
 //! # Example
 //!
@@ -356,8 +359,13 @@ pub fn dst3_shifted(x: &[f64]) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if `data.len() != nx * ny` or the transform changes lengths.
-pub fn transform2d(data: &[f64], nx: usize, ny: usize, f: impl Fn(&[f64]) -> Vec<f64>) -> Vec<f64> {
-    transform2d_mixed(data, nx, ny, &f, &f)
+pub fn transform2d(
+    data: &[f64],
+    nx: usize,
+    ny: usize,
+    f: impl Fn(&[f64]) -> Vec<f64> + Sync,
+) -> Vec<f64> {
+    transform2d_mixed_threaded(data, nx, ny, &f, &f, 1)
 }
 
 /// Applies independent 1-D transforms along x (rows) and y (columns); used
@@ -370,27 +378,89 @@ pub fn transform2d_mixed(
     data: &[f64],
     nx: usize,
     ny: usize,
-    fx: impl Fn(&[f64]) -> Vec<f64>,
-    fy: impl Fn(&[f64]) -> Vec<f64>,
+    fx: impl Fn(&[f64]) -> Vec<f64> + Sync,
+    fy: impl Fn(&[f64]) -> Vec<f64> + Sync,
+) -> Vec<f64> {
+    transform2d_mixed_threaded(data, nx, ny, fx, fy, 1)
+}
+
+/// Parallel [`transform2d`] over up to `threads` workers; bit-identical to
+/// the serial result for any thread count.
+///
+/// # Panics
+///
+/// Panics if `data.len() != nx * ny` or the transform changes lengths.
+pub fn transform2d_threaded(
+    data: &[f64],
+    nx: usize,
+    ny: usize,
+    f: impl Fn(&[f64]) -> Vec<f64> + Sync,
+    threads: usize,
+) -> Vec<f64> {
+    transform2d_mixed_threaded(data, nx, ny, &f, &f, threads)
+}
+
+/// Parallel [`transform2d_mixed`]: rows, then columns, are processed in
+/// fixed index chunks (`puffer_par::chunk_ranges`) on up to `threads`
+/// workers. Each 1-D transform reads its own row/column and the results
+/// are written back to disjoint spans — there is no accumulation, so the
+/// output is bit-identical to the serial path for any thread count.
+///
+/// # Panics
+///
+/// Panics if `data.len() != nx * ny` or a transform changes lengths.
+pub fn transform2d_mixed_threaded(
+    data: &[f64],
+    nx: usize,
+    ny: usize,
+    fx: impl Fn(&[f64]) -> Vec<f64> + Sync,
+    fy: impl Fn(&[f64]) -> Vec<f64> + Sync,
+    threads: usize,
 ) -> Vec<f64> {
     assert_eq!(data.len(), nx * ny, "matrix shape mismatch");
-    let mut rows = vec![0.0; nx * ny];
-    for iy in 0..ny {
-        let t = fx(&data[iy * nx..(iy + 1) * nx]);
-        assert_eq!(t.len(), nx, "x-transform changed row length");
-        rows[iy * nx..(iy + 1) * nx].copy_from_slice(&t);
+    if nx == 0 || ny == 0 {
+        return Vec::new();
     }
+    // Rows pass: each chunk of rows yields its transformed rows
+    // back-to-back; concatenating in chunk order rebuilds the matrix.
+    let row_parts = puffer_par::map_chunks(ny, threads, |r| {
+        let mut part = Vec::with_capacity(r.len() * nx);
+        for iy in r {
+            let t = fx(&data[iy * nx..(iy + 1) * nx]);
+            assert_eq!(t.len(), nx, "x-transform changed row length");
+            part.extend_from_slice(&t);
+        }
+        part
+    });
+    let mut rows = Vec::with_capacity(nx * ny);
+    for part in row_parts {
+        rows.extend_from_slice(&part);
+    }
+    // Columns pass: per-chunk column scratch, transformed columns
+    // scattered back to disjoint output columns.
+    let rows_ref = &rows;
+    let col_parts = puffer_par::map_chunks(nx, threads, |r| {
+        let mut part = Vec::with_capacity(r.len() * ny);
+        let mut col = vec![0.0; ny];
+        for ix in r {
+            for (iy, c) in col.iter_mut().enumerate() {
+                *c = rows_ref[iy * nx + ix];
+            }
+            let t = fy(&col);
+            assert_eq!(t.len(), ny, "y-transform changed column length");
+            part.extend_from_slice(&t);
+        }
+        part
+    });
     let mut out = vec![0.0; nx * ny];
-    let mut col = vec![0.0; ny];
-    for ix in 0..nx {
-        for iy in 0..ny {
-            col[iy] = rows[iy * nx + ix];
+    let mut ix0 = 0;
+    for part in col_parts {
+        for (k, tcol) in part.chunks_exact(ny).enumerate() {
+            for (iy, v) in tcol.iter().enumerate() {
+                out[iy * nx + (ix0 + k)] = *v;
+            }
         }
-        let t = fy(&col);
-        assert_eq!(t.len(), ny, "y-transform changed column length");
-        for iy in 0..ny {
-            out[iy * nx + ix] = t[iy];
-        }
+        ix0 += part.len() / ny;
     }
     out
 }

@@ -1,0 +1,324 @@
+//! Deterministic fork-join layer for PUFFER's parallel kernels.
+//!
+//! Every parallel loop in the workspace (wirelength gradient, density
+//! scatter, 2D transforms, net decomposition, demand accumulation) goes
+//! through this crate so there is exactly one chunking/join idiom and one
+//! determinism argument:
+//!
+//! 1. **Fixed chunking by index.** [`chunk_ranges`] splits `0..n` into
+//!    contiguous ranges whose boundaries depend only on `n` — never on the
+//!    requested thread count. The thread count only decides how many
+//!    workers consume the chunk list.
+//! 2. **One result per chunk, in chunk order.** [`try_map_chunks`] returns
+//!    a `Vec` with one entry per fixed chunk, ordered by chunk index,
+//!    regardless of which worker computed it.
+//! 3. **Ordered reduction, no atomics.** Callers fold the per-chunk partial
+//!    buffers (or scalars) serially in chunk order, e.g. with
+//!    [`merge_add`] / [`ordered_sum`]. Since the fold order and the chunk
+//!    boundaries are both independent of the thread count, every f64
+//!    addition happens with exactly the same operands in exactly the same
+//!    parenthesization — the result is **bit-identical** for any
+//!    `--threads` value in `1..=32`.
+//!
+//! Atomic f64 accumulation (compare-and-swap loops) would make the merge
+//! order depend on scheduling and break checkpoints, golden metrics, and
+//! SMBO trajectories; ordered reduction costs one extra pass over the
+//! partial buffers and keeps them stable.
+//!
+//! Worker panics never unwind through `thread::scope` (which would abort
+//! the process if a second worker also panicked): every handle is joined
+//! first and the first panic message is reported as [`WorkerPanic`].
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub use puffer_budget::{clamp_threads, default_threads, MAX_WORKER_THREADS};
+
+/// A worker thread panicked; carries the panic message.
+///
+/// Crates wrap this in their own error enums (`RouteError::WorkerPanic`,
+/// `CongestError::WorkerPanic`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic(pub String);
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker thread panicked: {}", self.0)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Splits `0..n` into contiguous index ranges with boundaries that depend
+/// only on `n`.
+///
+/// At most [`MAX_WORKER_THREADS`] chunks are produced (fewer when `n` is
+/// small), so per-chunk partial buffers stay bounded. Because the
+/// boundaries ignore the thread count, the same work items land in the
+/// same chunk no matter how many workers run — the foundation of the
+/// bit-identity guarantee.
+pub fn chunk_ranges(n: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(MAX_WORKER_THREADS);
+    let mut out = Vec::with_capacity(n.div_ceil(chunk));
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Runs `work` over the fixed chunks of `0..n` on up to `threads` workers
+/// and returns one result per chunk, in chunk-index order.
+///
+/// `threads` is clamped to `1..=`[`MAX_WORKER_THREADS`] and only controls
+/// parallelism: each worker takes a contiguous span of the chunk list and
+/// evaluates `work` once per chunk, so the set of `work` calls and the
+/// order of the returned results are identical for every thread count.
+/// With one worker (or one chunk) everything runs inline on the calling
+/// thread — no spawn — but a panicking `work` still surfaces as `Err`,
+/// matching the threaded path.
+///
+/// # Errors
+///
+/// [`WorkerPanic`] with the first observed panic message. All workers are
+/// joined before reporting, so a second panicking worker cannot abort the
+/// process by re-raising inside `thread::scope`.
+pub fn try_map_chunks<T, F>(n: usize, threads: usize, work: F) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(n);
+    let threads = clamp_threads(threads).min(ranges.len().max(1));
+    let span_len = ranges.len().div_ceil(threads).max(1);
+    if threads <= 1 {
+        // Inline fast path. AssertUnwindSafe is sound here because a
+        // panicking chunk's partial results are dropped, never observed.
+        return catch_unwind(AssertUnwindSafe(|| {
+            ranges.into_iter().map(&work).collect::<Vec<T>>()
+        }))
+        .map_err(|payload| WorkerPanic(panic_message(&*payload)));
+    }
+    let spans: Vec<&[Range<usize>]> = ranges.chunks(span_len).collect();
+    let joined = std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|span| {
+                scope.spawn(move || span.iter().map(|r| work(r.clone())).collect::<Vec<T>>())
+            })
+            .collect();
+        join_workers(handles)
+    });
+    match joined {
+        Ok(per_worker) => Ok(per_worker.into_iter().flatten().collect()),
+        Err(msg) => Err(WorkerPanic(msg)),
+    }
+}
+
+/// Infallible [`try_map_chunks`]: re-raises a worker panic on the calling
+/// thread instead of returning it.
+///
+/// Use this from code whose callers cannot act on a [`WorkerPanic`] (the
+/// GP kernels, the transforms); the panic propagates exactly as if the
+/// loop had run serially.
+pub fn map_chunks<T, F>(n: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    match try_map_chunks(n, threads, work) {
+        Ok(v) => v,
+        Err(WorkerPanic(msg)) => std::panic::resume_unwind(Box::new(msg)),
+    }
+}
+
+/// Adds `partial` into `out` element-wise.
+///
+/// Folding per-chunk partial buffers with this in chunk-index order is the
+/// sanctioned deterministic reduction: the operand order per element is
+/// fixed by the chunk boundaries, which [`chunk_ranges`] derives from `n`
+/// alone.
+///
+/// # Panics
+///
+/// If the buffer lengths differ.
+pub fn merge_add(out: &mut [f64], partial: &[f64]) {
+    assert_eq!(out.len(), partial.len(), "partial buffer length mismatch");
+    for (dst, src) in out.iter_mut().zip(partial) {
+        *dst += *src;
+    }
+}
+
+/// Left-fold sum in iteration order — the scalar counterpart of
+/// [`merge_add`] for per-chunk partial sums.
+pub fn ordered_sum(parts: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = 0.0;
+    for v in parts {
+        acc += v;
+    }
+    acc
+}
+
+/// Joins every worker before reporting, converting panics to messages.
+///
+/// Draining all handles matters: re-panicking on the first `join()` (the
+/// old `expect` path) starts unwinding inside `thread::scope`, and if a
+/// second worker also panicked the scope's drop re-raises it mid-unwind,
+/// aborting the process. Here the first panic message is returned as an
+/// `Err` after every worker has stopped.
+fn join_workers<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, T>>) -> Result<Vec<T>, String> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut first_panic: Option<String> = None;
+    for h in handles {
+        match h.join() {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    // `&*payload`: reborrow the boxed payload itself — a
+                    // plain `&payload` would coerce the `Box` into the
+                    // `dyn Any` and every downcast would miss.
+                    first_panic = Some(panic_message(&*payload));
+                }
+            }
+        }
+    }
+    match first_panic {
+        None => Ok(out),
+        Some(m) => Err(m),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_tile_the_index_space() {
+        for n in [0usize, 1, 2, 31, 32, 33, 100, 2300, 65536] {
+            let ranges = chunk_ranges(n);
+            assert!(ranges.len() <= MAX_WORKER_THREADS, "n={n}");
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "gap/overlap at n={n}");
+                assert!(r.end > r.start, "empty chunk at n={n}");
+                next = r.end;
+            }
+            assert_eq!(next, n, "coverage at n={n}");
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_chunk_order_for_every_thread_count() {
+        let expected = chunk_ranges(1000);
+        for t in [1usize, 2, 3, 7, 8, 32, 64] {
+            let got = map_chunks(1000, t, |r| r.clone());
+            assert_eq!(got, expected, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn ordered_reduction_is_bit_identical_across_thread_counts() {
+        // Awkward magnitudes so any change in addition order flips bits.
+        let data: Vec<f64> = (0..4096)
+            .map(|i| ((i as f64) * 0.37 + 1.0e-7).sin() * 10f64.powi((i % 13) - 6))
+            .collect();
+        let n_bins = 17;
+        let run = |threads: usize| -> (Vec<u64>, u64) {
+            let partials = map_chunks(data.len(), threads, |r| {
+                let mut bins = vec![0.0f64; n_bins];
+                let mut total = 0.0f64;
+                for i in r {
+                    bins[i % n_bins] += data[i];
+                    total += data[i];
+                }
+                (bins, total)
+            });
+            let mut bins = vec![0.0f64; n_bins];
+            for (p, _) in &partials {
+                merge_add(&mut bins, p);
+            }
+            let total = ordered_sum(partials.iter().map(|(_, t)| *t));
+            (
+                bins.iter().map(|v| v.to_bits()).collect(),
+                total.to_bits(),
+            )
+        };
+        let baseline = run(1);
+        for t in [2usize, 3, 5, 8, 16, 32] {
+            assert_eq!(run(t), baseline, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn panicking_chunks_become_an_error_not_an_abort() {
+        // Two panicking chunks: the second must not abort the process
+        // while the scope unwinds from the first.
+        let err = try_map_chunks(64, 4, |r| {
+            if r.contains(&3) {
+                panic!("worker one exploded");
+            }
+            if r.contains(&40) {
+                std::panic::panic_any("worker two exploded".to_string());
+            }
+            r.len()
+        })
+        .unwrap_err();
+        assert!(err.0.contains("exploded"), "{err}");
+        assert!(err.to_string().contains("worker thread panicked"), "{err}");
+    }
+
+    #[test]
+    fn inline_path_reports_panics_like_the_threaded_path() {
+        let err = try_map_chunks(10, 1, |r| {
+            if r.contains(&3) {
+                panic!("inline chunk exploded");
+            }
+            r.len()
+        })
+        .unwrap_err();
+        assert!(err.0.contains("inline chunk exploded"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "re-raised")]
+    fn map_chunks_re_raises_worker_panics() {
+        let _ = map_chunks(8, 2, |r| {
+            if r.start == 0 {
+                panic!("re-raised");
+            }
+            r.len()
+        });
+    }
+
+    #[test]
+    fn zero_items_yield_no_chunks() {
+        let got: Vec<usize> = map_chunks(0, 8, |r| r.len());
+        assert!(got.is_empty());
+        assert!(chunk_ranges(0).is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_clamped_not_trusted() {
+        // usize::MAX threads must not try to spawn unboundedly.
+        let got = map_chunks(100, usize::MAX, |r| r.len());
+        assert_eq!(got.iter().sum::<usize>(), 100);
+    }
+}

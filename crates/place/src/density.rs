@@ -18,8 +18,8 @@
 use puffer_db::design::{Design, Placement};
 use puffer_db::geom::Rect;
 use puffer_db::grid::Grid;
-use puffer_db::netlist::Netlist;
-use puffer_fft::{dct2, dct3, dst3_shifted, transform2d, transform2d_mixed};
+use puffer_db::netlist::{CellId, Netlist};
+use puffer_fft::{dct2, dct3, dst3_shifted, transform2d_mixed_threaded, transform2d_threaded};
 use std::f64::consts::PI;
 
 /// Result of one density evaluation.
@@ -154,6 +154,28 @@ impl DensityModel {
         eff_width: &[f64],
         target_density: f64,
     ) -> DensityEval {
+        self.evaluate_threaded(netlist, placement, eff_width, target_density, 1)
+    }
+
+    /// Parallel [`DensityModel::evaluate`] over up to `threads` workers.
+    ///
+    /// The charge scatter runs over fixed cell-index chunks into per-chunk
+    /// partial grids merged in chunk order, the Poisson solve uses the
+    /// threaded 2-D transforms, and the gradient gather writes disjoint
+    /// per-chunk spans — so the result is **bit-identical** for any thread
+    /// count (the ordered-reduction contract of `puffer-par`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eff_width.len()` differs from the cell count.
+    pub fn evaluate_threaded(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        eff_width: &[f64],
+        target_density: f64,
+        threads: usize,
+    ) -> DensityEval {
         assert_eq!(
             eff_width.len(),
             netlist.num_cells(),
@@ -161,32 +183,49 @@ impl DensityModel {
         );
         let (mx, my) = (self.mx, self.my);
         let (dx, dy) = (self.bin_w(), self.bin_h());
+        let n = netlist.num_cells();
+        let cells = netlist.cells();
 
-        // --- charge map ------------------------------------------------
-        let mut rho = self.fixed_rho.clone();
-        for (dst, src) in rho.as_mut_slice().iter_mut().zip(self.extra_rho.as_slice()) {
-            *dst += src;
-        }
+        // --- charge map (parallel scatter, ordered merge) ----------------
+        let partials = puffer_par::map_chunks(n, threads, |range| {
+            let mut part: Grid<f64> = Grid::new(self.region, mx, my);
+            let mut of_part = 0.0;
+            for i in range {
+                let cell = &cells[i];
+                if !cell.is_movable() {
+                    continue;
+                }
+                let q = eff_width[i] * cell.height;
+                let w_s = eff_width[i].max(dx);
+                let h_s = cell.height.max(dy);
+                let p = placement.pos(CellId(i as u32));
+                if !p.x.is_finite() || !p.y.is_finite() {
+                    // A poisoned coordinate has no meaningful bin: count the
+                    // cell's full charge as overflow and leave the divergence
+                    // sentinel (which sees the NaN wirelength) to recover.
+                    of_part += q;
+                    continue;
+                }
+                let r = Rect::from_center(self.region.clamp_point(p), w_s, h_s);
+                part.splat(&r, q);
+            }
+            (part, of_part)
+        });
         let mut movable_rho: Grid<f64> = Grid::new(self.region, mx, my);
         let mut of_extra = 0.0;
-        for (id, cell) in netlist.iter_cells() {
-            if !cell.is_movable() {
-                continue;
-            }
-            let q = eff_width[id.index()] * cell.height;
-            let w_s = eff_width[id.index()].max(dx);
-            let h_s = cell.height.max(dy);
-            let p = placement.pos(id);
-            if !p.x.is_finite() || !p.y.is_finite() {
-                // A poisoned coordinate has no meaningful bin: count the
-                // cell's full charge as overflow and leave the divergence
-                // sentinel (which sees the NaN wirelength) to recover.
-                of_extra += q;
-                continue;
-            }
-            let r = Rect::from_center(self.region.clamp_point(p), w_s, h_s);
-            rho.splat(&r, q);
-            movable_rho.splat(&r, q);
+        for (part, of_part) in &partials {
+            puffer_par::merge_add(movable_rho.as_mut_slice(), part.as_slice());
+            of_extra += of_part;
+        }
+        drop(partials);
+        let mut rho = self.fixed_rho.clone();
+        for ((dst, extra), movable) in rho
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.extra_rho.as_slice())
+            .zip(movable_rho.as_slice())
+        {
+            *dst += extra + movable;
         }
 
         // --- overflow ---------------------------------------------------
@@ -205,7 +244,7 @@ impl DensityModel {
 
         // --- Poisson solve ----------------------------------------------
         // Forward DCT-II of the charge map.
-        let a = transform2d(rho.as_slice(), mx, my, dct2);
+        let a = transform2d_threaded(rho.as_slice(), mx, my, dct2, threads);
         // Frequency scalings.
         let wu: Vec<f64> = (0..mx).map(|u| PI * u as f64 / mx as f64).collect();
         let wv: Vec<f64> = (0..my).map(|v| PI * v as f64 / my as f64).collect();
@@ -226,17 +265,17 @@ impl DensityModel {
         }
         // Orthogonal reconstruction: (2/Mx)(2/My) · DCT-III in each axis.
         let norm = 4.0 / (mx as f64 * my as f64);
-        let mut psi = transform2d(&psi_hat, mx, my, dct3);
+        let mut psi = transform2d_threaded(&psi_hat, mx, my, dct3, threads);
         for p in &mut psi {
             *p *= norm;
         }
         // E = −∇ψ: differentiating the cosine basis gives the sine basis
         // with an extra −ω factor; folding signs, E uses +ω·sin synthesis.
-        let mut ex = transform2d_mixed(&ex_hat, mx, my, dst3_shifted, dct3);
+        let mut ex = transform2d_mixed_threaded(&ex_hat, mx, my, dst3_shifted, dct3, threads);
         for e in &mut ex {
             *e *= norm / dx; // per-DBU field
         }
-        let mut ey = transform2d_mixed(&ey_hat, mx, my, dct3, dst3_shifted);
+        let mut ey = transform2d_mixed_threaded(&ey_hat, mx, my, dct3, dst3_shifted, threads);
         for e in &mut ey {
             *e *= norm / dy;
         }
@@ -255,33 +294,48 @@ impl DensityModel {
         let ex_grid = grid_from(self.region, mx, my, ex);
         let ey_grid = grid_from(self.region, mx, my, ey);
 
-        let n = netlist.num_cells();
+        // Gradient gather: each chunk of cells produces its own span of
+        // gradients, written back to disjoint index ranges (no
+        // accumulation, so chunking cannot change bits).
+        let grad_parts = puffer_par::map_chunks(n, threads, |range| {
+            let mut part = Vec::with_capacity(range.len());
+            for i in range {
+                let cell = &cells[i];
+                if !cell.is_movable() {
+                    part.push((0.0, 0.0));
+                    continue;
+                }
+                let q = eff_width[i] * cell.height;
+                let w_s = eff_width[i].max(dx);
+                let h_s = cell.height.max(dy);
+                let p = placement.pos(CellId(i as u32));
+                if !p.x.is_finite() || !p.y.is_finite() {
+                    // No meaningful field at a poisoned coordinate; report a
+                    // NaN gradient so the sentinel sees the divergence.
+                    part.push((f64::NAN, f64::NAN));
+                    continue;
+                }
+                let r = Rect::from_center(self.region.clamp_point(p), w_s, h_s);
+                let (_p_avg, ex_avg, ey_avg) = gather3(&psi_grid, &ex_grid, &ey_grid, &r);
+                // Force on a positive charge is qE; the energy gradient is −qE.
+                part.push((-q * ex_avg, -q * ey_avg));
+            }
+            part
+        });
+
         let mut out = DensityEval {
             energy,
             grad_x: vec![0.0; n],
             grad_y: vec![0.0; n],
             overflow,
         };
-        for (id, cell) in netlist.iter_cells() {
-            if !cell.is_movable() {
-                continue;
+        let mut i = 0;
+        for part in grad_parts {
+            for (gx, gy) in part {
+                out.grad_x[i] = gx;
+                out.grad_y[i] = gy;
+                i += 1;
             }
-            let q = eff_width[id.index()] * cell.height;
-            let w_s = eff_width[id.index()].max(dx);
-            let h_s = cell.height.max(dy);
-            let p = placement.pos(id);
-            if !p.x.is_finite() || !p.y.is_finite() {
-                // No meaningful field at a poisoned coordinate; report a
-                // NaN gradient so the sentinel sees the divergence.
-                out.grad_x[id.index()] = f64::NAN;
-                out.grad_y[id.index()] = f64::NAN;
-                continue;
-            }
-            let r = Rect::from_center(self.region.clamp_point(p), w_s, h_s);
-            let (_p_avg, ex_avg, ey_avg) = gather3(&psi_grid, &ex_grid, &ey_grid, &r);
-            // Force on a positive charge is qE; the energy gradient is −qE.
-            out.grad_x[id.index()] = -q * ex_avg;
-            out.grad_y[id.index()] = -q * ey_avg;
         }
         out
     }

@@ -10,7 +10,7 @@
 use crate::density::DensityModel;
 use crate::nesterov::{NesterovOptimizer, NesterovState};
 use crate::sentinel::{Divergence, DivergenceSentinel};
-use crate::wirelength::wa_wirelength_grad;
+use crate::wirelength::wa_wirelength_grad_threaded;
 use crate::PlaceError;
 use puffer_db::design::{Design, Placement};
 use puffer_db::hpwl::total_hpwl;
@@ -49,6 +49,11 @@ pub struct PlacerConfig {
     /// Oscillation-detection window of the divergence sentinel; `0`
     /// disables the oscillation check (NaN/explosion checks stay on).
     pub divergence_window: usize,
+    /// Worker threads for the wirelength/density/transform kernels
+    /// (clamped to `1..=32`). Results are bit-identical for every value —
+    /// the deterministic fork-join contract of `puffer-par` — so this only
+    /// trades wall-clock time, never reproducibility.
+    pub threads: usize,
 }
 
 impl Default for PlacerConfig {
@@ -66,6 +71,7 @@ impl Default for PlacerConfig {
             max_recoveries: 8,
             recovery_backoff: 0.5,
             divergence_window: 16,
+            threads: 1,
         }
     }
 }
@@ -496,12 +502,14 @@ impl<'a> GlobalPlacer<'a> {
     fn combined_grad(&self, flat: &[f64], lambda: f64, gamma: f64) -> Vec<f64> {
         let mut scratch = self.placement.clone();
         self.scatter(flat, &mut scratch);
-        let wl = wa_wirelength_grad(self.design.netlist(), &scratch, gamma);
-        let de = self.density.evaluate(
+        let wl =
+            wa_wirelength_grad_threaded(self.design.netlist(), &scratch, gamma, self.config.threads);
+        let de = self.density.evaluate_threaded(
             self.design.netlist(),
             &scratch,
             &self.eff_width,
             self.config.target_density,
+            self.config.threads,
         );
         let n = self.movable.len();
         let mut g = vec![0.0; 2 * n];
@@ -539,12 +547,14 @@ impl<'a> GlobalPlacer<'a> {
         self.projector()(&mut flat);
         let mut scratch = self.placement.clone();
         self.scatter(&flat, &mut scratch);
-        let wl = wa_wirelength_grad(self.design.netlist(), &scratch, gamma);
-        let de = self.density.evaluate(
+        let wl =
+            wa_wirelength_grad_threaded(self.design.netlist(), &scratch, gamma, self.config.threads);
+        let de = self.density.evaluate_threaded(
             self.design.netlist(),
             &scratch,
             &self.eff_width,
             self.config.target_density,
+            self.config.threads,
         );
         if self.lambda == 0.0 {
             let sw: f64 = self
@@ -615,12 +625,18 @@ impl<'a> GlobalPlacer<'a> {
         self.iter += 1;
         let new_lambda = self.lambda * self.config.lambda_growth;
 
-        let wl = wa_wirelength_grad(self.design.netlist(), &self.placement, gamma);
-        let de = self.density.evaluate(
+        let wl = wa_wirelength_grad_threaded(
+            self.design.netlist(),
+            &self.placement,
+            gamma,
+            self.config.threads,
+        );
+        let de = self.density.evaluate_threaded(
             self.design.netlist(),
             &self.placement,
             &self.eff_width,
             self.config.target_density,
+            self.config.threads,
         );
         let stats = IterationStats {
             iter: self.iter,
@@ -679,12 +695,18 @@ impl<'a> GlobalPlacer<'a> {
             return lg.stats;
         }
         let gamma = self.gamma();
-        let wl = wa_wirelength_grad(self.design.netlist(), &self.placement, gamma);
-        let de = self.density.evaluate(
+        let wl = wa_wirelength_grad_threaded(
+            self.design.netlist(),
+            &self.placement,
+            gamma,
+            self.config.threads,
+        );
+        let de = self.density.evaluate_threaded(
             self.design.netlist(),
             &self.placement,
             &self.eff_width,
             self.config.target_density,
+            self.config.threads,
         );
         IterationStats {
             iter: self.iter,

@@ -31,7 +31,7 @@ pub use engine::{GlobalPlacer, IterationStats, PlacerConfig, PlacerSnapshot};
 pub use nesterov::{NesterovOptimizer, NesterovState};
 pub use sentinel::{Divergence, DivergenceSentinel};
 pub use quadratic::{quadratic_placement, QuadraticConfig};
-pub use wirelength::{wa_wirelength_grad, WirelengthGrad};
+pub use wirelength::{wa_wirelength_grad, wa_wirelength_grad_threaded, WirelengthGrad};
 
 use std::error::Error;
 use std::fmt;

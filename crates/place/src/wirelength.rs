@@ -12,7 +12,7 @@
 //! `γ` controls accuracy: as `γ → 0`, WA → HPWL from below.
 
 use puffer_db::design::Placement;
-use puffer_db::netlist::Netlist;
+use puffer_db::netlist::{Net, NetId, Netlist};
 
 /// WA wirelength evaluation result: value and per-cell gradient.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +35,33 @@ pub struct WirelengthGrad {
 ///
 /// Panics if `gamma` is not strictly positive.
 pub fn wa_wirelength_grad(netlist: &Netlist, placement: &Placement, gamma: f64) -> WirelengthGrad {
+    wa_wirelength_grad_threaded(netlist, placement, gamma, 1)
+}
+
+/// Parallel [`wa_wirelength_grad`] over up to `threads` workers.
+///
+/// Nets are processed in fixed index chunks (`puffer_par::chunk_ranges`,
+/// boundaries independent of the thread count); each chunk records its
+/// per-pin gradient contributions sparsely in net order, and the chunks
+/// are applied to the output in chunk order. Every f64 addition therefore
+/// happens with the same operands in the same order for any `threads`
+/// value, so the result is **bit-identical** across thread counts.
+///
+/// With a single worker the sparse contributions would be applied in
+/// exactly (chunk, net, pin) order, which is a plain serial accumulation —
+/// so the 1-thread path skips the contribution buffers and writes straight
+/// into the output, staying within a few percent of an unchunked loop
+/// while remaining bit-identical to the multi-worker path.
+///
+/// # Panics
+///
+/// Panics if `gamma` is not strictly positive.
+pub fn wa_wirelength_grad_threaded(
+    netlist: &Netlist,
+    placement: &Placement,
+    gamma: f64,
+    threads: usize,
+) -> WirelengthGrad {
     assert!(gamma > 0.0, "gamma must be positive");
     let n = netlist.num_cells();
     let mut out = WirelengthGrad {
@@ -42,65 +69,141 @@ pub fn wa_wirelength_grad(netlist: &Netlist, placement: &Placement, gamma: f64) 
         grad_x: vec![0.0; n],
         grad_y: vec![0.0; n],
     };
-    // Scratch: per-net pin coordinates.
-    let mut coords: Vec<f64> = Vec::with_capacity(16);
-    let mut exps_p: Vec<f64> = Vec::with_capacity(16);
-    let mut exps_m: Vec<f64> = Vec::with_capacity(16);
 
-    for (_, net) in netlist.iter_nets() {
-        if net.degree() < 2 || net.weight == 0.0 {
-            continue;
+    if puffer_par::clamp_threads(threads) == 1 {
+        // Single worker: accumulate directly. The per-chunk value
+        // grouping is kept so the total matches the merged path exactly.
+        let mut scratch = NetScratch::default();
+        for range in puffer_par::chunk_ranges(netlist.num_nets()) {
+            let mut value = 0.0;
+            for i in range {
+                let net = netlist.net(NetId(i as u32));
+                value += net_wa_grad(netlist, placement, gamma, net, &mut scratch, &mut |axis,
+                                                                                        cell,
+                                                                                        g| {
+                    if axis == 0 {
+                        out.grad_x[cell] += g;
+                    } else {
+                        out.grad_y[cell] += g;
+                    }
+                });
+            }
+            out.value += value;
         }
-        for axis in 0..2 {
-            coords.clear();
-            for &pid in &net.pins {
-                let p = placement.pin_pos(netlist, pid);
-                coords.push(if axis == 0 { p.x } else { p.y });
-            }
-            let max = coords.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let min = coords.iter().cloned().fold(f64::INFINITY, f64::min);
+        return out;
+    }
 
-            // Stable exponentials.
-            exps_p.clear();
-            exps_m.clear();
-            let mut sp = 0.0; // Σ e⁺
-            let mut sxp = 0.0; // Σ x e⁺
-            let mut sm = 0.0; // Σ e⁻
-            let mut sxm = 0.0; // Σ x e⁻
-            for &x in &coords {
-                let ep = ((x - max) / gamma).exp();
-                let em = ((min - x) / gamma).exp();
-                exps_p.push(ep);
-                exps_m.push(em);
-                sp += ep;
-                sxp += x * ep;
-                sm += em;
-                sxm += x * em;
-            }
-            let wa = sxp / sp - sxm / sm;
-            out.value += net.weight * wa;
-
-            // Gradient: ∂WA⁺/∂xⱼ = ((1 + xⱼ/γ)·eⱼ⁺·S⁺ − eⱼ⁺·SX⁺/γ) / S⁺²
-            //           ∂WA⁻/∂xⱼ = ((1 − xⱼ/γ)·eⱼ⁻·S⁻ + eⱼ⁻·SX⁻/γ) / S⁻²
-            let sp2 = sp * sp;
-            let sm2 = sm * sm;
-            for (j, &pid) in net.pins.iter().enumerate() {
-                let x = coords[j];
-                let ep = exps_p[j];
-                let em = exps_m[j];
-                let dp = ((1.0 + x / gamma) * ep * sp - ep * sxp / gamma) / sp2;
-                let dm = ((1.0 - x / gamma) * em * sm + em * sxm / gamma) / sm2;
-                let g = net.weight * (dp - dm);
-                let cell = netlist.pin(pid).cell.index();
+    let partials = puffer_par::map_chunks(netlist.num_nets(), threads, |range| {
+        let mut value = 0.0;
+        // Sparse per-pin contributions (cell index, gradient), in net
+        // order. Sized upfront: one entry per pin per axis.
+        let pins: usize = range
+            .clone()
+            .map(|i| netlist.net(NetId(i as u32)).degree())
+            .sum();
+        let mut contrib_x: Vec<(usize, f64)> = Vec::with_capacity(pins);
+        let mut contrib_y: Vec<(usize, f64)> = Vec::with_capacity(pins);
+        let mut scratch = NetScratch::default();
+        for i in range {
+            let net = netlist.net(NetId(i as u32));
+            value += net_wa_grad(netlist, placement, gamma, net, &mut scratch, &mut |axis,
+                                                                                    cell,
+                                                                                    g| {
                 if axis == 0 {
-                    out.grad_x[cell] += g;
+                    contrib_x.push((cell, g));
                 } else {
-                    out.grad_y[cell] += g;
+                    contrib_y.push((cell, g));
                 }
-            }
+            });
+        }
+        (value, contrib_x, contrib_y)
+    });
+
+    for (value, cx, cy) in &partials {
+        out.value += value;
+        for &(cell, g) in cx {
+            out.grad_x[cell] += g;
+        }
+        for &(cell, g) in cy {
+            out.grad_y[cell] += g;
         }
     }
     out
+}
+
+/// Per-net scratch buffers reused across nets.
+#[derive(Default)]
+struct NetScratch {
+    coords: Vec<f64>,
+    exps_p: Vec<f64>,
+    exps_m: Vec<f64>,
+}
+
+/// One net's weighted WA wirelength (both axes); per-pin gradient
+/// contributions are handed to `emit(axis, cell_index, g)` in pin order,
+/// axis 0 (x) first. Nets below degree 2 or with zero weight contribute
+/// nothing.
+#[inline]
+fn net_wa_grad(
+    netlist: &Netlist,
+    placement: &Placement,
+    gamma: f64,
+    net: &Net,
+    scratch: &mut NetScratch,
+    emit: &mut impl FnMut(usize, usize, f64),
+) -> f64 {
+    if net.degree() < 2 || net.weight == 0.0 {
+        return 0.0;
+    }
+    let NetScratch {
+        coords,
+        exps_p,
+        exps_m,
+    } = scratch;
+    let mut value = 0.0;
+    for axis in 0..2 {
+        coords.clear();
+        for &pid in &net.pins {
+            let p = placement.pin_pos(netlist, pid);
+            coords.push(if axis == 0 { p.x } else { p.y });
+        }
+        let max = coords.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = coords.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        // Stable exponentials.
+        exps_p.clear();
+        exps_m.clear();
+        let mut sp = 0.0; // Σ e⁺
+        let mut sxp = 0.0; // Σ x e⁺
+        let mut sm = 0.0; // Σ e⁻
+        let mut sxm = 0.0; // Σ x e⁻
+        for &x in coords.iter() {
+            let ep = ((x - max) / gamma).exp();
+            let em = ((min - x) / gamma).exp();
+            exps_p.push(ep);
+            exps_m.push(em);
+            sp += ep;
+            sxp += x * ep;
+            sm += em;
+            sxm += x * em;
+        }
+        let wa = sxp / sp - sxm / sm;
+        value += net.weight * wa;
+
+        // Gradient: ∂WA⁺/∂xⱼ = ((1 + xⱼ/γ)·eⱼ⁺·S⁺ − eⱼ⁺·SX⁺/γ) / S⁺²
+        //           ∂WA⁻/∂xⱼ = ((1 − xⱼ/γ)·eⱼ⁻·S⁻ + eⱼ⁻·SX⁻/γ) / S⁻²
+        let sp2 = sp * sp;
+        let sm2 = sm * sm;
+        for (j, &pid) in net.pins.iter().enumerate() {
+            let x = coords[j];
+            let ep = exps_p[j];
+            let em = exps_m[j];
+            let dp = ((1.0 + x / gamma) * ep * sp - ep * sxp / gamma) / sp2;
+            let dm = ((1.0 - x / gamma) * em * sm + em * sxm / gamma) / sm2;
+            emit(axis, netlist.pin(pid).cell.index(), net.weight * (dp - dm));
+        }
+    }
+    value
 }
 
 #[cfg(test)]

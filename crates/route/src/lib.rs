@@ -232,40 +232,33 @@ impl GlobalRouter {
         let netlist = design.netlist();
 
         // --- decompose all nets into two-point segments (parallel) -------
+        // Chunking, thread clamping, and panic draining all go through
+        // puffer-par: fixed net-index chunks, one endpoint list per chunk,
+        // concatenated in chunk order.
         let net_ids: Vec<_> = netlist.iter_nets().map(|(id, _)| id).collect();
-        let threads = clamp_threads(self.config.threads);
-        let chunks: Vec<&[puffer_db::netlist::NetId]> = net_ids
-            .chunks(net_ids.len().div_ceil(threads).max(1))
-            .collect();
         type Endpoints = Vec<((usize, usize), (usize, usize))>;
+        let gridref = &grid;
+        let parts = puffer_par::try_map_chunks(net_ids.len(), self.config.threads, |range| {
+            let mut out: Endpoints = Vec::new();
+            for i in range {
+                let net_id = net_ids[i];
+                if netlist.net(net_id).degree() < 2 {
+                    continue;
+                }
+                let topo = Topology::for_net(netlist, placement, net_id);
+                for seg in topo.segments() {
+                    let a = gcell_of(gridref, topo.nodes()[seg.a].pos);
+                    let b = gcell_of(gridref, topo.nodes()[seg.b].pos);
+                    if a != b {
+                        out.push((a, b));
+                    }
+                }
+            }
+            out
+        })
+        .map_err(|e| RouteError::WorkerPanic(e.0))?;
         let mut endpoints: Endpoints = Vec::new();
-        let results: Result<Vec<Endpoints>, String> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    let gridref = &grid;
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        for &net_id in chunk {
-                            if netlist.net(net_id).degree() < 2 {
-                                continue;
-                            }
-                            let topo = Topology::for_net(netlist, placement, net_id);
-                            for seg in topo.segments() {
-                                let a = gcell_of(gridref, topo.nodes()[seg.a].pos);
-                                let b = gcell_of(gridref, topo.nodes()[seg.b].pos);
-                                if a != b {
-                                    out.push((a, b));
-                                }
-                            }
-                        }
-                        out
-                    })
-                })
-                .collect();
-            join_workers(handles)
-        });
-        for r in results.map_err(RouteError::WorkerPanic)? {
+        for r in parts {
             endpoints.extend(r);
         }
         // Short segments first: they have the least routing freedom.
@@ -337,47 +330,6 @@ impl GlobalRouter {
 
 fn gcell_of(grid: &RoutingGrid, p: puffer_db::geom::Point) -> (usize, usize) {
     grid.cell_of(p)
-}
-
-/// Joins every worker before reporting, converting panics to messages.
-///
-/// Draining all handles matters: re-panicking on the first `join()` (the
-/// old `expect` path) starts unwinding inside `thread::scope`, and if a
-/// second worker also panicked the scope's drop re-raises it mid-unwind,
-/// aborting the process. Here the first panic message is returned as an
-/// `Err` after every worker has stopped.
-fn join_workers<T>(
-    handles: Vec<std::thread::ScopedJoinHandle<'_, T>>,
-) -> Result<Vec<T>, String> {
-    let mut out = Vec::with_capacity(handles.len());
-    let mut first_panic: Option<String> = None;
-    for h in handles {
-        match h.join() {
-            Ok(v) => out.push(v),
-            Err(payload) => {
-                if first_panic.is_none() {
-                    // `&*payload`: reborrow the boxed payload itself — a
-                    // plain `&payload` would coerce the `Box` into the
-                    // `dyn Any` and every downcast would miss.
-                    first_panic = Some(panic_message(&*payload));
-                }
-            }
-        }
-    }
-    match first_panic {
-        None => Ok(out),
-        Some(m) => Err(m),
-    }
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
 }
 
 #[cfg(test)]
@@ -548,21 +500,22 @@ mod tests {
 
     #[test]
     fn panicking_worker_becomes_an_error_not_an_abort() {
-        // Exercises the join path behind try_route's decomposition scope:
-        // a panicking worker must surface as Err, and — critically — a
-        // *second* panicking worker must not abort the process (the old
-        // `join().expect(...)` re-panic did exactly that by unwinding
-        // through `thread::scope` while another handle was still hot).
-        let result: Result<Vec<usize>, String> = std::thread::scope(|scope| {
-            let handles = vec![
-                scope.spawn(|| 1usize),
-                scope.spawn(|| panic!("worker one exploded")),
-                scope.spawn(|| std::panic::panic_any("worker two exploded".to_string())),
-                scope.spawn(|| 4usize),
-            ];
-            join_workers(handles)
+        // Exercises the join path behind try_route's decomposition chunks,
+        // now provided by puffer-par: a panicking worker must surface as
+        // Err, and — critically — a *second* panicking worker must not
+        // abort the process (the old `join().expect(...)` re-panic did
+        // exactly that by unwinding through `thread::scope` while another
+        // handle was still hot).
+        let result = puffer_par::try_map_chunks(64, 4, |range| {
+            if range.contains(&1) {
+                panic!("worker one exploded");
+            }
+            if range.contains(&35) {
+                std::panic::panic_any("worker two exploded".to_string());
+            }
+            range.len()
         });
-        let msg = result.unwrap_err();
+        let msg = result.unwrap_err().0;
         assert!(msg.contains("exploded"), "{msg}");
         assert!(matches!(
             RouteError::WorkerPanic(msg),
@@ -571,11 +524,8 @@ mod tests {
     }
 
     #[test]
-    fn join_workers_preserves_results_when_no_panic() {
-        let result: Result<Vec<usize>, String> = std::thread::scope(|scope| {
-            let handles = (0..4).map(|i| scope.spawn(move || i * i)).collect();
-            join_workers(handles)
-        });
+    fn chunked_workers_preserve_results_when_no_panic() {
+        let result = puffer_par::try_map_chunks(4, 4, |range| range.start * range.start);
         assert_eq!(result.unwrap(), vec![0, 1, 4, 9]);
     }
 

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Flow benchmark: runs the PUFFER flow under telemetry and emits one
 # machine-readable BENCH_<design>.json per design (stage wall-times +
-# Table II metrics). CI keeps the JSON files as artifacts.
+# Table II metrics + the "par" section: deterministic-parallel kernel
+# times at 1/2/4/8 threads and the 4-thread speedup). CI keeps the JSON
+# files as artifacts, and benchflow exits nonzero if the chunked 1-thread
+# kernel path regresses more than 10% against the unchunked serial
+# reference.
 #
 # usage: scripts/bench.sh [out_dir]
 #   BENCH_SCALE   scale factor for the Table I presets (default 0.003)

@@ -29,9 +29,9 @@ target/release/puffer lint
 # Advisory pass: surface unwrap/expect density on library code. Library
 # crates only — binaries, benches, and tests legitimately unwrap.
 LIB_CRATES=(
-  puffer-budget puffer-db puffer-gen puffer-flute puffer-fft puffer-place
-  puffer-congest puffer-pad puffer-explore puffer-legal puffer-dp
-  puffer-route puffer-rng puffer-trace puffer
+  puffer-budget puffer-par puffer-db puffer-gen puffer-flute puffer-fft
+  puffer-place puffer-congest puffer-pad puffer-explore puffer-legal
+  puffer-dp puffer-route puffer-rng puffer-trace puffer
 )
 echo "==> advisory clippy (unwrap_used/expect_used) on library crates"
 for crate in "${LIB_CRATES[@]}"; do
@@ -60,6 +60,17 @@ echo "==> validated flow smoke (place --validate + puffer audit)"
 "$PUFFER" audit design "$SMOKE_DIR/smoke.pd"
 "$PUFFER" audit run "$SMOKE_DIR/val.pj" "$SMOKE_DIR/val.jsonl"
 "$PUFFER" eval "$SMOKE_DIR/smoke.pd" "$SMOKE_DIR/val.pl" --validate
+
+# Deterministic-parallelism smoke: --threads must not change results. The
+# checkpoint journals and placements of a 1-thread and a 4-thread run are
+# byte-identical (the puffer-par kernels are bit-identical by design).
+echo "==> deterministic parallelism smoke (place --threads 1 vs 4)"
+"$PUFFER" place "$SMOKE_DIR/smoke.pd" -o "$SMOKE_DIR/t1.pl" \
+  --threads 1 --journal "$SMOKE_DIR/t1.pj"
+"$PUFFER" place "$SMOKE_DIR/smoke.pd" -o "$SMOKE_DIR/t4.pl" \
+  --threads 4 --journal "$SMOKE_DIR/t4.pj"
+cmp "$SMOKE_DIR/t1.pj" "$SMOKE_DIR/t4.pj"
+cmp "$SMOKE_DIR/t1.pl" "$SMOKE_DIR/t4.pl"
 
 # Bounded-execution smoke: an expired deadline must still exit 0 with a
 # legal best-so-far placement, and the deterministic chaos harness must

@@ -1,0 +1,174 @@
+//! Deterministic-parallelism equivalence suite: every GP kernel routed
+//! through `puffer-par` must produce **bit-identical** results for any
+//! thread count, and a full flow run at `--threads 4` must write a
+//! byte-identical checkpoint journal to a `--threads 1` run.
+//!
+//! Bitwise comparison (`f64::to_bits`) is deliberate: approximate equality
+//! would hide reduction-order drift that breaks checkpoint/resume, golden
+//! metrics, and SMBO trajectory reproducibility.
+
+use puffer::{CheckpointPolicy, PufferConfig, PufferPlacer};
+use puffer_db::design::{Design, Placement};
+use puffer_db::geom::Point;
+use puffer_fft::{
+    dct2, dct3, dst3_shifted, transform2d, transform2d_mixed, transform2d_mixed_threaded,
+    transform2d_threaded,
+};
+use puffer_gen::{generate, GeneratorConfig};
+use puffer_place::{wa_wirelength_grad_threaded, DensityModel};
+use puffer_rng::StdRng;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+fn test_design(cells: usize, nets: usize, seed: u64) -> Design {
+    generate(&GeneratorConfig {
+        num_cells: cells,
+        num_nets: nets,
+        num_macros: 2,
+        hotspot: 0.5,
+        seed,
+        ..GeneratorConfig::default()
+    })
+    .unwrap()
+}
+
+/// A deterministic semi-spread placement exercising interior and boundary
+/// bins alike.
+fn jittered_placement(design: &Design, seed: u64) -> Placement {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let region = design.region();
+    let mut p = design.initial_placement();
+    for (id, cell) in design.netlist().iter_cells() {
+        if !cell.is_movable() {
+            continue;
+        }
+        let x = region.xl + rng.next_f64() * region.width();
+        let y = region.yl + rng.next_f64() * region.height();
+        p.set(id, Point::new(x, y));
+    }
+    p
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn wirelength_gradient_is_bit_identical_across_thread_counts() {
+    for seed in [1u64, 7] {
+        let d = test_design(600, 700, seed);
+        let p = jittered_placement(&d, seed ^ 0xABCD);
+        let base = wa_wirelength_grad_threaded(d.netlist(), &p, 4.0, 1);
+        for t in THREADS {
+            let got = wa_wirelength_grad_threaded(d.netlist(), &p, 4.0, t);
+            assert_eq!(
+                got.value.to_bits(),
+                base.value.to_bits(),
+                "seed {seed} threads {t}: value differs"
+            );
+            assert_eq!(
+                bits(&got.grad_x),
+                bits(&base.grad_x),
+                "seed {seed} threads {t}: grad_x differs"
+            );
+            assert_eq!(
+                bits(&got.grad_y),
+                bits(&base.grad_y),
+                "seed {seed} threads {t}: grad_y differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn density_evaluation_is_bit_identical_across_thread_counts() {
+    let d = test_design(500, 560, 3);
+    let nl = d.netlist();
+    let p = jittered_placement(&d, 99);
+    let widths: Vec<f64> = nl.cells().iter().map(|c| c.width).collect();
+    let model = DensityModel::new(&d, 64, 64);
+    let base = model.evaluate_threaded(nl, &p, &widths, 0.9, 1);
+    for t in THREADS {
+        let got = model.evaluate_threaded(nl, &p, &widths, 0.9, t);
+        assert_eq!(
+            got.energy.to_bits(),
+            base.energy.to_bits(),
+            "threads {t}: energy differs"
+        );
+        assert_eq!(
+            got.overflow.to_bits(),
+            base.overflow.to_bits(),
+            "threads {t}: overflow differs"
+        );
+        assert_eq!(bits(&got.grad_x), bits(&base.grad_x), "threads {t}: grad_x");
+        assert_eq!(bits(&got.grad_y), bits(&base.grad_y), "threads {t}: grad_y");
+    }
+}
+
+#[test]
+fn transforms_are_bit_identical_across_thread_counts() {
+    let (nx, ny) = (64, 32);
+    let mut rng = StdRng::seed_from_u64(42);
+    let data: Vec<f64> = (0..nx * ny).map(|_| rng.next_f64() * 20.0 - 10.0).collect();
+
+    let serial_same = transform2d(&data, nx, ny, dct2);
+    let serial_mixed = transform2d_mixed(&data, nx, ny, dst3_shifted, dct3);
+    for t in THREADS {
+        assert_eq!(
+            bits(&transform2d_threaded(&data, nx, ny, dct2, t)),
+            bits(&serial_same),
+            "threads {t}: transform2d"
+        );
+        assert_eq!(
+            bits(&transform2d_mixed_threaded(&data, nx, ny, dst3_shifted, dct3, t)),
+            bits(&serial_mixed),
+            "threads {t}: transform2d_mixed"
+        );
+    }
+}
+
+#[test]
+fn full_place_run_writes_byte_identical_journal_for_1_and_4_threads() {
+    let d = test_design(300, 340, 11);
+    let dir = std::env::temp_dir().join("puffer-par-equivalence");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let run = |threads: usize| -> (Vec<u8>, Vec<(f64, f64)>) {
+        let mut cfg = PufferConfig::default();
+        cfg.placer.max_iters = 60;
+        cfg.placer.stop_overflow = 0.15;
+        cfg.placer.threads = threads;
+        cfg.estimator.threads = threads;
+        cfg.strategy.max_rounds = 1;
+        let policy = CheckpointPolicy {
+            path: dir.join(format!("run-t{threads}.pj")),
+            every: 20,
+            keep_history: false,
+        };
+        let result = PufferPlacer::new(cfg)
+            .place_with_checkpoints(&d, &policy)
+            .unwrap();
+        let journal = std::fs::read(&policy.path).unwrap();
+        let coords = (0..d.netlist().num_cells())
+            .map(|i| {
+                let p = result
+                    .placement
+                    .pos(puffer_db::netlist::CellId(i as u32));
+                (p.x, p.y)
+            })
+            .collect();
+        (journal, coords)
+    };
+
+    let (journal_1, coords_1) = run(1);
+    let (journal_4, coords_4) = run(4);
+    assert_eq!(
+        journal_1, journal_4,
+        "checkpoint journals must be byte-identical for --threads 1 vs 4"
+    );
+    for (i, (a, b)) in coords_1.iter().zip(&coords_4).enumerate() {
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "cell {i} x differs");
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "cell {i} y differs");
+    }
+}

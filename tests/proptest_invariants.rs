@@ -213,3 +213,180 @@ fn congestion_monotone_in_demand() {
         },
     );
 }
+
+/// The parallel WA gradient sums to (numerically) zero over each net's
+/// cells — WA is translation invariant — and is bit-identical to the
+/// serial path for any thread count.
+#[test]
+fn parallel_gradient_sums_to_zero_per_net() {
+    use puffer_place::wa_wirelength_grad_threaded;
+    run_cases(
+        32,
+        0x1007,
+        |rng| {
+            // Disjoint nets so per-net gradient sums are separable.
+            let nets = rng.gen_range(1..6usize);
+            let shapes: Vec<Vec<Point>> = (0..nets)
+                .map(|_| {
+                    vec_of(rng, 2..7, |r| {
+                        Point::new(r.gen_range(0.0..100.0), r.gen_range(0.0..100.0))
+                    })
+                })
+                .collect();
+            let gamma = rng.gen_range(0.5..8.0);
+            let threads = rng.gen_range(2..9usize);
+            (shapes, gamma, threads)
+        },
+        |(shapes, gamma, threads)| {
+            let mut nb = NetlistBuilder::new();
+            let mut net_cells: Vec<Vec<CellId>> = Vec::new();
+            for (ni, pts) in shapes.iter().enumerate() {
+                let ids: Vec<_> = (0..pts.len().max(2))
+                    .map(|i| nb.add_cell(format!("c{ni}_{i}"), 1.0, 1.0, CellKind::Movable))
+                    .collect();
+                let net = nb.add_net(format!("n{ni}"));
+                for &c in &ids {
+                    nb.connect(net, c, Point::ORIGIN).unwrap();
+                }
+                net_cells.push(ids);
+            }
+            let nl = nb.build().unwrap();
+            let mut p = Placement::zeroed(nl.num_cells());
+            for (ni, pts) in shapes.iter().enumerate() {
+                for (i, pt) in pts.iter().enumerate() {
+                    p.set(net_cells[ni][i], *pt);
+                }
+            }
+            let serial = wa_wirelength_grad_threaded(&nl, &p, *gamma, 1);
+            let par = wa_wirelength_grad_threaded(&nl, &p, *gamma, *threads);
+            prop_check!(
+                par.value.to_bits() == serial.value.to_bits(),
+                "value not bit-identical at {threads} threads"
+            );
+            for (a, b) in par.grad_x.iter().zip(&serial.grad_x) {
+                prop_check!(a.to_bits() == b.to_bits(), "grad_x not bit-identical");
+            }
+            for (a, b) in par.grad_y.iter().zip(&serial.grad_y) {
+                prop_check!(a.to_bits() == b.to_bits(), "grad_y not bit-identical");
+            }
+            for cells in &net_cells {
+                let sx: f64 = cells.iter().map(|c| par.grad_x[c.index()]).sum();
+                let sy: f64 = cells.iter().map(|c| par.grad_y[c.index()]).sum();
+                let scale: f64 = cells
+                    .iter()
+                    .map(|c| par.grad_x[c.index()].abs() + par.grad_y[c.index()].abs())
+                    .sum::<f64>()
+                    .max(1.0);
+                prop_check!(sx.abs() <= 1e-9 * scale, "x-sum {sx} not ~0");
+                prop_check!(sy.abs() <= 1e-9 * scale, "y-sum {sy} not ~0");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Merging per-chunk partial density grids in chunk order conserves the
+/// total charge histogram and is invariant to the worker count.
+#[test]
+fn density_histogram_is_conserved_under_partial_grid_merge() {
+    run_cases(
+        32,
+        0x1008,
+        |rng| {
+            let cells: Vec<(f64, f64, f64)> = vec_of(rng, 1..40, |r| {
+                (
+                    r.gen_range(6.0..58.0),
+                    r.gen_range(6.0..58.0),
+                    r.gen_range(0.5..3.0),
+                )
+            });
+            let threads = rng.gen_range(2..9usize);
+            (cells, threads)
+        },
+        |(cells, threads)| {
+            let region = Rect::new(0.0, 0.0, 64.0, 64.0);
+            let (mx, my) = (32usize, 32usize);
+            let (dx, dy) = (region.width() / mx as f64, region.height() / my as f64);
+            let scatter = |t: usize| -> Grid<f64> {
+                let parts = puffer_par::map_chunks(cells.len(), t, |range| {
+                    let mut g: Grid<f64> = Grid::new(region, mx, my);
+                    for i in range {
+                        let (x, y, w) = cells[i];
+                        let r = Rect::new(
+                            x - w.max(dx) / 2.0,
+                            y - 1f64.max(dy) / 2.0,
+                            x + w.max(dx) / 2.0,
+                            y + 1f64.max(dy) / 2.0,
+                        );
+                        g.splat(&r, w); // height 1.0 → charge = w
+                    }
+                    g
+                });
+                let mut merged: Grid<f64> = Grid::new(region, mx, my);
+                for p in &parts {
+                    puffer_par::merge_add(merged.as_mut_slice(), p.as_slice());
+                }
+                merged
+            };
+            let merged = scatter(*threads);
+            let single = scatter(1);
+            for (a, b) in merged.as_slice().iter().zip(single.as_slice()) {
+                prop_check!(
+                    a.to_bits() == b.to_bits(),
+                    "merged grid not bit-identical at {threads} threads"
+                );
+            }
+            let total: f64 = cells.iter().map(|c| c.2).sum();
+            prop_check!(
+                (merged.sum() - total).abs() <= 1e-9 * total.max(1.0),
+                "histogram mass {} != total charge {total}",
+                merged.sum()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The threaded 2-D transform round trip (DCT-II forward, DCT-III inverse,
+/// orthogonal normalisation) reproduces the serial round trip bit-for-bit,
+/// so its reconstruction error is *exactly* the serial error.
+#[test]
+fn transform_round_trip_error_matches_serial_exactly() {
+    use puffer_fft::{dct2, dct3, transform2d_threaded};
+    run_cases(
+        32,
+        0x1009,
+        |rng| {
+            let dims = [8usize, 16, 32];
+            let nx = dims[rng.gen_range(0..3usize)];
+            let ny = dims[rng.gen_range(0..3usize)];
+            let data: Vec<f64> = (0..nx * ny).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            let threads = rng.gen_range(2..9usize);
+            (nx, ny, data, threads)
+        },
+        |(nx, ny, data, threads)| {
+            let norm = 4.0 / (*nx as f64 * *ny as f64);
+            let round_trip = |t: usize| -> Vec<f64> {
+                let fwd = transform2d_threaded(data, *nx, *ny, dct2, t);
+                let mut back = transform2d_threaded(&fwd, *nx, *ny, dct3, t);
+                for v in &mut back {
+                    *v *= norm;
+                }
+                back
+            };
+            let serial = round_trip(1);
+            let par = round_trip(*threads);
+            for ((s, p), orig) in serial.iter().zip(&par).zip(data) {
+                prop_check!(
+                    s.to_bits() == p.to_bits(),
+                    "round trip not bit-identical at {threads} threads"
+                );
+                prop_check!(
+                    (s - orig).abs() <= 1e-9 * orig.abs().max(1.0),
+                    "round trip error too large: {s} vs {orig}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
