@@ -61,10 +61,13 @@ const LAYERS: &[(&str, u8)] = &[
     ("puffer", 5),
     // Verification over the assembled flow.
     ("puffer-audit", 6),
+    // The job daemon: supervision (queueing, retry, recovery) over the
+    // assembled flow — every lint gate applies to it like any other crate.
+    ("puffer-serve", 7),
     // Tooling over the whole stack.
-    ("puffer-cli", 7),
-    ("puffer-bench", 7),
-    ("puffer-suite", 8),
+    ("puffer-cli", 8),
+    ("puffer-bench", 8),
+    ("puffer-suite", 9),
 ];
 
 /// Crates whose `thread::scope` use is sanctioned: `par` is the

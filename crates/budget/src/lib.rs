@@ -21,15 +21,91 @@
 //! The crate sits at layer 0 of the workspace (no dependencies), so every
 //! stage crate can consume it without violating the downward-only layering
 //! that `puffer lint` enforces. It also hosts the worker-thread sizing
-//! helpers shared by the router and the congestion estimator.
+//! helpers shared by the router and the congestion estimator, and the one
+//! sanctioned `unsafe` block in the workspace: the [`signal`] module's
+//! binding to `signal(2)` behind [`CancelToken::cancel_on_signal`].
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `signal` module below carries the single
+// waived `#[allow(unsafe_code)]` in the workspace (see lint-allow.toml).
+#![deny(unsafe_code)]
 
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Process signals
+// ---------------------------------------------------------------------------
+
+/// Process-signal integration for [`CancelToken::cancel_on_signal`].
+///
+/// The workspace is otherwise `forbid(unsafe_code)`; this module is the one
+/// sanctioned exception (waived in `lint-allow.toml`). It binds the C
+/// `signal(2)` entry point directly — the symbol links through std's libc
+/// dependency, so no crate dependency is added — because an async-signal-safe
+/// handler may do nothing more than set a flag, which is exactly what a
+/// relaxed atomic store is.
+#[allow(unsafe_code)]
+mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the handler, never cleared: signal delivery is sticky for the
+    /// life of the process, so tokens created after a SIGTERM are born
+    /// cancelled — exactly what a drain-then-exit path wants.
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    /// POSIX signal numbers (Linux). Declared here rather than pulled from a
+    /// libc crate the workspace does not depend on.
+    pub const SIGINT: i32 = 2;
+    /// See [`SIGINT`].
+    pub const SIGTERM: i32 = 15;
+
+    /// C `sighandler_t`: a handler receives the delivered signal number.
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        /// POSIX `signal(2)`. The returned previous handler is opaque here;
+        /// it is never restored.
+        fn signal(signum: i32, handler: Handler) -> usize;
+        /// POSIX `raise(3)`; used by the tests to deliver a real signal.
+        #[cfg(test)]
+        fn raise(signum: i32) -> i32;
+    }
+
+    /// The installed handler: async-signal-safe by construction — a single
+    /// relaxed atomic store, no allocation, no locks, no formatting.
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::Relaxed);
+    }
+
+    /// Installs the flag-setting handler for SIGINT and SIGTERM.
+    /// Idempotent: re-installing the same handler is harmless.
+    pub fn install() {
+        // SAFETY: `on_signal` matches the C handler ABI and performs only an
+        // atomic store, which is async-signal-safe; `signal` itself is a
+        // plain FFI call with no pointer arguments.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// Whether SIGINT or SIGTERM has been delivered since [`install`].
+    pub fn signalled() -> bool {
+        SIGNALLED.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: delivers `signum` to the current process for real.
+    #[cfg(test)]
+    pub fn deliver(signum: i32) {
+        // SAFETY: `raise` is a plain FFI call with no pointer arguments.
+        unsafe {
+            raise(signum);
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Cancellation
@@ -60,6 +136,7 @@ impl std::error::Error for Cancelled {}
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    on_signal: bool,
 }
 
 impl CancelToken {
@@ -68,15 +145,39 @@ impl CancelToken {
         CancelToken::default()
     }
 
+    /// A token that also trips once the process receives SIGINT or SIGTERM,
+    /// turning either signal into the same cooperative cancellation an
+    /// explicit [`CancelToken::cancel`] produces (checkpoint, legalize the
+    /// best-so-far state, exit cleanly — never die mid-write).
+    ///
+    /// Installs a process-wide flag-setting handler (idempotent). Signal
+    /// delivery is sticky for the life of the process, so signal-aware
+    /// tokens created afterwards are born cancelled.
+    pub fn cancel_on_signal() -> Self {
+        signal::install();
+        CancelToken {
+            flag: Arc::default(),
+            on_signal: true,
+        }
+    }
+
     /// Triggers the token; every [`Budget`] carrying it fails its next
     /// check. Idempotent.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// Whether the token has been triggered.
+    /// Whether the token has been triggered (explicitly, or — for tokens
+    /// from [`CancelToken::cancel_on_signal`] — by a process signal).
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        self.flag.load(Ordering::Relaxed) || self.signal_received()
+    }
+
+    /// Whether a process signal (as opposed to an explicit `cancel`)
+    /// tripped this token. Always `false` for signal-unaware tokens; lets
+    /// callers word their "stopping early" message accurately.
+    pub fn signal_received(&self) -> bool {
+        self.on_signal && signal::signalled()
     }
 }
 
@@ -602,6 +703,25 @@ mod tests {
         assert_eq!(clone.check(), Err(Cancelled::Token));
         // Token beats the (distant) deadline in the error.
         assert_eq!(b.check(), Err(Cancelled::Token));
+    }
+
+    #[test]
+    fn signal_aware_token_trips_on_sigterm() {
+        let plain = CancelToken::new();
+        let token = CancelToken::cancel_on_signal();
+        assert!(!token.is_cancelled(), "no signal delivered yet");
+        assert!(!token.signal_received());
+        signal::deliver(signal::SIGTERM);
+        assert!(token.is_cancelled());
+        assert!(token.signal_received());
+        let budget = Budget::unbounded().with_token(token.clone());
+        assert_eq!(budget.check(), Err(Cancelled::Token));
+        // Signals never leak into signal-unaware tokens…
+        assert!(!plain.is_cancelled());
+        assert!(!plain.signal_received());
+        // …and delivery is sticky: later signal-aware tokens are born
+        // cancelled, which is what a drain-then-exit path wants.
+        assert!(CancelToken::cancel_on_signal().is_cancelled());
     }
 
     #[test]

@@ -17,11 +17,13 @@
 #![forbid(unsafe_code)]
 
 use puffer::{
-    evaluate, evaluate_bounded, evaluate_traced, evaluate_with, CheckpointPolicy, FlowCheckpoint,
-    PufferConfig, PufferPlacer, ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer,
+    evaluate, evaluate_bounded, CheckpointPolicy, FlowCheckpoint, Job, PufferConfig, PufferPlacer,
+    ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer,
 };
 use puffer_audit::{audit_metrics, audit_run, flow_validator, lint_workspace, LintConfig, Validate};
-use puffer_budget::{Budget, ChaosPlan, DegradationLadder, FaultClass, LadderState, StallWatchdog};
+use puffer_budget::{
+    Budget, CancelToken, ChaosPlan, DegradationLadder, FaultClass, LadderState, StallWatchdog,
+};
 use puffer_db::io::{read_design, read_placement, write_design, write_placement};
 use puffer_dp::{refine, refine_bounded, refine_with_congestion, DetailedConfig};
 use puffer_explore::{explore_params_bounded, ExplorationConfig};
@@ -29,9 +31,14 @@ use puffer_gen::{generate, presets, GeneratorConfig};
 use puffer_legal::check_legal;
 use puffer_rng::StdRng;
 use puffer_route::{assign_layers, LayerConfig, RouterConfig};
+use puffer_serve::{
+    run_chaos, serve_lines, serve_listener, Action, ChaosConfig, Engine, JsonLine, ServeConfig,
+    ServerOutcome,
+};
 use puffer_trace::Trace;
 use std::fmt::Write as _;
 use std::fs::File;
+use std::io::Write as _;
 use std::path::Path;
 use std::time::Duration;
 
@@ -92,6 +99,11 @@ usage:
   puffer refine <design.pd> <placed.pl> -o <refined.pl> [--guard]
                 [--deadline <secs>]
   puffer draw   <design.pd> <placed.pl> -o <out.svg> [--rows]
+  puffer serve  (--listen <addr> | --stdin) --journal-dir <dir>
+                [--workers <n>] [--queue <n>] [--checkpoint-every <n>]
+                [--retries <n>] [--backoff-ms <n>]   (job daemon)
+  puffer serve  --chaos [--seeds <n>] [--cells <n>] [--max-iters <n>]
+                [--workers <n>]   (daemon fault-injection harness)
   puffer chaos  [--seeds <n>] [--cells <n>] [--max-iters <n>]
                 (deterministic fault-injection harness)
   puffer lint   [--root <dir>]                    (workspace policy check)
@@ -124,6 +136,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
         "place" => cmd_place(rest, out),
         "eval" => cmd_eval(rest, out),
         "explore" => cmd_explore(rest, out),
+        "serve" => cmd_serve(rest, out),
         "chaos" => cmd_chaos(rest, out),
         "trace" => cmd_trace(rest, out),
         "refine" => cmd_refine(rest, out),
@@ -478,42 +491,53 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
                 cfg.placer.threads = n;
                 cfg.estimator.threads = n;
             }
-            let mut placer = PufferPlacer::new(cfg);
+            // SIGINT/SIGTERM cancel the flow cooperatively: the run
+            // checkpoints (under --journal), legalizes the best-so-far
+            // state, writes it, and exits cleanly — never dies mid-write.
+            let budget = budget
+                .unwrap_or_else(Budget::unbounded)
+                .with_token(CancelToken::cancel_on_signal());
+            let mut job = Job::new(cfg).with_budget(budget);
             if let Some(t) = &trace {
-                placer = placer.with_trace(t.clone());
+                job = job.with_trace(t.clone());
             }
             if flags.has("validate") {
-                placer = placer.with_observer(flow_validator());
+                job = job.with_observer(flow_validator());
             }
-            if let Some(b) = &budget {
-                placer = placer.with_budget(b.clone());
+            if let Some(l) = ladder {
+                job = job.with_ladder(l);
             }
-            if let Some(l) = &ladder {
-                placer = placer.with_ladder(l.clone());
-            }
-            if let Some(w) = &watchdog {
-                placer = placer.with_watchdog(w.clone());
+            if let Some(w) = watchdog {
+                job = job.with_watchdog(w);
             }
             if let Some(from) = resume {
                 // Resume keeps journaling: to --journal when given, else
-                // back to the journal it resumed from.
+                // back to the journal it resumed from. A torn final record
+                // (crash mid-append) is dropped with a warning.
                 let policy = CheckpointPolicy {
                     path: journal.unwrap_or(from).into(),
                     every,
                     keep_history: false,
                 };
-                let checkpoint = FlowCheckpoint::load(Path::new(from))
+                let recovered = FlowCheckpoint::recover(Path::new(from))
                     .map_err(|e| CliError::run(format!("cannot resume from {from}: {e}")))?;
-                placer.place_from(&design, checkpoint, Some(&policy))
+                if recovered.dropped_torn_tail {
+                    eprintln!(
+                        "warning: {from}: dropped a torn final record (crash mid-write); \
+                         resuming from the last complete checkpoint"
+                    );
+                }
+                job.with_checkpoints(policy)
+                    .run_from(&design, recovered.checkpoint)
             } else if let Some(path) = journal {
                 let policy = CheckpointPolicy {
                     path: path.into(),
                     every,
                     keep_history: false,
                 };
-                placer.place_with_checkpoints(&design, &policy)
+                job.with_checkpoints(policy).run(&design)
             } else {
-                placer.place(&design)
+                job.run(&design)
             }
         }
         "reference" => {
@@ -568,7 +592,12 @@ fn cmd_eval(args: &[String], out: &mut String) -> Result<(), CliError> {
     if threads == Some(0) {
         return Err(CliError::usage("--threads must be at least 1"));
     }
-    let budget = parse_bounded_flags(&flags)?.budget;
+    // SIGINT/SIGTERM stop refinement cooperatively between rip-up rounds;
+    // the report then describes the best routing so far.
+    let budget = parse_bounded_flags(&flags)?
+        .budget
+        .unwrap_or_else(Budget::unbounded)
+        .with_token(CancelToken::cancel_on_signal());
     let design = load_design(design_path)?;
     let placement = load_placement(placement_path, design.netlist().num_cells())?;
     let mut router_cfg = RouterConfig::default();
@@ -576,14 +605,13 @@ fn cmd_eval(args: &[String], out: &mut String) -> Result<(), CliError> {
         router_cfg.threads = n;
     }
     let trace = open_trace(&flags)?;
-    let report = match (&trace, &budget) {
-        (Some(t), Some(b)) => evaluate_bounded(&design, &placement, &router_cfg, b, t),
-        (Some(t), None) => evaluate_traced(&design, &placement, &router_cfg, t),
-        (None, Some(b)) => {
-            evaluate_bounded(&design, &placement, &router_cfg, b, &Trace::disabled())
-        }
-        (None, None) => evaluate_with(&design, &placement, &router_cfg),
-    };
+    let report = evaluate_bounded(
+        &design,
+        &placement,
+        &router_cfg,
+        &budget,
+        trace.as_ref().unwrap_or(&Trace::disabled()),
+    );
     finish_trace(&trace, &flags)?;
     if flags.has("validate") {
         design
@@ -839,6 +867,168 @@ fn cmd_explore(args: &[String], out: &mut String) -> Result<(), CliError> {
     );
     for (param, value) in space.params().iter().zip(&outcome.best) {
         let _ = writeln!(out, "  {:<24} {value:.4}", param.name);
+    }
+    Ok(())
+}
+
+/// `puffer serve` — the long-running job daemon (and its chaos harness).
+///
+/// Daemon mode accepts newline-delimited JSON requests (`submit`, `cancel`,
+/// `status`, `wait`, `ping`, `drain`, `shutdown`) over TCP (`--listen`) or
+/// stdin (`--stdin`), runs jobs on a bounded worker pool with per-job
+/// journals under `--journal-dir`, and re-enqueues interrupted jobs on the
+/// next start. SIGINT/SIGTERM drain gracefully. `--chaos` instead runs the
+/// seeded fault-injection harness over the same engine and asserts the
+/// three-legal-end-states contract.
+fn cmd_serve(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "listen",
+            "journal-dir",
+            "workers",
+            "queue",
+            "checkpoint-every",
+            "retries",
+            "backoff-ms",
+            "seeds",
+            "cells",
+            "max-iters",
+        ],
+        &["stdin", "chaos"],
+    )?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::usage("serve takes no positional arguments"));
+    }
+    let workers: usize = flags.get_parsed("workers")?.unwrap_or(2);
+    if workers == 0 {
+        return Err(CliError::usage("--workers must be at least 1"));
+    }
+    if flags.has("chaos") {
+        if flags.get("listen").is_some() || flags.has("stdin") {
+            return Err(CliError::usage(
+                "--chaos runs in-process; --listen/--stdin do not apply",
+            ));
+        }
+        let seeds: u64 = flags.get_parsed("seeds")?.unwrap_or(8);
+        if seeds == 0 {
+            return Err(CliError::usage("--seeds must be at least 1"));
+        }
+        let mut cfg = ChaosConfig {
+            seeds,
+            cells: flags.get_parsed("cells")?.unwrap_or(200),
+            max_iters: flags.get_parsed("max-iters")?.unwrap_or(120),
+            workers,
+            ..ChaosConfig::default()
+        };
+        if let Some(dir) = flags.get("journal-dir") {
+            cfg.dir = dir.into();
+        }
+        let summary = run_chaos(&cfg, |line| {
+            out.push_str(line);
+            out.push('\n');
+        })
+        .map_err(CliError::run)?;
+        let _ = writeln!(
+            out,
+            "serve chaos OK: {} round(s) ({} worker-panic, {} journal-write, {} disconnect, \
+             {} kill-restart), {} job(s) completed, {} structured error(s); every job ended \
+             in a legal end state",
+            summary.rounds,
+            summary.injections[0],
+            summary.injections[1],
+            summary.injections[2],
+            summary.injections[3],
+            summary.completed,
+            summary.failed
+        );
+        return Ok(());
+    }
+    for flag in ["seeds", "cells", "max-iters"] {
+        if flags.get(flag).is_some() {
+            return Err(CliError::usage(format!(
+                "--{flag} only applies to serve --chaos"
+            )));
+        }
+    }
+    let journal_dir = flags
+        .get("journal-dir")
+        .ok_or_else(|| CliError::usage("serve needs --journal-dir <dir> (or --chaos)"))?;
+    let queue: usize = flags.get_parsed("queue")?.unwrap_or(16);
+    if queue == 0 {
+        return Err(CliError::usage("--queue must be at least 1"));
+    }
+    let every: usize = flags.get_parsed("checkpoint-every")?.unwrap_or(10);
+    if every == 0 {
+        return Err(CliError::usage("--checkpoint-every must be at least 1"));
+    }
+    let retries: usize = flags.get_parsed("retries")?.unwrap_or(3);
+    if retries == 0 {
+        return Err(CliError::usage(
+            "--retries must be at least 1 (the first attempt counts)",
+        ));
+    }
+    let backoff_ms: u64 = flags.get_parsed("backoff-ms")?.unwrap_or(50);
+    let listen = flags.get("listen");
+    if listen.is_some() == flags.has("stdin") {
+        return Err(CliError::usage(
+            "serve needs exactly one of --listen <addr> or --stdin",
+        ));
+    }
+    let cfg = ServeConfig {
+        workers,
+        queue_capacity: queue,
+        journal_dir: journal_dir.into(),
+        checkpoint_every: every,
+        max_attempts: retries,
+        backoff: Duration::from_millis(backoff_ms),
+        trace: Trace::disabled(),
+    };
+    if let Some(addr) = listen {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| CliError::run(format!("cannot listen on {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| CliError::run(format!("cannot resolve listen address: {e}")))?;
+        // SIGINT/SIGTERM drain the daemon: stop admitting, finish every
+        // accepted job, exit.
+        let signal = CancelToken::cancel_on_signal();
+        // Announce readiness on stdout *now*, before blocking in the accept
+        // loop — clients (and the integration test) parse this line to learn
+        // the bound port under `--listen 127.0.0.1:0`.
+        let ready = JsonLine::new("serve.ready")
+            .str("addr", &local.to_string())
+            .int("workers", workers as i64)
+            .int("queue", queue as i64)
+            .finish();
+        println!("{ready}");
+        let _ = std::io::stdout().flush();
+        let outcome = Engine::run(cfg, |h| serve_listener(h, &listener, &signal))
+            .map_err(|e| CliError::run(format!("serve failed: {e}")))?
+            .map_err(|e| CliError::run(format!("serve transport failed: {e}")))?;
+        let _ = writeln!(
+            out,
+            "serve: {}",
+            match outcome {
+                ServerOutcome::Drained => "drained (all accepted jobs completed)",
+                ServerOutcome::Shutdown => "shutdown (interrupted jobs are resumable)",
+                ServerOutcome::Signalled => "signalled, drained (all accepted jobs completed)",
+            }
+        );
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let action = Engine::run(cfg, |h| serve_lines(h, stdin.lock(), stdout.lock()))
+            .map_err(|e| CliError::run(format!("serve failed: {e}")))?
+            .map_err(|e| CliError::run(format!("serve transport failed: {e}")))?;
+        let _ = writeln!(
+            out,
+            "serve: {}",
+            match action {
+                Action::Shutdown => "shutdown (interrupted jobs are resumable)",
+                _ => "drained (all accepted jobs completed)",
+            }
+        );
     }
     Ok(())
 }
@@ -1771,6 +1961,119 @@ mod tests {
         .unwrap();
         assert!(out.contains("best overflow score"), "{out}");
         assert!(out.contains("3 trial(s)"), "{out}");
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        // Daemon mode needs a journal directory and exactly one transport.
+        let err = run(&strs(&["serve"]), &mut String::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--journal-dir"), "{}", err.message);
+        let err = run(
+            &strs(&["serve", "--journal-dir", "j", "--listen", "127.0.0.1:0", "--stdin"]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("exactly one"), "{}", err.message);
+        let err = run(
+            &strs(&["serve", "--journal-dir", "j", "--stdin", "--seeds", "3"]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--chaos"), "{}", err.message);
+        // Chaos mode validates its own knobs and excludes the transports.
+        let err = run(&strs(&["serve", "--chaos", "--seeds", "0"]), &mut String::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run(&strs(&["serve", "--chaos", "--stdin"]), &mut String::new()).unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = run(
+            &strs(&["serve", "--stdin", "--journal-dir", "j", "--workers", "0"]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn serve_chaos_covers_every_fault_class() {
+        let dir = std::env::temp_dir().join("puffer-cli-serve-chaos");
+        let mut out = String::new();
+        run(
+            &strs(&[
+                "serve",
+                "--chaos",
+                "--seeds",
+                "4",
+                "--cells",
+                "120",
+                "--max-iters",
+                "30",
+                "--journal-dir",
+                dir.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("serve chaos OK"), "{out}");
+        assert!(out.contains("1 worker-panic"), "{out}");
+        assert!(out.contains("1 journal-write"), "{out}");
+        assert!(out.contains("1 disconnect"), "{out}");
+        assert!(out.contains("1 kill-restart"), "{out}");
+    }
+
+    #[test]
+    fn place_resume_tolerates_a_torn_journal_tail() {
+        let design_path = tmp("torn.pd");
+        let placed_path = tmp("torn.pl");
+        let resumed_path = tmp("torn_resumed.pl");
+        let journal_path = tmp("torn.pj");
+        run(
+            &strs(&["gen", "--cells", "200", "-o", &design_path]),
+            &mut String::new(),
+        )
+        .unwrap();
+        run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &placed_path,
+                "--max-iters",
+                "80",
+                "--journal",
+                &journal_path,
+                "--checkpoint-every",
+                "20",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap();
+        // A crash mid-append: a complete record followed by half a record.
+        let text = std::fs::read_to_string(&journal_path).unwrap();
+        let mut torn = text.clone();
+        torn.push_str(&text[..text.len() / 3]);
+        std::fs::write(&journal_path, &torn).unwrap();
+        run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &resumed_path,
+                "--max-iters",
+                "80",
+                "--resume",
+                &journal_path,
+            ]),
+            &mut String::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&placed_path).unwrap(),
+            std::fs::read_to_string(&resumed_path).unwrap(),
+            "resume over a torn tail diverged from the original"
+        );
     }
 
     #[test]

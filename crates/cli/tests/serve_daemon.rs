@@ -1,0 +1,206 @@
+//! End-to-end daemon test against the real `puffer` binary: submit more
+//! jobs than the pool has workers, cancel one, kill the daemon mid-job
+//! (SIGKILL — no chance to checkpoint on the way out), restart it over the
+//! same journal directory, and verify that every surviving job finishes
+//! with a placement byte-identical to an uninterrupted one-shot run while
+//! the cancelled job stays cancelled.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const MAX_ITERS: usize = 120;
+const JOBS: usize = 4; // > the 2-worker pool, so some jobs queue
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_puffer")
+}
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("puffer-serve-daemon-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs a one-shot `puffer` subcommand, asserting success.
+fn puffer(args: &[&str]) {
+    let status = Command::new(bin()).args(args).status().unwrap();
+    assert!(status.success(), "puffer {args:?} failed");
+}
+
+/// Starts the daemon and returns the child plus the address it bound.
+/// The returned reader holds the child's stdout pipe open — dropping it
+/// early would make the daemon's exit summary print fail.
+fn start_daemon(journal_dir: &Path) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--journal-dir",
+            journal_dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--queue",
+            "8",
+            "--checkpoint-every",
+            "5",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut ready = String::new();
+    reader.read_line(&mut ready).unwrap();
+    assert!(ready.contains("serve.ready"), "unexpected first line: {ready}");
+    let addr = field(&ready, "addr").expect("serve.ready without addr");
+    (child, addr, reader)
+}
+
+/// Extracts a string field's value from a one-line JSON record.
+fn field(record: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\":\"");
+    let start = record.find(&key)? + key.len();
+    let end = record[start..].find('"')?;
+    Some(record[start..start + end].to_string())
+}
+
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(300)))
+                        .unwrap();
+                    return Client { stream };
+                }
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "cannot connect to {addr}: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Sends one request line and reads one response line.
+    fn request(&mut self, line: &str) -> String {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match self.stream.read(&mut byte) {
+                Ok(0) => panic!("daemon closed the connection; got: {response}"),
+                Ok(_) if byte[0] == b'\n' => return response,
+                Ok(_) => response.push(byte[0] as char),
+                Err(e) => panic!("read failed: {e}; got: {response}"),
+            }
+        }
+    }
+
+    fn submit(&mut self, design: &Path, out: &Path) -> String {
+        let line = format!(
+            "{{\"t\":\"submit\",\"design\":\"{}\",\"out\":\"{}\",\"max_iters\":{MAX_ITERS},\"threads\":1}}",
+            design.display(),
+            out.display()
+        );
+        let response = self.request(&line);
+        assert!(response.contains("serve.accepted"), "{response}");
+        response
+    }
+}
+
+#[test]
+fn daemon_survives_kill_cancel_and_restart() {
+    let dir = tmp_dir();
+    let design = dir.join("design.pd");
+    let reference = dir.join("reference.pl");
+    let journal_dir = dir.join("journal");
+
+    // One-shot reference: the trajectory every daemon job must reproduce.
+    puffer(&[
+        "gen", "--cells", "220", "--nets", "250", "--macros", "1",
+        "--utilization", "0.6", "-o", design.to_str().unwrap(),
+    ]);
+    puffer(&[
+        "place", design.to_str().unwrap(), "-o", reference.to_str().unwrap(),
+        "--max-iters", "120", "--threads", "1",
+    ]);
+    let reference_bytes = std::fs::read(&reference).unwrap();
+
+    // First daemon: submit more jobs than workers, cancel the last one
+    // (still queued behind the 2-worker pool), kill the process mid-job.
+    let (mut child, addr, _stdout) = start_daemon(&journal_dir);
+    let outs: Vec<PathBuf> = (1..=JOBS).map(|i| dir.join(format!("job{i}.pl"))).collect();
+    {
+        let mut client = Client::connect(&addr);
+        for out in &outs {
+            client.submit(&design, out);
+        }
+        let response = client.request(&format!("{{\"t\":\"cancel\",\"id\":{JOBS}}}"));
+        assert!(
+            response.contains("\"state\":\"cancelled\""),
+            "job {JOBS} should still be queued when cancelled: {response}"
+        );
+    }
+
+    // Kill once job 1 has journaled a checkpoint (SIGKILL: the daemon gets
+    // no chance to write a final checkpoint or clean anything up).
+    let first_journal = journal_dir.join("job-1").join("run.pj");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !first_journal.exists() {
+        assert!(Instant::now() < deadline, "job 1 never wrote a checkpoint");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Second daemon over the same journal directory: the recovery scan must
+    // re-enqueue the interrupted jobs and leave the cancelled one alone.
+    let (mut child, addr, _stdout) = start_daemon(&journal_dir);
+    {
+        let mut client = Client::connect(&addr);
+        for id in 1..JOBS {
+            let response = client.request(&format!("{{\"t\":\"wait\",\"id\":{id},\"timeout_s\":240}}"));
+            assert!(response.contains("serve.result"), "job {id}: {response}");
+            assert!(response.contains("\"state\":\"done\""), "job {id}: {response}");
+        }
+        let response = client.request(&format!("{{\"t\":\"status\",\"id\":{JOBS}}}"));
+        assert!(
+            response.contains("\"state\":\"cancelled\""),
+            "cancellation must survive the restart: {response}"
+        );
+        let response = client.request("{\"t\":\"drain\"}");
+        assert!(response.contains("serve.done"), "{response}");
+    }
+    let status = child.wait().unwrap();
+    assert!(status.success(), "daemon exited with {status}");
+
+    // Interrupted jobs resumed to placements byte-identical to the
+    // uninterrupted reference; the cancelled job never wrote one.
+    for out in outs.iter().take(JOBS - 1) {
+        let bytes = std::fs::read(out)
+            .unwrap_or_else(|e| panic!("missing output {}: {e}", out.display()));
+        assert_eq!(
+            bytes,
+            reference_bytes,
+            "{} diverged from the uninterrupted reference",
+            out.display()
+        );
+    }
+    assert!(
+        !outs[JOBS - 1].exists(),
+        "cancelled job must not write a placement"
+    );
+}

@@ -22,6 +22,8 @@
 //! opt_scalars <a> <alpha>        (present only when the solver was live)
 //! opt_u <2n floats> ...          (solver vectors, one line each)
 //! degradation <step,step,...>    (present only when the ladder engaged)
+//! pending_round 1                (present only when a cancellation
+//!                                 suppressed this pass's padding round)
 //! end
 //! ```
 //!
@@ -163,6 +165,13 @@ pub struct FlowCheckpoint {
     /// engagement order). A resumed run re-applies them so its fidelity
     /// matches the run that wrote the journal.
     pub degradation: Vec<DegradeStep>,
+    /// Whether the checkpointed pass's padding round was *suppressed* by a
+    /// cooperative cancellation (an exhausted budget skips the pad round on
+    /// its way out of the loop). A resumed run must then re-evaluate the
+    /// pad trigger at this iteration before stepping, so that resuming an
+    /// interrupted run reproduces the uninterrupted trajectory exactly.
+    /// Absent from journals written by earlier builds (defaults to false).
+    pub pending_round: bool,
 }
 
 impl FlowCheckpoint {
@@ -180,12 +189,20 @@ impl FlowCheckpoint {
             placer,
             pad,
             degradation: Vec::new(),
+            pending_round: false,
         }
     }
 
     /// Records the degradation-ladder rungs engaged at capture time.
     pub fn with_degradation(mut self, steps: Vec<DegradeStep>) -> Self {
         self.degradation = steps;
+        self
+    }
+
+    /// Records that a cancellation suppressed the checkpointed pass's
+    /// padding round (see the field docs).
+    pub fn with_pending_round(mut self, pending: bool) -> Self {
+        self.pending_round = pending;
         self
     }
 
@@ -258,6 +275,9 @@ impl FlowCheckpoint {
             let list: Vec<&str> = self.degradation.iter().map(|s| s.as_str()).collect();
             let _ = writeln!(out, "degradation {}", list.join(","));
         }
+        if self.pending_round {
+            let _ = writeln!(out, "pending_round 1");
+        }
         out.push_str("end\n");
         out
     }
@@ -288,6 +308,29 @@ impl FlowCheckpoint {
         std::fs::rename(&tmp, path).map_err(JournalError::Io)
     }
 
+    /// Appends this checkpoint as an additional record to a multi-record
+    /// journal at `path` (creating the file if absent), fsyncing afterwards.
+    ///
+    /// Unlike [`FlowCheckpoint::save`], an append is *not* atomic: a crash
+    /// mid-append leaves a torn final record. That is by design — the torn
+    /// tail is exactly what [`FlowCheckpoint::recover`] tolerates, and the
+    /// complete records before it stay intact without rewriting the file.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the filesystem refuses.
+    pub fn append(&self, path: &Path) -> Result<(), JournalError> {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(JournalError::Io)?;
+        file.write_all(self.render().as_bytes())
+            .map_err(JournalError::Io)?;
+        file.sync_all().map_err(JournalError::Io)
+    }
+
     /// Reads a journal file.
     ///
     /// # Errors
@@ -297,6 +340,64 @@ impl FlowCheckpoint {
     pub fn load(path: &Path) -> Result<Self, JournalError> {
         let text = std::fs::read_to_string(path).map_err(JournalError::Io)?;
         Self::parse(&text)
+    }
+
+    /// Reads a journal file, tolerating a torn (partially written) final
+    /// record: the journal is split into records at `end` markers, every
+    /// complete record is parsed strictly, the latest one wins, and any
+    /// trailing bytes after the last `end` are dropped and reported via
+    /// [`Recovered::dropped_torn_tail`] so callers can warn.
+    ///
+    /// This is the resume-side contract for both journal shapes: a
+    /// [`FlowCheckpoint::save`] journal is one complete record (recovery is
+    /// then identical to [`FlowCheckpoint::load`]), while an
+    /// [`FlowCheckpoint::append`] journal may end in a record a crash cut
+    /// short. Corruption *inside* a complete record is still an error —
+    /// only truncation at the tail is forgiven.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the file cannot be read,
+    /// [`JournalError::Parse`] when a complete record is malformed or when
+    /// not a single complete record exists (nothing to resume from).
+    pub fn recover(path: &Path) -> Result<Recovered, JournalError> {
+        let text = std::fs::read_to_string(path).map_err(JournalError::Io)?;
+        Self::recover_text(&text)
+    }
+
+    /// [`FlowCheckpoint::recover`] over in-memory journal text.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowCheckpoint::recover`].
+    pub fn recover_text(text: &str) -> Result<Recovered, JournalError> {
+        let mut records: Vec<&str> = Vec::new();
+        let mut chunk_start = 0;
+        let mut cursor = 0;
+        for line in text.split_inclusive('\n') {
+            cursor += line.len();
+            if line == "end\n" {
+                records.push(&text[chunk_start..cursor]);
+                chunk_start = cursor;
+            }
+        }
+        // Anything after the last complete record — even a lone "end"
+        // missing its newline — is a torn tail.
+        let dropped_torn_tail = chunk_start < text.len();
+        let Some(last) = records.last() else {
+            return Err(JournalError::Parse {
+                line: 0,
+                message: "no complete checkpoint record (journal truncated before its first \
+                          'end' marker)"
+                    .into(),
+            });
+        };
+        let checkpoint = Self::parse(last)?;
+        Ok(Recovered {
+            checkpoint,
+            records: records.len(),
+            dropped_torn_tail,
+        })
     }
 
     /// Parses journal text (see the module docs for the format).
@@ -387,6 +488,17 @@ impl FlowCheckpoint {
             Vec::new()
         };
 
+        let pending_round = if p.peek_tag() == Some("pending_round") {
+            let rest = p.line_rest("pending_round")?;
+            match rest.trim() {
+                "1" => true,
+                "0" => false,
+                other => return Err(p.err(format!("bad pending_round value '{other}'"))),
+            }
+        } else {
+            false
+        };
+
         let end = p.line_rest("end").map_err(|_| JournalError::Parse {
             line: p.line_no,
             message: "missing 'end' marker (journal truncated?)".into(),
@@ -416,8 +528,21 @@ impl FlowCheckpoint {
                 last_utilization: pad_util,
             },
             degradation,
+            pending_round,
         })
     }
+}
+
+/// The outcome of a lenient journal read ([`FlowCheckpoint::recover`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovered {
+    /// The latest complete checkpoint in the journal.
+    pub checkpoint: FlowCheckpoint,
+    /// How many complete records the journal held.
+    pub records: usize,
+    /// Whether bytes after the last complete record were dropped (a torn
+    /// write from a crash mid-append). Callers should surface a warning.
+    pub dropped_torn_tail: bool,
 }
 
 /// Line-by-line journal reader tracking the current line number so every
@@ -618,6 +743,66 @@ mod tests {
         let no_end = text.strip_suffix("end\n").unwrap();
         let err = FlowCheckpoint::parse(no_end).unwrap_err();
         assert!(err.to_string().contains("end"), "{err}");
+    }
+
+    #[test]
+    fn append_accumulates_records_and_recover_returns_the_latest() {
+        let d = design();
+        let first = checkpoint_after(&d, 1);
+        let second = checkpoint_after(&d, 4);
+        let path = tmp("append.pj");
+        let _ = std::fs::remove_file(&path);
+        first.append(&path).unwrap();
+        second.append(&path).unwrap();
+        let rec = FlowCheckpoint::recover(&path).unwrap();
+        assert_eq!(rec.checkpoint, second, "latest record wins");
+        assert_eq!(rec.records, 2);
+        assert!(!rec.dropped_torn_tail);
+        // A save() journal (single atomic record) recovers identically.
+        let single = tmp("single.pj");
+        first.save(&single).unwrap();
+        let rec = FlowCheckpoint::recover(&single).unwrap();
+        assert_eq!((rec.checkpoint, rec.records), (first, 1));
+    }
+
+    #[test]
+    fn recover_drops_a_torn_tail_at_every_byte_boundary() {
+        // Regression test for torn appends: a journal holding one complete
+        // record plus the last record truncated at EVERY byte boundary must
+        // always recover to the complete record, flagging the drop —
+        // except at the exact end, where the tail is complete and wins.
+        let d = design();
+        let keep = checkpoint_after(&d, 2);
+        let tail = checkpoint_after(&d, 5).render();
+        let base = keep.render();
+        for cut in 0..=tail.len() {
+            let mut text = base.clone();
+            text.push_str(&tail[..cut]);
+            let rec = FlowCheckpoint::recover_text(&text)
+                .unwrap_or_else(|e| panic!("cut at byte {cut}/{}: {e}", tail.len()));
+            if cut == tail.len() {
+                assert!(!rec.dropped_torn_tail, "full tail is a complete record");
+                assert_eq!(rec.records, 2);
+            } else {
+                assert_eq!(rec.checkpoint, keep, "cut at byte {cut}");
+                assert_eq!(rec.dropped_torn_tail, cut != 0, "cut at byte {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn recover_without_a_complete_record_is_an_error() {
+        let d = design();
+        let text = checkpoint_after(&d, 2).render();
+        // Truncation before the first 'end' leaves nothing to resume from.
+        let err = FlowCheckpoint::recover_text(&text[..text.len() / 2]).unwrap_err();
+        assert!(matches!(err, JournalError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("no complete checkpoint"), "{err}");
+        // Corruption inside a complete record is still rejected: recovery
+        // forgives truncation, never garbage that parses as a record shape.
+        let garbled = text.replacen("lambda", "lambada", 1);
+        let err = FlowCheckpoint::recover_text(&garbled).unwrap_err();
+        assert!(matches!(err, JournalError::Parse { .. }), "{err}");
     }
 
     #[test]

@@ -293,16 +293,29 @@ impl PufferPlacer {
     /// that produced the journal; a resumed run then finishes with exactly
     /// the placement the uninterrupted run would have produced.
     ///
+    /// The journal is read leniently ([`FlowCheckpoint::recover`]): a torn
+    /// final record — a crash cut an append short — is dropped with a
+    /// `journal.recovered` trace record and the run resumes from the last
+    /// complete checkpoint instead of erroring.
+    ///
     /// # Errors
     ///
-    /// [`PufferError::Journal`] when the journal cannot be read,
-    /// [`PufferError::Resume`] when it does not fit the design, plus
-    /// everything [`PufferPlacer::place`] returns.
+    /// [`PufferError::Journal`] when the journal cannot be read or holds no
+    /// complete record, [`PufferError::Resume`] when it does not fit the
+    /// design, plus everything [`PufferPlacer::place`] returns.
     pub fn resume(&self, design: &Design, journal: &Path) -> Result<FlowResult, PufferError> {
-        let checkpoint =
-            FlowCheckpoint::load(journal).map_err(|e| PufferError::Journal(e.to_string()))?;
+        let recovered =
+            FlowCheckpoint::recover(journal).map_err(|e| PufferError::Journal(e.to_string()))?;
+        if recovered.dropped_torn_tail {
+            self.trace
+                .record("journal.recovered")
+                .str("path", &journal.to_string_lossy())
+                .int("records", recovered.records as i64)
+                .int("torn_tail_dropped", 1)
+                .write();
+        }
         let policy = CheckpointPolicy::new(journal);
-        self.run(design, Some(&policy), Some(checkpoint))
+        self.run(design, Some(&policy), Some(recovered.checkpoint))
     }
 
     /// Runs the flow warm-started from an in-memory checkpoint (no
@@ -349,6 +362,10 @@ impl PufferPlacer {
         let mut frozen_padding = false;
         let mut early_exit = false;
         let mut cancelled = false;
+        // Set when a cancellation suppressed a pass's padding round: the
+        // final checkpoint must record it so a resumed run re-evaluates the
+        // trigger at that iteration (see FlowCheckpoint::pending_round).
+        let mut pending_round = false;
         #[cfg(feature = "chaos")]
         let journal_fault: Option<usize> = self
             .chaos
@@ -397,8 +414,9 @@ impl PufferPlacer {
                     .restore(checkpoint.placer)
                     .map_err(|e| PufferError::Resume(e.to_string()))?;
                 placer.set_trace(trace.clone());
+                let resume_skip_round = !checkpoint.pending_round;
                 optimizer.set_state(checkpoint.pad);
-                (placer, last, true, done)
+                (placer, last, resume_skip_round, done)
             }
         };
         drop(init_span);
@@ -441,24 +459,28 @@ impl PufferPlacer {
                     }
                 }
                 if !skip_round {
-                    // An exhausted budget also skips the (expensive) pad
-                    // round: the loop is about to break to legalization.
-                    if !frozen_padding
-                        && !budget.is_exhausted()
-                        && optimizer.should_trigger(last.overflow)
-                    {
-                        let _pad_span = trace.span("pad");
-                        let snapshot = placer.placement().clone();
-                        optimizer.optimize(design, &snapshot);
-                        placer.set_padding(optimizer.padding().to_vec());
-                        self.observe(
-                            StagePoint::PadRound,
-                            design,
-                            placer.placement(),
-                            &optimizer,
-                            last.overflow,
-                            last.iter,
-                        )?;
+                    if !frozen_padding && optimizer.should_trigger(last.overflow) {
+                        // An exhausted budget skips the (expensive) pad
+                        // round: the loop is about to break to legalization.
+                        // The suppression is journaled so a resumed run
+                        // redoes this pass's trigger instead of skipping a
+                        // round the uninterrupted trajectory would take.
+                        if budget.is_exhausted() {
+                            pending_round = true;
+                        } else {
+                            let _pad_span = trace.span("pad");
+                            let snapshot = placer.placement().clone();
+                            optimizer.optimize(design, &snapshot);
+                            placer.set_padding(optimizer.padding().to_vec());
+                            self.observe(
+                                StagePoint::PadRound,
+                                design,
+                                placer.placement(),
+                                &optimizer,
+                                last.overflow,
+                                last.iter,
+                            )?;
+                        }
                     }
                     if let Some(policy) = policy {
                         if policy.due(last.iter) {
@@ -471,6 +493,7 @@ impl PufferPlacer {
                                 &BoundedRun {
                                     degradation: &engaged,
                                     journal_fault,
+                                    pending_round,
                                 },
                             )?;
                         }
@@ -542,6 +565,7 @@ impl PufferPlacer {
                             &BoundedRun {
                                 degradation: &engaged,
                                 journal_fault,
+                                pending_round,
                             },
                         )?;
                     }
@@ -593,15 +617,26 @@ impl PufferPlacer {
             }
         }
         if let Some(policy) = policy {
+            // A cancelled run journals as *mid-loop*: resuming it later
+            // re-enters the GP loop and finishes the interrupted
+            // trajectory, instead of re-legalizing the truncated
+            // best-so-far. Only a genuinely converged loop marks the
+            // journal done.
+            let stage = if cancelled {
+                FlowStage::GlobalPlace
+            } else {
+                FlowStage::GlobalDone
+            };
             self.write_checkpoint(
                 design,
                 policy,
-                FlowStage::GlobalDone,
+                stage,
                 &placer,
                 &optimizer,
                 &BoundedRun {
                     degradation: &engaged,
                     journal_fault,
+                    pending_round,
                 },
             )?;
         }
@@ -726,7 +761,8 @@ impl PufferPlacer {
         }
         let checkpoint =
             FlowCheckpoint::capture(design, stage, placer.snapshot(), optimizer.state().clone())
-                .with_degradation(bounded.degradation.to_vec());
+                .with_degradation(bounded.degradation.to_vec())
+                .with_pending_round(bounded.pending_round);
         checkpoint
             .save(&path)
             .map_err(|e| PufferError::Journal(e.to_string()))
@@ -759,6 +795,7 @@ impl PufferPlacer {
 struct BoundedRun<'a> {
     degradation: &'a [DegradeStep],
     journal_fault: Option<usize>,
+    pending_round: bool,
 }
 
 #[cfg(test)]

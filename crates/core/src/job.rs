@@ -1,0 +1,324 @@
+//! A [`Job`]: one self-contained, `Send`-able unit of placement work.
+//!
+//! The one-shot CLI (`puffer place`) and the `puffer serve` daemon used to
+//! assemble [`PufferPlacer`] + budget + trace + observer + checkpoint policy
+//! independently; a `Job` bundles that assembly into a value that can be
+//! built on one thread, shipped to a worker, and run there — the daemon's
+//! worker pool and the CLI now share this single code path.
+//!
+//! A job owns:
+//!
+//! * its [`PufferConfig`] (placer/estimator/strategy/features),
+//! * its [`Budget`] — the deadline clock starts when the budget is built,
+//!   and the shared [`CancelToken`] is reachable via [`Job::cancel_token`]
+//!   so a supervisor can cancel a running job from another thread,
+//! * its [`Trace`] sink and optional [`StageObserver`], ladder, watchdog,
+//! * an optional [`CheckpointPolicy`]; with one attached,
+//!   [`Job::run_or_resume`] is crash recovery in a single call: resume from
+//!   the journal when one exists (tolerating a torn tail), start fresh
+//!   otherwise.
+
+use crate::checkpoint::{CheckpointPolicy, FlowCheckpoint};
+use crate::flow::{FlowResult, PufferConfig, PufferPlacer, StageObserver};
+use crate::PufferError;
+#[cfg(feature = "chaos")]
+use puffer_budget::ChaosPlan;
+use puffer_budget::{Budget, CancelToken, DegradationLadder, StallWatchdog};
+use puffer_db::design::Design;
+use puffer_trace::Trace;
+
+/// A reusable, `Send`-able placement job (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Job {
+    config: PufferConfig,
+    budget: Budget,
+    trace: Trace,
+    observer: Option<StageObserver>,
+    ladder: Option<DegradationLadder>,
+    watchdog: Option<StallWatchdog>,
+    checkpoints: Option<CheckpointPolicy>,
+    #[cfg(feature = "chaos")]
+    chaos: Option<ChaosPlan>,
+}
+
+impl Job {
+    /// A job with the given flow configuration, an unbounded budget, no
+    /// telemetry, and no checkpointing.
+    pub fn new(config: PufferConfig) -> Self {
+        Job {
+            config,
+            budget: Budget::unbounded(),
+            trace: Trace::disabled(),
+            observer: None,
+            ladder: None,
+            watchdog: None,
+            checkpoints: None,
+            #[cfg(feature = "chaos")]
+            chaos: None,
+        }
+    }
+
+    /// Attaches an execution budget (deadline and/or cancel token),
+    /// returning `self` for chaining.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a telemetry sink, returning `self` for chaining.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Attaches a stage observer, returning `self` for chaining.
+    pub fn with_observer(mut self, observer: StageObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches a degradation ladder, returning `self` for chaining.
+    pub fn with_ladder(mut self, ladder: DegradationLadder) -> Self {
+        self.ladder = Some(ladder);
+        self
+    }
+
+    /// Attaches a stall watchdog, returning `self` for chaining.
+    pub fn with_watchdog(mut self, watchdog: StallWatchdog) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Attaches a checkpoint policy, returning `self` for chaining. All run
+    /// entry points then journal per the policy, and
+    /// [`Job::run_or_resume`] resumes from its journal when one exists.
+    pub fn with_checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoints = Some(policy);
+        self
+    }
+
+    /// Arms one deterministic fault injection (chaos-harness use only).
+    #[cfg(feature = "chaos")]
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// The flow configuration.
+    pub fn config(&self) -> &PufferConfig {
+        &self.config
+    }
+
+    /// The checkpoint policy, when one is attached.
+    pub fn checkpoint_policy(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoints.as_ref()
+    }
+
+    /// A clone of the budget's shared cancel token: cancelling it stops
+    /// this job cooperatively (checkpoint, legalize best-so-far, return)
+    /// even while [`Job::run`] executes on another thread.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.budget.token()
+    }
+
+    /// Assembles the underlying placer from the job's parts.
+    fn placer(&self) -> PufferPlacer {
+        let mut placer = PufferPlacer::new(self.config.clone())
+            .with_trace(self.trace.clone())
+            .with_budget(self.budget.clone());
+        if let Some(observer) = &self.observer {
+            placer = placer.with_observer(observer.clone());
+        }
+        if let Some(ladder) = &self.ladder {
+            placer = placer.with_ladder(ladder.clone());
+        }
+        if let Some(watchdog) = &self.watchdog {
+            placer = placer.with_watchdog(watchdog.clone());
+        }
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = self.chaos {
+            placer = placer.with_chaos(plan);
+        }
+        placer
+    }
+
+    /// Runs the flow from scratch, journaling when a checkpoint policy is
+    /// attached. Any existing journal at the policy path is overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PufferPlacer::place`] returns, plus
+    /// [`PufferError::Journal`] when a checkpoint cannot be written.
+    pub fn run(&self, design: &Design) -> Result<FlowResult, PufferError> {
+        match &self.checkpoints {
+            Some(policy) => self.placer().place_with_checkpoints(design, policy),
+            None => self.placer().place(design),
+        }
+    }
+
+    /// Runs the flow warm-started from an in-memory checkpoint, journaling
+    /// per the attached policy (if any).
+    ///
+    /// # Errors
+    ///
+    /// [`PufferError::Resume`] when the checkpoint does not fit the design,
+    /// plus everything [`Job::run`] returns.
+    pub fn run_from(
+        &self,
+        design: &Design,
+        checkpoint: FlowCheckpoint,
+    ) -> Result<FlowResult, PufferError> {
+        self.placer()
+            .place_from(design, checkpoint, self.checkpoints.as_ref())
+    }
+
+    /// Crash recovery in one call: when a checkpoint policy is attached and
+    /// its journal already exists, resume from the latest complete record
+    /// in it (a torn tail from a crash mid-write is dropped with a
+    /// `journal.recovered` trace record); otherwise run from scratch.
+    ///
+    /// This is what the serve daemon calls for every attempt of a job —
+    /// attempt 1 starts fresh, and any retry or post-restart re-run picks
+    /// up from the checkpoints the earlier attempt left behind.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Job::run`] returns, plus [`PufferError::Journal`] when
+    /// an existing journal holds no complete record.
+    pub fn run_or_resume(&self, design: &Design) -> Result<FlowResult, PufferError> {
+        let Some(policy) = &self.checkpoints else {
+            return self.run(design);
+        };
+        if !policy.path.exists() {
+            return self.run(design);
+        }
+        let recovered =
+            FlowCheckpoint::recover(&policy.path).map_err(|e| PufferError::Journal(e.to_string()))?;
+        if recovered.dropped_torn_tail {
+            self.trace
+                .record("journal.recovered")
+                .str("path", &policy.path.to_string_lossy())
+                .int("records", recovered.records as i64)
+                .int("torn_tail_dropped", 1)
+                .write();
+        }
+        self.run_from(design, recovered.checkpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_gen::{generate, GeneratorConfig};
+
+    fn design() -> Design {
+        generate(&GeneratorConfig {
+            num_cells: 300,
+            num_nets: 330,
+            num_macros: 1,
+            utilization: 0.6,
+            hotspot: 0.5,
+            ..GeneratorConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn quick_config() -> PufferConfig {
+        let mut c = PufferConfig::default();
+        c.placer.max_iters = 120;
+        c.placer.stop_overflow = 0.15;
+        c.strategy.max_rounds = 2;
+        c
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("puffer-job-tests").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn job_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Job>();
+    }
+
+    #[test]
+    fn job_matches_the_direct_placer_path() {
+        let d = design();
+        let direct = PufferPlacer::new(quick_config()).place(&d).unwrap();
+        let via_job = Job::new(quick_config()).run(&d).unwrap();
+        assert_eq!(direct.placement, via_job.placement);
+        assert_eq!(direct.hpwl, via_job.hpwl);
+    }
+
+    #[test]
+    fn run_or_resume_starts_fresh_then_resumes() {
+        let d = design();
+        let dir = tmp_dir("resume");
+        let uninterrupted = Job::new(quick_config()).run(&d).unwrap();
+
+        // First call: no journal → fresh run, writing checkpoints.
+        let policy = CheckpointPolicy {
+            path: dir.join("run.pj"),
+            every: 30,
+            keep_history: true,
+        };
+        let job = Job::new(quick_config()).with_checkpoints(policy.clone());
+        let fresh = job.run_or_resume(&d).unwrap();
+        assert_eq!(fresh.placement, uninterrupted.placement);
+
+        // Simulate a crash right after a mid-loop checkpoint: point a job
+        // at that journal and let run_or_resume pick it up.
+        let mid = dir.join("run.pj.iter000030");
+        assert!(mid.exists(), "mid-loop checkpoint missing");
+        let job = Job::new(quick_config()).with_checkpoints(CheckpointPolicy {
+            path: mid.clone(),
+            every: 30,
+            keep_history: false,
+        });
+        let resumed = job.run_or_resume(&d).unwrap();
+        assert_eq!(resumed.placement, uninterrupted.placement);
+        assert_eq!(resumed.hpwl, uninterrupted.hpwl);
+    }
+
+    #[test]
+    fn run_or_resume_tolerates_a_torn_journal_tail() {
+        let d = design();
+        let dir = tmp_dir("torn");
+        let uninterrupted = Job::new(quick_config()).run(&d).unwrap();
+        let policy = CheckpointPolicy {
+            path: dir.join("run.pj"),
+            every: 30,
+            keep_history: true,
+        };
+        Job::new(quick_config())
+            .with_checkpoints(policy)
+            .run(&d)
+            .unwrap();
+        let mid = dir.join("run.pj.iter000030");
+        // A crash mid-append: a complete record followed by half a record.
+        let text = std::fs::read_to_string(&mid).unwrap();
+        let mut torn = text.clone();
+        torn.push_str(&text[..text.len() / 3]);
+        std::fs::write(&mid, &torn).unwrap();
+        let resumed = Job::new(quick_config())
+            .with_checkpoints(CheckpointPolicy::new(&mid))
+            .run_or_resume(&d)
+            .unwrap();
+        assert_eq!(resumed.placement, uninterrupted.placement);
+    }
+
+    #[test]
+    fn cancel_token_stops_a_job_from_another_thread() {
+        let d = design();
+        let mut cfg = quick_config();
+        cfg.placer.max_iters = 100_000;
+        cfg.placer.stop_overflow = 0.0;
+        let job = Job::new(cfg);
+        let token = job.cancel_token();
+        token.cancel();
+        let r = job.run(&d).unwrap();
+        assert!(r.cancelled, "pre-cancelled token must stop the run");
+    }
+}

@@ -54,15 +54,17 @@
 pub mod baselines;
 pub mod checkpoint;
 pub mod flow;
+pub mod job;
 pub mod report;
 
 pub use baselines::{
     ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer, WsaConfig, WsaPlacer,
 };
-pub use checkpoint::{CheckpointPolicy, FlowCheckpoint, FlowStage, JournalError};
+pub use checkpoint::{CheckpointPolicy, FlowCheckpoint, FlowStage, JournalError, Recovered};
 pub use flow::{
     FlowResult, PufferConfig, PufferPlacer, StageObserver, StagePoint, StageReport,
 };
+pub use job::Job;
 pub use report::{ComparisonTable, EvalRow, FlowSummary};
 
 use puffer_db::design::{Design, Placement};

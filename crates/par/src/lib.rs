@@ -167,6 +167,75 @@ pub fn ordered_sum(parts: impl IntoIterator<Item = f64>) -> f64 {
     acc
 }
 
+/// Runs `f` on the current thread with panic isolation: a panic becomes a
+/// [`WorkerPanic`] carrying the panic message instead of unwinding.
+///
+/// This is the per-unit-of-work isolation primitive behind the serve job
+/// engine: a worker thread wraps each job body in `run_isolated`, so a
+/// panicking job fails *that job* with a structured error while the worker
+/// (and the pool) keeps running. `AssertUnwindSafe` is sound under the same
+/// argument as the inline path of [`try_map_chunks`]: a panicking closure's
+/// partial results are dropped, never observed. Callers sharing mutexes
+/// with `f` must tolerate poison (e.g. `PoisonError::into_inner`).
+///
+/// # Errors
+///
+/// [`WorkerPanic`] with the panic message when `f` panics.
+pub fn run_isolated<T>(f: impl FnOnce() -> T) -> Result<T, WorkerPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| WorkerPanic(panic_message(&*payload)))
+}
+
+/// Runs a pool of `workers` copies of `work` on scoped threads while
+/// `control` runs on the calling thread, and joins every worker before
+/// returning `control`'s result.
+///
+/// This is the long-lived-pool counterpart of [`try_map_chunks`]: instead
+/// of splitting a fixed index space, each worker is a loop (typically
+/// draining a shared queue) that exits when the caller's own shutdown
+/// condition fires. The contract that makes the join safe:
+///
+/// * `stop` is **always** invoked after `control` finishes — even when
+///   `control` panics (the panic is caught and reported as `Err`). `stop`
+///   must make every `work` loop exit (close the queue, set a flag), or the
+///   join blocks forever.
+/// * A panicking `work` loop terminates only that worker; the panic is
+///   swallowed at the pool boundary (per-job isolation inside the loop is
+///   the caller's responsibility via [`run_isolated`]). Callers that care
+///   about pool integrity should count live workers and compare against
+///   `workers` — the serve chaos harness does exactly this.
+///
+/// `workers` is clamped to `1..=`[`MAX_WORKER_THREADS`].
+///
+/// # Errors
+///
+/// [`WorkerPanic`] when `control` itself panicked; workers are still
+/// stopped and joined first, so the pool never leaks.
+pub fn run_pool<T, W, C, S>(workers: usize, work: W, control: C, stop: S) -> Result<T, WorkerPanic>
+where
+    W: Fn(usize) + Sync,
+    C: FnOnce() -> T,
+    S: FnOnce(),
+{
+    let workers = clamp_threads(workers);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..workers)
+            .map(|idx| {
+                scope.spawn(move || {
+                    let _ = run_isolated(|| work(idx));
+                })
+            })
+            .collect();
+        let out = run_isolated(control);
+        stop();
+        for h in handles {
+            // Worker bodies are isolated above; join cannot see a panic.
+            let _ = h.join();
+        }
+        out
+    })
+}
+
 /// Joins every worker before reporting, converting panics to messages.
 ///
 /// Draining all handles matters: re-panicking on the first `join()` (the
@@ -313,6 +382,50 @@ mod tests {
         let got: Vec<usize> = map_chunks(0, 8, |r| r.len());
         assert!(got.is_empty());
         assert!(chunk_ranges(0).is_empty());
+    }
+
+    #[test]
+    fn run_isolated_returns_values_and_captures_panics() {
+        assert_eq!(run_isolated(|| 41 + 1), Ok(42));
+        let err = run_isolated(|| -> usize { panic!("job exploded") }).unwrap_err();
+        assert!(err.0.contains("job exploded"), "{err}");
+    }
+
+    #[test]
+    fn run_pool_drains_a_shared_queue_and_joins_cleanly() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        let done = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let out = run_pool(
+            3,
+            |_idx| {
+                while !stop.load(Ordering::Relaxed) {
+                    done.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            },
+            || "control result",
+            || stop.store(true, Ordering::Relaxed),
+        );
+        assert_eq!(out, Ok("control result"));
+        assert!(done.load(Ordering::Relaxed) > 0, "workers ran");
+    }
+
+    #[test]
+    fn run_pool_survives_worker_panics_and_reports_control_panics() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = AtomicBool::new(false);
+        // Every worker panics instantly; control panics too. The pool must
+        // still stop, join, and report the control panic as Err — not abort.
+        let err = run_pool(
+            2,
+            |idx| panic!("worker {idx} exploded"),
+            || -> usize { panic!("control exploded") },
+            || stop.store(true, Ordering::Relaxed),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("control exploded"), "{err}");
+        assert!(stop.load(Ordering::Relaxed), "stop ran despite the panic");
     }
 
     #[test]

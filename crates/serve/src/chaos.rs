@@ -1,0 +1,461 @@
+//! Seeded chaos harness for the serve engine (`puffer serve --chaos`).
+//!
+//! Each round injects one fault class, seeded and fully deterministic:
+//!
+//! * `worker-panic` — a job panics its worker (once: retry must succeed
+//!   bit-identically; always: the job must fail with a structured error);
+//! * `journal-write` — a checkpoint write dies mid-write at a seeded
+//!   iteration; the retry must resume from the last good checkpoint;
+//! * `client-disconnect` — a TCP client drops its connection mid-line;
+//!   the daemon must keep serving and the next client's job must finish;
+//! * `kill-restart` — the engine shuts down mid-job (the in-process
+//!   equivalent of `kill -9` right after a checkpoint fsync), the journal
+//!   tail is torn at a seeded byte, and a fresh engine over the same
+//!   directory must resume and finish bit-identically.
+//!
+//! After every round the harness asserts the robustness invariants: every
+//! job sits in exactly one legal end state (completed result / resumable
+//! checkpoint / structured error), completed placements are bit-identical
+//! to an uninterrupted reference run, and the worker pool is intact (a
+//! panic may never cost a worker).
+
+use std::fs;
+use std::io::Write as IoWrite;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use puffer::{Job, PufferConfig};
+use puffer_budget::CancelToken;
+use puffer_db::io::{write_design, write_placement};
+use puffer_gen::{generate, GeneratorConfig};
+use puffer_rng::StdRng;
+use puffer_trace::Trace;
+
+use crate::engine::{Engine, EngineHandle, JobState, ServeConfig};
+use crate::proto::JobSpec;
+use crate::server::serve_listener;
+
+/// Chaos-run settings.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Fault-injection rounds (each uses its index as the seed).
+    pub seeds: u64,
+    /// Cells in the generated chaos design.
+    pub cells: usize,
+    /// GP iteration cap for chaos jobs.
+    pub max_iters: usize,
+    /// Worker-pool size under test.
+    pub workers: usize,
+    /// Scratch directory (wiped per round).
+    pub dir: PathBuf,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seeds: 8,
+            cells: 200,
+            max_iters: 120,
+            workers: 2,
+            dir: std::env::temp_dir().join("puffer-serve-chaos"),
+        }
+    }
+}
+
+/// What a chaos run observed.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSummary {
+    /// Rounds completed.
+    pub rounds: u64,
+    /// Injections per class: panic, journal-write, disconnect, kill-restart.
+    pub injections: [u64; 4],
+    /// Jobs that ended as completed results.
+    pub completed: u64,
+    /// Jobs that ended as structured errors.
+    pub failed: u64,
+}
+
+const FAULT_NAMES: [&str; 4] = ["worker-panic", "journal-write", "client-disconnect", "kill-restart"];
+
+/// Generous bound for any single chaos wait; hitting it means a job got
+/// stuck, which the harness reports as a deadlock.
+const WAIT: Duration = Duration::from_secs(180);
+
+/// Runs the chaos harness; `log` receives one line per round.
+///
+/// # Errors
+///
+/// The first violated invariant, as a human-readable message naming the
+/// seed and fault class.
+pub fn run_chaos(cfg: &ChaosConfig, mut log: impl FnMut(&str)) -> Result<ChaosSummary, String> {
+    let mut summary = ChaosSummary::default();
+    for seed in 0..cfg.seeds {
+        let class = (seed % 4) as usize;
+        let round = RoundContext::prepare(cfg, seed)?;
+        let outcome = match class {
+            0 => round.worker_panic(),
+            1 => round.journal_write(),
+            2 => round.client_disconnect(),
+            _ => round.kill_restart(),
+        };
+        let (completed, failed) =
+            outcome.map_err(|e| format!("seed {seed} [{}]: {e}", FAULT_NAMES[class]))?;
+        summary.rounds += 1;
+        summary.injections[class] += 1;
+        summary.completed += completed;
+        summary.failed += failed;
+        log(&format!(
+            "seed {seed:>3} [{:<17}] OK: {completed} completed, {failed} structured errors",
+            FAULT_NAMES[class]
+        ));
+    }
+    Ok(summary)
+}
+
+/// One round's scratch state: a seeded design on disk plus the reference
+/// placement bytes an uninterrupted run of the same job produces.
+struct RoundContext {
+    seed: u64,
+    dir: PathBuf,
+    design_path: PathBuf,
+    reference: Vec<u8>,
+    workers: usize,
+    max_iters: usize,
+}
+
+impl RoundContext {
+    fn prepare(cfg: &ChaosConfig, seed: u64) -> Result<Self, String> {
+        let dir = cfg.dir.join(format!("round-{seed}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        let design = generate(&GeneratorConfig {
+            num_cells: cfg.cells,
+            num_nets: cfg.cells + cfg.cells / 8,
+            num_macros: 1,
+            utilization: 0.6,
+            hotspot: 0.4,
+            seed,
+            ..GeneratorConfig::default()
+        })
+        .map_err(|e| format!("generate: {e}"))?;
+        let design_path = dir.join("design.pd");
+        let mut buf = Vec::new();
+        write_design(&design, &mut buf).map_err(|e| format!("render design: {e}"))?;
+        fs::write(&design_path, &buf).map_err(|e| format!("write design: {e}"))?;
+
+        let reference_run = Job::new(flow_config(cfg.max_iters))
+            .run(&design)
+            .map_err(|e| format!("reference run: {e}"))?;
+        let mut reference = Vec::new();
+        write_placement(&reference_run.placement, &mut reference)
+            .map_err(|e| format!("render reference: {e}"))?;
+        Ok(RoundContext {
+            seed,
+            dir,
+            design_path,
+            reference,
+            workers: cfg.workers,
+            max_iters: cfg.max_iters,
+        })
+    }
+
+    fn serve_config(&self, tag: &str) -> ServeConfig {
+        ServeConfig {
+            workers: self.workers,
+            queue_capacity: 8,
+            journal_dir: self.dir.join(tag),
+            checkpoint_every: 3,
+            max_attempts: 3,
+            backoff: Duration::from_millis(5),
+            trace: Trace::disabled(),
+        }
+    }
+
+    fn spec(&self, out: Option<&Path>, chaos: Option<String>) -> JobSpec {
+        JobSpec {
+            design: Some(self.design_path.to_string_lossy().into_owned()),
+            out: out.map(|p| p.to_string_lossy().into_owned()),
+            max_iters: Some(self.max_iters),
+            threads: Some(1),
+            chaos,
+            ..JobSpec::default()
+        }
+    }
+
+    fn check_reference(&self, out: &Path, what: &str) -> Result<(), String> {
+        let bytes = fs::read(out).map_err(|e| format!("{what}: read {}: {e}", out.display()))?;
+        if bytes != self.reference {
+            return Err(format!("{what}: placement differs from uninterrupted reference"));
+        }
+        Ok(())
+    }
+
+    /// A panicked worker must survive (pool invariant), the once-panicking
+    /// job must retry to a bit-identical result, and the always-panicking
+    /// job must end as a structured error.
+    fn worker_panic(self) -> Result<(u64, u64), String> {
+        let out = self.dir.join("panic-once.pl");
+        Engine::run(self.serve_config("journal"), |h| -> Result<(), String> {
+            let (once, _) = h
+                .submit(self.spec(Some(&out), Some("panic-once".into())))
+                .map_err(|r| format!("submit: {}", r.detail))?;
+            let (always, _) = h
+                .submit(self.spec(None, Some("panic".into())))
+                .map_err(|r| format!("submit: {}", r.detail))?;
+            let record = wait_terminal(h, once)?;
+            expect_state(h, once, JobState::Done, &record)?;
+            let record = wait_terminal(h, always)?;
+            expect_state(h, always, JobState::Failed, &record)?;
+            if !record.contains("\"class\":\"panic\"") {
+                return Err(format!("structured error lacks panic class: {record}"));
+            }
+            verify_pool(h)?;
+            h.drain();
+            Ok(())
+        })
+        .map_err(|e| e.to_string())??;
+        self.check_reference(&out, "retry-after-panic")?;
+        Ok((1, 1))
+    }
+
+    /// A checkpoint write dies mid-write at a seeded iteration; the retry
+    /// resumes from the last good checkpoint and must land bit-identical.
+    fn journal_write(self) -> Result<(u64, u64), String> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let at = rng.gen_range(2..self.max_iters.max(8) / 2);
+        let out = self.dir.join("journal-write.pl");
+        Engine::run(self.serve_config("journal"), |h| -> Result<(), String> {
+            let (id, _) = h
+                .submit(self.spec(Some(&out), Some(format!("journal-write@{at}"))))
+                .map_err(|r| format!("submit: {}", r.detail))?;
+            let record = wait_terminal(h, id)?;
+            expect_state(h, id, JobState::Done, &record)?;
+            let attempts = h.status(id).map(|s| s.attempts).unwrap_or_default();
+            if attempts < 2 {
+                return Err(format!("journal fault at iter {at} never fired (attempts {attempts})"));
+            }
+            verify_pool(h)?;
+            h.drain();
+            Ok(())
+        })
+        .map_err(|e| e.to_string())??;
+        self.check_reference(&out, "resume-after-journal-fault")?;
+        Ok((1, 0))
+    }
+
+    /// A client connects, trickles half a request line, and vanishes; the
+    /// daemon must keep serving and the next client's job must finish.
+    fn client_disconnect(self) -> Result<(u64, u64), String> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let out = self.dir.join("disconnect.pl");
+        Engine::run(self.serve_config("journal"), |h| -> Result<(), String> {
+            let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+            let addr = listener.local_addr().map_err(|e| e.to_string())?;
+            let signal = CancelToken::new();
+            let served = AtomicBool::new(false);
+            // One pool worker runs the daemon's accept loop; the control
+            // thread plays the clients.
+            puffer_par::run_pool(
+                1,
+                |_| {
+                    let _ = serve_listener(h, &listener, &signal);
+                    served.store(true, Ordering::SeqCst);
+                },
+                || -> Result<(), String> {
+                    // Client 1: half a submit line, then a hard drop.
+                    let submit = format!(
+                        "{{\"t\":\"submit\",\"design\":\"{}\"}}\n",
+                        self.design_path.to_string_lossy()
+                    );
+                    let cut = 1 + (rng.gen_range(1..submit.len() as u64 - 1) as usize);
+                    let mut torn = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+                    torn.write_all(&submit.as_bytes()[..cut])
+                        .map_err(|e| e.to_string())?;
+                    drop(torn); // disconnect mid-line
+
+                    // Client 2: a full session on a fresh connection.
+                    let spec = self.spec(Some(&out), None);
+                    let mut client = Client::connect(addr)?;
+                    let id = client.submit(&spec)?;
+                    let record = client.wait(id)?;
+                    if !record.contains("serve.result") {
+                        return Err(format!("job after disconnect did not complete: {record}"));
+                    }
+                    verify_pool(h)?;
+                    Ok(())
+                },
+                || signal.cancel(),
+            )
+            .map_err(|p| format!("chaos client panicked: {p}"))?
+        })
+        .map_err(|e| e.to_string())??;
+        self.check_reference(&out, "job-after-disconnect")?;
+        Ok((1, 0))
+    }
+
+    /// Shutdown mid-job (crash equivalent), tear the journal tail at a
+    /// seeded byte, restart over the same directory: the job must resume
+    /// and finish bit-identically.
+    fn kill_restart(self) -> Result<(u64, u64), String> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let out = self.dir.join("killed.pl");
+        let cfg = self.serve_config("journal");
+        let journal = cfg.journal_dir.join("job-1").join("run.pj");
+        Engine::run(cfg.clone(), |h| -> Result<(), String> {
+            let (id, _) = h
+                .submit(self.spec(Some(&out), None))
+                .map_err(|r| format!("submit: {}", r.detail))?;
+            // Kill as soon as the first checkpoint hits the disk.
+            let deadline = std::time::Instant::now() + WAIT;
+            while !journal.exists() {
+                if std::time::Instant::now() > deadline {
+                    return Err("job never checkpointed".into());
+                }
+                if h.status(id).map(|s| s.state.terminal()).unwrap_or(false) {
+                    break; // tiny designs can finish first; still a legal end state
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            h.shutdown();
+            Ok(())
+        })
+        .map_err(|e| e.to_string())??;
+
+        let interrupted = !cfg.journal_dir.join("job-1").join("result.json").exists();
+        if interrupted && journal.exists() {
+            // Torn tail: append a prefix of the journal's own record, cut
+            // at a seeded byte — exactly what a crash mid-append leaves.
+            let text = fs::read_to_string(&journal).map_err(|e| e.to_string())?;
+            let cut = 1 + (rng.gen_range(0..text.len() as u64 - 1) as usize);
+            let mut f = fs::OpenOptions::new()
+                .append(true)
+                .open(&journal)
+                .map_err(|e| e.to_string())?;
+            f.write_all(&text.as_bytes()[..cut]).map_err(|e| e.to_string())?;
+        }
+
+        Engine::run(cfg, |h| -> Result<(), String> {
+            let record = wait_terminal(h, 1)?;
+            expect_state(h, 1, JobState::Done, &record)?;
+            verify_pool(h)?;
+            h.drain();
+            Ok(())
+        })
+        .map_err(|e| e.to_string())??;
+        self.check_reference(&out, "resume-after-kill")?;
+        Ok((1, 0))
+    }
+}
+
+fn flow_config(max_iters: usize) -> PufferConfig {
+    let mut c = PufferConfig::default();
+    c.placer.max_iters = max_iters;
+    c.placer.threads = 1;
+    c.estimator.threads = 1;
+    c
+}
+
+fn wait_terminal(handle: &EngineHandle<'_>, id: u64) -> Result<String, String> {
+    handle
+        .wait(id, Some(WAIT))
+        .map_err(|e| format!("job {id} stuck ({e:?}) — possible deadlock"))
+}
+
+fn expect_state(
+    handle: &EngineHandle<'_>,
+    id: u64,
+    want: JobState,
+    record: &str,
+) -> Result<(), String> {
+    let got = handle
+        .status(id)
+        .map(|s| s.state)
+        .ok_or_else(|| format!("job {id} unknown"))?;
+    if got != want {
+        return Err(format!("job {id}: state {got:?}, wanted {want:?} ({record})"));
+    }
+    Ok(())
+}
+
+/// The pool-size invariant: fault injection must never leak or kill a
+/// worker thread.
+fn verify_pool(handle: &EngineHandle<'_>) -> Result<(), String> {
+    let live = handle.live_workers();
+    let want = handle.workers();
+    if live != want {
+        return Err(format!("worker pool corrupted: {live} live of {want}"));
+    }
+    Ok(())
+}
+
+/// A minimal blocking protocol client used by the disconnect scenario.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        Ok(Client { stream })
+    }
+
+    fn request(&mut self, line: &str) -> Result<String, String> {
+        use std::io::BufRead;
+        self.stream
+            .write_all(line.as_bytes())
+            .map_err(|e| e.to_string())?;
+        let mut reader = std::io::BufReader::new(
+            self.stream.try_clone().map_err(|e| e.to_string())?,
+        );
+        let mut response = String::new();
+        reader.read_line(&mut response).map_err(|e| e.to_string())?;
+        Ok(response)
+    }
+
+    fn submit(&mut self, spec: &JobSpec) -> Result<u64, String> {
+        // A spec record doubles as a submit request: same fields, `t` is
+        // remapped.
+        let line = spec.render().replacen("\"t\":\"job.spec\"", "\"t\":\"submit\"", 1);
+        let response = self.request(&(line + "\n"))?;
+        let rec = puffer_trace::parse_record(response.trim())
+            .map_err(|e| format!("bad accept response: {e}"))?;
+        if rec.kind() != Some("serve.accepted") {
+            return Err(format!("submit rejected: {response}"));
+        }
+        rec.num("id")
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("accept without id: {response}"))
+    }
+
+    fn wait(&mut self, id: u64) -> Result<String, String> {
+        self.request(&format!(
+            "{{\"t\":\"wait\",\"id\":{id},\"timeout_s\":{}}}\n",
+            WAIT.as_secs()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_seeds_cover_every_fault_class() {
+        let cfg = ChaosConfig {
+            seeds: 4,
+            cells: 160,
+            max_iters: 60,
+            workers: 2,
+            dir: std::env::temp_dir().join("puffer-serve-chaos-test"),
+        };
+        let mut lines = Vec::new();
+        let summary = run_chaos(&cfg, |l| lines.push(l.to_string())).unwrap();
+        assert_eq!(summary.rounds, 4);
+        assert_eq!(summary.injections, [1, 1, 1, 1]);
+        assert_eq!(summary.completed, 4);
+        assert_eq!(summary.failed, 1);
+        assert_eq!(lines.len(), 4, "{lines:?}");
+    }
+}

@@ -1,0 +1,440 @@
+//! The `puffer serve` line protocol: newline-delimited JSON, version 2.
+//!
+//! Requests and responses are flat JSON objects, one per line, in the
+//! [`puffer_trace`] record schema (a `"t"` kind field plus scalar fields).
+//! Serve records bump the schema with an explicit `"v": 2` version field —
+//! version 1 is the implicit version of the flow-telemetry records
+//! (`place.iter`, `flow.done`, …), which carry no `"v"`. Parsing reuses
+//! [`puffer_trace::parse_record`], so any client that speaks the trace
+//! schema speaks this protocol.
+//!
+//! Requests (client → daemon):
+//!
+//! ```text
+//! {"t":"submit","design":"chip.pd","max_iters":300,"deadline_s":60,"out":"chip.pl"}
+//! {"t":"cancel","id":3}
+//! {"t":"status"}            {"t":"status","id":3}
+//! {"t":"wait","id":3,"timeout_s":120}
+//! {"t":"ping"}
+//! {"t":"drain"}             (graceful: finish queued+running, then exit)
+//! {"t":"shutdown"}          (fast: checkpoint running jobs, keep queued for restart)
+//! ```
+//!
+//! Responses (daemon → client) are the `serve.*` records rendered by this
+//! module: `serve.ready`, `serve.accepted`, `serve.rejected`,
+//! `serve.status`, `serve.jobs`, `serve.result`, `serve.error`,
+//! `serve.pong`, `serve.done`.
+
+use puffer_trace::{parse_record, ParsedRecord};
+
+/// Protocol/schema version stamped into every serve record as `"v"`.
+pub const PROTO_VERSION: u32 = 2;
+
+// ---------------------------------------------------------------------------
+// JSON line writer
+// ---------------------------------------------------------------------------
+
+/// Appends `s` JSON-escaped (quotes, backslashes, control characters).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Builder for one flat JSON record line carrying `"t"` and `"v"`.
+#[derive(Debug)]
+pub struct JsonLine {
+    buf: String,
+}
+
+impl JsonLine {
+    /// Starts a record of the given kind: `{"t":"<kind>","v":2`.
+    pub fn new(kind: &str) -> Self {
+        let mut buf = String::with_capacity(96);
+        buf.push_str("{\"t\":\"");
+        escape_into(&mut buf, kind);
+        let _ = std::fmt::Write::write_fmt(&mut buf, format_args!("\",\"v\":{PROTO_VERSION}"));
+        JsonLine { buf }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.buf.push_str(",\"");
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        let _ = std::fmt::Write::write_fmt(&mut self.buf, format_args!("{v}"));
+        self
+    }
+
+    /// Adds a float field (`{:?}` round-trips f64 exactly; non-finite
+    /// values encode as `null`, matching the trace writer).
+    pub fn num(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = std::fmt::Write::write_fmt(&mut self.buf, format_args!("{v:?}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a string field only when present.
+    pub fn opt_str(self, k: &str, v: Option<&str>) -> Self {
+        match v {
+            Some(v) => self.str(k, v),
+            None => self,
+        }
+    }
+
+    /// Closes the record (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job specification
+// ---------------------------------------------------------------------------
+
+/// What kind of work a job performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobKind {
+    /// Run the full PUFFER placement flow.
+    #[default]
+    Place,
+    /// Route-evaluate an existing placement (HOF/VOF/WL).
+    Eval,
+}
+
+impl JobKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobKind::Place => "place",
+            JobKind::Eval => "eval",
+        }
+    }
+}
+
+/// One job as submitted over the protocol and journaled as `spec.json`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobSpec {
+    /// Place or eval.
+    pub kind: JobKind,
+    /// Path to a design file (`puffer_db::io` text format).
+    pub design: Option<String>,
+    /// Inline netlist: the same text format carried in the JSON line.
+    pub design_text: Option<String>,
+    /// Named generator preset (see `puffer_gen::presets::by_name`).
+    pub preset: Option<String>,
+    /// Scale factor for `preset` (defaults to 1.0).
+    pub scale: Option<f64>,
+    /// Placement file to evaluate (eval jobs).
+    pub placement: Option<String>,
+    /// Where to write the final placement (place jobs).
+    pub out: Option<String>,
+    /// Global-placement iteration cap.
+    pub max_iters: Option<usize>,
+    /// Worker threads for the flow's parallel kernels.
+    pub threads: Option<usize>,
+    /// Per-attempt wall-clock deadline in seconds.
+    pub deadline_s: Option<f64>,
+    /// Chaos injection tag (`panic-once`, `panic`, `journal-write@N`);
+    /// honored by the engine's fault hooks, used by the chaos harness.
+    pub chaos: Option<String>,
+}
+
+impl JobSpec {
+    /// Checks the spec is runnable: exactly one design source, and eval
+    /// jobs name a placement.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        let sources = [
+            self.design.is_some(),
+            self.design_text.is_some(),
+            self.preset.is_some(),
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count();
+        if sources != 1 {
+            return Err(format!(
+                "need exactly one design source (design | design_text | preset), got {sources}"
+            ));
+        }
+        if self.kind == JobKind::Eval && self.placement.is_none() {
+            return Err("eval jobs need a 'placement' path".into());
+        }
+        if let Some(s) = self.scale {
+            if !(s.is_finite() && s > 0.0) {
+                return Err(format!("scale must be a positive number, got {s}"));
+            }
+        }
+        if let Some(d) = self.deadline_s {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(format!("deadline_s must be a positive number, got {d}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a spec out of a parsed record (a `submit` request or a
+    /// journaled `job.spec` line).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed field.
+    pub fn from_record(rec: &ParsedRecord) -> Result<Self, String> {
+        let kind = match rec.str_field("kind") {
+            None | Some("place") => JobKind::Place,
+            Some("eval") => JobKind::Eval,
+            Some(other) => return Err(format!("unknown job kind '{other}'")),
+        };
+        let usize_field = |key: &str| -> Result<Option<usize>, String> {
+            match rec.num(key) {
+                None => Ok(None),
+                Some(v) if v >= 0.0 && v.fract() == 0.0 => Ok(Some(v as usize)),
+                Some(v) => Err(format!("field '{key}' must be a non-negative integer, got {v}")),
+            }
+        };
+        Ok(JobSpec {
+            kind,
+            design: rec.str_field("design").map(str::to_string),
+            design_text: rec.str_field("design_text").map(str::to_string),
+            preset: rec.str_field("preset").map(str::to_string),
+            scale: rec.num("scale"),
+            placement: rec.str_field("placement").map(str::to_string),
+            out: rec.str_field("out").map(str::to_string),
+            max_iters: usize_field("max_iters")?,
+            threads: usize_field("threads")?,
+            deadline_s: rec.num("deadline_s"),
+            chaos: rec.str_field("chaos").map(str::to_string),
+        })
+    }
+
+    /// Serializes the spec as one `job.spec` record line (the `spec.json`
+    /// journal format).
+    pub fn render(&self) -> String {
+        let mut line = JsonLine::new("job.spec").str("kind", self.kind.as_str());
+        line = line
+            .opt_str("design", self.design.as_deref())
+            .opt_str("design_text", self.design_text.as_deref())
+            .opt_str("preset", self.preset.as_deref());
+        if let Some(s) = self.scale {
+            line = line.num("scale", s);
+        }
+        line = line
+            .opt_str("placement", self.placement.as_deref())
+            .opt_str("out", self.out.as_deref());
+        if let Some(m) = self.max_iters {
+            line = line.int("max_iters", m as i64);
+        }
+        if let Some(t) = self.threads {
+            line = line.int("threads", t as i64);
+        }
+        if let Some(d) = self.deadline_s {
+            line = line.num("deadline_s", d);
+        }
+        line.opt_str("chaos", self.chaos.as_deref()).finish()
+    }
+
+    /// Parses a `job.spec` line written by [`JobSpec::render`].
+    ///
+    /// # Errors
+    ///
+    /// A message for unparseable JSON or malformed fields.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        Self::from_record(&parse_record(line)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job.
+    Submit(Box<JobSpec>),
+    /// Cancel a job by id.
+    Cancel {
+        /// Job id from `serve.accepted`.
+        id: u64,
+    },
+    /// Report one job (`id`) or all jobs.
+    Status {
+        /// Job id, or `None` for all jobs.
+        id: Option<u64>,
+    },
+    /// Block until a job reaches a terminal state (or the timeout).
+    Wait {
+        /// Job id from `serve.accepted`.
+        id: u64,
+        /// Give up after this many seconds (`None` blocks).
+        timeout_s: Option<f64>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Graceful shutdown: stop admitting, run everything queued, exit.
+    Drain,
+    /// Fast shutdown: checkpoint running jobs, keep queued jobs journaled
+    /// for the next start, exit.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A message for unparseable JSON, an unknown request kind, or a missing
+/// required field.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let rec = parse_record(line)?;
+    let id_field = |key: &str| -> Result<u64, String> {
+        match rec.num(key) {
+            Some(v) if v >= 0.0 && v.fract() == 0.0 => Ok(v as u64),
+            Some(v) => Err(format!("'{key}' must be a non-negative integer, got {v}")),
+            None => Err(format!("request needs an '{key}' field")),
+        }
+    };
+    match rec.kind() {
+        Some("submit") => Ok(Request::Submit(Box::new(JobSpec::from_record(&rec)?))),
+        Some("cancel") => Ok(Request::Cancel { id: id_field("id")? }),
+        Some("status") => Ok(Request::Status {
+            id: match rec.num("id") {
+                None => None,
+                Some(_) => Some(id_field("id")?),
+            },
+        }),
+        Some("wait") => Ok(Request::Wait {
+            id: id_field("id")?,
+            timeout_s: rec.num("timeout_s"),
+        }),
+        Some("ping") => Ok(Request::Ping),
+        Some("drain") => Ok(Request::Drain),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some(other) => Err(format!("unknown request '{other}'")),
+        None => Err("request needs a string 't' field".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_parseable_and_versioned() {
+        let line = JsonLine::new("serve.test")
+            .str("msg", "a \"quoted\"\nline\t\\")
+            .int("n", -3)
+            .num("x", 0.1 + 0.2)
+            .num("bad", f64::NAN)
+            .finish();
+        let rec = parse_record(&line).unwrap();
+        assert_eq!(rec.kind(), Some("serve.test"));
+        assert_eq!(rec.num("v"), Some(2.0));
+        assert_eq!(rec.str_field("msg"), Some("a \"quoted\"\nline\t\\"));
+        assert_eq!(rec.num("n"), Some(-3.0));
+        assert_eq!(rec.num("x"), Some(0.1 + 0.2));
+        assert!(rec.get("bad").unwrap().is_null());
+    }
+
+    #[test]
+    fn job_spec_round_trips_including_inline_netlists() {
+        let spec = JobSpec {
+            kind: JobKind::Place,
+            design_text: Some("puffer_design 1\nname tiny\n".to_string()),
+            out: Some("/tmp/out.pl".to_string()),
+            max_iters: Some(120),
+            threads: Some(2),
+            deadline_s: Some(4.5),
+            chaos: Some("journal-write@6".to_string()),
+            ..JobSpec::default()
+        };
+        spec.validate().unwrap();
+        let parsed = JobSpec::parse(&spec.render()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn spec_validation_catches_broken_specs() {
+        assert!(JobSpec::default().validate().is_err(), "no design source");
+        let two = JobSpec {
+            design: Some("a.pd".into()),
+            preset: Some("or1200".into()),
+            ..JobSpec::default()
+        };
+        assert!(two.validate().is_err(), "two design sources");
+        let eval = JobSpec {
+            kind: JobKind::Eval,
+            design: Some("a.pd".into()),
+            ..JobSpec::default()
+        };
+        assert!(eval.validate().is_err(), "eval without placement");
+        let bad_deadline = JobSpec {
+            design: Some("a.pd".into()),
+            deadline_s: Some(-1.0),
+            ..JobSpec::default()
+        };
+        assert!(bad_deadline.validate().is_err());
+    }
+
+    #[test]
+    fn requests_parse() {
+        let r = parse_request(r#"{"t":"submit","design":"d.pd","max_iters":50}"#).unwrap();
+        match r {
+            Request::Submit(spec) => {
+                assert_eq!(spec.design.as_deref(), Some("d.pd"));
+                assert_eq!(spec.max_iters, Some(50));
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+        assert_eq!(
+            parse_request(r#"{"t":"cancel","id":4}"#).unwrap(),
+            Request::Cancel { id: 4 }
+        );
+        assert_eq!(
+            parse_request(r#"{"t":"status"}"#).unwrap(),
+            Request::Status { id: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"t":"wait","id":1,"timeout_s":2.5}"#).unwrap(),
+            Request::Wait {
+                id: 1,
+                timeout_s: Some(2.5)
+            }
+        );
+        assert_eq!(parse_request(r#"{"t":"drain"}"#).unwrap(), Request::Drain);
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"t":"frobnicate"}"#).is_err());
+        assert!(parse_request(r#"{"t":"cancel"}"#).is_err(), "missing id");
+        assert!(parse_request(r#"{"t":"cancel","id":1.5}"#).is_err());
+    }
+}

@@ -43,6 +43,17 @@
 //! | `counter` | [`Trace::write_summary`] | `name`, `value` |
 //! | `gauge` | [`Trace::write_summary`] | `name`, `value` |
 //!
+//! ## Schema versions
+//!
+//! The flow-telemetry records above predate explicit versioning and carry
+//! no version field — readers should treat a missing `"v"` as **v1**. The
+//! `puffer-serve` job-engine records (`serve.*`, `job.spec`, and the
+//! request kinds) are **v2** and declare it with a `"v": 2` field on every
+//! record; they reuse this crate's record shape (flat JSON object, `"t"`
+//! kind field), so [`parse_record`]/[`read_jsonl`] read both generations.
+//! Any future breaking change to either family must bump `"v"` rather
+//! than silently change field meanings.
+//!
 //! # Example
 //!
 //! ```

@@ -31,7 +31,7 @@ target/release/puffer lint
 LIB_CRATES=(
   puffer-budget puffer-par puffer-db puffer-gen puffer-flute puffer-fft
   puffer-place puffer-congest puffer-pad puffer-explore puffer-legal
-  puffer-dp puffer-route puffer-rng puffer-trace puffer
+  puffer-dp puffer-route puffer-rng puffer-trace puffer puffer-serve
 )
 echo "==> advisory clippy (unwrap_used/expect_used) on library crates"
 for crate in "${LIB_CRATES[@]}"; do
@@ -79,6 +79,26 @@ echo "==> bounded execution smoke (place --deadline + puffer chaos)"
 "$PUFFER" place "$SMOKE_DIR/smoke.pd" -o "$SMOKE_DIR/deadline.pl" \
   --deadline 0.001 --degrade default
 "$PUFFER" chaos --seeds 8
+
+# Serve smoke: the daemon's stdin transport runs a submitted job to
+# completion on EOF-drain, journaling under --journal-dir.
+echo "==> serve smoke (puffer serve --stdin)"
+rm -rf "$SMOKE_DIR/serve-journal"
+printf '%s\n' \
+  '{"t":"ping"}' \
+  '{"t":"submit","preset":"or1200","scale":0.003,"out":"target/ci-smoke/serve.pl"}' \
+  '{"t":"wait","id":1,"timeout_s":300}' \
+  '{"t":"drain"}' |
+  "$PUFFER" serve --stdin --journal-dir "$SMOKE_DIR/serve-journal" \
+    --workers 2 | tee "$SMOKE_DIR/serve-smoke.out"
+grep -q '"t":"serve.result"' "$SMOKE_DIR/serve-smoke.out"
+test -f "$SMOKE_DIR/serve.pl"
+
+# Serve chaos smoke: >= 20 seeded injections across all four fault classes
+# (worker panic, journal truncation, client disconnect, kill+restart);
+# every job must land in a legal end state with the worker pool intact.
+echo "==> serve chaos smoke (puffer serve --chaos --seeds 24)"
+"$PUFFER" serve --chaos --seeds 24 --cells 160 --max-iters 60
 
 # Flow benchmark artifacts (BENCH_<design>.json under target/bench).
 echo "==> scripts/bench.sh (BENCH_*.json artifacts)"
