@@ -136,6 +136,37 @@ fn congestion_benches() {
     bench("congestion", "estimate_no_detour", 2, 20, || {
         no_detour.estimate(&design, &placement)
     });
+
+    // Incremental re-estimation after a small perturbation: what a padding
+    // round actually pays once warm state exists. `estimate_incremental`
+    // on a fresh estimator is a full build, so warm it once outside the
+    // timed loop, then alternate between two nearby placements so every
+    // timed call sees real (small) dirt.
+    let moved = {
+        let r = design.region();
+        let mut p = placement.clone();
+        for (i, id) in design.netlist().movable_cells().enumerate() {
+            if i % 16 == 0 {
+                let pos = p.pos(id);
+                p.set(
+                    id,
+                    Point::new(
+                        (pos.x + 3.0).clamp(r.xl, r.xh),
+                        (pos.y - 3.0).clamp(r.yl, r.yh),
+                    ),
+                );
+            }
+        }
+        p
+    };
+    let mut inc = CongestionEstimator::new(&design, EstimatorConfig::default());
+    inc.estimate_incremental(&design, &placement);
+    let mut flip = false;
+    bench("congestion", "estimate_incremental", 2, 20, move || {
+        flip = !flip;
+        let p = if flip { &moved } else { &placement };
+        inc.estimate_incremental(&design, p)
+    });
 }
 
 fn feature_benches() {

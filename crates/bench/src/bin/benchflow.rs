@@ -28,6 +28,11 @@ use std::fmt::Write as _;
 /// cost less than 10% when no worker threads are spawned.
 const PAR_GATE_FACTOR: f64 = 1.10;
 
+/// Required single-thread speedup of a warm incremental congestion
+/// re-estimate over a from-scratch rebuild, enforced under
+/// `--congest-gate` (run at scale >= 0.5 so chunk reuse dominates).
+const CONGEST_GATE_FACTOR: f64 = 2.0;
+
 /// Per-kernel timings for the `par` JSON section: the serial reference
 /// (where one exists) and the chunked path at [`THREADS`].
 struct ParTimes {
@@ -76,6 +81,65 @@ fn par_times(
     ]
 }
 
+/// The moved placement the incremental path is timed against: one
+/// contiguous ~6% window of the movable cells nudged diagonally (clamped
+/// to the region). Cell padding spreads a congestion *hotspot*, so the
+/// per-round dirt between consecutive estimates is spatially localized —
+/// a contiguous index window models that (generated netlists are built
+/// cluster-by-cluster, so index-adjacent cells share nets and Gcells).
+fn perturbed(
+    design: &puffer_db::design::Design,
+    placement: &puffer_db::design::Placement,
+) -> puffer_db::design::Placement {
+    let r = design.region();
+    let mut p = placement.clone();
+    let n = design.netlist().movable_cells().count();
+    let window = n / 3..n / 3 + n / 16;
+    for (i, id) in design.netlist().movable_cells().enumerate() {
+        if window.contains(&i) {
+            let pos = p.pos(id);
+            p.set(
+                id,
+                puffer_db::geom::Point::new(
+                    (pos.x + 3.0).clamp(r.xl, r.xh),
+                    (pos.y - 3.0).clamp(r.yl, r.yh),
+                ),
+            );
+        }
+    }
+    p
+}
+
+/// Single-thread congestion timings: `(full_s, incremental_s)` — the
+/// before/after pair of the dirty-region re-estimation work. The full
+/// rebuild and the warm incremental path see the same alternating pair of
+/// placements, so both pay identical deposit work for the dirty nets.
+fn congest_times(
+    design: &puffer_db::design::Design,
+    placement: &puffer_db::design::Placement,
+) -> (f64, f64) {
+    use puffer_congest::{CongestionEstimator, EstimatorConfig};
+    let cfg = EstimatorConfig {
+        threads: 1,
+        ..EstimatorConfig::default()
+    };
+    let moved = perturbed(design, placement);
+    let full = CongestionEstimator::new(design, cfg.clone());
+    let mut flip = false;
+    let full_s = time_min(1, 5, || {
+        flip = !flip;
+        full.estimate(design, if flip { &moved } else { placement })
+    });
+    let mut inc = CongestionEstimator::new(design, cfg);
+    inc.estimate_incremental(design, placement); // warm the chunk state
+    let mut flip = false;
+    let inc_s = time_min(1, 5, || {
+        flip = !flip;
+        inc.estimate_incremental(design, if flip { &moved } else { placement })
+    });
+    (full_s, inc_s)
+}
+
 /// Appends `"key": value` (6 decimal places, non-finite becomes `null`).
 fn field(json: &mut String, indent: &str, key: &str, value: f64, last: bool) {
     let comma = if last { "" } else { "," };
@@ -86,9 +150,72 @@ fn field(json: &mut String, indent: &str, key: &str, value: f64, last: bool) {
     }
 }
 
+/// `--congest-gate`: skip the flow; on each design, time a single-thread
+/// full congestion rebuild against the warm incremental path on a
+/// mid-placement snapshot, record the before/after pair as
+/// `BENCH_<design>.json`, and exit nonzero under [`CONGEST_GATE_FACTOR`].
+fn run_congest_gate(args: &HarnessArgs, out_dir: &std::path::Path) {
+    let mut failed = false;
+    for config in args.configs() {
+        let design = generate_logged(&config);
+        // A mid-global-placement shape: semi-spread grid over the region.
+        let r = design.region();
+        let c = r.center();
+        let n = design.netlist().movable_cells().count();
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let mut placement = design.initial_placement();
+        for (i, id) in design.netlist().movable_cells().enumerate() {
+            let fx = ((i % cols) as f64 + 0.5) / cols as f64 - 0.5;
+            let fy = ((i / cols) as f64 + 0.5) / cols as f64 - 0.5;
+            placement.set(
+                id,
+                puffer_db::geom::Point::new(
+                    c.x + fx * 0.6 * r.width(),
+                    c.y + fy * 0.6 * r.height(),
+                ),
+            );
+        }
+        let (full_s, inc_s) = congest_times(&design, &placement);
+        let speedup = full_s / inc_s;
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"design\": \"{}\",", design.name());
+        let _ = writeln!(json, "  \"cells\": {},", design.stats().movable_cells);
+        json.push_str("  \"congest\": {\n");
+        field(&mut json, "    ", "full_s", full_s, false);
+        field(&mut json, "    ", "incremental_s", inc_s, false);
+        field(&mut json, "    ", "speedup", speedup, true);
+        json.push_str("  }\n}\n");
+        let path = out_dir.join(format!("BENCH_{}.json", design.name()));
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("{}", path.display());
+        eprintln!(
+            "[congest] {}: full {:.1} ms, incremental {:.1} ms ({speedup:.2}x)",
+            design.name(),
+            full_s * 1e3,
+            inc_s * 1e3
+        );
+        if speedup < CONGEST_GATE_FACTOR {
+            eprintln!(
+                "congest gate: incremental re-estimate is only {speedup:.2}x faster than \
+                 a full rebuild (need {CONGEST_GATE_FACTOR}x) on {}",
+                design.name()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = HarnessArgs::parse(0.003);
     let out_dir = args.ensure_out_dir().clone();
+    if args.congest_gate {
+        run_congest_gate(&args, &out_dir);
+        return;
+    }
     for config in args.configs() {
         let design = generate_logged(&config);
         let trace = Trace::enabled();
@@ -144,7 +271,24 @@ fn main() {
             let comma = if ki + 1 == kernels.len() { "" } else { "," };
             let _ = writeln!(json, "    }}{comma}");
         }
+        json.push_str("  },\n");
+
+        // Incremental congestion: the before (full rebuild) / after (warm
+        // dirty-region re-estimate) pair, both single-threaded. The 2x
+        // gate itself runs separately via --congest-gate at scale >= 0.5;
+        // here the pair is just recorded alongside the flow numbers.
+        let (full_s, inc_s) = congest_times(&design, &result.placement);
+        json.push_str("  \"congest\": {\n");
+        field(&mut json, "    ", "full_s", full_s, false);
+        field(&mut json, "    ", "incremental_s", inc_s, false);
+        field(&mut json, "    ", "speedup", full_s / inc_s, true);
         json.push_str("  }\n}\n");
+        eprintln!(
+            "[congest] full {:.1} ms, incremental {:.1} ms ({:.2}x)",
+            full_s * 1e3,
+            inc_s * 1e3,
+            full_s / inc_s
+        );
 
         for (name, times) in &kernels {
             let Some(serial) = times.serial_s else { continue };

@@ -62,10 +62,15 @@ pub struct HarnessArgs {
     pub designs: Option<Vec<String>>,
     /// Output directory for CSV/map artifacts.
     pub out_dir: PathBuf,
+    /// `benchflow` only: skip the flow and run just the single-thread
+    /// incremental-congestion gate on each design (other binaries accept
+    /// and ignore the flag).
+    pub congest_gate: bool,
 }
 
 impl HarnessArgs {
-    /// Parses `--scale`, `--designs`, `--out` from `std::env::args`.
+    /// Parses `--scale`, `--designs`, `--out`, and `--congest-gate` from
+    /// `std::env::args`.
     ///
     /// # Panics
     ///
@@ -75,6 +80,7 @@ impl HarnessArgs {
             scale: default_scale,
             designs: None,
             out_dir: PathBuf::from("target/paper"),
+            congest_gate: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -97,9 +103,12 @@ impl HarnessArgs {
                 "--out" => {
                     args.out_dir = PathBuf::from(it.next().expect("--out needs a directory"));
                 }
+                "--congest-gate" => {
+                    args.congest_gate = true;
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--scale <f>] [--designs a,b,...] [--out <dir>]\n\
+                        "usage: [--scale <f>] [--designs a,b,...] [--out <dir>] [--congest-gate]\n\
                          designs: {}",
                         presets::all(1.0)
                             .iter()
@@ -242,6 +251,8 @@ pub mod par {
         let mut coords: Vec<f64> = Vec::with_capacity(16);
         let mut exps_p: Vec<f64> = Vec::with_capacity(16);
         let mut exps_m: Vec<f64> = Vec::with_capacity(16);
+        let mut grads: Vec<f64> = Vec::with_capacity(16);
+        let inv_gamma = 1.0 / gamma;
         for (_, net) in netlist.iter_nets() {
             if net.degree() < 2 || net.weight == 0.0 {
                 continue;
@@ -252,14 +263,17 @@ pub mod par {
                     let p = placement.pin_pos(netlist, pid);
                     coords.push(if axis == 0 { p.x } else { p.y });
                 }
-                let max = coords.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let min = coords.iter().cloned().fold(f64::INFINITY, f64::min);
+                let (max, min) = coords
+                    .iter()
+                    .fold((f64::NEG_INFINITY, f64::INFINITY), |(mx, mn), &x| {
+                        (mx.max(x), mn.min(x))
+                    });
                 exps_p.clear();
                 exps_m.clear();
                 let (mut sp, mut sxp, mut sm, mut sxm) = (0.0, 0.0, 0.0, 0.0);
                 for &x in &coords {
-                    let ep = ((x - max) / gamma).exp();
-                    let em = ((min - x) / gamma).exp();
+                    let ep = ((x - max) * inv_gamma).exp();
+                    let em = ((min - x) * inv_gamma).exp();
                     exps_p.push(ep);
                     exps_m.push(em);
                     sp += ep;
@@ -268,17 +282,26 @@ pub mod par {
                     sxm += x * em;
                 }
                 value += net.weight * (sxp / sp - sxm / sm);
-                let (sp2, sm2) = (sp * sp, sm * sm);
-                for (j, &pid) in net.pins.iter().enumerate() {
+                let inv_sp2 = 1.0 / (sp * sp);
+                let inv_sm2 = 1.0 / (sm * sm);
+                let w = net.weight;
+                grads.clear();
+                for j in 0..coords.len() {
                     let x = coords[j];
-                    let dp = ((1.0 + x / gamma) * exps_p[j] * sp - exps_p[j] * sxp / gamma) / sp2;
-                    let dm = ((1.0 - x / gamma) * exps_m[j] * sm + exps_m[j] * sxm / gamma) / sm2;
-                    let g = net.weight * (dp - dm);
+                    let ep = exps_p[j];
+                    let em = exps_m[j];
+                    let dp =
+                        ((1.0 + x * inv_gamma) * ep * sp - ep * sxp * inv_gamma) * inv_sp2;
+                    let dm =
+                        ((1.0 - x * inv_gamma) * em * sm + em * sxm * inv_gamma) * inv_sm2;
+                    grads.push(w * (dp - dm));
+                }
+                for (j, &pid) in net.pins.iter().enumerate() {
                     let cell = netlist.pin(pid).cell.index();
                     if axis == 0 {
-                        grad_x[cell] += g;
+                        grad_x[cell] += grads[j];
                     } else {
-                        grad_y[cell] += g;
+                        grad_y[cell] += grads[j];
                     }
                 }
             }
@@ -331,6 +354,7 @@ mod tests {
             scale: 0.01,
             designs: Some(vec!["or1200".into(), "CT_TOP".into()]),
             out_dir: PathBuf::from("/tmp/x"),
+            congest_gate: false,
         };
         let cfgs = args.configs();
         assert_eq!(cfgs.len(), 2);

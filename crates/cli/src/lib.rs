@@ -90,6 +90,7 @@ usage:
                 [--resume <run.pj>] [--threads <n>] [--validate]
                 [--metrics <run.jsonl>] [--trace-summary]
                 [--deadline <secs>] [--degrade <ladder>] [--watchdog <secs>]
+                [--incremental-congest | --no-incremental-congest]
   puffer eval   <design.pd> <placed.pl> [--maps <dir>] [--layers] [--validate]
                 [--threads <n>] [--metrics <run.jsonl>] [--trace-summary]
                 [--deadline <secs>]
@@ -439,7 +440,12 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             "degrade",
             "watchdog",
         ],
-        &["trace-summary", "validate"],
+        &[
+            "trace-summary",
+            "validate",
+            "incremental-congest",
+            "no-incremental-congest",
+        ],
     )?;
     let [design_path] = flags.positional.as_slice() else {
         return Err(CliError::usage("place needs exactly one <design.pd>"));
@@ -469,6 +475,18 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
     if flow != "puffer" && flags.has("validate") {
         return Err(CliError::usage("--validate only applies to --flow puffer"));
     }
+    if flags.has("incremental-congest") && flags.has("no-incremental-congest") {
+        return Err(CliError::usage(
+            "--incremental-congest and --no-incremental-congest are mutually exclusive",
+        ));
+    }
+    if flow != "puffer"
+        && (flags.has("incremental-congest") || flags.has("no-incremental-congest"))
+    {
+        return Err(CliError::usage(
+            "--incremental-congest/--no-incremental-congest only apply to --flow puffer",
+        ));
+    }
     let BoundedFlags {
         budget,
         ladder,
@@ -490,6 +508,12 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             if let Some(n) = threads {
                 cfg.placer.threads = n;
                 cfg.estimator.threads = n;
+            }
+            // Dirty-region congestion re-estimation is on by default and
+            // bit-identical to the full rebuild; --no-incremental-congest
+            // is the escape hatch that forces a full rebuild every round.
+            if flags.has("no-incremental-congest") {
+                cfg.estimator.incremental = false;
             }
             // SIGINT/SIGTERM cancel the flow cooperatively: the run
             // checkpoints (under --journal), legalizes the best-so-far
@@ -1364,6 +1388,46 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("unknown preset"));
+    }
+
+    #[test]
+    fn incremental_congest_flags_are_mutually_exclusive_and_puffer_only() {
+        let design_path = tmp("incflags.pd");
+        run(
+            &strs(&["gen", "--cells", "60", "--nets", "60", "-o", &design_path]),
+            &mut String::new(),
+        )
+        .unwrap();
+        let out_path = tmp("incflags.pl");
+        let err = run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &out_path,
+                "--incremental-congest",
+                "--no-incremental-congest",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("mutually exclusive"));
+        let err = run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &out_path,
+                "--flow",
+                "reference",
+                "--no-incremental-congest",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--flow puffer"));
     }
 
     #[test]

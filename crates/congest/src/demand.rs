@@ -5,10 +5,21 @@
 //! the corresponding direction. "L"-shaped two-point nets spread the demand
 //! of the two possible L routes uniformly over their bounding box. A pin
 //! penalty adds demand for local nets whose pins land in one Gcell.
+//!
+//! Pin positions are **quantized to Gcell coordinates before** the RSMT is
+//! built (not after, per topology node): the decomposition is then a pure
+//! function of the net's pin-Gcell multiset. This is what makes the
+//! incremental estimator ([`crate::incremental`]) sound — a net none of
+//! whose pins crossed a Gcell boundary has a bit-identical decomposition —
+//! and what makes fingerprint-keyed RSMT caching exact. It also removes a
+//! boundary-rounding divergence the continuous construction had: a Steiner
+//! median of unquantized pin positions could land on the far side of a
+//! Gcell edge even when no pin's Gcell changed.
 
 use crate::CongestError;
 use puffer_db::design::{Design, Placement};
 use puffer_db::grid::Grid;
+use puffer_db::netlist::{NetId, Netlist};
 use puffer_flute::Topology;
 
 /// One two-point net, recorded in Gcell coordinates for the detour pass.
@@ -101,44 +112,195 @@ pub fn try_build_demand(
     // puffer-par: fixed net-index chunks, one demand-grid partial per
     // chunk, merged in chunk order (so the result is bit-identical for
     // any thread count).
-    let net_ids: Vec<_> = netlist.iter_nets().map(|(id, _)| id).collect();
-    let partials = puffer_par::try_map_chunks(net_ids.len(), threads, |range| {
-        let mut h: Grid<f64> = Grid::new(template.region(), template.nx(), template.ny());
-        let mut v: Grid<f64> = Grid::new(template.region(), template.nx(), template.ny());
-        let mut segs = Vec::new();
-        for i in range {
-            let net_id = net_ids[i];
-            if netlist.net(net_id).degree() < 2 {
-                continue;
-            }
-            let topo = Topology::for_net(netlist, placement, net_id);
-            for seg in topo.segments() {
-                let na = topo.nodes()[seg.a];
-                let nb = topo.nodes()[seg.b];
-                let (ax, ay) = h.cell_of(na.pos);
-                let (bx, by) = h.cell_of(nb.pos);
-                let rec = SegmentRecord {
-                    ax,
-                    ay,
-                    bx,
-                    by,
-                    a_steiner: na.kind.is_steiner(),
-                    b_steiner: nb.kind.is_steiner(),
-                };
-                deposit(&mut h, &mut v, &rec);
-                segs.push(rec);
-            }
-        }
-        (h, v, segs)
+    let ranges = puffer_par::chunk_ranges(netlist.num_nets());
+    let partials = puffer_par::try_map_chunks(netlist.num_nets(), threads, |range| {
+        build_chunk_partial(netlist, placement, template, range, None, None)
     })
     .map_err(|e| CongestError::WorkerPanic(e.0))?;
-    for (h, v, segs) in partials {
-        puffer_par::merge_add(h_dmd.as_mut_slice(), h.as_slice());
-        puffer_par::merge_add(v_dmd.as_mut_slice(), v.as_slice());
-        segments.extend(segs);
+    debug_assert_eq!(partials.len(), ranges.len());
+    for part in partials {
+        puffer_par::merge_add(h_dmd.as_mut_slice(), part.h.as_slice());
+        puffer_par::merge_add(v_dmd.as_mut_slice(), part.v.as_slice());
+        segments.extend(part.segs);
     }
 
-    // Pin penalty: local-net demand at every pin's Gcell.
+    add_pin_penalty(&mut h_dmd, &mut v_dmd, netlist, placement, pin_penalty);
+
+    Ok((h_dmd, v_dmd, segments))
+}
+
+/// One chunk's demand partial: the per-chunk grids and segment records the
+/// ordered merge consumes. The incremental estimator caches these verbatim
+/// — replacing a whole chunk partial (never subtracting individual nets)
+/// is what keeps the merged result bit-identical to a from-scratch build.
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkPartial {
+    pub(crate) h: Grid<f64>,
+    pub(crate) v: Grid<f64>,
+    pub(crate) segs: Vec<SegmentRecord>,
+    /// Per-net end offsets into `segs`, one entry per net in the chunk's
+    /// range (in net-index order): net `j`'s records are
+    /// `segs[net_ends[j-1]..net_ends[j]]`. This is what lets a rebuild
+    /// *replay* a clean net's deposits verbatim instead of re-deriving
+    /// them.
+    pub(crate) net_ends: Vec<u32>,
+    /// RSMT cache hits while building this partial (0 without a cache).
+    pub(crate) rsmt_hits: u64,
+    /// RSMT cache misses while building this partial.
+    pub(crate) rsmt_misses: u64,
+}
+
+/// Builds the demand partial for the nets in `range` (a `puffer_par` chunk),
+/// in net-index order. With a cache, per-net decompositions are served from
+/// the fingerprint-keyed LRU; the cache stores exactly what
+/// [`decompose_offsets`] returns, so a hit and a miss deposit identical
+/// segments.
+///
+/// With `prev` — the chunk's previous-round partial plus a per-net dirty
+/// slice (indexed by `i - range.start`, `true` = pins changed Gcells) — a
+/// clean net's absolute segment records are replayed from the previous
+/// partial instead of being re-derived: same values deposited in the same
+/// order, so the partial is bit-identical to a from-scratch build, but the
+/// quantize/sort/fingerprint/FLUTE work is skipped for every unmoved net.
+pub(crate) fn build_chunk_partial(
+    netlist: &Netlist,
+    placement: &Placement,
+    template: &Grid<f64>,
+    range: std::ops::Range<usize>,
+    mut cache: Option<&mut crate::incremental::RsmtCache>,
+    prev: Option<(&ChunkPartial, &[bool])>,
+) -> ChunkPartial {
+    let mut part = ChunkPartial {
+        h: Grid::new(template.region(), template.nx(), template.ny()),
+        v: Grid::new(template.region(), template.nx(), template.ny()),
+        segs: Vec::new(),
+        net_ends: Vec::with_capacity(range.len()),
+        rsmt_hits: 0,
+        rsmt_misses: 0,
+    };
+    let mut offsets: Vec<(u32, u32)> = Vec::with_capacity(16);
+    for i in range.clone() {
+        let local = i - range.start;
+        if let Some((prev_part, dirty)) = prev {
+            if !dirty[local] {
+                // Clean net: replay last round's records verbatim.
+                let lo = if local == 0 {
+                    0
+                } else {
+                    prev_part.net_ends[local - 1] as usize
+                };
+                let hi = prev_part.net_ends[local] as usize;
+                for rec in &prev_part.segs[lo..hi] {
+                    deposit(&mut part.h, &mut part.v, rec);
+                }
+                part.segs.extend_from_slice(&prev_part.segs[lo..hi]);
+                part.net_ends.push(part.segs.len() as u32);
+                continue;
+            }
+        }
+        let net_id = NetId(i as u32);
+        if netlist.net(net_id).degree() < 2 {
+            part.net_ends.push(part.segs.len() as u32);
+            continue;
+        }
+        let Some((base_x, base_y)) = net_offsets(netlist, placement, template, net_id, &mut offsets)
+        else {
+            part.net_ends.push(part.segs.len() as u32);
+            continue;
+        };
+        let mut emit = |rec: &SegmentRecord| {
+            let abs = SegmentRecord {
+                ax: rec.ax + base_x,
+                ay: rec.ay + base_y,
+                bx: rec.bx + base_x,
+                by: rec.by + base_y,
+                a_steiner: rec.a_steiner,
+                b_steiner: rec.b_steiner,
+            };
+            deposit(&mut part.h, &mut part.v, &abs);
+            part.segs.push(abs);
+        };
+        match cache.as_deref_mut() {
+            Some(cache) => {
+                let (recs, hit) = cache.get_or_build(&offsets);
+                if hit {
+                    part.rsmt_hits += 1;
+                } else {
+                    part.rsmt_misses += 1;
+                }
+                for rec in recs.iter() {
+                    emit(rec);
+                }
+            }
+            None => {
+                for rec in decompose_offsets(&offsets) {
+                    emit(&rec);
+                }
+            }
+        }
+        part.net_ends.push(part.segs.len() as u32);
+    }
+    part
+}
+
+/// Quantizes a net's pins to Gcells and rewrites `offsets` as the net's
+/// **fingerprint**: pin Gcells relative to the net bounding-box minimum,
+/// sorted and deduplicated. Returns the bbox minimum (the translation that
+/// maps offsets back to absolute Gcells), or `None` for a pinless net.
+pub(crate) fn net_offsets(
+    netlist: &Netlist,
+    placement: &Placement,
+    template: &Grid<f64>,
+    net_id: NetId,
+    offsets: &mut Vec<(u32, u32)>,
+) -> Option<(usize, usize)> {
+    offsets.clear();
+    for &pid in &netlist.net(net_id).pins {
+        let (ix, iy) = template.cell_of(placement.pin_pos(netlist, pid));
+        offsets.push((ix as u32, iy as u32));
+    }
+    let base_x = offsets.iter().map(|c| c.0).min()?;
+    let base_y = offsets.iter().map(|c| c.1).min()?;
+    for c in offsets.iter_mut() {
+        c.0 -= base_x;
+        c.1 -= base_y;
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+    Some((base_x as usize, base_y as usize))
+}
+
+/// Canonical RSMT decomposition of a fingerprint, as segment records in
+/// offset space. Built from the sorted, deduplicated offsets (see
+/// [`Topology::from_gcells`]), so any pin order of the same Gcell multiset
+/// yields the identical record list — the soundness condition for caching.
+pub(crate) fn decompose_offsets(offsets: &[(u32, u32)]) -> Vec<SegmentRecord> {
+    let topo = Topology::from_gcells(offsets);
+    topo.segments()
+        .iter()
+        .map(|seg| {
+            let na = topo.nodes()[seg.a];
+            let nb = topo.nodes()[seg.b];
+            SegmentRecord {
+                ax: na.pos.x as usize,
+                ay: na.pos.y as usize,
+                bx: nb.pos.x as usize,
+                by: nb.pos.y as usize,
+                a_steiner: na.kind.is_steiner(),
+                b_steiner: nb.kind.is_steiner(),
+            }
+        })
+        .collect()
+}
+
+/// Pin penalty: local-net demand at every pin's Gcell, in pin-index order.
+pub(crate) fn add_pin_penalty(
+    h_dmd: &mut Grid<f64>,
+    v_dmd: &mut Grid<f64>,
+    netlist: &Netlist,
+    placement: &Placement,
+    pin_penalty: f64,
+) {
     if pin_penalty > 0.0 {
         for i in 0..netlist.num_pins() {
             let pid = puffer_db::netlist::PinId(i as u32);
@@ -148,26 +310,30 @@ pub fn try_build_demand(
             *v_dmd.at_mut(ix, iy) += pin_penalty;
         }
     }
-
-    Ok((h_dmd, v_dmd, segments))
 }
 
 /// Deposits one segment's probabilistic demand into the grids.
 pub(crate) fn deposit(h_dmd: &mut Grid<f64>, v_dmd: &mut Grid<f64>, rec: &SegmentRecord) {
     let (x0, x1) = (rec.ax.min(rec.bx), rec.ax.max(rec.bx));
     let (y0, y1) = (rec.ay.min(rec.by), rec.ay.max(rec.by));
+    // Row-slice inner loops: the per-cell adds (values and order per grid
+    // cell) are identical to indexed `at_mut` walks, but contiguous slices
+    // let LLVM vectorize the row bodies and hoist the bounds checks.
+    let nx = h_dmd.nx();
     match rec.shape() {
         SegmentShape::Local => {}
         SegmentShape::HorizontalI => {
-            let y = rec.ay;
-            for x in x0..=x1 {
-                *h_dmd.at_mut(x, y) += 1.0;
+            let row = rec.ay * nx;
+            for c in &mut h_dmd.as_mut_slice()[row + x0..=row + x1] {
+                *c += 1.0;
             }
         }
         SegmentShape::VerticalI => {
-            let x = rec.ax;
-            for y in y0..=y1 {
-                *v_dmd.at_mut(x, y) += 1.0;
+            let data = v_dmd.as_mut_slice();
+            let mut i = y0 * nx + rec.ax;
+            for _ in y0..=y1 {
+                data[i] += 1.0;
+                i += nx;
             }
         }
         SegmentShape::Ell => {
@@ -177,10 +343,15 @@ pub(crate) fn deposit(h_dmd: &mut Grid<f64>, v_dmd: &mut Grid<f64>, rec: &Segmen
             let ncols = (x1 - x0 + 1) as f64;
             let h_share = 1.0 / nrows;
             let v_share = 1.0 / ncols;
+            let h = h_dmd.as_mut_slice();
+            let v = v_dmd.as_mut_slice();
             for y in y0..=y1 {
-                for x in x0..=x1 {
-                    *h_dmd.at_mut(x, y) += h_share;
-                    *v_dmd.at_mut(x, y) += v_share;
+                let row = y * nx;
+                for c in &mut h[row + x0..=row + x1] {
+                    *c += h_share;
+                }
+                for c in &mut v[row + x0..=row + x1] {
+                    *c += v_share;
                 }
             }
         }
@@ -300,6 +471,85 @@ mod tests {
         // two pin penalties.
         assert!((h.sum() - (3.0 + 0.5)).abs() < 1e-9);
         assert!((v.sum() - 0.5).abs() < 1e-9);
+    }
+
+    /// Regression: cells sitting exactly on a Gcell edge must bin
+    /// identically in every path. `Grid::cell_of` bins an on-edge point up
+    /// into the next cell (clamped at the boundary); because pins are
+    /// quantized **before** the RSMT is built, the full build, the
+    /// incremental rebuild, and the fingerprint all see the same bin — there
+    /// is no second rounding site left to disagree.
+    #[test]
+    fn on_edge_pins_bin_identically_in_fingerprint_and_deposit() {
+        use puffer_db::netlist::{CellKind, NetlistBuilder};
+        use puffer_db::tech::Technology;
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        let b = nb.add_cell("b", 1.0, 1.0, CellKind::Movable);
+        let n = nb.add_net("n");
+        nb.connect(n, a, Point::ORIGIN).unwrap();
+        nb.connect(n, b, Point::ORIGIN).unwrap();
+        let d = Design::new(
+            "t",
+            nb.build().unwrap(),
+            Technology::default(),
+            Rect::new(0.0, 0.0, 20.0, 20.0),
+        )
+        .unwrap();
+        let template: Grid<f64> = Grid::new(d.region(), 4, 4);
+        // Gcell pitch is 5.0; x = 5.0 and x = 10.0 sit exactly on edges.
+        let mut p = Placement::zeroed(2);
+        p.set(a, Point::new(5.0, 10.0));
+        p.set(b, Point::new(10.0, 10.0));
+        let netlist = d.netlist();
+        let mut offsets = Vec::new();
+        let (bx, by) =
+            net_offsets(netlist, &p, &template, NetId(0), &mut offsets).unwrap();
+        // cell_of bins the on-edge coordinate up: x=5 → column 1, x=10 →
+        // column 2, y=10 → row 2.
+        assert_eq!((bx, by), (1, 2));
+        assert_eq!(offsets, vec![(0, 0), (1, 0)]);
+        // The deposited segment endpoints agree with cell_of exactly.
+        let (_, _, segs) = build_demand(&d, &p, &template, 0.0, 1);
+        assert_eq!(segs.len(), 1);
+        assert_eq!((segs[0].ax, segs[0].ay), (1, 2));
+        assert_eq!((segs[0].bx, segs[0].by), (2, 2));
+        // And the pin-penalty pass (which calls cell_of independently) puts
+        // its demand in the same Gcells as the fingerprint says.
+        let (h, _, _) = build_demand(&d, &p, &template, 1.0, 1);
+        assert!(*h.at(1, 2) >= 1.0 && *h.at(2, 2) >= 1.0);
+    }
+
+    /// Regression guard for the f64 accumulation-order drift an
+    /// subtract-then-re-add incremental scheme would exhibit: `(a + b) - b`
+    /// is not `a` in floating point, so an incremental path that subtracted
+    /// stale demand would drift from the full build. The shipped scheme
+    /// replaces whole chunk partials and re-merges in chunk order instead —
+    /// this test documents the failure mode and pins the invariant the
+    /// equivalence tests rely on.
+    #[test]
+    fn subtract_then_re_add_drifts_but_chunk_replacement_does_not() {
+        // The drift itself: catastrophic cancellation.
+        let a = 0.1_f64;
+        let b = 1.0e16_f64;
+        assert_ne!(((a + b) - b).to_bits(), a.to_bits());
+        // Chunk replacement: re-merging the same partials in the same order
+        // reproduces the sum bit-for-bit.
+        let partials = [vec![0.1, 0.2], vec![1.0e16, -1.0], vec![0.3, 0.7]];
+        let merge = |parts: &[Vec<f64>]| {
+            let mut acc = vec![0.0_f64; 2];
+            for p in parts {
+                puffer_par::merge_add(&mut acc, p);
+            }
+            acc
+        };
+        let first = merge(&partials);
+        // "Rebuild" chunk 1 (identical content, as for a clean chunk) and
+        // re-merge from scratch.
+        let second = merge(&[partials[0].clone(), partials[1].clone(), partials[2].clone()]);
+        for (x, y) in first.iter().zip(&second) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

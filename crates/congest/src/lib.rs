@@ -40,10 +40,12 @@
 pub mod capacity;
 pub mod demand;
 pub mod detour;
+pub mod incremental;
 pub mod map;
 
 pub use capacity::build_capacity;
 pub use demand::try_build_demand;
+pub use incremental::DirtyStats;
 pub use map::CongestionMap;
 
 use puffer_budget::Budget;
@@ -88,6 +90,11 @@ pub struct EstimatorConfig {
     pub expansion_strength: f64,
     /// Whether to run the detour-imitating expansion at all (ablation knob).
     pub expand_detours: bool,
+    /// Whether [`CongestionEstimator::estimate_incremental`] actually reuses
+    /// state between rounds. When `false` it behaves exactly like
+    /// [`CongestionEstimator::estimate`] (escape hatch; the result is
+    /// bit-identical either way).
+    pub incremental: bool,
     /// Worker threads for the per-net demand pass (result is identical for
     /// any thread count).
     pub threads: usize,
@@ -102,6 +109,7 @@ impl Default for EstimatorConfig {
             expansion_radius: 2,
             expansion_strength: 0.7,
             expand_detours: true,
+            incremental: true,
             threads: default_threads(),
         }
     }
@@ -116,6 +124,9 @@ pub struct CongestionEstimator {
     v_cap: Grid<f64>,
     trace: Trace,
     budget: Budget,
+    /// Carry-over for [`CongestionEstimator::estimate_incremental`]; `None`
+    /// until the first incremental round and after any geometry change.
+    inc_state: Option<incremental::IncrementalState>,
 }
 
 impl CongestionEstimator {
@@ -129,6 +140,7 @@ impl CongestionEstimator {
             v_cap,
             trace: Trace::disabled(),
             budget: Budget::unbounded(),
+            inc_state: None,
         }
     }
 
@@ -150,6 +162,9 @@ impl CongestionEstimator {
         let (h_cap, v_cap) = capacity::build_capacity(design, &self.config);
         self.h_cap = h_cap;
         self.v_cap = v_cap;
+        // The grid geometry changed: cached per-chunk partials and pin
+        // Gcells are meaningless on the new grid.
+        self.inc_state = None;
     }
 
     /// Attaches a telemetry handle: every [`CongestionEstimator::estimate`]
@@ -204,9 +219,90 @@ impl CongestionEstimator {
             self.config.pin_penalty,
             clamp_threads(self.config.threads),
         )?;
+        Ok(self.finish(h_dmd, v_dmd, &segments))
+    }
+
+    /// [`CongestionEstimator::estimate`] with dirty-region reuse: Gcell
+    /// demand is rebuilt only for the net chunks whose pins changed Gcells
+    /// since the previous call, with RSMT decompositions served from a
+    /// fingerprint-keyed cache. The result is **bit-identical** to
+    /// [`CongestionEstimator::estimate`] — the incremental path replaces
+    /// whole chunk partials and merges them in the same order, never
+    /// subtracting demand. When `config.incremental` is `false`, falls back
+    /// to the stateless full build.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a demand worker panics; use
+    /// [`CongestionEstimator::try_estimate_incremental`] for untrusted
+    /// placements.
+    pub fn estimate_incremental(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+    ) -> CongestionMap {
+        self.try_estimate_incremental(design, placement)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`CongestionEstimator::estimate_incremental`].
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::WorkerPanic`] when a demand worker thread panics; the
+    /// carry-over state is dropped so the next call does a full rebuild.
+    pub fn try_estimate_incremental(
+        &mut self,
+        design: &Design,
+        placement: &Placement,
+    ) -> Result<CongestionMap, CongestError> {
+        if !self.config.incremental {
+            return self.try_estimate(design, placement);
+        }
+        let result = incremental::try_build_demand_incremental(
+            design,
+            placement,
+            &self.h_cap,
+            self.config.pin_penalty,
+            clamp_threads(self.config.threads),
+            &mut self.inc_state,
+        );
+        let ((h_dmd, v_dmd, segments), stats) = match result {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.inc_state = None;
+                return Err(e);
+            }
+        };
+        if self.trace.is_enabled() {
+            self.trace
+                .record("congest.dirty")
+                .int("nets", stats.nets as i64)
+                .int("nets_dirty", stats.nets_dirty as i64)
+                .int("nets_rebuilt", stats.nets_rebuilt as i64)
+                .int("chunks", stats.chunks as i64)
+                .int("chunks_dirty", stats.chunks_dirty as i64)
+                .int("gcells_dirty", stats.gcells_dirty as i64)
+                .int("rsmt_hits", stats.rsmt_hits as i64)
+                .int("rsmt_misses", stats.rsmt_misses as i64)
+                .num("reuse", stats.reuse_rate())
+                .write();
+        }
+        Ok(self.finish(h_dmd, v_dmd, &segments))
+    }
+
+    /// Shared tail of every estimate: wrap demand in a [`CongestionMap`],
+    /// run detour expansion (budget permitting), and emit the
+    /// `congest.round` record.
+    fn finish(
+        &self,
+        h_dmd: Grid<f64>,
+        v_dmd: Grid<f64>,
+        segments: &[demand::SegmentRecord],
+    ) -> CongestionMap {
         let mut map = CongestionMap::new(self.h_cap.clone(), self.v_cap.clone(), h_dmd, v_dmd);
         if self.config.expand_detours && !self.budget.is_exhausted() {
-            detour::expand(&mut map, &segments, &self.config);
+            detour::expand(&mut map, segments, &self.config);
         }
         if self.trace.is_enabled() {
             self.trace.add("congest.rounds", 1);
@@ -224,7 +320,7 @@ impl CongestionEstimator {
                 .nums("v_hist", &congestion_histogram(&map, false))
                 .write();
         }
-        Ok(map)
+        map
     }
 }
 
@@ -382,6 +478,122 @@ mod tests {
         let b = without.estimate(&d, &p);
         assert_eq!(a.h_demand().as_slice(), b.h_demand().as_slice());
         assert_eq!(a.v_demand().as_slice(), b.v_demand().as_slice());
+    }
+
+    /// Moves a deterministic fraction of cells by small deltas, crossing
+    /// some Gcell boundaries but leaving most nets untouched.
+    fn perturb(d: &puffer_db::design::Design, p: &mut Placement, round: u64) {
+        use puffer_rng::StdRng;
+        let mut rng = StdRng::seed_from_u64(0xD1A7 ^ round);
+        let r = d.region();
+        for id in d.netlist().movable_cells() {
+            if rng.gen_range(0.0..1.0) < 0.07 {
+                let cur = p.pos(id);
+                let dx = rng.gen_range(-8.0..8.0);
+                let dy = rng.gen_range(-8.0..8.0);
+                p.set(
+                    id,
+                    puffer_db::geom::Point::new(
+                        (cur.x + dx).clamp(r.xl, r.xh),
+                        (cur.y + dy).clamp(r.yl, r.yh),
+                    ),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_is_bit_identical_to_full_every_round() {
+        let d = tiny_design();
+        let mut inc = CongestionEstimator::new(&d, EstimatorConfig::default());
+        let full = CongestionEstimator::new(&d, EstimatorConfig::default());
+        let mut p = d.initial_placement();
+        for round in 0..6 {
+            let a = inc.estimate_incremental(&d, &p);
+            let b = full.estimate(&d, &p);
+            assert!(a.bitwise_eq(&b), "round {round} diverged");
+            perturb(&d, &mut p, round);
+        }
+    }
+
+    #[test]
+    fn incremental_flag_off_is_a_full_build() {
+        let d = tiny_design();
+        let mut est = CongestionEstimator::new(
+            &d,
+            EstimatorConfig {
+                incremental: false,
+                ..EstimatorConfig::default()
+            },
+        );
+        let p = d.initial_placement();
+        let a = est.estimate_incremental(&d, &p);
+        let b = est.estimate(&d, &p);
+        assert!(a.bitwise_eq(&b));
+    }
+
+    #[test]
+    fn coarsen_invalidates_incremental_state() {
+        let d = tiny_design();
+        let mut est = CongestionEstimator::new(&d, EstimatorConfig::default());
+        let p = d.initial_placement();
+        est.estimate_incremental(&d, &p);
+        est.coarsen(&d, 2.0);
+        // The coarse-grid incremental result must match a coarse full build.
+        let a = est.estimate_incremental(&d, &p);
+        let b = est.estimate(&d, &p);
+        assert!(a.bitwise_eq(&b));
+    }
+
+    #[test]
+    fn incremental_emits_dirty_records_with_reuse() {
+        let d = tiny_design();
+        let mut est = CongestionEstimator::new(&d, EstimatorConfig::default());
+        let dir = std::env::temp_dir().join("puffer-congest-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty.jsonl");
+        let trace = Trace::with_sink(&path).unwrap();
+        est.set_trace(trace.clone());
+        let mut p = d.initial_placement();
+        est.estimate_incremental(&d, &p);
+        perturb(&d, &mut p, 1);
+        est.estimate_incremental(&d, &p);
+        trace.flush().unwrap();
+        let records = puffer_trace::read_jsonl(&path).unwrap();
+        let dirty: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind() == Some("congest.dirty"))
+            .collect();
+        assert_eq!(dirty.len(), 2);
+        // First round: everything dirty, no reuse.
+        assert_eq!(dirty[0].num("reuse").unwrap(), 0.0);
+        assert_eq!(
+            dirty[0].num("nets_rebuilt").unwrap(),
+            dirty[0].num("nets").unwrap()
+        );
+        // Second round: a 7% perturbation leaves some chunks clean and the
+        // RSMT cache warm.
+        assert!(dirty[1].num("rsmt_hits").unwrap() > 0.0);
+        assert!(
+            dirty[1].num("nets_dirty").unwrap() <= dirty[1].num("nets_rebuilt").unwrap(),
+            "dirty nets are a subset of rebuilt nets"
+        );
+    }
+
+    #[test]
+    fn incremental_worker_panic_resets_state() {
+        let d = tiny_design();
+        let mut est = CongestionEstimator::new(&d, EstimatorConfig::default());
+        let p = d.initial_placement();
+        est.estimate_incremental(&d, &p);
+        let short = Placement::zeroed(1);
+        let err = est.try_estimate_incremental(&d, &short).unwrap_err();
+        assert!(matches!(err, CongestError::WorkerPanic(_)), "{err}");
+        // Recovery: the next good call rebuilds from scratch and matches a
+        // full build.
+        let a = est.estimate_incremental(&d, &p);
+        let b = est.estimate(&d, &p);
+        assert!(a.bitwise_eq(&b));
     }
 
     #[test]

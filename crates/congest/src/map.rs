@@ -108,29 +108,51 @@ impl CongestionMap {
 
     /// Total horizontal overflow ratio: `Σ overflow / Σ capacity` — the
     /// estimator-side analogue of the router-reported HOF.
+    ///
+    /// The sum runs over the zipped demand/capacity slices in row-major
+    /// order — the same accumulation order as the old per-cell index walk
+    /// (so the ratio is bit-identical), but in a dependence-free loop LLVM
+    /// can vectorize.
     pub fn overflow_ratio_h(&self) -> f64 {
-        let total_cap = self.h_cap.sum();
-        if total_cap <= 0.0 {
-            return 0.0;
-        }
-        let of: f64 = (0..self.ny())
-            .flat_map(|iy| (0..self.nx()).map(move |ix| (ix, iy)))
-            .map(|(ix, iy)| self.overflow_h(ix, iy))
-            .sum();
-        of / total_cap
+        Self::overflow_ratio(&self.h_dmd, &self.h_cap)
     }
 
     /// Total vertical overflow ratio.
     pub fn overflow_ratio_v(&self) -> f64 {
-        let total_cap = self.v_cap.sum();
+        Self::overflow_ratio(&self.v_dmd, &self.v_cap)
+    }
+
+    fn overflow_ratio(dmd: &Grid<f64>, cap: &Grid<f64>) -> f64 {
+        let total_cap = cap.sum();
         if total_cap <= 0.0 {
             return 0.0;
         }
-        let of: f64 = (0..self.ny())
-            .flat_map(|iy| (0..self.nx()).map(move |ix| (ix, iy)))
-            .map(|(ix, iy)| self.overflow_v(ix, iy))
+        let of: f64 = dmd
+            .as_slice()
+            .iter()
+            .zip(cap.as_slice())
+            .map(|(d, c)| (d - c).max(0.0))
             .sum();
         of / total_cap
+    }
+
+    /// True when `other` holds bit-for-bit identical grids (every capacity
+    /// and demand value compared with `to_bits`, so `-0.0 != 0.0` and NaNs
+    /// compare by payload). This is the equality the incremental-vs-full
+    /// equivalence gates assert — stricter than `==` on f64.
+    pub fn bitwise_eq(&self, other: &CongestionMap) -> bool {
+        fn bits_eq(a: &Grid<f64>, b: &Grid<f64>) -> bool {
+            a.nx() == b.nx()
+                && a.ny() == b.ny()
+                && a.as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        bits_eq(&self.h_cap, &other.h_cap)
+            && bits_eq(&self.v_cap, &other.v_cap)
+            && bits_eq(&self.h_dmd, &other.h_dmd)
+            && bits_eq(&self.v_dmd, &other.v_dmd)
     }
 
     /// Sum of demand in both directions (sanity metric).
@@ -263,6 +285,43 @@ mod tests {
         assert!((m.overflow_ratio_h() - 0.2).abs() < 1e-12);
         assert_eq!(m.overflow_ratio_v(), 0.0);
         assert_eq!(m.congested_cells(), 4);
+    }
+
+    #[test]
+    fn bitwise_eq_distinguishes_payloads_equality_misses() {
+        let m = map_with(12.0, 10.0, 5.0, 10.0);
+        assert!(m.bitwise_eq(&m.clone()));
+        let other = map_with(12.0, 10.0, 5.0 + 1e-12, 10.0);
+        assert!(!m.bitwise_eq(&other));
+        // -0.0 == 0.0 under PartialEq but not under bitwise_eq.
+        let zero = map_with(0.0, 10.0, 5.0, 10.0);
+        let negzero = map_with(-0.0, 10.0, 5.0, 10.0);
+        assert_eq!(zero.h_demand().as_slice(), negzero.h_demand().as_slice());
+        assert!(!zero.bitwise_eq(&negzero));
+    }
+
+    /// Regression: the slice-based overflow ratio must accumulate in the
+    /// same row-major order as the old per-index walk, so the result is
+    /// bit-identical (the incremental equivalence gate compares trace
+    /// records that embed these ratios).
+    #[test]
+    fn overflow_ratio_matches_indexed_walk_bitwise() {
+        let r = Rect::new(0.0, 0.0, 8.0, 6.0);
+        let mut dmd = Grid::new(r, 4, 3);
+        let mut cap = Grid::new(r, 4, 3);
+        for iy in 0..3 {
+            for ix in 0..4 {
+                *dmd.at_mut(ix, iy) = (ix * 7 + iy * 13) as f64 * 0.37 + 0.001;
+                *cap.at_mut(ix, iy) = (ix + iy) as f64 * 0.9 + 0.5;
+            }
+        }
+        let m = CongestionMap::new(cap.clone(), cap.clone(), dmd.clone(), dmd.clone());
+        let total_cap = cap.sum();
+        let indexed: f64 = (0..3)
+            .flat_map(|iy| (0..4).map(move |ix| (ix, iy)))
+            .map(|(ix, iy)| m.overflow_h(ix, iy))
+            .sum();
+        assert_eq!((indexed / total_cap).to_bits(), m.overflow_ratio_h().to_bits());
     }
 
     #[test]

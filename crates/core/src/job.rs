@@ -233,6 +233,9 @@ mod tests {
 
     fn tmp_dir(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("puffer-job-tests").join(name);
+        // Start clean: a journal left by a previous test run (of a possibly
+        // different build) would otherwise be picked up by run_or_resume.
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }

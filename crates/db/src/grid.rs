@@ -246,12 +246,24 @@ impl Grid<f64> {
         if total <= 0.0 {
             return;
         }
+        // Separable overlap: a cell's overlap area is (x-extent overlap) ×
+        // (y-extent overlap), so compute the y part once per row and only
+        // the x part per cell — the same min/max/multiply operand values
+        // the old per-cell `Rect::intersection(..).area()` produced (the
+        // result is bit-identical), at half the arithmetic and without
+        // materializing a Rect per cell.
         for iy in iy_lo..=iy_hi {
+            let cyl = self.region.yl + iy as f64 * self.dy;
+            let oyl = clipped.yl.max(cyl);
+            let oy = clipped.yh.min(cyl + self.dy).max(oyl) - oyl;
+            let row = iy * self.nx;
             for ix in ix_lo..=ix_hi {
-                let cell = self.cell_rect(ix, iy);
-                let ov = clipped.intersection(&cell).area();
+                let cxl = self.region.xl + ix as f64 * self.dx;
+                let oxl = clipped.xl.max(cxl);
+                let ox = clipped.xh.min(cxl + self.dx).max(oxl) - oxl;
+                let ov = ox * oy;
                 if ov > 0.0 {
-                    *self.at_mut(ix, iy) += amount * ov / total;
+                    self.data[row + ix] += amount * ov / total;
                 }
             }
         }
@@ -328,6 +340,32 @@ mod tests {
         g.splat(&Rect::new(-2.0, 0.0, 2.0, 2.0), 4.0);
         assert!((g.sum() - 4.0).abs() < 1e-9);
         assert!((*g.at(0, 0) - 4.0).abs() < 1e-9);
+    }
+
+    /// Regression: the separable splat must reproduce the per-cell
+    /// `intersection().area()` formulation bit-for-bit (density partials
+    /// feed the bit-identity parallel gates).
+    #[test]
+    fn splat_matches_per_cell_intersection_bitwise() {
+        let mut fast = grid();
+        let r = Rect::new(0.7, 1.3, 6.9, 8.05);
+        fast.splat(&r, 3.7);
+        let mut slow = grid();
+        let (ix_lo, ix_hi, iy_lo, iy_hi) = slow.cells_overlapping(&r).unwrap();
+        let clipped = r.intersection(&Rect::new(0.0, 0.0, 10.0, 10.0));
+        let total = clipped.area();
+        for iy in iy_lo..=iy_hi {
+            for ix in ix_lo..=ix_hi {
+                let cell = slow.cell_rect(ix, iy);
+                let ov = clipped.intersection(&cell).area();
+                if ov > 0.0 {
+                    *slow.at_mut(ix, iy) += 3.7 * ov / total;
+                }
+            }
+        }
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -101,6 +101,30 @@ impl Topology {
         Self::build(&pts)
     }
 
+    /// Builds the **canonical** topology over integer Gcell coordinates.
+    ///
+    /// The input cells are sorted and deduplicated before construction, so
+    /// any permutation (or duplication) of the same Gcell multiset yields a
+    /// bit-identical topology — node order, Steiner points and edge list
+    /// included. This is what makes fingerprint-keyed RSMT caching sound:
+    /// two nets whose pins occupy the same set of Gcells (in any pin order)
+    /// share one decomposition. Degenerate nets are canonical too: a net
+    /// whose pins all share one Gcell collapses to a single node with no
+    /// segments.
+    ///
+    /// All coordinates are integers, so every median/MST computation is
+    /// exact in `f64` and translation by an integer offset is lossless.
+    pub fn from_gcells(cells: &[(u32, u32)]) -> Topology {
+        let mut sorted: Vec<(u32, u32)> = cells.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let pts: Vec<(Point, PinId)> = sorted
+            .iter()
+            .map(|&(x, y)| (Point::new(x as f64, y as f64), PinId(u32::MAX)))
+            .collect();
+        Self::build(&pts)
+    }
+
     fn build(pts: &[(Point, PinId)]) -> Topology {
         // Merge coincident pins.
         let mut nodes: Vec<Node> = Vec::new();
@@ -527,6 +551,73 @@ mod tests {
         assert_eq!(t.wirelength(), 8.0);
         assert_eq!(t.pins_at(0), &[pa]);
         assert_eq!(t.pins_at(1), &[pb]);
+    }
+
+    #[test]
+    fn gcells_all_in_one_cell_collapse_to_a_point() {
+        // Zero-extent fingerprint: every pin shares one Gcell. The canonical
+        // topology is a single node with no segments — a cache entry for
+        // this shape must never deposit demand.
+        let t = Topology::from_gcells(&[(3, 7), (3, 7), (3, 7), (3, 7)]);
+        assert_eq!(t.segments().len(), 0);
+        assert_eq!(t.num_terminals(), 1);
+        assert_eq!(t.wirelength(), 0.0);
+    }
+
+    #[test]
+    fn gcells_duplicate_coordinates_merge_canonically() {
+        // Duplicate-coordinate pins must not inflate the node set or change
+        // the tree relative to the deduplicated input.
+        let with_dups = Topology::from_gcells(&[(0, 0), (4, 0), (0, 0), (2, 3), (4, 0)]);
+        let deduped = Topology::from_gcells(&[(0, 0), (4, 0), (2, 3)]);
+        assert_eq!(with_dups.nodes(), deduped.nodes());
+        assert_eq!(with_dups.segments(), deduped.segments());
+        assert_eq!(with_dups.wirelength(), deduped.wirelength());
+    }
+
+    #[test]
+    fn gcells_topology_is_pin_order_invariant() {
+        // The same Gcell multiset in any pin order yields a bit-identical
+        // topology (node order included) — the soundness condition for
+        // fingerprint-keyed RSMT cache hits.
+        use puffer_rng::StdRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..25 {
+            let n = rng.gen_range(2..12);
+            let cells: Vec<(u32, u32)> = (0..n)
+                .map(|_| (rng.gen_range(0..20u64) as u32, rng.gen_range(0..20u64) as u32))
+                .collect();
+            let reference = Topology::from_gcells(&cells);
+            let mut shuffled = cells.clone();
+            // Deterministic shuffle: repeated random swaps.
+            for _ in 0..16 {
+                let i = rng.gen_range(0..shuffled.len() as u64) as usize;
+                let j = rng.gen_range(0..shuffled.len() as u64) as usize;
+                shuffled.swap(i, j);
+            }
+            let t = Topology::from_gcells(&shuffled);
+            assert_eq!(t.nodes(), reference.nodes(), "trial {trial}");
+            assert_eq!(t.segments(), reference.segments(), "trial {trial}");
+            assert!(t.is_connected_tree(), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn gcells_translation_is_exact() {
+        // Integer translation of the input must translate every node
+        // exactly — the property the offset-keyed cache relies on when it
+        // maps a cached decomposition back to absolute Gcells.
+        let base = [(1u32, 2u32), (5, 2), (3, 6), (1, 6)];
+        let t0 = Topology::from_gcells(&base);
+        let shifted: Vec<(u32, u32)> = base.iter().map(|&(x, y)| (x + 100, y + 200)).collect();
+        let t1 = Topology::from_gcells(&shifted);
+        assert_eq!(t0.nodes().len(), t1.nodes().len());
+        for (a, b) in t0.nodes().iter().zip(t1.nodes()) {
+            assert_eq!(a.pos.x + 100.0, b.pos.x);
+            assert_eq!(a.pos.y + 200.0, b.pos.y);
+            assert_eq!(a.kind.is_steiner(), b.kind.is_steiner());
+        }
+        assert_eq!(t0.segments(), t1.segments());
     }
 
     #[test]

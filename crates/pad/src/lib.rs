@@ -167,7 +167,12 @@ impl RoutabilityOptimizer {
     /// returns its statistics; the new padding is available via
     /// [`RoutabilityOptimizer::padding`].
     pub fn optimize(&mut self, design: &Design, placement: &Placement) -> PaddingRound {
-        let map = self.estimator.estimate(design, placement);
+        // Incremental re-estimation: across rip-up rounds most cells do not
+        // move, so the estimator reuses clean chunk partials and cached RSMT
+        // decompositions. Bit-identical to a full build by construction
+        // (and falls back to one when `EstimatorConfig::incremental` is
+        // off), so the flow's journals are unchanged either way.
+        let map = self.estimator.estimate_incremental(design, placement);
         let features = extract_features(design, placement, &map, &self.feature_config);
         let round = padding_round(
             design.netlist(),

@@ -131,12 +131,15 @@ pub fn wa_wirelength_grad_threaded(
     out
 }
 
-/// Per-net scratch buffers reused across nets.
+/// Per-net scratch buffers reused across nets (SoA layout: coordinates,
+/// shifted exponentials, and finished gradients each live in their own
+/// contiguous array so the arithmetic loops vectorize).
 #[derive(Default)]
 struct NetScratch {
     coords: Vec<f64>,
     exps_p: Vec<f64>,
     exps_m: Vec<f64>,
+    grads: Vec<f64>,
 }
 
 /// One net's weighted WA wirelength (both axes); per-pin gradient
@@ -159,7 +162,9 @@ fn net_wa_grad(
         coords,
         exps_p,
         exps_m,
+        grads,
     } = scratch;
+    let inv_gamma = 1.0 / gamma;
     let mut value = 0.0;
     for axis in 0..2 {
         coords.clear();
@@ -167,10 +172,14 @@ fn net_wa_grad(
             let p = placement.pin_pos(netlist, pid);
             coords.push(if axis == 0 { p.x } else { p.y });
         }
-        let max = coords.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let min = coords.iter().cloned().fold(f64::INFINITY, f64::min);
+        let (max, min) = coords
+            .iter()
+            .fold((f64::NEG_INFINITY, f64::INFINITY), |(mx, mn), &x| {
+                (mx.max(x), mn.min(x))
+            });
 
-        // Stable exponentials.
+        // Stable exponentials. The `exp` calls stay scalar (no vector libm),
+        // but the SoA pushes keep the sums in a dependence-free form.
         exps_p.clear();
         exps_m.clear();
         let mut sp = 0.0; // Σ e⁺
@@ -178,8 +187,8 @@ fn net_wa_grad(
         let mut sm = 0.0; // Σ e⁻
         let mut sxm = 0.0; // Σ x e⁻
         for &x in coords.iter() {
-            let ep = ((x - max) / gamma).exp();
-            let em = ((min - x) / gamma).exp();
+            let ep = ((x - max) * inv_gamma).exp();
+            let em = ((min - x) * inv_gamma).exp();
             exps_p.push(ep);
             exps_m.push(em);
             sp += ep;
@@ -192,15 +201,25 @@ fn net_wa_grad(
 
         // Gradient: ∂WA⁺/∂xⱼ = ((1 + xⱼ/γ)·eⱼ⁺·S⁺ − eⱼ⁺·SX⁺/γ) / S⁺²
         //           ∂WA⁻/∂xⱼ = ((1 − xⱼ/γ)·eⱼ⁻·S⁻ + eⱼ⁻·SX⁻/γ) / S⁻²
-        let sp2 = sp * sp;
-        let sm2 = sm * sm;
-        for (j, &pid) in net.pins.iter().enumerate() {
+        //
+        // Phase 1 writes the per-pin gradients into an SoA scratch array:
+        // pure arithmetic over contiguous f64 slices with the reciprocals
+        // hoisted out of the loop, which LLVM autovectorizes. Phase 2 does
+        // the (gather-indexed) emit separately.
+        let inv_sp2 = 1.0 / (sp * sp);
+        let inv_sm2 = 1.0 / (sm * sm);
+        let w = net.weight;
+        grads.clear();
+        for j in 0..coords.len() {
             let x = coords[j];
             let ep = exps_p[j];
             let em = exps_m[j];
-            let dp = ((1.0 + x / gamma) * ep * sp - ep * sxp / gamma) / sp2;
-            let dm = ((1.0 - x / gamma) * em * sm + em * sxm / gamma) / sm2;
-            emit(axis, netlist.pin(pid).cell.index(), net.weight * (dp - dm));
+            let dp = ((1.0 + x * inv_gamma) * ep * sp - ep * sxp * inv_gamma) * inv_sp2;
+            let dm = ((1.0 - x * inv_gamma) * em * sm + em * sxm * inv_gamma) * inv_sm2;
+            grads.push(w * (dp - dm));
+        }
+        for (j, &pid) in net.pins.iter().enumerate() {
+            emit(axis, netlist.pin(pid).cell.index(), grads[j]);
         }
     }
     value

@@ -235,20 +235,36 @@ impl GlobalRouter {
         // Chunking, thread clamping, and panic draining all go through
         // puffer-par: fixed net-index chunks, one endpoint list per chunk,
         // concatenated in chunk order.
+        //
+        // Pins are quantized to router Gcells BEFORE the RSMT is built (the
+        // same quantize-first scheme as `puffer_congest::demand`): the tree
+        // is then a pure function of the pin-Gcell multiset, Steiner medians
+        // land on exact integer coordinates, and two pins that share a Gcell
+        // can never produce a spurious cross-Gcell segment from sub-Gcell
+        // coordinate noise.
         let net_ids: Vec<_> = netlist.iter_nets().map(|(id, _)| id).collect();
         type Endpoints = Vec<((usize, usize), (usize, usize))>;
         let gridref = &grid;
         let parts = puffer_par::try_map_chunks(net_ids.len(), self.config.threads, |range| {
             let mut out: Endpoints = Vec::new();
+            let mut cells: Vec<(u32, u32)> = Vec::new();
             for i in range {
                 let net_id = net_ids[i];
-                if netlist.net(net_id).degree() < 2 {
+                let net = netlist.net(net_id);
+                if net.degree() < 2 {
                     continue;
                 }
-                let topo = Topology::for_net(netlist, placement, net_id);
+                cells.clear();
+                for &pid in &net.pins {
+                    let (ix, iy) = gridref.cell_of(placement.pin_pos(netlist, pid));
+                    cells.push((ix as u32, iy as u32));
+                }
+                let topo = Topology::from_gcells(&cells);
                 for seg in topo.segments() {
-                    let a = gcell_of(gridref, topo.nodes()[seg.a].pos);
-                    let b = gcell_of(gridref, topo.nodes()[seg.b].pos);
+                    let na = &topo.nodes()[seg.a];
+                    let nb = &topo.nodes()[seg.b];
+                    let a = (na.pos.x as usize, na.pos.y as usize);
+                    let b = (nb.pos.x as usize, nb.pos.y as usize);
                     if a != b {
                         out.push((a, b));
                     }
@@ -326,10 +342,6 @@ impl GlobalRouter {
             paths,
         })
     }
-}
-
-fn gcell_of(grid: &RoutingGrid, p: puffer_db::geom::Point) -> (usize, usize) {
-    grid.cell_of(p)
 }
 
 #[cfg(test)]
@@ -419,6 +431,39 @@ mod tests {
             before.overflow_gcells,
             after.overflow_gcells
         );
+    }
+
+    #[test]
+    fn same_gcell_nets_route_to_zero_wirelength() {
+        // Pins are quantized to Gcells before the RSMT is built, so a net
+        // whose pins all land in one Gcell must decompose to nothing: no
+        // segments, no routed wirelength, no demand. Before the
+        // quantize-first change, Steiner medians of the continuous pin
+        // coordinates could straddle a Gcell edge and emit phantom
+        // cross-Gcell segments for such nets.
+        let d = design(0.2);
+        let r = d.region();
+        let router = GlobalRouter::new(&d, RouterConfig::default());
+        // Collapse every movable cell to one point well inside a Gcell.
+        let target = Point::new(
+            r.xl + 0.37 * r.width(),
+            r.yl + 0.41 * r.height(),
+        );
+        let mut p = d.initial_placement();
+        for id in d.netlist().movable_cells() {
+            p.set(id, target);
+        }
+        let rep = router.route(&d, &p);
+        // Fixed macros still exist, so only assert the collapsed point adds
+        // nothing: every routed path endpoint pair must differ (zero-length
+        // two-point nets are filtered at decomposition time).
+        for path in &rep.paths {
+            assert!(
+                path.len() > 1 && path.first() != path.last(),
+                "degenerate same-Gcell segment leaked into routing"
+            );
+        }
+        assert!(rep.wirelength.is_finite());
     }
 
     #[test]

@@ -72,6 +72,17 @@ echo "==> deterministic parallelism smoke (place --threads 1 vs 4)"
 cmp "$SMOKE_DIR/t1.pj" "$SMOKE_DIR/t4.pj"
 cmp "$SMOKE_DIR/t1.pl" "$SMOKE_DIR/t4.pl"
 
+# Incremental-congestion smoke: the dirty-region estimator is bit-identical
+# to a full per-round rebuild, so disabling it must not change a single
+# byte of the checkpoint journal or the placement.
+echo "==> incremental congestion smoke (default vs --no-incremental-congest)"
+"$PUFFER" place "$SMOKE_DIR/smoke.pd" -o "$SMOKE_DIR/inc.pl" \
+  --incremental-congest --journal "$SMOKE_DIR/inc.pj"
+"$PUFFER" place "$SMOKE_DIR/smoke.pd" -o "$SMOKE_DIR/full.pl" \
+  --no-incremental-congest --journal "$SMOKE_DIR/full.pj"
+cmp "$SMOKE_DIR/inc.pj" "$SMOKE_DIR/full.pj"
+cmp "$SMOKE_DIR/inc.pl" "$SMOKE_DIR/full.pl"
+
 # Bounded-execution smoke: an expired deadline must still exit 0 with a
 # legal best-so-far placement, and the deterministic chaos harness must
 # survive one injection from every fault class.
@@ -99,6 +110,13 @@ test -f "$SMOKE_DIR/serve.pl"
 # every job must land in a legal end state with the worker pool intact.
 echo "==> serve chaos smoke (puffer serve --chaos --seeds 24)"
 "$PUFFER" serve --chaos --seeds 24 --cells 160 --max-iters 60
+
+# Congestion perf gate: an incremental re-estimate after a localized
+# perturbation must be >= 2x faster than a full rebuild, single-threaded,
+# at scale 0.5 on OR1200. Writes BENCH_OR1200.json (before/after pair).
+echo "==> congest gate (benchflow --congest-gate, scale 0.5)"
+target/release/benchflow --congest-gate --scale 0.5 --designs or1200 \
+  --out target/congest-gate
 
 # Flow benchmark artifacts (BENCH_<design>.json under target/bench).
 echo "==> scripts/bench.sh (BENCH_*.json artifacts)"

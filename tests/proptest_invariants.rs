@@ -390,3 +390,75 @@ fn transform_round_trip_error_matches_serial_exactly() {
         },
     );
 }
+
+/// Incremental congestion re-estimation (dirty-region tracking + RSMT
+/// cache) is bit-identical to a from-scratch rebuild after every round of
+/// random cell moves, and every map it produces passes the audit
+/// checkers — histogram conservation included.
+#[test]
+fn incremental_congestion_matches_full_rebuild_every_round() {
+    use puffer_audit::Validate;
+    use puffer_congest::{CongestionEstimator, EstimatorConfig};
+    use puffer_gen::{generate, GeneratorConfig};
+    run_cases(
+        6,
+        0x100A,
+        |rng| {
+            (
+                rng.gen_range(0u64..1u64 << 48), // design seed
+                rng.gen_range(0u64..1u64 << 48), // move seed
+                rng.gen_range(1..5usize),        // threads
+                rng.gen_range(3..6usize),        // rounds
+            )
+        },
+        |&(design_seed, move_seed, threads, rounds)| {
+            let design = generate(&GeneratorConfig {
+                num_cells: 180,
+                num_nets: 200,
+                num_macros: 1,
+                hotspot: 0.5,
+                seed: design_seed,
+                ..GeneratorConfig::default()
+            })
+            .unwrap();
+            let cfg = EstimatorConfig {
+                threads,
+                ..EstimatorConfig::default()
+            };
+            let mut inc = CongestionEstimator::new(&design, cfg.clone());
+            let full = CongestionEstimator::new(&design, cfg);
+            let region = design.region();
+            let movable: Vec<_> = design.netlist().movable_cells().collect();
+            let mut placement = design.initial_placement();
+            let mut rng = StdRng::seed_from_u64(move_seed);
+            for round in 0..rounds {
+                if round > 0 {
+                    // Move a random ~10% subset; the rest stays put so the
+                    // incremental path has clean chunks to reuse.
+                    for &id in &movable {
+                        if rng.gen_range(0.0..1.0) < 0.1 {
+                            let p = placement.pos(id);
+                            let x = (p.x + rng.gen_range(-12.0..12.0))
+                                .clamp(region.xl, region.xh);
+                            let y = (p.y + rng.gen_range(-12.0..12.0))
+                                .clamp(region.yl, region.yh);
+                            placement.set(id, Point::new(x, y));
+                        }
+                    }
+                }
+                let a = inc.estimate_incremental(&design, &placement);
+                let b = full.estimate(&design, &placement);
+                prop_check!(
+                    a.bitwise_eq(&b),
+                    "incremental map diverged from full rebuild at round {round}"
+                );
+                prop_check!(
+                    a.validate().is_ok(),
+                    "map fails audit checks at round {round}: {:?}",
+                    a.validate().err()
+                );
+            }
+            Ok(())
+        },
+    );
+}
