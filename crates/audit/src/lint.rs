@@ -19,12 +19,34 @@
 //!   must respect the architecture layers (e.g. `db` depends on nothing,
 //!   only the assembly layers may depend on `core`), so erosion becomes a
 //!   build failure instead of a review comment.
+//! * `cast` — no bare numeric `as` casts in non-test library code of the
+//!   hot crates ([`HOT_CAST_CRATES`]). A line-based linter cannot type-infer
+//!   which casts cross the float/int boundary, so the rule bans them all
+//!   there; conversions go through the named, tested helpers in
+//!   `puffer_db::cast` (whose own source is the one sanctioned home of the
+//!   underlying `as` expressions) or a lossless `From`/`Into`.
+//! * `unordered-iter` — no `HashMap`/`HashSet` in non-test library code,
+//!   anywhere in the workspace. Their iteration order varies run to run and
+//!   has already produced nondeterministic telemetry; use `BTreeMap`/
+//!   `BTreeSet`, an index-keyed `Vec`, or sort before iterating.
+//! * `wallclock` — no `Instant::now`/`SystemTime::now` in non-test library
+//!   code outside `puffer-trace` and `puffer-budget`. Timing feeds back
+//!   into results only through those two crates' facades
+//!   (`puffer_budget::clock`, trace spans), keeping every other crate
+//!   reproducible by construction.
+//! * `lock-order` — raw `Mutex::lock` calls outside `puffer-budget` are
+//!   findings (stdio handle locks excepted): classed mutexes are acquired
+//!   through `puffer_budget::lockcheck::lock_ordered`. On top of that,
+//!   [`crate::lockgraph`] builds a static lock-order graph from the
+//!   acquisition sites and per-crate call graphs and fails the run on a
+//!   cycle or an edge contradicting the declared ranks.
 //!
 //! Violations can be waived in the repo-root `lint-allow.toml`, each entry
 //! naming the rule, the file, and a justification; the waiver budget is
-//! capped at [`MAX_WAIVERS`] entries and stale waivers are themselves
-//! findings.
+//! capped at [`MAX_WAIVERS`] entries and stale waivers — including entries
+//! whose path no longer exists — are themselves findings.
 
+use crate::lockgraph;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -40,7 +62,9 @@ const LAYERS: &[(&str, u8)] = &[
     ("puffer-budget", 0),
     ("puffer-rng", 0),
     ("puffer-db", 0),
-    ("puffer-trace", 0),
+    // Telemetry sits one layer up: its mutexes are classed through the
+    // budget crate's lockcheck registry.
+    ("puffer-trace", 1),
     // Deterministic fork-join over the budget substrate.
     ("puffer-par", 1),
     // Numerics over the fork-join layer.
@@ -77,6 +101,25 @@ const LAYERS: &[(&str, u8)] = &[
 const SCOPED_THREAD_CRATES: &[&str] = &["route", "congest", "par"];
 
 const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!(", "unimplemented!("];
+
+/// Crates whose non-test library code may not contain bare numeric `as`
+/// casts (short names, without the `puffer-` prefix): the numeric hot path,
+/// where an anonymous rounding direction has already caused Gcell-boundary
+/// bugs. Conversions go through `puffer_db::cast` instead.
+pub const HOT_CAST_CRATES: &[&str] = &["db", "congest", "route", "place", "flute", "pad"];
+
+/// The one file allowed to contain the bare casts the helpers wrap.
+const CAST_EXEMPT_FILES: &[&str] = &["crates/db/src/cast.rs"];
+
+/// Crates allowed to read the wall clock: everything else must go through
+/// `puffer_budget::clock` or trace spans, so results never depend on time.
+const WALLCLOCK_CRATES: &[&str] = &["trace", "budget"];
+
+/// Numeric primitive names that make an `as` cast a `cast` finding.
+const NUMERIC_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+    "f32", "f64",
+];
 
 /// Configuration for a lint run.
 #[derive(Debug, Clone)]
@@ -144,6 +187,42 @@ impl fmt::Display for LintFinding {
     }
 }
 
+impl LintFinding {
+    /// The finding as one flat JSON object (no trailing newline), for
+    /// `puffer lint --json`: `{"rule":…,"path":…,"line":…,"message":…}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"rule\":\"");
+        json_escape_into(self.rule, &mut out);
+        out.push_str("\",\"path\":\"");
+        json_escape_into(&self.path, &mut out);
+        out.push_str("\",\"line\":");
+        out.push_str(&self.line.to_string());
+        out.push_str(",\"message\":\"");
+        json_escape_into(&self.message, &mut out);
+        out.push_str("\"}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
 /// The outcome of a lint run.
 #[derive(Debug, Default)]
 pub struct LintReport {
@@ -155,6 +234,21 @@ pub struct LintReport {
     pub crates_scanned: usize,
     /// Findings suppressed by `lint-allow.toml` entries.
     pub waived: usize,
+}
+
+impl LintReport {
+    /// All findings as JSONL: one flat JSON object per line, in report
+    /// order, with a trailing newline after each (empty string when the
+    /// run is clean). Machine-readable output for `puffer lint --json`.
+    #[must_use]
+    pub fn json_lines(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_json());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// One `[[allow]]` entry from `lint-allow.toml`.
@@ -245,7 +339,8 @@ pub fn lint_workspace(config: &LintConfig) -> Result<LintReport, LintError> {
     }
 
     let waivers = load_waivers(&root.join("lint-allow.toml"))?;
-    apply_waivers(&waivers, findings, &mut report);
+    apply_waivers(root, &waivers, findings, &mut report);
+    lockgraph::check_lock_order(root, &mut report.findings)?;
     report
         .findings
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
@@ -300,14 +395,121 @@ fn scan_source(
                 ),
             });
         }
+        if library
+            && HOT_CAST_CRATES.contains(&crate_short)
+            && !CAST_EXEMPT_FILES.contains(&rel)
+        {
+            if let Some(ty) = bare_numeric_cast(line) {
+                findings.push(LintFinding {
+                    rule: "cast",
+                    path: rel.to_string(),
+                    line: line_no,
+                    message: format!(
+                        "bare `as {ty}` cast in a hot crate — name the conversion through \
+                         puffer_db::cast (or a lossless From/Into) so the rounding \
+                         direction is explicit and tested"
+                    ),
+                });
+            }
+        }
+        if library {
+            for ty in ["HashMap", "HashSet"] {
+                if contains_word(line, ty) {
+                    findings.push(LintFinding {
+                        rule: "unordered-iter",
+                        path: rel.to_string(),
+                        line: line_no,
+                        message: format!(
+                            "{ty} in non-test library code iterates in a random order — \
+                             use BTreeMap/BTreeSet, an index-keyed Vec, or sort before \
+                             iterating"
+                        ),
+                    });
+                }
+            }
+        }
+        if library && !WALLCLOCK_CRATES.contains(&crate_short) {
+            for token in ["Instant::now", "SystemTime::now"] {
+                if line.contains(token) {
+                    findings.push(LintFinding {
+                        rule: "wallclock",
+                        path: rel.to_string(),
+                        line: line_no,
+                        message: format!(
+                            "{token} outside puffer-trace/puffer-budget — go through \
+                             puffer_budget::clock (Stopwatch/Deadline) so results never \
+                             depend on wall-clock time"
+                        ),
+                    });
+                }
+            }
+        }
+        if library
+            && crate_short != "budget"
+            && line.contains(".lock(")
+            && !line.contains("self.lock(")
+            && !["stdout", "stderr", "stdin"].iter().any(|h| line.contains(h))
+        {
+            findings.push(LintFinding {
+                rule: "lock-order",
+                path: rel.to_string(),
+                line: line_no,
+                message: "raw Mutex::lock — acquire classed mutexes through \
+                          puffer_budget::lockcheck::lock_ordered so the declared lock \
+                          order is checked"
+                    .to_string(),
+            });
+        }
     }
+}
+
+/// Returns the target type of the first bare numeric `as` cast on the
+/// (stripped) line, if any.
+fn bare_numeric_cast(line: &str) -> Option<&'static str> {
+    for (pos, _) in line.match_indices(" as ") {
+        let rest = &line[pos + 4..];
+        let rest = rest.trim_start();
+        for ty in NUMERIC_TYPES {
+            if let Some(after) = rest.strip_prefix(ty) {
+                let boundary = after
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+                if boundary {
+                    return Some(ty);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether `line` contains `word` with non-identifier characters (or the
+/// line edges) on both sides.
+fn contains_word(line: &str, word: &str) -> bool {
+    for (pos, _) in line.match_indices(word) {
+        let before_ok = pos == 0
+            || line[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+        let after = &line[pos + word.len()..];
+        let after_ok = after
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
 }
 
 /// Blanks comments and the contents of string/char literals, preserving
 /// line structure, so token matching never fires inside documentation or
 /// data. Handles nested block comments, escapes, raw strings with any
 /// number of `#`s, and distinguishes char literals from lifetimes.
-fn strip_literals(text: &str) -> String {
+pub(crate) fn strip_literals(text: &str) -> String {
     let chars: Vec<char> = text.chars().collect();
     let mut out = String::with_capacity(text.len());
     let mut i = 0;
@@ -447,7 +649,7 @@ fn closes_raw(chars: &[char], at: usize, hashes: usize) -> bool {
 /// preserving line structure. Tracks brace depth character-wise; the
 /// attribute arms a skip that engages at the next `{` (a `;` first, e.g. a
 /// guarded `use`, disarms it and blanks just that item's line).
-fn mask_tests(stripped: &str) -> String {
+pub(crate) fn mask_tests(stripped: &str) -> String {
     let mut out = String::with_capacity(stripped.len());
     let mut depth: i64 = 0;
     let mut armed = false;
@@ -648,8 +850,15 @@ fn load_waivers(path: &Path) -> Result<Vec<Waiver>, LintError> {
     Ok(waivers)
 }
 
-/// Splits findings into waived and reported, and flags stale waivers.
-fn apply_waivers(waivers: &[Waiver], findings: Vec<LintFinding>, report: &mut LintReport) {
+/// Splits findings into waived and reported, and flags stale waivers —
+/// both entries whose rule no longer fires and entries whose waived path
+/// no longer exists at all.
+fn apply_waivers(
+    root: &Path,
+    waivers: &[Waiver],
+    findings: Vec<LintFinding>,
+    report: &mut LintReport,
+) {
     let mut used = vec![false; waivers.len()];
     for finding in findings {
         let slot = waivers
@@ -664,7 +873,18 @@ fn apply_waivers(waivers: &[Waiver], findings: Vec<LintFinding>, report: &mut Li
         }
     }
     for (w, used) in waivers.iter().zip(used) {
-        if !used {
+        if !root.join(&w.path).is_file() {
+            report.findings.push(LintFinding {
+                rule: "waiver",
+                path: w.path.clone(),
+                line: 0,
+                message: format!(
+                    "lint-allow.toml entry (line {}) waives rule '{}' in a file that \
+                     no longer exists — delete the waiver",
+                    w.line, w.rule
+                ),
+            });
+        } else if !used {
             report.findings.push(LintFinding {
                 rule: "waiver",
                 path: w.path.clone(),
@@ -683,14 +903,14 @@ fn apply_waivers(waivers: &[Waiver], findings: Vec<LintFinding>, report: &mut Li
 // Filesystem helpers
 // ---------------------------------------------------------------------------
 
-fn read_file(path: &Path) -> Result<String, LintError> {
+pub(crate) fn read_file(path: &Path) -> Result<String, LintError> {
     std::fs::read_to_string(path).map_err(|source| LintError::Io {
         path: path.to_path_buf(),
         source,
     })
 }
 
-fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+pub(crate) fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
     let entries = std::fs::read_dir(dir).map_err(|source| LintError::Io {
         path: dir.to_path_buf(),
         source,
@@ -708,7 +928,7 @@ fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
 }
 
 /// All `.rs` files under `dir`, recursively, sorted for stable output.
-fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+pub(crate) fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
     let mut out = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
     while let Some(d) = stack.pop() {
@@ -724,7 +944,7 @@ fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
     Ok(out)
 }
 
-fn rel_path(root: &Path, path: &Path) -> String {
+pub(crate) fn rel_path(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
         .to_string_lossy()

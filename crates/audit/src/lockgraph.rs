@@ -1,0 +1,968 @@
+//! Static lock-order analysis: the `lock-order` lint rule.
+//!
+//! The runtime sanitizer in `puffer_budget::lockcheck` catches inversions
+//! only on code paths a test actually drives. This pass closes the gap
+//! statically: it rebuilds the *acquired-while-held* relation from source
+//! and checks it against the declared ranks, so a lock-order deadlock is a
+//! lint failure even when no test interleaves the two locks.
+//!
+//! The analysis is textual (the same stripped/masked source the other lint
+//! rules see), per crate, and deliberately conservative:
+//!
+//! 1. The rank table is parsed straight out of
+//!    `crates/budget/src/lockcheck.rs` — one `pub static NAME: LockClass =
+//!    LockClass::new("dotted.name", rank);` per line — so the declared
+//!    order has exactly one copy.
+//! 2. Every function in a crate is extracted (brace matching over the
+//!    stripped source), and every `classes::IDENT` occurrence in a body is
+//!    an acquisition site. Calls to same-crate helpers whose signature
+//!    returns `Locked<…>` (e.g. the serve engine's `jobs()` and the
+//!    queue's `lock()`) are acquisition sites too, holding the helper's
+//!    own classes.
+//! 3. Each acquisition holds its classes over a *held region*: to the end
+//!    of the enclosing block when the guard is bound (`let g = …;` or
+//!    `g = …;`, truncated at an explicit `drop(g)`), otherwise to the end
+//!    of the statement — which for an `if let` scrutinee correctly spans
+//!    the body, matching Rust's temporary-lifetime extension.
+//! 4. Inside a held region, every further acquisition site adds an edge
+//!    `held → acquired`, and every call to a same-crate function adds
+//!    edges to the callee's transitive lockset (a fixpoint over the
+//!    per-crate call graph). Calls are resolved by name only, so
+//!    ubiquitous std/collection/trait method names (`len`, `get`,
+//!    `clone`, …) and names with multiple same-crate definitions are left
+//!    unresolved rather than guessed — missing an edge is conservative,
+//!    inventing one is a false positive.
+//! 5. Sites whose statement re-wraps a condvar-returned guard
+//!    (`Locked::from_guard(…)`) are *re*-acquisitions after the wait
+//!    released the mutex: they open their own held region but are never
+//!    edge targets.
+//!
+//! A finding is produced for an edge whose source rank is not strictly
+//! below its target rank (including same-class reentry), for a cycle in
+//! the edge graph, and for a `classes::IDENT` that the rank table does not
+//! declare. Cross-crate call chains are out of scope here — that is what
+//! the `lockcheck` runtime sanitizer is for.
+
+use crate::lint::{
+    mask_tests, read_dir_sorted, read_file, rel_path, rust_files, strip_literals, LintError,
+    LintFinding,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Call names never resolved against the per-crate function table:
+/// ubiquitous method names that a crate-local `fn` of the same name would
+/// otherwise shadow into false lock edges. `len` covers the queue's
+/// `len()` resolving from a `VecDeque::len()` call made while the queue
+/// lock is already held; `cancel` covers `CancelToken::cancel()` (a
+/// cross-crate method) resolving to the serve engine's `cancel()` from
+/// inside its own job-table critical section.
+const UNRESOLVED_NAMES: &[&str] = &[
+    "clone", "drop", "default", "fmt", "eq", "ne", "cmp", "partial_cmp", "hash", "next", "len",
+    "is_empty", "new", "from", "into", "get", "get_mut", "insert", "remove", "push", "pop", "map",
+    "take", "iter", "clear", "contains", "deref", "deref_mut", "index", "index_mut", "cancel",
+];
+
+/// Keywords that precede `(` in expression position without being calls.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "as", "impl", "where",
+    "move", "unsafe", "else", "use", "mod", "pub", "struct", "enum", "trait", "type", "const",
+    "static", "break", "continue", "dyn", "ref", "mut", "box", "crate", "super", "self", "Self",
+];
+
+/// One declared lock class from the rank table.
+#[derive(Debug, Clone)]
+struct ClassDecl {
+    /// Dotted display name, e.g. `serve.jobs`.
+    name: String,
+    /// Global acquisition rank.
+    rank: u16,
+}
+
+/// One `classes::IDENT` acquisition site inside a function body.
+#[derive(Debug)]
+struct Site {
+    /// The `IDENT` after `classes::`.
+    class: String,
+    /// Byte offset of the site in its file.
+    pos: usize,
+    /// Byte offset where the held region ends.
+    end: usize,
+    /// Whether the statement re-wraps a condvar-returned guard
+    /// (`Locked::from_guard`): a re-acquisition, never an edge target.
+    reacquire: bool,
+}
+
+/// One `ident(` call site inside a function body.
+#[derive(Debug)]
+struct Call {
+    name: String,
+    pos: usize,
+}
+
+/// One extracted function.
+#[derive(Debug)]
+struct FnDef {
+    name: String,
+    /// Index into the crate's file list.
+    file: usize,
+    /// Whether the signature returns `Locked<…>` — a guard-returning
+    /// helper whose call sites are acquisition sites.
+    guard_returning: bool,
+    sites: Vec<Site>,
+    calls: Vec<Call>,
+}
+
+/// One scanned source file (stripped + test-masked).
+struct FileSrc {
+    rel: String,
+    text: String,
+}
+
+/// Runs the lock-order analysis over the workspace at `root`, appending
+/// findings (rule `lock-order`).
+///
+/// # Errors
+///
+/// [`LintError::Io`] when a source file cannot be read. A missing rank
+/// table is not an error: classed acquisitions are then all "unknown
+/// class" findings, and a workspace with neither table nor acquisitions
+/// (the fixture case) passes vacuously.
+pub fn check_lock_order(root: &Path, findings: &mut Vec<LintFinding>) -> Result<(), LintError> {
+    let table_path = root.join("crates").join("budget").join("src").join("lockcheck.rs");
+    let table_rel = rel_path(root, &table_path);
+    let table = if table_path.is_file() {
+        parse_rank_table(&read_file(&table_path)?, &table_rel, findings)
+    } else {
+        BTreeMap::new()
+    };
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = read_dir_sorted(&crates_dir)?
+        .into_iter()
+        .filter(|p| p.join("Cargo.toml").is_file() && p.join("src").is_dir())
+        .collect();
+    if root.join("Cargo.toml").is_file() && root.join("src").is_dir() {
+        crate_dirs.push(root.to_path_buf());
+    }
+
+    for dir in &crate_dirs {
+        let mut files = Vec::new();
+        for path in rust_files(&dir.join("src"))? {
+            let text = mask_tests(&strip_literals(&read_file(&path)?));
+            files.push(FileSrc {
+                rel: rel_path(root, &path),
+                text,
+            });
+        }
+        check_crate(&files, &table, &table_rel, findings);
+    }
+    Ok(())
+}
+
+/// Parses the `classes` rank table from the raw `lockcheck.rs` source:
+/// one `pub static IDENT: LockClass = LockClass::new("name", rank);` per
+/// line. Malformed declarations become findings rather than errors, so a
+/// half-edited table fails the lint instead of silently weakening it.
+fn parse_rank_table(
+    raw: &str,
+    table_rel: &str,
+    findings: &mut Vec<LintFinding>,
+) -> BTreeMap<String, ClassDecl> {
+    let mut table = BTreeMap::new();
+    for (i, line) in raw.lines().enumerate() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("pub static ") else {
+            continue;
+        };
+        if !rest.contains("LockClass::new(") {
+            continue;
+        }
+        let decl = (|| {
+            let ident = rest.split(':').next()?.trim().to_string();
+            let args = rest.split("LockClass::new(").nth(1)?;
+            let name = args.split('"').nth(1)?.to_string();
+            let rank_txt = args.split(',').nth(1)?;
+            let rank: u16 = rank_txt.trim().trim_end_matches(");").trim().parse().ok()?;
+            Some((ident, ClassDecl { name, rank }))
+        })();
+        match decl {
+            Some((ident, class)) => {
+                table.insert(ident, class);
+            }
+            None => findings.push(LintFinding {
+                rule: "lock-order",
+                path: table_rel.to_string(),
+                line: i + 1,
+                message: "malformed LockClass declaration — expected \
+                          `pub static IDENT: LockClass = LockClass::new(\"name\", rank);`"
+                    .to_string(),
+            }),
+        }
+    }
+    table
+}
+
+/// Analyzes one crate: extracts functions, computes transitive locksets,
+/// derives acquired-while-held edges, and reports rank contradictions and
+/// cycles.
+fn check_crate(
+    files: &[FileSrc],
+    table: &BTreeMap<String, ClassDecl>,
+    table_rel: &str,
+    findings: &mut Vec<LintFinding>,
+) {
+    let mut fns = Vec::new();
+    for (file_idx, f) in files.iter().enumerate() {
+        extract_fns(file_idx, &f.text, &mut fns);
+    }
+    if fns.iter().all(|f| f.sites.is_empty()) {
+        return;
+    }
+
+    // Name → definition indices; only unambiguous non-ubiquitous names
+    // resolve.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(&f.name).or_default().push(i);
+    }
+    let resolve = |name: &str| -> Option<usize> {
+        if UNRESOLVED_NAMES.contains(&name) {
+            return None;
+        }
+        match by_name.get(name).map(Vec::as_slice) {
+            Some([one]) => Some(*one),
+            _ => None,
+        }
+    };
+
+    // Transitive locksets: every class a call into `f` may acquire.
+    let mut locksets: Vec<BTreeSet<String>> = fns
+        .iter()
+        .map(|f| f.sites.iter().map(|s| s.class.clone()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            for c in &fns[i].calls {
+                let Some(callee) = resolve(&c.name) else { continue };
+                let add: Vec<String> = locksets[callee]
+                    .iter()
+                    .filter(|cl| !locksets[i].contains(*cl))
+                    .cloned()
+                    .collect();
+                if !add.is_empty() {
+                    changed = true;
+                    locksets[i].extend(add);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Unknown classes: every site must name a declared class.
+    for f in &fns {
+        for s in &f.sites {
+            if !table.contains_key(&s.class) {
+                let file = &files[f.file];
+                findings.push(LintFinding {
+                    rule: "lock-order",
+                    path: file.rel.clone(),
+                    line: line_of(&file.text, s.pos),
+                    message: format!(
+                        "unknown lock class `classes::{}` — declare it (with a rank) in \
+                         puffer_budget::lockcheck::classes",
+                        s.class
+                    ),
+                });
+            }
+        }
+    }
+
+    // Acquired-while-held edges. An "event" is anything that starts a held
+    // region: a direct `classes::` site, or a call to a guard-returning
+    // same-crate helper (holding the helper's own direct classes).
+    let mut edges: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+    for f in &fns {
+        let text = &files[f.file].text;
+        let mut events: Vec<(Vec<String>, usize, usize)> = f
+            .sites
+            .iter()
+            .map(|s| (vec![s.class.clone()], s.pos, s.end))
+            .collect();
+        for c in &f.calls {
+            let Some(callee) = resolve(&c.name) else { continue };
+            if !fns[callee].guard_returning || fns[callee].sites.is_empty() {
+                continue;
+            }
+            let classes: Vec<String> = fns[callee].sites.iter().map(|s| s.class.clone()).collect();
+            // Compute the region from inside the call's parentheses, the
+            // same vantage point a direct `classes::` site has.
+            let (_, end) = held_region(text, c.pos + c.name.len() + 1);
+            events.push((classes, c.pos, end));
+        }
+        for (held, start, end) in &events {
+            for s in &f.sites {
+                if s.pos > *start && s.pos <= *end && !s.reacquire {
+                    for a in held {
+                        edges
+                            .entry((a.clone(), s.class.clone()))
+                            .or_insert((f.file, s.pos));
+                    }
+                }
+            }
+            for c in &f.calls {
+                if c.pos <= *start || c.pos > *end {
+                    continue;
+                }
+                let Some(callee) = resolve(&c.name) else { continue };
+                for b in &locksets[callee] {
+                    for a in held {
+                        edges
+                            .entry((a.clone(), b.clone()))
+                            .or_insert((f.file, c.pos));
+                    }
+                }
+            }
+        }
+    }
+
+    // Rank contradictions (includes same-class reentry, rank r ≥ r).
+    let mut valid_edges = Vec::new();
+    for ((a, b), (file_idx, pos)) in &edges {
+        let (Some(ca), Some(cb)) = (table.get(a), table.get(b)) else {
+            continue; // unknown classes already reported above
+        };
+        if ca.rank < cb.rank {
+            valid_edges.push((a.clone(), b.clone()));
+        } else {
+            let file = &files[*file_idx];
+            findings.push(LintFinding {
+                rule: "lock-order",
+                path: file.rel.clone(),
+                line: line_of(&file.text, *pos),
+                message: format!(
+                    "acquires '{}' (rank {}) while '{}' (rank {}) may be held — \
+                     contradicts the declared lock order in puffer_budget::lockcheck::classes",
+                    cb.name, cb.rank, ca.name, ca.rank
+                ),
+            });
+        }
+    }
+
+    // Cycles among the rank-valid edges. With strict distinct ranks these
+    // cannot cycle (the relation is a sub-relation of `<`); this is the
+    // belt-and-braces check for a degenerate table (duplicate ranks) where
+    // no single edge contradicts but the graph still loops. Contradiction
+    // edges are excluded — they are already findings of their own.
+    if let Some(cycle) = find_cycle(valid_edges.iter()) {
+        findings.push(LintFinding {
+            rule: "lock-order",
+            path: table_rel.to_string(),
+            line: 0,
+            message: format!(
+                "lock-order graph has a cycle: {} — some execution can deadlock",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+}
+
+/// Finds one cycle in the directed edge set, as the list of class idents
+/// along it (first repeated at the end), using iterative DFS coloring.
+fn find_cycle<'a>(edges: impl Iterator<Item = &'a (String, String)>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default();
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut color: BTreeMap<&str, u8> = adj.keys().map(|k| (*k, 0u8)).collect();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for start in nodes {
+        if color[start] != 0 {
+            continue;
+        }
+        // Stack of (node, next-neighbor index); `path` mirrors the stack.
+        let mut stack = vec![(start, 0usize)];
+        let mut path = vec![start];
+        color.insert(start, 1);
+        while let Some(top) = stack.last_mut() {
+            let node = top.0;
+            let idx = top.1;
+            top.1 += 1;
+            let neighbors = &adj[node];
+            if idx < neighbors.len() {
+                let n = neighbors[idx];
+                match color[n] {
+                    0 => {
+                        color.insert(n, 1);
+                        stack.push((n, 0));
+                        path.push(n);
+                    }
+                    1 => {
+                        let from = path.iter().position(|p| *p == n).unwrap_or(0);
+                        let mut cycle: Vec<String> =
+                            path[from..].iter().map(|s| (*s).to_string()).collect();
+                        cycle.push(n.to_string());
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Function extraction
+// ---------------------------------------------------------------------------
+
+/// Extracts every function definition in (stripped, masked) `text`,
+/// including its acquisition sites and call sites, appending to `out`.
+fn extract_fns(file: usize, text: &str, out: &mut Vec<FnDef>) {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(off) = text[i..].find("fn ") {
+        let at = i + off;
+        i = at + 3;
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue; // e.g. `graph_fn `
+        }
+        let mut j = i;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue; // `fn(` pointer type
+        }
+        let name = text[name_start..j].to_string();
+
+        // Signature runs to the body `{` (or `;` for a bodiless trait
+        // method) at paren depth 0.
+        let mut depth = 0i32;
+        let mut k = j;
+        let body_start = loop {
+            if k >= bytes.len() {
+                break None;
+            }
+            match bytes[k] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                b'{' if depth == 0 => break Some(k),
+                b';' if depth == 0 => break None,
+                _ => {}
+            }
+            k += 1;
+        };
+        let Some(bs) = body_start else { continue };
+        let guard_returning = text[j..bs].contains("-> Locked<");
+        let be = match_brace(bytes, bs);
+
+        let mut def = FnDef {
+            name,
+            file,
+            guard_returning,
+            sites: Vec::new(),
+            calls: Vec::new(),
+        };
+        collect_sites(text, bs, be, &mut def.sites);
+        collect_calls(text, bs, be, &mut def.calls);
+        out.push(def);
+        // Resume after the name so nested `fn`s are extracted too.
+    }
+}
+
+/// Index just past the `}` matching the `{` at `open` (or `len`).
+fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    bytes.len()
+}
+
+/// Collects `classes::IDENT` acquisition sites in `text[start..end]`, with
+/// their held regions.
+fn collect_sites(text: &str, start: usize, end: usize, out: &mut Vec<Site>) {
+    let bytes = text.as_bytes();
+    let needle = "classes::";
+    let mut i = start;
+    while let Some(off) = text[i..end].find(needle) {
+        let at = i + off;
+        i = at + needle.len();
+        if at > start && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        let mut j = i;
+        while j < end && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        if j == i {
+            continue;
+        }
+        let class = text[i..j].to_string();
+        let stmt_start = statement_start(bytes, at);
+        let reacquire = text[stmt_start..at].contains("from_guard");
+        let (_, region_end) = held_region(text, at);
+        out.push(Site {
+            class,
+            pos: at,
+            end: region_end.min(end),
+            reacquire,
+        });
+    }
+}
+
+/// Collects `ident(` call sites in `text[start..end]`, skipping keywords
+/// and the `fn` name of a definition.
+fn collect_calls(text: &str, start: usize, end: usize, out: &mut Vec<Call>) {
+    let bytes = text.as_bytes();
+    let mut i = start;
+    while i < end {
+        if !is_ident_start(bytes[i]) || (i > 0 && is_ident_byte(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let s = i;
+        while i < end && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i >= end || bytes[i] != b'(' {
+            continue;
+        }
+        let name = &text[s..i];
+        if KEYWORDS.contains(&name) {
+            continue;
+        }
+        // `fn name(` is the definition, not a call.
+        let mut p = s;
+        while p > start && bytes[p - 1].is_ascii_whitespace() {
+            p -= 1;
+        }
+        if p >= 2 && &text[p - 2..p] == "fn" && (p == 2 || !is_ident_byte(bytes[p - 3])) {
+            continue;
+        }
+        out.push(Call {
+            name: name.to_string(),
+            pos: s,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Held regions
+// ---------------------------------------------------------------------------
+
+/// The held region for an acquisition at `pos`: `(bound, end)` where
+/// `bound` says whether the guard is let/assignment-bound.
+///
+/// * Bound (`let g = lock(…);` / `g = lock(…);` with nothing chained on
+///   the call): held to the end of the enclosing block, truncated at an
+///   explicit `drop(g)`.
+/// * Otherwise a statement temporary: held to the first `;` at the site's
+///   brace depth (or the close of the enclosing block) — which spans an
+///   `if let` body when the guard is the scrutinee, matching Rust's
+///   temporary-lifetime extension.
+fn held_region(text: &str, pos: usize) -> (bool, usize) {
+    let bytes = text.as_bytes();
+    let stmt_start = statement_start(bytes, pos);
+    let binding = whole_statement_binding(text, stmt_start, pos);
+    match binding {
+        Some(name) => (true, bound_region_end(text, pos, &name)),
+        None => (false, statement_end(bytes, pos)),
+    }
+}
+
+/// Byte offset where the statement containing `pos` begins (just past the
+/// nearest `;`, `{`, or `}` before it).
+fn statement_start(bytes: &[u8], pos: usize) -> usize {
+    let mut i = pos;
+    while i > 0 {
+        match bytes[i - 1] {
+            b';' | b'{' | b'}' => return i,
+            _ => i -= 1,
+        }
+    }
+    0
+}
+
+/// When the acquisition at `pos` is the entire right-hand side of a `let`
+/// or assignment statement, the binding's name; `None` for chained or
+/// otherwise temporary guards.
+fn whole_statement_binding(text: &str, stmt_start: usize, pos: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    // The enclosing call must end the statement: find the `)` that closes
+    // the paren depth open at `pos`, then require `;` next.
+    let mut depth = 0i32;
+    let mut i = pos;
+    let close = loop {
+        if i >= bytes.len() {
+            return None;
+        }
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth < 0 {
+                    break i;
+                }
+            }
+            b';' | b'{' | b'}' => return None,
+            _ => {}
+        }
+        i += 1;
+    };
+    let mut j = close + 1;
+    while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b';' {
+        return None;
+    }
+    let prefix = text[stmt_start..pos].trim_start();
+    let after_let = prefix.strip_prefix("let ").map(|r| r.trim_start());
+    let rest = match after_let {
+        Some(r) => r.strip_prefix("mut ").unwrap_or(r).trim_start(),
+        None => prefix,
+    };
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    // `let name = …` or `name = …` (not `==`); anything else (tuple
+    // patterns, field stores) is treated as a temporary.
+    let tail = rest[name.len()..].trim_start();
+    if tail.starts_with('=') && !tail.starts_with("==") {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// End of the enclosing block for a bound guard acquired at `pos`,
+/// truncated at an explicit `drop(binding)`.
+fn bound_region_end(text: &str, pos: usize, binding: &str) -> usize {
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    let mut i = pos;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b'd' if text[i..].starts_with("drop(") => {
+                let mut j = i + 5;
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if text[j..].starts_with(binding) {
+                    let after = j + binding.len();
+                    let mut k = after;
+                    while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k] == b')' {
+                        return i;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// End of the statement containing a temporary guard acquired at `pos`:
+/// the first `;` at the site's brace depth, or the close of the enclosing
+/// block.
+fn statement_end(bytes: &[u8], pos: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = pos;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b';' if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+/// 1-based line of byte offset `pos` in `text`.
+fn line_of(text: &str, pos: usize) -> usize {
+    text[..pos].bytes().filter(|b| *b == b'\n').count() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE: &str = r#"
+pub mod classes {
+    /// Outer.
+    pub static LOW: LockClass = LockClass::new("test.low", 10);
+    /// Inner.
+    pub static HIGH: LockClass = LockClass::new("test.high", 20);
+}
+"#;
+
+    fn table() -> BTreeMap<String, ClassDecl> {
+        let mut findings = Vec::new();
+        let t = parse_rank_table(TABLE, "t.rs", &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+        t
+    }
+
+    fn run(body: &str) -> Vec<LintFinding> {
+        let files = vec![FileSrc {
+            rel: "crates/x/src/lib.rs".to_string(),
+            text: body.to_string(),
+        }];
+        let mut findings = Vec::new();
+        check_crate(&files, &table(), "t.rs", &mut findings);
+        findings
+    }
+
+    #[test]
+    fn rank_table_parses_names_and_ranks() {
+        let t = table();
+        assert_eq!(t["LOW"].name, "test.low");
+        assert_eq!(t["LOW"].rank, 10);
+        assert_eq!(t["HIGH"].rank, 20);
+    }
+
+    #[test]
+    fn malformed_declaration_is_a_finding() {
+        let mut findings = Vec::new();
+        parse_rank_table(
+            "pub static BAD: LockClass = LockClass::new(oops);\n",
+            "t.rs",
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn in_order_nesting_is_clean() {
+        let f = run(
+            "fn ok(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+             let g = lock_ordered(a, &classes::LOW);\n\
+             let h = lock_ordered(b, &classes::HIGH);\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn inverted_nesting_contradicts_the_ranks() {
+        let f = run(
+            "fn bad(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+             let g = lock_ordered(b, &classes::HIGH);\n\
+             let h = lock_ordered(a, &classes::LOW);\n\
+             }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "lock-order");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("'test.low' (rank 10)"));
+        assert!(f[0].message.contains("'test.high' (rank 20)"));
+    }
+
+    #[test]
+    fn same_class_reentry_is_flagged() {
+        let f = run(
+            "fn twice(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+             let g = lock_ordered(a, &classes::LOW);\n\
+             let h = lock_ordered(b, &classes::LOW);\n\
+             }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("'test.low' (rank 10) while 'test.low'"));
+    }
+
+    #[test]
+    fn drop_ends_the_held_region() {
+        let f = run(
+            "fn ok(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+             let g = lock_ordered(b, &classes::HIGH);\n\
+             drop(g);\n\
+             let h = lock_ordered(a, &classes::LOW);\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn statement_temporary_does_not_span_the_next_statement() {
+        // `lock(…).field` is a temporary dropped at the `;`.
+        let f = run(
+            "fn ok(a: &Mutex<S>, b: &Mutex<u32>) {\n\
+             lock_ordered(b, &classes::HIGH).field = 1;\n\
+             let h = lock_ordered(a, &classes::LOW);\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn inner_block_scopes_the_guard() {
+        let f = run(
+            "fn ok(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+             let v = {\n\
+             let g = lock_ordered(b, &classes::HIGH);\n\
+             *g\n\
+             };\n\
+             let h = lock_ordered(a, &classes::LOW);\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn from_guard_reacquisition_is_not_an_edge_target() {
+        // The condvar wait released the mutex; re-wrapping the returned
+        // guard must not read as HIGH acquired while HIGH is held.
+        let f = run(
+            "fn waits(a: &Mutex<u32>, cv: &Condvar) {\n\
+             let mut g = lock_ordered(a, &classes::HIGH);\n\
+             loop {\n\
+             let (raw, _) = cv.wait_timeout(g.into_guard(), step).unwrap();\n\
+             g = Locked::from_guard(raw, &classes::HIGH);\n\
+             }\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn inversion_through_a_helper_call_is_found() {
+        // `inner` acquires LOW; calling it while HIGH is held inverts the
+        // declared order even though no single function nests the locks.
+        let f = run(
+            "fn inner(a: &Mutex<u32>) {\n\
+             let g = lock_ordered(a, &classes::LOW);\n\
+             }\n\
+             fn outer(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+             let g = lock_ordered(b, &classes::HIGH);\n\
+             inner(a);\n\
+             }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+        assert!(f[0].message.contains("'test.low'"));
+    }
+
+    #[test]
+    fn guard_returning_helper_calls_are_acquisition_sites() {
+        let f = run(
+            "fn low(&self) -> Locked<'_, u32> {\n\
+             lock_ordered(&self.a, &classes::LOW)\n\
+             }\n\
+             fn ok(&self, b: &Mutex<u32>) {\n\
+             let g = low(&self);\n\
+             let h = lock_ordered(b, &classes::HIGH);\n\
+             }\n\
+             fn bad(&self, b: &Mutex<u32>) {\n\
+             let g = lock_ordered(b, &classes::HIGH);\n\
+             let h = low(&self);\n\
+             }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 10);
+    }
+
+    #[test]
+    fn ubiquitous_method_names_do_not_resolve() {
+        // A crate-local `fn len` that locks must not turn every
+        // `Vec::len()` call under a guard into a lock edge.
+        let f = run(
+            "fn len(&self) -> usize {\n\
+             let g = lock_ordered(&self.a, &classes::LOW);\n\
+             g.items.len()\n\
+             }\n\
+             fn ok(&self) {\n\
+             let g = lock_ordered(&self.a, &classes::LOW);\n\
+             let n = g.items.len();\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unknown_class_is_reported() {
+        let f = run(
+            "fn f(a: &Mutex<u32>) {\n\
+             let g = lock_ordered(a, &classes::MYSTERY);\n\
+             }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("unknown lock class `classes::MYSTERY`"));
+    }
+
+    #[test]
+    fn cycle_detection_reports_the_loop() {
+        let edges = [
+            ("A".to_string(), "B".to_string()),
+            ("B".to_string(), "C".to_string()),
+            ("C".to_string(), "A".to_string()),
+        ];
+        let cycle = find_cycle(edges.iter()).expect("cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() == 4);
+    }
+
+    #[test]
+    fn acyclic_edges_have_no_cycle() {
+        let edges = [
+            ("A".to_string(), "B".to_string()),
+            ("A".to_string(), "C".to_string()),
+            ("B".to_string(), "C".to_string()),
+        ];
+        assert!(find_cycle(edges.iter()).is_none());
+    }
+}

@@ -331,3 +331,242 @@ fn the_real_workspace_passes_its_own_lint() {
             .join("\n")
     );
 }
+
+#[test]
+fn bare_numeric_cast_in_a_hot_crate_is_a_finding() {
+    let fx = Fixture::new("cast-hot");
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &[],
+        &format!("{FORBID}pub fn bin(x: f64) -> usize {{ x as usize }}\n"),
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["cast"]);
+    assert_eq!(report.findings[0].line, 2);
+    assert!(report.findings[0].message.contains("`as usize`"));
+    assert!(report.findings[0].message.contains("puffer_db::cast"));
+}
+
+#[test]
+fn casts_in_tests_the_helper_module_and_cold_crates_are_exempt() {
+    // cast.rs is the sanctioned home of the bare casts the helpers wrap.
+    let fx = Fixture::new("cast-exempt");
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &[],
+        &format!(
+            "{FORBID}pub mod cast;\n\
+             #[cfg(test)]\n\
+             mod tests {{\n\
+                 #[test]\n\
+                 fn t() {{ assert_eq!(3.7 as usize, crate::cast::trunc_idx(3.7)); }}\n\
+             }}\n"
+        ),
+    );
+    fx.write(
+        "crates/db/src/cast.rs",
+        "pub fn trunc_idx(x: f64) -> usize {\n    x as usize\n}\n",
+    );
+    // Cold crates (not in the hot list) may still cast bare.
+    fx.add_crate(
+        "trace",
+        "puffer-trace",
+        &[],
+        &format!("{FORBID}pub fn pct(n: usize) -> f64 {{ n as f64 }}\n"),
+    );
+    let report = fx.lint().unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn hash_map_in_library_code_is_an_unordered_iter_finding() {
+    let fx = Fixture::new("unordered");
+    fx.add_crate(
+        "trace",
+        "puffer-trace",
+        &[],
+        &format!(
+            "{FORBID}use std::collections::HashMap;\n\
+             pub fn build() -> HashMap<String, u32> {{ HashMap::new() }}\n"
+        ),
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["unordered-iter", "unordered-iter"]);
+    assert!(report.findings[0].message.contains("random order"));
+}
+
+#[test]
+fn btree_map_and_test_only_hash_map_are_clean() {
+    let fx = Fixture::new("unordered-clean");
+    fx.add_crate(
+        "trace",
+        "puffer-trace",
+        &[],
+        &format!(
+            "{FORBID}use std::collections::BTreeMap;\n\
+             pub fn build() -> BTreeMap<String, u32> {{ BTreeMap::new() }}\n\
+             #[cfg(test)]\n\
+             mod tests {{\n\
+                 use std::collections::HashMap;\n\
+                 #[test]\n\
+                 fn t() {{ let _ = HashMap::<u8, u8>::new(); }}\n\
+             }}\n"
+        ),
+    );
+    let report = fx.lint().unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn instant_now_outside_the_clock_crates_is_a_wallclock_finding() {
+    let fx = Fixture::new("wallclock");
+    fx.add_crate(
+        "place",
+        "puffer-place",
+        &[],
+        &format!(
+            "{FORBID}pub fn stamp() -> std::time::Instant {{ std::time::Instant::now() }}\n"
+        ),
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["wallclock"]);
+    assert!(report.findings[0].message.contains("puffer_budget::clock"));
+}
+
+#[test]
+fn the_clock_crates_may_read_the_wall_clock() {
+    // puffer-budget and puffer-trace *implement* the timing facade.
+    let src =
+        format!("{FORBID}pub fn stamp() -> std::time::Instant {{ std::time::Instant::now() }}\n");
+    let fx = Fixture::new("wallclock-exempt");
+    fx.add_crate("budget", "puffer-budget", &[], &src);
+    fx.add_crate("trace", "puffer-trace", &["puffer-budget"], &src);
+    let report = fx.lint().unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn raw_mutex_lock_is_a_lock_order_finding() {
+    let fx = Fixture::new("raw-lock");
+    fx.add_crate(
+        "trace",
+        "puffer-trace",
+        &[],
+        &format!(
+            "{FORBID}pub fn peek(m: &std::sync::Mutex<u32>) {{ let _g = m.lock(); }}\n"
+        ),
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["lock-order"]);
+    assert!(report.findings[0].message.contains("lock_ordered"));
+}
+
+/// The rank registry a lock-order fixture workspace needs: the analysis
+/// parses it from `crates/budget/src/lockcheck.rs`, exactly like the real
+/// workspace.
+const FIXTURE_RANKS: &str = "\
+    use super::LockClass;\n\
+    pub mod classes {\n\
+        pub static SERVE_QUEUE: LockClass = LockClass::new(\"serve.queue\", 10);\n\
+        pub static SERVE_JOBS: LockClass = LockClass::new(\"serve.jobs\", 20);\n\
+    }\n";
+
+fn lock_order_fixture(name: &str, body: &str) -> Fixture {
+    let fx = Fixture::new(name);
+    fx.add_crate(
+        "budget",
+        "puffer-budget",
+        &[],
+        &format!("{FORBID}pub mod lockcheck;\n"),
+    );
+    fx.write("crates/budget/src/lockcheck.rs", FIXTURE_RANKS);
+    fx.add_crate(
+        "serve",
+        "puffer-serve",
+        &["puffer-budget"],
+        &format!("{FORBID}use puffer_budget::lockcheck::{{classes, lock_ordered}};\n{body}"),
+    );
+    fx
+}
+
+#[test]
+fn inverted_lock_acquisition_contradicts_the_declared_order() {
+    let fx = lock_order_fixture(
+        "lock-inverted",
+        "pub fn inverted(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {\n\
+             let hi = lock_ordered(b, &classes::SERVE_JOBS);\n\
+             let lo = lock_ordered(a, &classes::SERVE_QUEUE);\n\
+             *hi + *lo\n\
+         }\n",
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["lock-order"]);
+    assert!(
+        report.findings[0]
+            .message
+            .contains("'serve.queue' (rank 10) while 'serve.jobs' (rank 20)"),
+        "{}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn in_order_lock_acquisition_passes() {
+    let fx = lock_order_fixture(
+        "lock-ordered",
+        "pub fn ordered(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {\n\
+             let lo = lock_ordered(a, &classes::SERVE_QUEUE);\n\
+             let hi = lock_ordered(b, &classes::SERVE_JOBS);\n\
+             *lo + *hi\n\
+         }\n",
+    );
+    let report = fx.lint().unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn waiver_for_a_deleted_file_is_a_finding() {
+    let fx = Fixture::new("waiver-gone");
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &[],
+        &format!("{FORBID}pub fn ok() {{}}\n"),
+    );
+    fx.write(
+        "lint-allow.toml",
+        "[[allow]]\n\
+         rule = \"no-panic\"\n\
+         path = \"crates/db/src/deleted_module.rs\"\n\
+         reason = \"this file was removed in a refactor\"\n",
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(rules_of(&report), vec!["waiver"]);
+    assert!(
+        report.findings[0].message.contains("no longer exists"),
+        "{}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn json_lines_emits_one_flat_object_per_finding() {
+    let fx = Fixture::new("json");
+    fx.add_crate(
+        "db",
+        "puffer-db",
+        &[],
+        &format!("{FORBID}pub fn bad(v: Option<u8>) -> u8 {{ v.unwrap() }}\n"),
+    );
+    let report = fx.lint().unwrap();
+    let json = report.json_lines();
+    let lines: Vec<&str> = json.lines().collect();
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].starts_with("{\"rule\":\"no-panic\""), "{json}");
+    assert!(lines[0].contains("\"path\":\"crates/db/src/lib.rs\""), "{json}");
+    assert!(lines[0].contains("\"line\":2"), "{json}");
+    assert!(lines[0].ends_with('}'), "{json}");
+    assert!(json.ends_with('\n'), "json_lines output must be newline-terminated");
+}

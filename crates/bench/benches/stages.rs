@@ -447,6 +447,20 @@ fn audit_benches() {
         }
         .validate()
     });
+    // The full-workspace static analysis exactly as the `puffer lint` CI
+    // gate runs it: every source rule (panic/threading/cast/unordered-iter/
+    // wallclock/layering) plus the lock-order graph build over the
+    // per-crate call graphs. Keeps the gate's wall-clock cost visible as
+    // the rule set grows.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    bench("audit", "workspace_lint", 1, 5, || {
+        puffer_audit::lint_workspace(&puffer_audit::LintConfig { root: root.clone() })
+            .expect("workspace lint")
+    });
 }
 
 fn main() {

@@ -212,7 +212,7 @@ pub mod par {
     use puffer_db::design::Placement;
     use puffer_db::netlist::Netlist;
     use std::hint::black_box;
-    use std::time::Instant;
+    use puffer_budget::clock::Stopwatch;
 
     /// Thread counts exercised by the bench group and `benchflow`.
     pub const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -227,9 +227,9 @@ pub mod par {
         }
         let mut min = f64::INFINITY;
         for _ in 0..iters {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             black_box(f());
-            min = min.min(t0.elapsed().as_secs_f64());
+            min = min.min(t0.elapsed_secs());
         }
         min
     }

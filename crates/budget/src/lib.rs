@@ -29,6 +29,9 @@
 // waived `#[allow(unsafe_code)]` in the workspace (see lint-allow.toml).
 #![deny(unsafe_code)]
 
+pub mod clock;
+pub mod lockcheck;
+
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -107,7 +107,7 @@ usage:
                 [--workers <n>]   (daemon fault-injection harness)
   puffer chaos  [--seeds <n>] [--cells <n>] [--max-iters <n>]
                 (deterministic fault-injection harness)
-  puffer lint   [--root <dir>]                    (workspace policy check)
+  puffer lint   [--root <dir>] [--json]           (workspace policy check)
   puffer audit  design  <design.pd>
   puffer audit  journal <run.pj> [<design.pd>]
   puffer audit  metrics <run.jsonl>
@@ -1248,11 +1248,13 @@ fn run_chaos_case(
     }
 }
 
-/// `puffer lint [--root <dir>]` — runs the workspace policy check (see
-/// [`puffer_audit::lint`]) and exits non-zero when any unwaived finding
-/// remains. This is the CI gate.
+/// `puffer lint [--root <dir>] [--json]` — runs the workspace policy
+/// check (see [`puffer_audit::lint`]) and exits non-zero when any
+/// unwaived finding remains. This is the CI gate. With `--json` the
+/// findings come out as JSONL (one flat object per line) and the human
+/// summary line is suppressed, for tooling that consumes the gate.
 fn cmd_lint(args: &[String], out: &mut String) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["root"], &[])?;
+    let flags = Flags::parse(args, &["root"], &["json"])?;
     if !flags.positional.is_empty() {
         return Err(CliError::usage("lint takes no positional arguments"));
     }
@@ -1261,17 +1263,21 @@ fn cmd_lint(args: &[String], out: &mut String) -> Result<(), CliError> {
         root: Path::new(root).to_path_buf(),
     })
     .map_err(|e| CliError::run(format!("lint failed: {e}")))?;
-    for finding in &report.findings {
-        let _ = writeln!(out, "{finding}");
+    if flags.has("json") {
+        out.push_str(&report.json_lines());
+    } else {
+        for finding in &report.findings {
+            let _ = writeln!(out, "{finding}");
+        }
+        let _ = writeln!(
+            out,
+            "lint: {} files in {} crates, {} finding(s), {} waived",
+            report.files_scanned,
+            report.crates_scanned,
+            report.findings.len(),
+            report.waived
+        );
     }
-    let _ = writeln!(
-        out,
-        "lint: {} files in {} crates, {} finding(s), {} waived",
-        report.files_scanned,
-        report.crates_scanned,
-        report.findings.len(),
-        report.waived
-    );
     if report.findings.is_empty() {
         Ok(())
     } else {
@@ -1914,6 +1920,38 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code, 1);
         assert!(err.message.contains("lint failed"), "{}", err.message);
+    }
+
+    #[test]
+    fn lint_json_emits_jsonl_findings_without_the_summary_line() {
+        // A minimal one-crate workspace with a single no-panic violation.
+        let root = std::env::temp_dir().join("puffer-cli-tests").join("lint-json");
+        let _ = std::fs::remove_dir_all(&root);
+        let src = root.join("crates").join("db").join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            root.join("crates").join("db").join("Cargo.toml"),
+            "[package]\nname = \"puffer-db\"\n",
+        )
+        .unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn bad(v: Option<u8>) -> u8 { v.unwrap() }\n",
+        )
+        .unwrap();
+
+        let mut out = String::new();
+        let err = run(
+            &strs(&["lint", "--root", root.to_str().unwrap(), "--json"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1, "{out}");
+        assert!(lines[0].starts_with("{\"rule\":\"no-panic\""), "{out}");
+        assert!(lines[0].contains("\"line\":2"), "{out}");
+        assert!(!out.contains("lint:"), "summary line must be suppressed: {out}");
     }
 
     #[test]

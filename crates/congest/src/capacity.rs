@@ -6,6 +6,7 @@
 //! height, minus the tracks blocked by macros overlapping the Gcell, minus a
 //! uniform power-grid derate.
 
+use puffer_db::cast;
 use crate::EstimatorConfig;
 use puffer_db::design::Design;
 use puffer_db::grid::Grid;
@@ -20,8 +21,8 @@ pub fn build_capacity(design: &Design, config: &EstimatorConfig) -> (Grid<f64>, 
     let tech = design.tech();
     let region = design.region();
     let gsize = (config.gcell_rows * tech.row_height).max(tech.row_height);
-    let nx = (region.width() / gsize).ceil().max(1.0) as usize;
-    let ny = (region.height() / gsize).ceil().max(1.0) as usize;
+    let nx = cast::trunc_idx((region.width() / gsize).ceil().max(1.0));
+    let ny = cast::trunc_idx((region.height() / gsize).ceil().max(1.0));
 
     let mut h_cap: Grid<f64> = Grid::new(region, nx, ny);
     let mut v_cap: Grid<f64> = Grid::new(region, nx, ny);

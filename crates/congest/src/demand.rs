@@ -16,6 +16,7 @@
 //! median of unquantized pin positions could land on the far side of a
 //! Gcell edge even when no pin's Gcell changed.
 
+use puffer_db::cast;
 use crate::CongestError;
 use puffer_db::design::{Design, Placement};
 use puffer_db::grid::Grid;
@@ -187,25 +188,25 @@ pub(crate) fn build_chunk_partial(
                 let lo = if local == 0 {
                     0
                 } else {
-                    prev_part.net_ends[local - 1] as usize
+                    cast::u32_idx(prev_part.net_ends[local - 1])
                 };
-                let hi = prev_part.net_ends[local] as usize;
+                let hi = cast::u32_idx(prev_part.net_ends[local]);
                 for rec in &prev_part.segs[lo..hi] {
                     deposit(&mut part.h, &mut part.v, rec);
                 }
                 part.segs.extend_from_slice(&prev_part.segs[lo..hi]);
-                part.net_ends.push(part.segs.len() as u32);
+                part.net_ends.push(cast::idx_u32(part.segs.len()));
                 continue;
             }
         }
-        let net_id = NetId(i as u32);
+        let net_id = NetId(cast::idx_u32(i));
         if netlist.net(net_id).degree() < 2 {
-            part.net_ends.push(part.segs.len() as u32);
+            part.net_ends.push(cast::idx_u32(part.segs.len()));
             continue;
         }
         let Some((base_x, base_y)) = net_offsets(netlist, placement, template, net_id, &mut offsets)
         else {
-            part.net_ends.push(part.segs.len() as u32);
+            part.net_ends.push(cast::idx_u32(part.segs.len()));
             continue;
         };
         let mut emit = |rec: &SegmentRecord| {
@@ -238,7 +239,7 @@ pub(crate) fn build_chunk_partial(
                 }
             }
         }
-        part.net_ends.push(part.segs.len() as u32);
+        part.net_ends.push(cast::idx_u32(part.segs.len()));
     }
     part
 }
@@ -257,7 +258,7 @@ pub(crate) fn net_offsets(
     offsets.clear();
     for &pid in &netlist.net(net_id).pins {
         let (ix, iy) = template.cell_of(placement.pin_pos(netlist, pid));
-        offsets.push((ix as u32, iy as u32));
+        offsets.push((cast::idx_u32(ix), cast::idx_u32(iy)));
     }
     let base_x = offsets.iter().map(|c| c.0).min()?;
     let base_y = offsets.iter().map(|c| c.1).min()?;
@@ -267,7 +268,7 @@ pub(crate) fn net_offsets(
     }
     offsets.sort_unstable();
     offsets.dedup();
-    Some((base_x as usize, base_y as usize))
+    Some((cast::u32_idx(base_x), cast::u32_idx(base_y)))
 }
 
 /// Canonical RSMT decomposition of a fingerprint, as segment records in
@@ -282,10 +283,10 @@ pub(crate) fn decompose_offsets(offsets: &[(u32, u32)]) -> Vec<SegmentRecord> {
             let na = topo.nodes()[seg.a];
             let nb = topo.nodes()[seg.b];
             SegmentRecord {
-                ax: na.pos.x as usize,
-                ay: na.pos.y as usize,
-                bx: nb.pos.x as usize,
-                by: nb.pos.y as usize,
+                ax: cast::trunc_idx(na.pos.x),
+                ay: cast::trunc_idx(na.pos.y),
+                bx: cast::trunc_idx(nb.pos.x),
+                by: cast::trunc_idx(nb.pos.y),
                 a_steiner: na.kind.is_steiner(),
                 b_steiner: nb.kind.is_steiner(),
             }
@@ -303,7 +304,7 @@ pub(crate) fn add_pin_penalty(
 ) {
     if pin_penalty > 0.0 {
         for i in 0..netlist.num_pins() {
-            let pid = puffer_db::netlist::PinId(i as u32);
+            let pid = puffer_db::netlist::PinId(cast::idx_u32(i));
             let pos = placement.pin_pos(netlist, pid);
             let (ix, iy) = h_dmd.cell_of(pos);
             *h_dmd.at_mut(ix, iy) += pin_penalty;
@@ -339,8 +340,8 @@ pub(crate) fn deposit(h_dmd: &mut Grid<f64>, v_dmd: &mut Grid<f64>, rec: &Segmen
         SegmentShape::Ell => {
             // Average of the two L routes: horizontal demand 1/nrows per
             // bbox Gcell, vertical demand 1/ncols per bbox Gcell.
-            let nrows = (y1 - y0 + 1) as f64;
-            let ncols = (x1 - x0 + 1) as f64;
+            let nrows = cast::idx_f64(y1 - y0 + 1);
+            let ncols = cast::idx_f64(x1 - x0 + 1);
             let h_share = 1.0 / nrows;
             let v_share = 1.0 / ncols;
             let h = h_dmd.as_mut_slice();

@@ -12,6 +12,7 @@
 //! * if the endpoint is a **pin**, the owning cell can simply move with the
 //!   expansion, so no extra demand is added — imitating cell spreading.
 
+use puffer_db::cast;
 use crate::demand::{SegmentRecord, SegmentShape};
 use crate::map::CongestionMap;
 use crate::EstimatorConfig;
@@ -52,11 +53,11 @@ fn expand_horizontal(map: &mut CongestionMap, rec: &SegmentRecord, config: &Esti
     let mut candidates: Vec<(usize, f64)> = Vec::new();
     for k in 1..=config.expansion_radius {
         for dir in [-1i64, 1i64] {
-            let yy = y as i64 + dir * k as i64;
-            if yy < 0 || yy >= ny as i64 {
+            let yy = cast::idx_i64(y) + dir * cast::idx_i64(k);
+            if yy < 0 || yy >= cast::idx_i64(ny) {
                 continue;
             }
-            let yy = yy as usize;
+            let yy = cast::i64_idx(yy);
             let slack: f64 = (x0..=x1)
                 .map(|x| (map.h_capacity().at(x, yy) - map.h_demand().at(x, yy)).max(0.0))
                 .sum();
@@ -70,7 +71,7 @@ fn expand_horizontal(map: &mut CongestionMap, rec: &SegmentRecord, config: &Esti
         return;
     }
 
-    let span = (x1 - x0 + 1) as f64;
+    let span = cast::idx_f64(x1 - x0 + 1);
     for (yy, slack) in candidates {
         // Share of the moved demand this row absorbs, capped by its slack.
         let share = movable * (slack / total_slack);
@@ -113,11 +114,11 @@ fn expand_vertical(map: &mut CongestionMap, rec: &SegmentRecord, config: &Estima
     let mut candidates: Vec<(usize, f64)> = Vec::new();
     for k in 1..=config.expansion_radius {
         for dir in [-1i64, 1i64] {
-            let xx = x as i64 + dir * k as i64;
-            if xx < 0 || xx >= nx as i64 {
+            let xx = cast::idx_i64(x) + dir * cast::idx_i64(k);
+            if xx < 0 || xx >= cast::idx_i64(nx) {
                 continue;
             }
-            let xx = xx as usize;
+            let xx = cast::i64_idx(xx);
             let slack: f64 = (y0..=y1)
                 .map(|y| (map.v_capacity().at(xx, y) - map.v_demand().at(xx, y)).max(0.0))
                 .sum();
@@ -131,7 +132,7 @@ fn expand_vertical(map: &mut CongestionMap, rec: &SegmentRecord, config: &Estima
         return;
     }
 
-    let span = (y1 - y0 + 1) as f64;
+    let span = cast::idx_f64(y1 - y0 + 1);
     for (xx, slack) in candidates {
         let share = movable * (slack / total_slack);
         let absorbed = share.min(slack / span.max(1.0));

@@ -22,15 +22,17 @@
 //! actually lands.
 
 use crate::demand::{self, ChunkPartial, SegmentRecord};
+use puffer_db::cast;
 use puffer_db::design::{Design, Placement};
 use puffer_db::grid::Grid;
 use puffer_db::netlist::PinId;
-use std::collections::HashMap;
+use puffer_budget::lockcheck::{classes, lock_ordered};
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Fingerprint-keyed memo of RSMT decompositions (segmented LRU).
 ///
-/// Two hash maps, `hot` and `cold`: hits in `hot` are served directly, hits
+/// Two *ordered* maps, `hot` and `cold`: hits in `hot` are served directly, hits
 /// in `cold` promote the entry back to `hot`, misses build and insert into
 /// `hot`. When `hot` outgrows the capacity, `cold` is dropped and `hot`
 /// rotates into its place — an O(1) amortized generational eviction that
@@ -38,8 +40,8 @@ use std::sync::Mutex;
 /// fingerprints resident across rip-up rounds.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct RsmtCache {
-    hot: HashMap<Vec<(u32, u32)>, Vec<SegmentRecord>>,
-    cold: HashMap<Vec<(u32, u32)>, Vec<SegmentRecord>>,
+    hot: BTreeMap<Vec<(u32, u32)>, Vec<SegmentRecord>>,
+    cold: BTreeMap<Vec<(u32, u32)>, Vec<SegmentRecord>>,
     cap: usize,
     hits: u64,
     misses: u64,
@@ -48,8 +50,8 @@ pub(crate) struct RsmtCache {
 impl RsmtCache {
     pub(crate) fn new(cap: usize) -> Self {
         RsmtCache {
-            hot: HashMap::new(),
-            cold: HashMap::new(),
+            hot: BTreeMap::new(),
+            cold: BTreeMap::new(),
             cap: cap.max(16),
             hits: 0,
             misses: 0,
@@ -127,7 +129,7 @@ impl DirtyStats {
         if self.nets == 0 {
             return 0.0;
         }
-        1.0 - self.nets_rebuilt as f64 / self.nets as f64
+        1.0 - cast::idx_f64(self.nets_rebuilt) / cast::idx_f64(self.nets)
     }
 }
 
@@ -165,7 +167,7 @@ impl Clone for IncrementalState {
             caches: self
                 .caches
                 .iter()
-                .map(|m| Mutex::new(m.lock().unwrap_or_else(|p| p.into_inner()).clone()))
+                .map(|m| Mutex::new(lock_ordered(m, &classes::CONGEST_RSMT).clone()))
                 .collect(),
         }
     }
@@ -182,13 +184,13 @@ fn quantize_pins(
     threads: usize,
 ) -> Result<Vec<u32>, crate::CongestError> {
     let netlist = design.netlist();
-    let nx = template.nx() as u32;
+    let nx = cast::idx_u32(template.nx());
     let parts = puffer_par::try_map_chunks(netlist.num_pins(), threads, |range| {
         range
             .map(|i| {
-                let pos = placement.pin_pos(netlist, PinId(i as u32));
+                let pos = placement.pin_pos(netlist, PinId(cast::idx_u32(i)));
                 let (ix, iy) = template.cell_of(pos);
-                iy as u32 * nx + ix as u32
+                cast::idx_u32(iy) * nx + cast::idx_u32(ix)
             })
             .collect::<Vec<u32>>()
     })
@@ -241,12 +243,12 @@ pub(crate) fn try_build_demand_incremental(
     // Per-net dirty flag: any pin whose Gcell changed marks its net dirty.
     let mut net_dirty = vec![prev.is_none(); num_nets];
     if let Some(p) = &prev {
-        let mut dirty_cells: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut dirty_cells: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
         for (i, (&cell, &prev_cell)) in pin_cells.iter().zip(&p.pin_cells).enumerate() {
             if cell != prev_cell {
                 dirty_cells.insert(cell);
                 dirty_cells.insert(prev_cell);
-                let pin = netlist.pin(PinId(i as u32));
+                let pin = netlist.pin(PinId(cast::idx_u32(i)));
                 net_dirty[pin.net.index()] = true;
             }
         }
@@ -294,7 +296,7 @@ pub(crate) fn try_build_demand_incremental(
             .position(|r| r.start == range.start && r.end == range.end);
         match chunk {
             Some(c) if chunk_dirty[c] => {
-                let mut cache = caches[c].lock().unwrap_or_else(|e| e.into_inner());
+                let mut cache = lock_ordered(&caches[c], &classes::CONGEST_RSMT);
                 let replay = prev_ref.map(|p| (&p.partials[c], &net_dirty[range.clone()]));
                 Some(demand::build_chunk_partial(
                     netlist,

@@ -52,6 +52,7 @@ use puffer_budget::Budget;
 /// Shared worker-thread defaults (hoisted to `puffer-budget` so the
 /// estimator and the global router clamp identically).
 pub use puffer_budget::{clamp_threads, default_threads};
+use puffer_db::cast;
 use puffer_db::design::{Design, Placement};
 use puffer_db::grid::Grid;
 use puffer_trace::Trace;
@@ -277,14 +278,14 @@ impl CongestionEstimator {
         if self.trace.is_enabled() {
             self.trace
                 .record("congest.dirty")
-                .int("nets", stats.nets as i64)
-                .int("nets_dirty", stats.nets_dirty as i64)
-                .int("nets_rebuilt", stats.nets_rebuilt as i64)
-                .int("chunks", stats.chunks as i64)
-                .int("chunks_dirty", stats.chunks_dirty as i64)
-                .int("gcells_dirty", stats.gcells_dirty as i64)
-                .int("rsmt_hits", stats.rsmt_hits as i64)
-                .int("rsmt_misses", stats.rsmt_misses as i64)
+                .int("nets", cast::idx_i64(stats.nets))
+                .int("nets_dirty", cast::idx_i64(stats.nets_dirty))
+                .int("nets_rebuilt", cast::idx_i64(stats.nets_rebuilt))
+                .int("chunks", cast::idx_i64(stats.chunks))
+                .int("chunks_dirty", cast::idx_i64(stats.chunks_dirty))
+                .int("gcells_dirty", cast::idx_i64(stats.gcells_dirty))
+                .int("rsmt_hits", cast::u64_i64(stats.rsmt_hits))
+                .int("rsmt_misses", cast::u64_i64(stats.rsmt_misses))
                 .num("reuse", stats.reuse_rate())
                 .write();
         }
@@ -315,7 +316,7 @@ impl CongestionEstimator {
                     "capacity",
                     map.h_capacity().sum() + map.v_capacity().sum(),
                 )
-                .int("congested", map.congested_cells() as i64)
+                .int("congested", cast::idx_i64(map.congested_cells()))
                 .nums("h_hist", &congestion_histogram(&map, true))
                 .nums("v_hist", &congestion_histogram(&map, false))
                 .write();
@@ -336,7 +337,7 @@ fn congestion_histogram(map: &CongestionMap, horizontal: bool) -> Vec<f64> {
             } else {
                 map.cg_v(ix, iy)
             };
-            let bucket = ((cg / 0.25) as usize).min(7);
+            let bucket = cast::trunc_idx(cg / 0.25).min(7);
             hist[bucket] += 1.0;
         }
     }
@@ -578,6 +579,53 @@ mod tests {
             dirty[1].num("nets_dirty").unwrap() <= dirty[1].num("nets_rebuilt").unwrap(),
             "dirty nets are a subset of rebuilt nets"
         );
+    }
+
+    #[test]
+    fn dirty_records_are_byte_identical_run_to_run() {
+        // Determinism regression for the RSMT cache: eviction/demotion are
+        // ordered-map operations, so hit/miss counters — and therefore the
+        // whole congest.dirty record stream — must reproduce exactly. A
+        // HashMap-backed cache segment would let iteration order leak into
+        // the counters and break this byte-compare.
+        let d = tiny_design();
+        let dir = std::env::temp_dir().join("puffer-congest-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |path: &std::path::Path| {
+            let mut est = CongestionEstimator::new(&d, EstimatorConfig::default());
+            let trace = Trace::with_sink(path).unwrap();
+            est.set_trace(trace.clone());
+            let mut p = d.initial_placement();
+            for round in 0..4 {
+                est.estimate_incremental(&d, &p);
+                perturb(&d, &mut p, round);
+            }
+            trace.flush().unwrap();
+        };
+        let (a, b) = (dir.join("dirty-a.jsonl"), dir.join("dirty-b.jsonl"));
+        run(&a);
+        run(&b);
+        // `elapsed_s` is measured wall-clock time — the only field allowed
+        // to differ between runs. Everything else must match byte for byte.
+        let mask_elapsed = |l: &str| -> String {
+            let start = l.find("\"elapsed_s\":").expect("record has elapsed_s");
+            let rest = &l[start..];
+            let end = start + rest.find(',').expect("elapsed_s is not last");
+            format!("{}{}", &l[..start], &l[end..])
+        };
+        let dirty_lines = |p: &std::path::Path| -> Vec<String> {
+            std::fs::read_to_string(p)
+                .unwrap()
+                .lines()
+                .filter(|l| l.contains("\"congest.dirty\""))
+                .map(mask_elapsed)
+                .collect()
+        };
+        let (la, lb) = (dirty_lines(&a), dirty_lines(&b));
+        assert_eq!(la.len(), 4);
+        assert_eq!(la, lb, "congest.dirty records must be byte-identical");
+        // The comparison is only meaningful if the cache actually worked.
+        assert!(la[1].contains("\"rsmt_hits\""));
     }
 
     #[test]

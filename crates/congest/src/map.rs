@@ -1,5 +1,6 @@
 //! The congestion map and the paper's overflow/congestion quantities.
 
+use puffer_db::cast;
 use puffer_db::grid::Grid;
 
 /// Per-Gcell capacity and demand in both routing directions, with the
@@ -181,9 +182,10 @@ impl CongestionMap {
         for iy in (0..self.ny()).rev() {
             for ix in 0..self.nx() {
                 let u = dmd.at(ix, iy) / cap.at(ix, iy).max(1e-9);
-                let level = ((u / 2.0) * (RAMP.len() - 1) as f64)
+                let level = ((u / 2.0) * cast::idx_f64(RAMP.len() - 1))
                     .round()
-                    .clamp(0.0, (RAMP.len() - 1) as f64) as usize;
+                    .clamp(0.0, cast::idx_f64(RAMP.len() - 1));
+        let level = cast::trunc_idx(level);
                 out.push(RAMP[level] as char);
             }
             out.push('\n');
@@ -205,7 +207,7 @@ impl CongestionMap {
         for iy in (0..self.ny()).rev() {
             for ix in 0..self.nx() {
                 let u = dmd.at(ix, iy) / cap.at(ix, iy).max(1e-9);
-                out.push(((u / 2.0).clamp(0.0, 1.0) * 255.0).round() as u8);
+                out.push(cast::round_u8((u / 2.0).clamp(0.0, 1.0) * 255.0));
             }
         }
         out

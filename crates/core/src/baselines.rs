@@ -23,7 +23,7 @@ use puffer_db::hpwl::total_hpwl;
 use puffer_legal::{check_legal, legalize};
 use puffer_place::{GlobalPlacer, PlacerConfig};
 use puffer_route::{GlobalRouter, RouterConfig};
-use std::time::Instant;
+use puffer_budget::clock::Stopwatch;
 
 /// Configuration of the commercial-style reference flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,7 +81,7 @@ impl ReferencePlacer {
     ///
     /// Returns [`PufferError`] under the same conditions as the PUFFER flow.
     pub fn place(&self, design: &Design) -> Result<FlowResult, PufferError> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let mut placer = GlobalPlacer::new(design, self.config.placer.clone())
             .map_err(|e| PufferError::Place(e.to_string()))?;
         let router = GlobalRouter::new(design, self.config.router.clone());
@@ -144,7 +144,7 @@ impl ReferencePlacer {
             gp_iterations: placer.iterations(),
             pad_rounds: analyses,
             final_overflow: placer.overflow(),
-            runtime_s: start.elapsed().as_secs_f64(),
+            runtime_s: start.elapsed_secs(),
             avg_displacement: outcome.avg_displacement,
             degradation: Vec::new(),
             cancelled: false,
@@ -217,7 +217,7 @@ impl ReplacePlacer {
     ///
     /// Returns [`PufferError`] under the same conditions as the PUFFER flow.
     pub fn place(&self, design: &Design) -> Result<FlowResult, PufferError> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let mut placer = GlobalPlacer::new(design, self.config.placer.clone())
             .map_err(|e| PufferError::Place(e.to_string()))?;
         let estimator = CongestionEstimator::new(design, self.config.estimator.clone());
@@ -276,7 +276,7 @@ impl ReplacePlacer {
             gp_iterations: placer.iterations(),
             pad_rounds: passes,
             final_overflow: placer.overflow(),
-            runtime_s: start.elapsed().as_secs_f64(),
+            runtime_s: start.elapsed_secs(),
             avg_displacement: outcome.avg_displacement,
             degradation: Vec::new(),
             cancelled: false,
@@ -345,7 +345,7 @@ impl WsaPlacer {
     /// Returns [`PufferError`] under the same conditions as the PUFFER flow.
     pub fn place(&self, design: &Design) -> Result<FlowResult, PufferError> {
         use puffer_db::grid::Grid;
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let mut placer = GlobalPlacer::new(design, self.config.placer.clone())
             .map_err(|e| PufferError::Place(e.to_string()))?;
         let estimator = CongestionEstimator::new(design, self.config.estimator.clone());
@@ -406,7 +406,7 @@ impl WsaPlacer {
             gp_iterations: placer.iterations(),
             pad_rounds: passes,
             final_overflow: placer.overflow(),
-            runtime_s: start.elapsed().as_secs_f64(),
+            runtime_s: start.elapsed_secs(),
             avg_displacement: outcome.avg_displacement,
             degradation: Vec::new(),
             cancelled: false,

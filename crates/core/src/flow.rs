@@ -16,7 +16,7 @@ use puffer_trace::Trace;
 use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Instant;
+use puffer_budget::clock::Stopwatch;
 
 /// Configuration of the PUFFER flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -341,7 +341,7 @@ impl PufferPlacer {
         policy: Option<&CheckpointPolicy>,
         from: Option<FlowCheckpoint>,
     ) -> Result<FlowResult, PufferError> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let trace = &self.trace;
         let budget = &self.budget;
         let init_span = trace.span("init");
@@ -530,7 +530,7 @@ impl PufferPlacer {
                         let cap = std::time::Duration::from_millis(
                             (25 * plan.magnitude.max(1) as u64).min(2_000),
                         );
-                        let held = Instant::now();
+                        let held = Stopwatch::start();
                         while stalled.is_none() && held.elapsed() < cap && !budget.is_exhausted()
                         {
                             std::thread::sleep(std::time::Duration::from_millis(5));
@@ -699,7 +699,7 @@ impl PufferPlacer {
             gp_iterations: placer.iterations(),
             pad_rounds: optimizer.state().round,
             final_overflow: placer.overflow(),
-            runtime_s: start.elapsed().as_secs_f64(),
+            runtime_s: start.elapsed_secs(),
             avg_displacement: outcome.avg_displacement,
             degradation: engaged,
             cancelled,

@@ -26,7 +26,7 @@ use crate::error::DbError;
 use crate::geom::{Point, Rect};
 use crate::netlist::{CellId, CellKind, NetlistBuilder};
 use crate::tech::Technology;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Parses a Bookshelf design from in-memory file contents.
@@ -45,8 +45,8 @@ pub fn parse_bookshelf(
     scl: &str,
 ) -> Result<Design, DbError> {
     let mut nb = NetlistBuilder::new();
-    let mut by_name: HashMap<String, CellId> = HashMap::new();
-    let mut sizes: HashMap<String, (f64, f64)> = HashMap::new();
+    let mut by_name: BTreeMap<String, CellId> = BTreeMap::new();
+    let mut sizes: BTreeMap<String, (f64, f64)> = BTreeMap::new();
 
     // --- .nodes --------------------------------------------------------
     for (lineno, line) in content_lines(nodes, "UCLA nodes") {

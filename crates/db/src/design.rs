@@ -4,6 +4,7 @@
 //! core placement region, standard-cell rows, and fixed-macro locations.
 //! [`Placement`] is a positional solution: one center coordinate per cell.
 
+use crate::cast;
 use crate::error::DbError;
 use crate::geom::{Point, Rect};
 use crate::netlist::{CellId, CellKind, Netlist};
@@ -64,7 +65,7 @@ impl Design {
         if region.width() <= 0.0 || region.height() <= 0.0 {
             return Err(DbError::Validate("placement region is degenerate".into()));
         }
-        let n_rows = (region.height() / tech.row_height).floor() as usize;
+        let n_rows = cast::floor_idx(region.height() / tech.row_height);
         if n_rows == 0 {
             return Err(DbError::Validate(
                 "placement region shorter than one row".into(),
@@ -72,7 +73,7 @@ impl Design {
         }
         let rows = (0..n_rows)
             .map(|i| Row {
-                y: region.yl + i as f64 * tech.row_height,
+                y: region.yl + cast::idx_f64(i) * tech.row_height,
                 x_min: region.xl,
                 x_max: region.xh,
             })

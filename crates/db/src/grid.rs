@@ -4,6 +4,7 @@
 //! Gcell maps of the congestion estimator (paper §II-C) are uniform grids
 //! over the same region; [`Grid`] is the shared representation.
 
+use crate::cast;
 use crate::geom::{Point, Rect};
 
 /// A dense `nx × ny` grid of `T` laid over a rectangular region.
@@ -52,8 +53,8 @@ impl<T: Clone> Grid<T> {
             region.width() > 0.0 && region.height() > 0.0,
             "grid region is degenerate"
         );
-        let dx = region.width() / nx as f64;
-        let dy = region.height() / ny as f64;
+        let dx = region.width() / cast::idx_f64(nx);
+        let dy = region.height() / cast::idx_f64(ny);
         Grid {
             region,
             nx,
@@ -159,15 +160,15 @@ impl<T> Grid<T> {
         let ix = ((p.x - self.region.xl) / self.dx).floor();
         let iy = ((p.y - self.region.yl) / self.dy).floor();
         (
-            (ix.max(0.0) as usize).min(self.nx - 1),
-            (iy.max(0.0) as usize).min(self.ny - 1),
+            cast::trunc_idx(ix.max(0.0)).min(self.nx - 1),
+            cast::trunc_idx(iy.max(0.0)).min(self.ny - 1),
         )
     }
 
     /// The rectangle covered by cell `(ix, iy)`.
     pub fn cell_rect(&self, ix: usize, iy: usize) -> Rect {
-        let xl = self.region.xl + ix as f64 * self.dx;
-        let yl = self.region.yl + iy as f64 * self.dy;
+        let xl = self.region.xl + cast::idx_f64(ix) * self.dx;
+        let yl = self.region.yl + cast::idx_f64(iy) * self.dy;
         Rect::new(xl, yl, xl + self.dx, yl + self.dy)
     }
 
@@ -180,16 +181,16 @@ impl<T> Grid<T> {
         }
         let c = r.intersection(&self.region);
         let ix_lo =
-            (((c.xl - self.region.xl) / self.dx).floor().max(0.0) as usize).min(self.nx - 1);
+            cast::trunc_idx(((c.xl - self.region.xl) / self.dx).floor().max(0.0)).min(self.nx - 1);
         let iy_lo =
-            (((c.yl - self.region.yl) / self.dy).floor().max(0.0) as usize).min(self.ny - 1);
+            cast::trunc_idx(((c.yl - self.region.yl) / self.dy).floor().max(0.0)).min(self.ny - 1);
         // Subtract a hair so rects ending exactly on a boundary do not bleed
         // into the next cell.
         let eps = 1e-12 * (self.dx + self.dy);
         let ix_hi =
-            (((c.xh - self.region.xl) / self.dx - eps).floor().max(0.0) as usize).min(self.nx - 1);
+            cast::trunc_idx(((c.xh - self.region.xl) / self.dx - eps).floor().max(0.0)).min(self.nx - 1);
         let iy_hi =
-            (((c.yh - self.region.yl) / self.dy - eps).floor().max(0.0) as usize).min(self.ny - 1);
+            cast::trunc_idx(((c.yh - self.region.yl) / self.dy - eps).floor().max(0.0)).min(self.ny - 1);
         Some((ix_lo, ix_hi.max(ix_lo), iy_lo, iy_hi.max(iy_lo)))
     }
 
@@ -253,12 +254,12 @@ impl Grid<f64> {
         // result is bit-identical), at half the arithmetic and without
         // materializing a Rect per cell.
         for iy in iy_lo..=iy_hi {
-            let cyl = self.region.yl + iy as f64 * self.dy;
+            let cyl = self.region.yl + cast::idx_f64(iy) * self.dy;
             let oyl = clipped.yl.max(cyl);
             let oy = clipped.yh.min(cyl + self.dy).max(oyl) - oyl;
             let row = iy * self.nx;
             for ix in ix_lo..=ix_hi {
-                let cxl = self.region.xl + ix as f64 * self.dx;
+                let cxl = self.region.xl + cast::idx_f64(ix) * self.dx;
                 let oxl = clipped.xl.max(cxl);
                 let ox = clipped.xh.min(cxl + self.dx).max(oxl) - oxl;
                 let ov = ox * oy;

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bookshelf;
+pub mod cast;
 pub mod design;
 pub mod error;
 pub mod geom;

@@ -24,7 +24,7 @@ macro_rules! id_type {
             /// The id as a `usize` index into the owning collection.
             #[inline]
             pub fn index(self) -> usize {
-                self.0 as usize
+                crate::cast::u32_idx(self.0)
             }
         }
 
@@ -213,7 +213,7 @@ impl Netlist {
         self.cells
             .iter()
             .enumerate()
-            .map(|(i, c)| (CellId(i as u32), c))
+            .map(|(i, c)| (CellId(crate::cast::idx_u32(i)), c))
     }
 
     /// Iterator over `(NetId, &Net)` pairs.
@@ -221,7 +221,7 @@ impl Netlist {
         self.nets
             .iter()
             .enumerate()
-            .map(|(i, n)| (NetId(i as u32), n))
+            .map(|(i, n)| (NetId(crate::cast::idx_u32(i)), n))
     }
 
     /// Ids of all movable cells.
@@ -330,7 +330,7 @@ impl NetlistBuilder {
                 "cell '{name}' height must be positive and finite, got {height}"
             )));
         }
-        let id = CellId(self.cells.len() as u32);
+        let id = CellId(crate::cast::idx_u32(self.cells.len()));
         self.cells.push(Cell {
             name,
             width,
@@ -374,7 +374,7 @@ impl NetlistBuilder {
                 "net '{name}' weight must be non-negative and finite, got {weight}"
             )));
         }
-        let id = NetId(self.nets.len() as u32);
+        let id = NetId(crate::cast::idx_u32(self.nets.len()));
         self.nets.push(Net {
             name,
             pins: Vec::new(),
@@ -396,7 +396,7 @@ impl NetlistBuilder {
         if net.index() >= self.nets.len() {
             return Err(DbError::BadId(format!("{net} while connecting {cell}")));
         }
-        let id = PinId(self.pins.len() as u32);
+        let id = PinId(crate::cast::idx_u32(self.pins.len()));
         self.pins.push(Pin { cell, net, offset });
         self.cells[cell.index()].pins.push(id);
         self.nets[net.index()].pins.push(id);

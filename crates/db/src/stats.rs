@@ -1,5 +1,6 @@
 //! Design statistics in the shape of the paper's Table I.
 
+use crate::cast;
 use crate::design::Design;
 use std::fmt;
 
@@ -43,7 +44,7 @@ impl DesignStats {
         if self.movable_cells == 0 {
             0.0
         } else {
-            self.movable_pins as f64 / self.movable_cells as f64
+            cast::idx_f64(self.movable_pins) / cast::idx_f64(self.movable_cells)
         }
     }
 }
@@ -63,7 +64,7 @@ pub fn format_k(n: usize) -> String {
     if n < 1000 {
         n.to_string()
     } else {
-        format!("{}K", (n as f64 / 1000.0).round() as usize)
+        format!("{}K", cast::round_idx(cast::idx_f64(n) / 1000.0))
     }
 }
 

@@ -5,6 +5,7 @@
 //! padding, congestion contribution, displacement…). This is the plotting
 //! path used for placement figures in reports and the CLI `draw` command.
 
+use crate::cast;
 use crate::design::{Design, Placement};
 use std::fmt::Write as _;
 
@@ -93,8 +94,8 @@ pub fn render_svg(design: &Design, placement: &Placement, options: &SvgOptions) 
             Some(v) => {
                 let t = ((v[id.index()] - lo) / (hi - lo)).clamp(0.0, 1.0);
                 // Blue (cold) to red (hot).
-                let red = (60.0 + 195.0 * t) as u8;
-                let blue = (204.0 - 170.0 * t) as u8;
+                let red = cast::trunc_u8(60.0 + 195.0 * t);
+                let blue = cast::trunc_u8(204.0 - 170.0 * t);
                 format!("#{red:02x}50{blue:02x}")
             }
         };

@@ -120,7 +120,7 @@ impl Topology {
         sorted.dedup();
         let pts: Vec<(Point, PinId)> = sorted
             .iter()
-            .map(|&(x, y)| (Point::new(x as f64, y as f64), PinId(u32::MAX)))
+            .map(|&(x, y)| (Point::new(f64::from(x), f64::from(y)), PinId(u32::MAX)))
             .collect();
         Self::build(&pts)
     }

@@ -13,6 +13,7 @@
 //!   maximum congestion along the route — information aggregated over the
 //!   routing topology graph rather than Euclidean space.
 
+use puffer_db::cast;
 use puffer_congest::CongestionMap;
 use puffer_db::design::{Design, Placement};
 use puffer_db::grid::Grid;
@@ -37,6 +38,21 @@ pub enum Feature {
     PinCongestion = 4,
 }
 
+impl Feature {
+    /// Row offset of this feature in a [`FeatureMatrix`] row; mirrors the
+    /// enum discriminants without an `as` cast.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Feature::LocalCongestion => 0,
+            Feature::LocalPinDensity => 1,
+            Feature::SurroundCongestion => 2,
+            Feature::SurroundPinDensity => 3,
+            Feature::PinCongestion => 4,
+        }
+    }
+}
+
 /// Dense per-cell feature storage: `cells × NUM_FEATURES`, row-major.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FeatureMatrix {
@@ -56,7 +72,7 @@ impl FeatureMatrix {
         assert!(lcg.len() <= num_cells, "more congestion values than cells");
         let mut m = Self::zeroed(num_cells);
         for (i, &v) in lcg.iter().enumerate() {
-            m.set(CellId(i as u32), Feature::LocalCongestion, v);
+            m.set(CellId(cast::idx_u32(i)), Feature::LocalCongestion, v);
         }
         m
     }
@@ -81,11 +97,11 @@ impl FeatureMatrix {
 
     /// One feature value.
     pub fn get(&self, cell: CellId, feature: Feature) -> f64 {
-        self.data[cell.index() * NUM_FEATURES + feature as usize]
+        self.data[cell.index() * NUM_FEATURES + feature.index()]
     }
 
     pub(crate) fn set(&mut self, cell: CellId, feature: Feature, value: f64) {
-        self.data[cell.index() * NUM_FEATURES + feature as usize] = value;
+        self.data[cell.index() * NUM_FEATURES + feature.index()] = value;
     }
 }
 
@@ -134,7 +150,7 @@ pub fn extract_features(
     let sites_per_gcell = (template.dx() * template.dy() / site_area).max(1.0);
     let mut pin_density: Grid<f64> = Grid::new(template.region(), template.nx(), template.ny());
     for i in 0..netlist.num_pins() {
-        let pid = puffer_db::netlist::PinId(i as u32);
+        let pid = puffer_db::netlist::PinId(cast::idx_u32(i));
         let (ix, iy) = pin_density.cell_of(placement.pin_pos(netlist, pid));
         *pin_density.at_mut(ix, iy) += 1.0 / sites_per_gcell;
     }
@@ -334,7 +350,7 @@ impl PrefixSum2D {
             - self.sums[y_lo * w + (x_hi + 1)]
             - self.sums[(y_hi + 1) * w + x_lo]
             + self.sums[y_lo * w + x_lo];
-        total / ((x_hi - x_lo + 1) * (y_hi - y_lo + 1)) as f64
+        total / cast::idx_f64((x_hi - x_lo + 1) * (y_hi - y_lo + 1))
     }
 }
 

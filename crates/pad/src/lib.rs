@@ -45,6 +45,7 @@ pub use padding::{
 };
 pub use strategy::{PaddingStrategy, ParamRange};
 
+use puffer_db::cast;
 use puffer_congest::{CongestionEstimator, EstimatorConfig};
 use puffer_db::design::{Design, Placement};
 use puffer_trace::Trace;
@@ -182,14 +183,14 @@ impl RoutabilityOptimizer {
             self.available_area,
         );
         if self.trace.is_enabled() {
-            self.trace.add("pad.recycled_cells", round.recycled_cells as u64);
+            self.trace.add("pad.recycled_cells", cast::idx_u64(round.recycled_cells));
             self.trace
                 .record("pad.round")
-                .int("round", round.round as i64)
+                .int("round", cast::idx_i64(round.round))
                 .num("utilization", round.utilization)
                 .num("target_utilization", round.target_utilization)
-                .int("padded_cells", round.padded_cells as i64)
-                .int("recycled_cells", round.recycled_cells as i64)
+                .int("padded_cells", cast::idx_i64(round.padded_cells))
+                .int("recycled_cells", cast::idx_i64(round.recycled_cells))
                 .num("scale", round.scale)
                 .write();
         }

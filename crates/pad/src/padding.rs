@@ -1,6 +1,7 @@
 //! Multi-feature cell padding with recycling and utilization control
 //! (paper §III-B.2–3, Algorithm 1).
 
+use puffer_db::cast;
 use crate::features::{FeatureMatrix, NUM_FEATURES};
 use crate::strategy::PaddingStrategy;
 use puffer_db::netlist::Netlist;
@@ -105,7 +106,7 @@ pub fn padding_round(
             padded += 1;
         } else if state.pad[idx] > 0.0 {
             // Recycle Eq. (15): r_i(c) = (i − pt(c)) / (i + ζ).
-            let r = (i as f64 - state.pad_count[idx] as f64) / (i as f64 + strategy.zeta);
+            let r = (cast::idx_f64(i) - f64::from(state.pad_count[idx])) / (cast::idx_f64(i) + strategy.zeta);
             if r > 0.0 {
                 state.pad[idx] *= 1.0 - r.min(1.0);
                 recycled += 1;
@@ -117,9 +118,9 @@ pub fn padding_round(
     }
 
     // Utilization schedule of Eq. (16).
-    let xi = strategy.max_rounds.max(2) as f64;
+    let xi = cast::idx_f64(strategy.max_rounds.max(2));
     let pu_i = strategy.pu_low
-        + ((i as f64 - 1.0) / (xi - 1.0)).min(1.0) * (strategy.pu_high - strategy.pu_low);
+        + ((cast::idx_f64(i) - 1.0) / (xi - 1.0)).min(1.0) * (strategy.pu_high - strategy.pu_low);
     let total = state.total_area(netlist);
     let budget = pu_i * available_area;
     let mut scale = 1.0;

@@ -15,6 +15,7 @@
 //! than a bin are smoothed to bin size with their charge preserved, the
 //! standard ePlace local smoothing.
 
+use puffer_db::cast;
 use puffer_db::design::{Design, Placement};
 use puffer_db::geom::Rect;
 use puffer_db::grid::Grid;
@@ -114,7 +115,7 @@ impl DensityModel {
     /// Picks a bin-grid dimension for a cell count: the smallest power of
     /// two ≥ √cells, clamped to `[32, 512]` (ePlace's usual operating range).
     pub fn auto_dim(num_cells: usize) -> usize {
-        let target = (num_cells as f64).sqrt().ceil() as usize;
+        let target = cast::ceil_idx(cast::idx_f64(num_cells).sqrt());
         target.next_power_of_two().clamp(32, 512)
     }
 
@@ -130,12 +131,12 @@ impl DensityModel {
 
     /// Bin width in database units.
     pub fn bin_w(&self) -> f64 {
-        self.region.width() / self.mx as f64
+        self.region.width() / cast::idx_f64(self.mx)
     }
 
     /// Bin height in database units.
     pub fn bin_h(&self) -> f64 {
-        self.region.height() / self.my as f64
+        self.region.height() / cast::idx_f64(self.my)
     }
 
     /// Evaluates energy, gradient, and overflow for the given placement.
@@ -198,7 +199,7 @@ impl DensityModel {
                 let q = eff_width[i] * cell.height;
                 let w_s = eff_width[i].max(dx);
                 let h_s = cell.height.max(dy);
-                let p = placement.pos(CellId(i as u32));
+                let p = placement.pos(CellId(cast::idx_u32(i)));
                 if !p.x.is_finite() || !p.y.is_finite() {
                     // A poisoned coordinate has no meaningful bin: count the
                     // cell's full charge as overflow and leave the divergence
@@ -246,8 +247,8 @@ impl DensityModel {
         // Forward DCT-II of the charge map.
         let a = transform2d_threaded(rho.as_slice(), mx, my, dct2, threads);
         // Frequency scalings.
-        let wu: Vec<f64> = (0..mx).map(|u| PI * u as f64 / mx as f64).collect();
-        let wv: Vec<f64> = (0..my).map(|v| PI * v as f64 / my as f64).collect();
+        let wu: Vec<f64> = (0..mx).map(|u| PI * cast::idx_f64(u) / cast::idx_f64(mx)).collect();
+        let wv: Vec<f64> = (0..my).map(|v| PI * cast::idx_f64(v) / cast::idx_f64(my)).collect();
         let mut psi_hat = vec![0.0; mx * my];
         let mut ex_hat = vec![0.0; mx * my];
         let mut ey_hat = vec![0.0; mx * my];
@@ -264,7 +265,7 @@ impl DensityModel {
             }
         }
         // Orthogonal reconstruction: (2/Mx)(2/My) · DCT-III in each axis.
-        let norm = 4.0 / (mx as f64 * my as f64);
+        let norm = 4.0 / (cast::idx_f64(mx) * cast::idx_f64(my));
         let mut psi = transform2d_threaded(&psi_hat, mx, my, dct3, threads);
         for p in &mut psi {
             *p *= norm;
@@ -308,7 +309,7 @@ impl DensityModel {
                 let q = eff_width[i] * cell.height;
                 let w_s = eff_width[i].max(dx);
                 let h_s = cell.height.max(dy);
-                let p = placement.pos(CellId(i as u32));
+                let p = placement.pos(CellId(cast::idx_u32(i)));
                 if !p.x.is_finite() || !p.y.is_finite() {
                     // No meaningful field at a poisoned coordinate; report a
                     // NaN gradient so the sentinel sees the divergence.

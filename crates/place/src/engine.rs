@@ -7,6 +7,7 @@
 //! routability optimizer (PUFFER's cell padding) can interleave with the
 //! optimization, adjusting the per-cell *effective widths* between steps.
 
+use puffer_db::cast;
 use crate::density::DensityModel;
 use crate::nesterov::{NesterovOptimizer, NesterovState};
 use crate::sentinel::{Divergence, DivergenceSentinel};
@@ -196,15 +197,15 @@ impl<'a> GlobalPlacer<'a> {
         } else {
             config.bin_dim
         };
-        let bin_w = design.region().width() / dim as f64;
-        let bin_h = design.region().height() / dim as f64;
+        let bin_w = design.region().width() / cast::idx_f64(dim);
+        let bin_h = design.region().height() / cast::idx_f64(dim);
         let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_add(config.seed);
         let mut next_unit = || {
             // xorshift64*; cheap, deterministic, good enough for jitter.
             state ^= state >> 12;
             state ^= state << 25;
             state ^= state >> 27;
-            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            cast::u64_f64(state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) / cast::u64_f64(1u64 << 53) - 0.5
         };
         for id in design.netlist().movable_cells() {
             let p = placement.pos(id);
@@ -673,7 +674,7 @@ impl<'a> GlobalPlacer<'a> {
         }
         self.trace
             .record("place.iter")
-            .int("iter", stats.iter as i64)
+            .int("iter", cast::idx_i64(stats.iter))
             .num("hpwl", stats.hpwl)
             .num("wa", stats.wa)
             .num("overflow", stats.overflow)
@@ -683,7 +684,7 @@ impl<'a> GlobalPlacer<'a> {
                 "alpha",
                 self.opt.as_ref().map_or(0.0, NesterovOptimizer::step_size),
             )
-            .int("recoveries", self.recoveries as i64)
+            .int("recoveries", cast::idx_i64(self.recoveries))
             .write();
     }
 
@@ -764,7 +765,7 @@ impl<'a> GlobalPlacer<'a> {
         for (i, &id) in self.movable.iter().enumerate() {
             let p = self.placement.pos(id);
             if !p.x.is_finite() || !p.y.is_finite() {
-                let spread = (i % 17) as f64 - 8.0;
+                let spread = cast::idx_f64(i % 17) - 8.0;
                 self.placement.set(
                     id,
                     puffer_db::geom::Point::new(c.x + spread * dx, c.y + spread * dy),

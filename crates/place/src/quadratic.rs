@@ -15,6 +15,7 @@
 //! start for the electrostatic engine: cluster structure is already
 //! untangled while the density system does the spreading.
 
+use puffer_db::cast;
 use puffer_db::design::{Design, Placement};
 use puffer_db::geom::Point;
 use puffer_db::netlist::Netlist;
@@ -162,7 +163,7 @@ fn build_b2b_system(
                 hi = k;
             }
         }
-        let scale = net.weight * 2.0 / (p as f64 - 1.0);
+        let scale = net.weight * 2.0 / (cast::idx_f64(p) - 1.0);
         for (k, &pid) in net.pins.iter().enumerate() {
             for &b in &[lo, hi] {
                 if k == b || (k == lo && b == hi) {

@@ -10,6 +10,7 @@
 //! last healthy state and shrinking its step size instead of panicking (see
 //! [`crate::GlobalPlacer::step`]).
 
+use puffer_db::cast;
 use crate::engine::IterationStats;
 use std::collections::VecDeque;
 
@@ -102,7 +103,7 @@ impl DivergenceSentinel {
     fn is_oscillating(&self) -> bool {
         let first = self.window.front().copied().unwrap_or(0.0);
         let last = self.window.back().copied().unwrap_or(0.0);
-        let mean = self.window.iter().sum::<f64>() / self.window.len() as f64;
+        let mean = self.window.iter().sum::<f64>() / cast::idx_f64(self.window.len());
         if mean <= 1e-12 {
             return false;
         }

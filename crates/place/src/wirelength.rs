@@ -11,6 +11,7 @@
 //! Exponents are shifted by the per-net max/min for numerical stability.
 //! `γ` controls accuracy: as `γ → 0`, WA → HPWL from below.
 
+use puffer_db::cast;
 use puffer_db::design::Placement;
 use puffer_db::netlist::{Net, NetId, Netlist};
 
@@ -77,7 +78,7 @@ pub fn wa_wirelength_grad_threaded(
         for range in puffer_par::chunk_ranges(netlist.num_nets()) {
             let mut value = 0.0;
             for i in range {
-                let net = netlist.net(NetId(i as u32));
+                let net = netlist.net(NetId(cast::idx_u32(i)));
                 value += net_wa_grad(netlist, placement, gamma, net, &mut scratch, &mut |axis,
                                                                                         cell,
                                                                                         g| {
@@ -99,13 +100,13 @@ pub fn wa_wirelength_grad_threaded(
         // order. Sized upfront: one entry per pin per axis.
         let pins: usize = range
             .clone()
-            .map(|i| netlist.net(NetId(i as u32)).degree())
+            .map(|i| netlist.net(NetId(cast::idx_u32(i))).degree())
             .sum();
         let mut contrib_x: Vec<(usize, f64)> = Vec::with_capacity(pins);
         let mut contrib_y: Vec<(usize, f64)> = Vec::with_capacity(pins);
         let mut scratch = NetScratch::default();
         for i in range {
-            let net = netlist.net(NetId(i as u32));
+            let net = netlist.net(NetId(cast::idx_u32(i)));
             value += net_wa_grad(netlist, placement, gamma, net, &mut scratch, &mut |axis,
                                                                                     cell,
                                                                                     g| {

@@ -8,6 +8,7 @@
 //! assignment, long runs first), turning [`crate::RouteReport`] paths into
 //! per-layer usage maps and a via count.
 
+use puffer_db::cast;
 use crate::path::Path;
 use puffer_db::design::Design;
 use puffer_db::grid::Grid;
@@ -77,8 +78,8 @@ pub fn assign_layers(design: &Design, paths: &[Path], config: &LayerConfig) -> L
     let tech = design.tech();
     let region = design.region();
     let gsize = (config.gcell_rows * tech.row_height).max(tech.row_height);
-    let nx = (region.width() / gsize).ceil().max(1.0) as usize;
-    let ny = (region.height() / gsize).ceil().max(1.0) as usize;
+    let nx = cast::trunc_idx((region.width() / gsize).ceil().max(1.0));
+    let ny = cast::trunc_idx((region.height() / gsize).ceil().max(1.0));
     let template: Grid<f64> = Grid::new(region, nx, ny);
     let (dx, dy) = (template.dx(), template.dy());
 

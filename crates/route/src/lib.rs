@@ -44,6 +44,7 @@ pub mod path;
 pub use grid::{Dir, RoutingGrid};
 pub use layers::{assign_layers, LayerAssignment, LayerConfig, LayerReport};
 
+use puffer_db::cast;
 use puffer_budget::Budget;
 /// Shared worker-thread defaults (hoisted to `puffer-budget` so the router
 /// and the congestion estimator clamp identically).
@@ -257,14 +258,14 @@ impl GlobalRouter {
                 cells.clear();
                 for &pid in &net.pins {
                     let (ix, iy) = gridref.cell_of(placement.pin_pos(netlist, pid));
-                    cells.push((ix as u32, iy as u32));
+                    cells.push((cast::idx_u32(ix), cast::idx_u32(iy)));
                 }
                 let topo = Topology::from_gcells(&cells);
                 for seg in topo.segments() {
                     let na = &topo.nodes()[seg.a];
                     let nb = &topo.nodes()[seg.b];
-                    let a = (na.pos.x as usize, na.pos.y as usize);
-                    let b = (nb.pos.x as usize, nb.pos.y as usize);
+                    let a = (cast::trunc_idx(na.pos.x), cast::trunc_idx(na.pos.y));
+                    let b = (cast::trunc_idx(nb.pos.x), cast::trunc_idx(nb.pos.y));
                     if a != b {
                         out.push((a, b));
                     }

@@ -1,6 +1,7 @@
 //! Path search: pattern routing (L/Z) and A* maze routing on the Gcell
 //! grid with negotiated-congestion costs.
 
+use puffer_db::cast;
 use crate::grid::{Dir, RoutingGrid};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -175,11 +176,11 @@ pub fn maze_route(grid: &RoutingGrid, a: (usize, usize), b: (usize, usize)) -> P
         dir: 0,
     });
 
-    let h = |x: usize, y: usize| -> f64 { (x.abs_diff(b.0) + y.abs_diff(b.1)) as f64 };
+    let h = |x: usize, y: usize| -> f64 { cast::idx_f64(x.abs_diff(b.0) + y.abs_diff(b.1)) };
 
     let target = idx(b.0, b.1);
     while let Some(HeapEntry { g, node, dir, .. }) = heap.pop() {
-        if dir != 0 && g > dist[node][(dir - 1) as usize] + 1e-12 {
+        if dir != 0 && g > dist[node][usize::from(dir - 1)] + 1e-12 {
             continue;
         }
         if node == target {
@@ -192,7 +193,7 @@ pub fn maze_route(grid: &RoutingGrid, a: (usize, usize), b: (usize, usize)) -> P
                 if cur_dir == 0 {
                     break;
                 }
-                let (p, pdir) = parent[cur][(cur_dir - 1) as usize];
+                let (p, pdir) = parent[cur][usize::from(cur_dir - 1)];
                 debug_assert_ne!(p, usize::MAX, "parent chain broken");
                 cur = p;
                 cur_dir = pdir;
@@ -203,11 +204,11 @@ pub fn maze_route(grid: &RoutingGrid, a: (usize, usize), b: (usize, usize)) -> P
         }
         let (x, y) = (node % nx, node / nx);
         for (dx, dy, nd) in [(-1i64, 0i64, 1u8), (1, 0, 1), (0, -1, 2), (0, 1, 2)] {
-            let (tx, ty) = (x as i64 + dx, y as i64 + dy);
-            if tx < 0 || ty < 0 || tx >= nx as i64 || ty >= ny as i64 {
+            let (tx, ty) = (cast::idx_i64(x) + dx, cast::idx_i64(y) + dy);
+            if tx < 0 || ty < 0 || tx >= cast::idx_i64(nx) || ty >= cast::idx_i64(ny) {
                 continue;
             }
-            let (tx, ty) = (tx as usize, ty as usize);
+            let (tx, ty) = (cast::i64_idx(tx), cast::i64_idx(ty));
             let d = if nd == 1 { Dir::H } else { Dir::V };
             let mut step = 0.5 * (grid.cost(x, y, d, 0.5) + grid.cost(tx, ty, d, 0.5));
             if dir != 0 && dir != nd {
@@ -215,9 +216,9 @@ pub fn maze_route(grid: &RoutingGrid, a: (usize, usize), b: (usize, usize)) -> P
             }
             let ng = g + step;
             let tnode = idx(tx, ty);
-            if ng + 1e-12 < dist[tnode][(nd - 1) as usize] {
-                dist[tnode][(nd - 1) as usize] = ng;
-                parent[tnode][(nd - 1) as usize] = (node, dir);
+            if ng + 1e-12 < dist[tnode][usize::from(nd - 1)] {
+                dist[tnode][usize::from(nd - 1)] = ng;
+                parent[tnode][usize::from(nd - 1)] = (node, dir);
                 heap.push(HeapEntry {
                     f: ng + h(tx, ty),
                     g: ng,

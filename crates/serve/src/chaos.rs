@@ -308,9 +308,9 @@ impl RoundContext {
                 .submit(self.spec(Some(&out), None))
                 .map_err(|r| format!("submit: {}", r.detail))?;
             // Kill as soon as the first checkpoint hits the disk.
-            let deadline = std::time::Instant::now() + WAIT;
+            let deadline = puffer_budget::clock::Deadline::after(WAIT);
             while !journal.exists() {
-                if std::time::Instant::now() > deadline {
+                if deadline.expired() {
                     return Err("job never checkpointed".into());
                 }
                 if h.status(id).map(|s| s.state.terminal()).unwrap_or(false) {

@@ -31,8 +31,10 @@ use std::fs;
 use std::io::Write as IoWrite;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+use std::sync::{Condvar, Mutex, PoisonError};
+use puffer_budget::clock::Deadline;
+use puffer_budget::lockcheck::{classes, lock_ordered, Locked};
+use std::time::Duration;
 
 use puffer::{evaluate_bounded, CheckpointPolicy, FlowResult, Job, PufferConfig, PufferError};
 use puffer_budget::{Budget, CancelToken, ChaosPlan, FaultClass};
@@ -221,8 +223,8 @@ struct Shared {
 impl Shared {
     // Job entries are plain data; a panic between lock and unlock cannot
     // leave them half-updated, so recovering a poisoned guard is sound.
-    fn jobs(&self) -> MutexGuard<'_, BTreeMap<u64, JobEntry>> {
-        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    fn jobs(&self) -> Locked<'_, BTreeMap<u64, JobEntry>> {
+        lock_ordered(&self.jobs, &classes::SERVE_JOBS)
     }
 
     fn job_dir(&self, id: u64) -> PathBuf {
@@ -624,12 +626,12 @@ fn retry_or_fail(shared: &Shared, id: u64, token: &CancelToken, err: ExecError) 
     }
     // Exponential backoff, interruptible by cancellation and shutdown.
     let delay = shared.cfg.backoff * 2u32.saturating_pow(attempts.saturating_sub(1) as u32);
-    let deadline = Instant::now() + delay;
-    while Instant::now() < deadline {
+    let deadline = Deadline::after(delay);
+    while !deadline.expired() {
         if token.is_cancelled() || shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        std::thread::sleep(Duration::from_millis(10).min(deadline - Instant::now()));
+        std::thread::sleep(Duration::from_millis(10).min(deadline.remaining()));
     }
     true // the next loop iteration re-checks cancel/shutdown under the lock
 }
@@ -892,7 +894,7 @@ impl EngineHandle<'_> {
     ///
     /// [`WaitError::UnknownJob`] or [`WaitError::Timeout`].
     pub fn wait(&self, id: u64, timeout: Option<Duration>) -> Result<String, WaitError> {
-        let deadline = timeout.map(|t| Instant::now() + t);
+        let deadline = timeout.map(Deadline::after);
         let mut jobs = self.shared.jobs();
         loop {
             match jobs.get(&id) {
@@ -907,20 +909,21 @@ impl EngineHandle<'_> {
             }
             let step = match deadline {
                 Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
+                    if d.expired() {
                         return Err(WaitError::Timeout);
                     }
-                    (d - now).min(Duration::from_millis(200))
+                    d.remaining().min(Duration::from_millis(200))
                 }
                 None => Duration::from_millis(200),
             };
+            // The condvar wait releases the mutex, so the class record is
+            // split off for the wait and re-attached on wake-up.
             let (guard, _) = self
                 .shared
                 .terminal_cv
-                .wait_timeout(jobs, step)
+                .wait_timeout(jobs.into_guard(), step)
                 .unwrap_or_else(PoisonError::into_inner);
-            jobs = guard;
+            jobs = Locked::from_guard(guard, &classes::SERVE_JOBS);
         }
     }
 
@@ -933,9 +936,9 @@ impl EngineHandle<'_> {
             let (guard, _) = self
                 .shared
                 .terminal_cv
-                .wait_timeout(jobs, Duration::from_millis(200))
+                .wait_timeout(jobs.into_guard(), Duration::from_millis(200))
                 .unwrap_or_else(PoisonError::into_inner);
-            jobs = guard;
+            jobs = Locked::from_guard(guard, &classes::SERVE_JOBS);
         }
     }
 
@@ -1178,8 +1181,8 @@ mod tests {
             let (id, _) = h.submit(quick_spec(&design, Some(out.clone()))).unwrap();
             // Let the job get past at least one checkpoint, then shut down.
             let journal = h.journal_dir().join(format!("job-{id}")).join("run.pj");
-            let deadline = Instant::now() + Duration::from_secs(60);
-            while !journal.exists() && Instant::now() < deadline {
+            let deadline = Deadline::after(Duration::from_secs(60));
+            while !journal.exists() && !deadline.expired() {
                 std::thread::sleep(Duration::from_millis(10));
             }
             assert!(journal.exists(), "job never checkpointed");

@@ -6,9 +6,11 @@
 //! daemon's memory footprint track a misbehaving submitter. Consumers poll
 //! with a timeout so worker loops can interleave shutdown checks.
 
+use puffer_budget::clock::Deadline;
+use puffer_budget::lockcheck::{classes, lock_ordered, Locked};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::{Duration, Instant};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,9 +72,9 @@ impl<T> BoundedQueue<T> {
 
     // A worker panicking between lock and unlock poisons the mutex; the
     // queue state is a VecDeque whose operations never leave it half-moved,
-    // so recovering the guard is sound.
-    fn lock(&self) -> MutexGuard<'_, State<T>> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    // so recovering the guard is sound (lock_ordered does exactly that).
+    fn lock(&self) -> Locked<'_, State<T>> {
+        lock_ordered(&self.state, &classes::SERVE_QUEUE)
     }
 
     /// Admits `item` without blocking, returning the new queue length.
@@ -114,7 +116,7 @@ impl<T> BoundedQueue<T> {
 
     /// Dequeues one item, waiting up to `timeout` for one to arrive.
     pub fn pop_timeout(&self, timeout: Duration) -> Popped<T> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Deadline::after(timeout);
         let mut s = self.lock();
         loop {
             if s.closed {
@@ -123,15 +125,16 @@ impl<T> BoundedQueue<T> {
             if let Some(item) = s.items.pop_front() {
                 return Popped::Item(item);
             }
-            let now = Instant::now();
-            if now >= deadline {
+            if deadline.expired() {
                 return Popped::Empty;
             }
+            // The condvar wait releases the mutex; split off the class
+            // record for the wait and re-attach it on wake-up.
             let (guard, _) = self
                 .cv
-                .wait_timeout(s, deadline - now)
+                .wait_timeout(s.into_guard(), deadline.remaining())
                 .unwrap_or_else(PoisonError::into_inner);
-            s = guard;
+            s = Locked::from_guard(guard, &classes::SERVE_QUEUE);
         }
     }
 

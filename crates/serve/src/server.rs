@@ -312,7 +312,7 @@ const IDLE_LIMIT: Duration = Duration::from_secs(10);
 /// timeouts (a slow client trickling bytes is fine) and treating any hard
 /// error — or [`IDLE_LIMIT`] of silence — as a lost connection.
 fn read_line_tolerant(reader: &mut BufReader<TcpStream>, line: &mut String) -> LineRead {
-    let idle_since = std::time::Instant::now();
+    let idle_since = puffer_budget::clock::Stopwatch::start();
     loop {
         let buf = match reader.fill_buf() {
             Ok(b) => b,

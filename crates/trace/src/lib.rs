@@ -79,18 +79,12 @@ pub use jsonl::{parse_record, read_jsonl, ParsedRecord, TraceError, Value};
 pub use span::{SpanGuard, SpanStats};
 
 use jsonl::JsonlSink;
+use puffer_budget::lockcheck::{classes, lock_ordered};
 use span::SpanRegistry;
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
-
-/// Locks a mutex, recovering the data from a poisoned lock (a panic while
-/// holding a trace mutex must not make telemetry panic forever afterwards —
-/// exploration trials are panic-isolated and keep running).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
 
 #[derive(Debug)]
 struct Inner {
@@ -183,20 +177,20 @@ impl Trace {
         match &self.inner {
             None => SpanGuard::noop(),
             Some(inner) => {
-                let depth = lock(&inner.spans).open(label);
+                let depth = lock_ordered(&inner.spans, &classes::TRACE_SPANS).open(label);
                 SpanGuard::open(Arc::clone(inner), depth)
             }
         }
     }
 
     pub(crate) fn close_span(inner: &Arc<Inner>, depth: usize, elapsed: f64) {
-        lock(&inner.spans).close(depth, elapsed);
+        lock_ordered(&inner.spans, &classes::TRACE_SPANS).close(depth, elapsed);
     }
 
     /// Adds `delta` to the named monotonic counter.
     pub fn add(&self, counter: &str, delta: u64) {
         if let Some(inner) = &self.inner {
-            let mut counters = lock(&inner.counters);
+            let mut counters = lock_ordered(&inner.counters, &classes::TRACE_COUNTERS);
             match counters.get_mut(counter) {
                 Some(v) => *v += delta,
                 None => {
@@ -209,7 +203,7 @@ impl Trace {
     /// Sets the named gauge to its latest value.
     pub fn gauge(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
-            lock(&inner.gauges).insert(name.to_string(), value);
+            lock_ordered(&inner.gauges, &classes::TRACE_GAUGES).insert(name.to_string(), value);
         }
     }
 
@@ -220,7 +214,7 @@ impl Trace {
     /// keeps heartbeating the same counter therefore still ages.
     pub fn heartbeat(&self, name: &str, progress: u64) {
         if let Some(inner) = &self.inner {
-            let mut beats = lock(&inner.heartbeats);
+            let mut beats = lock_ordered(&inner.heartbeats, &classes::TRACE_HEARTBEATS);
             match beats.get_mut(name) {
                 Some(hb) if hb.progress == progress => {}
                 Some(hb) => {
@@ -245,7 +239,7 @@ impl Trace {
     /// disabled).
     pub fn heartbeat_age(&self, name: &str) -> Option<std::time::Duration> {
         let inner = self.inner.as_ref()?;
-        lock(&inner.heartbeats)
+        lock_ordered(&inner.heartbeats, &classes::TRACE_HEARTBEATS)
             .get(name)
             .map(|hb| hb.last_advance.elapsed())
     }
@@ -255,7 +249,7 @@ impl Trace {
     pub fn heartbeats(&self) -> Vec<(String, u64, std::time::Duration)> {
         match &self.inner {
             None => Vec::new(),
-            Some(inner) => lock(&inner.heartbeats)
+            Some(inner) => lock_ordered(&inner.heartbeats, &classes::TRACE_HEARTBEATS)
                 .iter()
                 .map(|(k, hb)| (k.clone(), hb.progress, hb.last_advance.elapsed()))
                 .collect(),
@@ -286,7 +280,7 @@ impl Trace {
     pub fn span_stats(&self) -> Vec<(String, SpanStats)> {
         match &self.inner {
             None => Vec::new(),
-            Some(inner) => lock(&inner.spans).stats(),
+            Some(inner) => lock_ordered(&inner.spans, &classes::TRACE_SPANS).stats(),
         }
     }
 
@@ -294,7 +288,7 @@ impl Trace {
     pub fn counters(&self) -> Vec<(String, u64)> {
         match &self.inner {
             None => Vec::new(),
-            Some(inner) => lock(&inner.counters)
+            Some(inner) => lock_ordered(&inner.counters, &classes::TRACE_COUNTERS)
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
@@ -305,7 +299,7 @@ impl Trace {
     pub fn gauges(&self) -> Vec<(String, f64)> {
         match &self.inner {
             None => Vec::new(),
-            Some(inner) => lock(&inner.gauges)
+            Some(inner) => lock_ordered(&inner.gauges, &classes::TRACE_GAUGES)
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
@@ -374,9 +368,9 @@ impl Trace {
             return Ok(());
         };
         if let Some(sink) = &inner.sink {
-            lock(sink).flush()?;
+            lock_ordered(sink, &classes::TRACE_SINK).flush()?;
         }
-        match lock(&inner.error).take() {
+        match lock_ordered(&inner.error, &classes::TRACE_ERROR).take() {
             Some(e) => Err(e),
             None => Ok(()),
         }
@@ -467,8 +461,8 @@ impl Record<'_> {
         let Some(sink) = inner.sink.as_ref() else {
             return; // record() only hands out a dst when a sink exists
         };
-        if let Err(e) = lock(sink).write_line(&line) {
-            let mut slot = lock(&inner.error);
+        if let Err(e) = lock_ordered(sink, &classes::TRACE_SINK).write_line(&line) {
+            let mut slot = lock_ordered(&inner.error, &classes::TRACE_ERROR);
             if slot.is_none() {
                 *slot = Some(e);
             }

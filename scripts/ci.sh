@@ -21,8 +21,14 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # The workspace policy gate: panic-free library code, sanctioned threading
-# only, #![forbid(unsafe_code)] in every crate root, and downward-only
-# crate layering. Waivers live in lint-allow.toml.
+# only, #![forbid(unsafe_code)] in every crate root, downward-only crate
+# layering, and the determinism/concurrency rules — no bare numeric `as`
+# casts in the hot crates (named puffer_db::cast helpers instead), no
+# HashMap/HashSet in library code, no wall-clock reads outside
+# puffer-trace/puffer-budget, and a statically acyclic lock-order graph
+# checked against the ranks declared in puffer_budget::lockcheck::classes.
+# Waivers live in lint-allow.toml. (--json emits the findings as JSONL for
+# tooling.)
 echo "==> puffer lint"
 target/release/puffer lint
 
@@ -110,6 +116,16 @@ test -f "$SMOKE_DIR/serve.pl"
 # every job must land in a legal end state with the worker pool intact.
 echo "==> serve chaos smoke (puffer serve --chaos --seeds 24)"
 "$PUFFER" serve --chaos --seeds 24 --cells 160 --max-iters 60
+
+# Lock-order sanitizer smoke: the runtime half of the lock-order gate. The
+# lockcheck cargo feature arms a thread-local held-lock stack that asserts
+# the declared rank order on every classed acquisition; the budget tests
+# prove the sanitizer trips on inversions, and the serve chaos test drives
+# the engine/queue/trace locks under real worker, cancel, and restart
+# interleavings with it armed.
+echo "==> lockcheck sanitizer smoke (budget + serve chaos under --features lockcheck)"
+cargo test -q -p puffer-budget --features lockcheck lockcheck
+cargo test -q -p puffer-serve --features lockcheck chaos
 
 # Congestion perf gate: an incremental re-estimate after a localized
 # perturbation must be >= 2x faster than a full rebuild, single-threaded,
