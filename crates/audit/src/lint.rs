@@ -34,6 +34,14 @@
 //!   into results only through those two crates' facades
 //!   (`puffer_budget::clock`, trace spans), keeping every other crate
 //!   reproducible by construction.
+//! * `raw-io` — no `File::create`, `fs::write(`, `fs::rename(`, or
+//!   `.sync_all(` in non-test library code outside `puffer_budget::fsx`.
+//!   Those primitives are exactly the ones whose crash-ordering the durable
+//!   I/O layer exists to get right (tmp + fsync + rename + dir fsync, one
+//!   fsynced record per append); a raw call bypasses both the durability
+//!   contract and the `chaos` fault-injection hook, so filesystem faults
+//!   would silently skip it. Write through `fsx::atomic_write`,
+//!   `fsx::AppendSink`, or `fsx::append_record` instead.
 //! * `lock-order` — raw `Mutex::lock` calls outside `puffer-budget` are
 //!   findings (stdio handle locks excepted): classed mutexes are acquired
 //!   through `puffer_budget::lockcheck::lock_ordered`. On top of that,
@@ -114,6 +122,15 @@ const CAST_EXEMPT_FILES: &[&str] = &["crates/db/src/cast.rs"];
 /// Crates allowed to read the wall clock: everything else must go through
 /// `puffer_budget::clock` or trace spans, so results never depend on time.
 const WALLCLOCK_CRATES: &[&str] = &["trace", "budget"];
+
+/// Raw filesystem-write primitives banned outside the durable I/O layer:
+/// each one is a crash-consistency or fault-injection bypass when called
+/// directly (see the `raw-io` rule in the module docs).
+const RAW_IO_TOKENS: &[&str] = &["File::create", "fs::write(", "fs::rename(", ".sync_all("];
+
+/// The one sanctioned home of the raw primitives the `raw-io` rule bans:
+/// the durable I/O layer that wraps them in the correct crash ordering.
+const RAW_IO_EXEMPT_FILES: &[&str] = &["crates/budget/src/fsx.rs"];
 
 /// Numeric primitive names that make an `as` cast a `cast` finding.
 const NUMERIC_TYPES: &[&str] = &[
@@ -439,6 +456,22 @@ fn scan_source(
                             "{token} outside puffer-trace/puffer-budget — go through \
                              puffer_budget::clock (Stopwatch/Deadline) so results never \
                              depend on wall-clock time"
+                        ),
+                    });
+                }
+            }
+        }
+        if library && !RAW_IO_EXEMPT_FILES.contains(&rel) {
+            for token in RAW_IO_TOKENS {
+                if line.contains(token) {
+                    findings.push(LintFinding {
+                        rule: "raw-io",
+                        path: rel.to_string(),
+                        line: line_no,
+                        message: format!(
+                            "{token} outside puffer_budget::fsx bypasses the durable \
+                             I/O layer (crash ordering + chaos fault injection) — use \
+                             fsx::atomic_write, fsx::AppendSink, or fsx::append_record"
                         ),
                     });
                 }

@@ -527,6 +527,72 @@ fn in_order_lock_acquisition_passes() {
 }
 
 #[test]
+fn raw_write_primitives_in_library_code_are_raw_io_findings() {
+    let fx = Fixture::new("raw-io");
+    fx.add_crate(
+        "trace",
+        "puffer-trace",
+        &[],
+        &format!(
+            "{FORBID}use std::fs::{{self, File}};\n\
+             pub fn bad(p: &std::path::Path) -> std::io::Result<()> {{\n\
+                 let f = File::create(p)?;\n\
+                 fs::write(p, b\"x\")?;\n\
+                 fs::rename(p, p)?;\n\
+                 f.sync_all()\n\
+             }}\n"
+        ),
+    );
+    let report = fx.lint().unwrap();
+    assert_eq!(
+        rules_of(&report),
+        vec!["raw-io", "raw-io", "raw-io", "raw-io"]
+    );
+    assert_eq!(report.findings[0].line, 4);
+    assert!(
+        report.findings[0].message.contains("fsx::atomic_write"),
+        "{}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn raw_io_is_sanctioned_in_fsx_binaries_and_tests() {
+    let raw = "pub fn w(p: &std::path::Path) {\n    let _ = std::fs::write(p, b\"x\");\n}\n";
+    // The durable layer itself is the one sanctioned home of the
+    // primitives it wraps.
+    let fx = Fixture::new("raw-io-exempt");
+    fx.add_crate(
+        "budget",
+        "puffer-budget",
+        &[],
+        &format!("{FORBID}pub mod fsx;\n"),
+    );
+    fx.write("crates/budget/src/fsx.rs", raw);
+    // Binary roots and #[cfg(test)] blocks are outside the rule, like
+    // every other library-only lint.
+    fx.write(
+        "crates/budget/src/main.rs",
+        &format!("{FORBID}fn main() {{ let _ = std::fs::write(\"x\", b\"y\"); }}\n"),
+    );
+    fx.add_crate(
+        "trace",
+        "puffer-trace",
+        &["puffer-budget"],
+        &format!(
+            "{FORBID}pub fn ok() {{}}\n\
+             #[cfg(test)]\n\
+             mod tests {{\n\
+                 #[test]\n\
+                 fn t() {{ std::fs::write(\"t\", b\"fixture\").unwrap(); }}\n\
+             }}\n"
+        ),
+    );
+    let report = fx.lint().unwrap();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
 fn waiver_for_a_deleted_file_is_a_finding() {
     let fx = Fixture::new("waiver-gone");
     fx.add_crate(

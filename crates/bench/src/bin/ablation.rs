@@ -111,6 +111,6 @@ fn main() {
     );
     println!("{}", table.render("full"));
     let path = out_dir.join("ablation.csv");
-    std::fs::write(&path, table.to_csv()).expect("write ablation.csv");
+    puffer_budget::fsx::atomic_write(&path, table.to_csv().as_bytes()).expect("write ablation.csv");
     eprintln!("wrote {}", path.display());
 }

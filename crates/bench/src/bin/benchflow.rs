@@ -186,7 +186,7 @@ fn run_congest_gate(args: &HarnessArgs, out_dir: &std::path::Path) {
         field(&mut json, "    ", "speedup", speedup, true);
         json.push_str("  }\n}\n");
         let path = out_dir.join(format!("BENCH_{}.json", design.name()));
-        std::fs::write(&path, json)
+        puffer_budget::fsx::atomic_write(&path, json.as_bytes())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         println!("{}", path.display());
         eprintln!(
@@ -312,7 +312,7 @@ fn main() {
         }
 
         let path = out_dir.join(format!("BENCH_{}.json", design.name()));
-        std::fs::write(&path, json)
+        puffer_budget::fsx::atomic_write(&path, json.as_bytes())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         println!("{}", path.display());
         eprint!("{}", trace.summary_table());

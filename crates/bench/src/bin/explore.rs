@@ -89,7 +89,7 @@ fn main() {
         );
     }
     let path = out_dir.join("explore.csv");
-    std::fs::write(&path, csv).expect("write explore.csv");
+    puffer_budget::fsx::atomic_write(&path, csv.as_bytes()).expect("write explore.csv");
     eprintln!("\nwrote {}", path.display());
 
     // Sanity: evaluate the tuned strategy once at full placement budget.

@@ -48,6 +48,6 @@ fn main() {
         );
     }
     let path = out_dir.join("table1.csv");
-    std::fs::write(&path, csv).expect("write table1.csv");
+    puffer_budget::fsx::atomic_write(&path, csv.as_bytes()).expect("write table1.csv");
     eprintln!("\nwrote {}", path.display());
 }

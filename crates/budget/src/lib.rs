@@ -30,6 +30,7 @@
 #![deny(unsafe_code)]
 
 pub mod clock;
+pub mod fsx;
 pub mod lockcheck;
 
 use std::fmt;
@@ -610,16 +611,60 @@ pub enum FaultClass {
     SlowStage,
     /// A checkpoint-journal write fails part-way through.
     JournalWrite,
+    /// The disk reports ENOSPC part-way through a durable write (either
+    /// mid-data or at the commit rename).
+    DiskFull,
+    /// A write lands only half its bytes and then the process "crashes"
+    /// (the [`fsx`] hook reports an I/O error after a short write).
+    TornWrite,
+    /// `fsync` fails: the data may be in the page cache but durability is
+    /// not guaranteed.
+    FsyncFail,
+    /// The commit `rename` of an atomic replace fails.
+    RenameFail,
 }
 
 impl FaultClass {
-    /// Every class, in the `seed % 4` dispatch order of `puffer chaos`.
-    pub const ALL: [FaultClass; 4] = [
+    /// Every class, in the `seed % ALL.len()` dispatch order of
+    /// `puffer chaos`.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::WorkerPanic,
+        FaultClass::NanBurst,
+        FaultClass::SlowStage,
+        FaultClass::JournalWrite,
+        FaultClass::DiskFull,
+        FaultClass::TornWrite,
+        FaultClass::FsyncFail,
+        FaultClass::RenameFail,
+    ];
+
+    /// The filesystem fault classes, injected by the [`fsx`] hook rather
+    /// than the flow-level chaos plan.
+    pub const FS: [FaultClass; 4] = [
+        FaultClass::DiskFull,
+        FaultClass::TornWrite,
+        FaultClass::FsyncFail,
+        FaultClass::RenameFail,
+    ];
+
+    /// The flow-level fault classes (everything that is not filesystem).
+    pub const FLOW: [FaultClass; 4] = [
         FaultClass::WorkerPanic,
         FaultClass::NanBurst,
         FaultClass::SlowStage,
         FaultClass::JournalWrite,
     ];
+
+    /// Whether this class is injected by the [`fsx`] filesystem hook.
+    pub fn is_fs(self) -> bool {
+        matches!(
+            self,
+            FaultClass::DiskFull
+                | FaultClass::TornWrite
+                | FaultClass::FsyncFail
+                | FaultClass::RenameFail
+        )
+    }
 
     /// The CLI / trace spelling of the class.
     pub fn as_str(self) -> &'static str {
@@ -628,6 +673,10 @@ impl FaultClass {
             FaultClass::NanBurst => "nan-burst",
             FaultClass::SlowStage => "slow-stage",
             FaultClass::JournalWrite => "journal-write",
+            FaultClass::DiskFull => "disk-full",
+            FaultClass::TornWrite => "torn-write",
+            FaultClass::FsyncFail => "fsync-fail",
+            FaultClass::RenameFail => "rename-fail",
         }
     }
 }
@@ -826,8 +875,20 @@ mod tests {
         let names: Vec<&str> = FaultClass::ALL.iter().map(|c| c.as_str()).collect();
         assert_eq!(
             names,
-            ["worker-panic", "nan-burst", "slow-stage", "journal-write"]
+            [
+                "worker-panic",
+                "nan-burst",
+                "slow-stage",
+                "journal-write",
+                "disk-full",
+                "torn-write",
+                "fsync-fail",
+                "rename-fail"
+            ]
         );
+        assert_eq!(FaultClass::FLOW.len() + FaultClass::FS.len(), FaultClass::ALL.len());
+        assert!(FaultClass::FS.iter().all(|c| c.is_fs()));
+        assert!(FaultClass::FLOW.iter().all(|c| !c.is_fs()));
     }
 
     #[test]

@@ -21,6 +21,7 @@ use puffer::{
     ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer,
 };
 use puffer_audit::{audit_metrics, audit_run, flow_validator, lint_workspace, LintConfig, Validate};
+use puffer_budget::fsx;
 use puffer_budget::{
     Budget, CancelToken, ChaosPlan, DegradationLadder, FaultClass, LadderState, StallWatchdog,
 };
@@ -106,6 +107,7 @@ usage:
   puffer serve  --chaos [--seeds <n>] [--cells <n>] [--max-iters <n>]
                 [--workers <n>]   (daemon fault-injection harness)
   puffer chaos  [--seeds <n>] [--cells <n>] [--max-iters <n>]
+                [--classes all|flow|fs]
                 (deterministic fault-injection harness)
   puffer lint   [--root <dir>] [--json]           (workspace policy check)
   puffer audit  design  <design.pd>
@@ -273,9 +275,10 @@ fn cmd_gen(args: &[String], out: &mut String) -> Result<(), CliError> {
         .get("o")
         .ok_or_else(|| CliError::usage("gen needs -o <design.pd>"))?;
     let design = generate(&config).map_err(|e| CliError::run(format!("generation failed: {e}")))?;
-    let file =
-        File::create(output).map_err(|e| CliError::run(format!("cannot create {output}: {e}")))?;
-    write_design(&design, file).map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    let mut buf = Vec::new();
+    write_design(&design, &mut buf).map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    fsx::atomic_write(Path::new(output), &buf)
+        .map_err(|e| CliError::run(format!("cannot write {output}: {e}")))?;
     let s = design.stats();
     let _ = writeln!(
         out,
@@ -298,9 +301,10 @@ fn cmd_convert(args: &[String], out: &mut String) -> Result<(), CliError> {
     design
         .check_macros_placed()
         .map_err(|e| CliError::run(format!("{aux_path}: {e} (is the .pl complete?)")))?;
-    let file =
-        File::create(output).map_err(|e| CliError::run(format!("cannot create {output}: {e}")))?;
-    write_design(&design, file).map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    let mut buf = Vec::new();
+    write_design(&design, &mut buf).map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    fsx::atomic_write(Path::new(output), &buf)
+        .map_err(|e| CliError::run(format!("cannot write {output}: {e}")))?;
     let s = design.stats();
     let _ = writeln!(
         out,
@@ -590,10 +594,11 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
     }
     .map_err(|e| CliError::run(format!("placement failed: {e}")))?;
     finish_trace(&trace, &flags)?;
-    let file =
-        File::create(output).map_err(|e| CliError::run(format!("cannot create {output}: {e}")))?;
-    write_placement(&result.placement, file)
+    let mut buf = Vec::new();
+    write_placement(&result.placement, &mut buf)
         .map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    fsx::atomic_write(Path::new(output), &buf)
+        .map_err(|e| CliError::run(format!("cannot write {output}: {e}")))?;
     let _ = writeln!(
         out,
         "wrote {} (HPWL {:.0}, {} GP iterations, {} padding rounds, {:.1}s)",
@@ -675,14 +680,14 @@ fn cmd_eval(args: &[String], out: &mut String) -> Result<(), CliError> {
             .map_err(|e| CliError::run(format!("cannot create {dir}: {e}")))?;
         for (horizontal, tag) in [(true, "h"), (false, "v")] {
             let base = Path::new(dir).join(format!("congestion_{tag}"));
-            std::fs::write(
-                base.with_extension("csv"),
-                report.congestion.to_csv(horizontal),
+            fsx::atomic_write(
+                &base.with_extension("csv"),
+                report.congestion.to_csv(horizontal).as_bytes(),
             )
             .map_err(|e| CliError::run(format!("write failed: {e}")))?;
-            std::fs::write(
-                base.with_extension("pgm"),
-                report.congestion.to_pgm(horizontal),
+            fsx::atomic_write(
+                &base.with_extension("pgm"),
+                &report.congestion.to_pgm(horizontal),
             )
             .map_err(|e| CliError::run(format!("write failed: {e}")))?;
         }
@@ -765,7 +770,8 @@ fn cmd_draw(args: &[String], out: &mut String) -> Result<(), CliError> {
             ..puffer_db::svg::SvgOptions::default()
         },
     );
-    std::fs::write(output, svg).map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    fsx::atomic_write(Path::new(output), svg.as_bytes())
+        .map_err(|e| CliError::run(format!("write failed: {e}")))?;
     let _ = writeln!(out, "wrote {output}");
     Ok(())
 }
@@ -809,10 +815,11 @@ fn cmd_refine(args: &[String], out: &mut String) -> Result<(), CliError> {
         refine(&design, &placement, &zeros, &DetailedConfig::default())
     }
     .map_err(|e| CliError::run(format!("refinement failed: {e}")))?;
-    let file =
-        File::create(output).map_err(|e| CliError::run(format!("cannot create {output}: {e}")))?;
-    write_placement(&outcome.placement, file)
+    let mut buf = Vec::new();
+    write_placement(&outcome.placement, &mut buf)
         .map_err(|e| CliError::run(format!("write failed: {e}")))?;
+    fsx::atomic_write(Path::new(output), &buf)
+        .map_err(|e| CliError::run(format!("cannot write {output}: {e}")))?;
     let _ = writeln!(
         out,
         "wrote {} (HPWL {:.0} -> {:.0}, {} moves)",
@@ -956,13 +963,15 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), CliError> {
         let _ = writeln!(
             out,
             "serve chaos OK: {} round(s) ({} worker-panic, {} journal-write, {} disconnect, \
-             {} kill-restart), {} job(s) completed, {} structured error(s); every job ended \
-             in a legal end state",
+             {} kill-restart, {} disk-full, {} rename-restart), {} job(s) completed, \
+             {} structured error(s); every job ended in a legal end state",
             summary.rounds,
             summary.injections[0],
             summary.injections[1],
             summary.injections[2],
             summary.injections[3],
+            summary.injections[4],
+            summary.injections[5],
             summary.completed,
             summary.failed
         );
@@ -1058,12 +1067,16 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), CliError> {
 }
 
 /// `puffer chaos` — the deterministic fault-injection harness. Every seed
-/// deterministically picks a fault class (`seed % 4`), injection point, and
-/// magnitude, drives an instrumented flow, and asserts the bounded-execution
-/// contract: a valid degraded result or a resumable checkpoint — never a
-/// hang or a corrupt artifact.
+/// deterministically picks a fault class (`seed % classes`), injection
+/// point, and magnitude, drives an instrumented flow, and asserts the
+/// bounded-execution contract: a valid degraded result, a resumable
+/// checkpoint, or a structured error — never a hang or a corrupt artifact.
+///
+/// `--classes` restricts the dispatch set: `flow` (worker-panic, nan-burst,
+/// slow-stage, journal-write), `fs` (the `fsx` filesystem faults:
+/// disk-full, torn-write, fsync-fail, rename-fail), or `all` (default).
 fn cmd_chaos(args: &[String], out: &mut String) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["seeds", "cells", "max-iters"], &[])?;
+    let flags = Flags::parse(args, &["seeds", "cells", "max-iters", "classes"], &[])?;
     if !flags.positional.is_empty() {
         return Err(CliError::usage("chaos takes no positional arguments"));
     }
@@ -1073,10 +1086,20 @@ fn cmd_chaos(args: &[String], out: &mut String) -> Result<(), CliError> {
     }
     let cells: usize = flags.get_parsed("cells")?.unwrap_or(250);
     let max_iters: usize = flags.get_parsed("max-iters")?.unwrap_or(60);
+    let classes: &[FaultClass] = match flags.get("classes").unwrap_or("all") {
+        "all" => &FaultClass::ALL,
+        "flow" => &FaultClass::FLOW,
+        "fs" => &FaultClass::FS,
+        other => {
+            return Err(CliError::usage(format!(
+                "--classes must be all, flow, or fs (got '{other}')"
+            )))
+        }
+    };
     let dir = std::env::temp_dir().join("puffer-chaos");
     let mut exercised: Vec<&str> = Vec::new();
     for seed in 0..seeds {
-        let class = FaultClass::ALL[(seed % 4) as usize];
+        let class = classes[(seed % classes.len() as u64) as usize];
         let mut rng = StdRng::seed_from_u64(0xC4A05 ^ seed);
         let at: usize = rng.gen_range(2..10);
         let magnitude: usize = rng.gen_range(5..30);
@@ -1089,7 +1112,7 @@ fn cmd_chaos(args: &[String], out: &mut String) -> Result<(), CliError> {
     let _ = writeln!(
         out,
         "chaos OK: {seeds} seed(s), {} fault class(es) exercised, every injection \
-         yielded a valid degraded result or a resumable checkpoint",
+         yielded a valid degraded result, a resumable checkpoint, or a structured error",
         exercised.len()
     );
     Ok(())
@@ -1243,6 +1266,94 @@ fn run_chaos_case(
             Ok(format!(
                 "OK: half-write left prior journal valid, resume completed ({} iterations)",
                 resumed.gp_iterations
+            ))
+        }
+        FaultClass::DiskFull | FaultClass::TornWrite | FaultClass::RenameFail => {
+            // A filesystem fault strikes a checkpoint save mid-run. The
+            // fsx hook fires once at a seeded guarded operation; the save
+            // must surface a structured Journal error while the previously
+            // committed journal stays valid and resumable.
+            let journal = case_dir.join("run.pj");
+            let _ = std::fs::remove_file(&journal);
+            let policy = CheckpointPolicy {
+                path: journal.clone(),
+                every: 2,
+                keep_history: false,
+            };
+            // Each save is exactly one atomic_write: 1 data write, 2
+            // fsyncs (file + parent dir), 1 rename. Skip past the first
+            // committed save so there is a prior journal to fall back to.
+            let per_save = match class {
+                FaultClass::DiskFull => 2, // matches writes AND renames
+                _ => 1,
+            };
+            let skip = per_save + (at % 3) * per_save;
+            fsx::fault::arm(class, skip);
+            let outcome = PufferPlacer::new(flow_config()).place_with_checkpoints(&design, &policy);
+            let fired = !fsx::fault::armed();
+            fsx::fault::disarm();
+            if !fired {
+                return Err(fail("armed filesystem fault never fired".into()));
+            }
+            let Err(e) = outcome else {
+                return Err(fail("injected filesystem failure did not surface".into()));
+            };
+            if !matches!(e, puffer::PufferError::Journal(_)) {
+                return Err(fail(format!("wrong error class: {e}")));
+            }
+            let checkpoint = FlowCheckpoint::load(&journal)
+                .map_err(|e| fail(format!("prior journal corrupted by failed save: {e}")))?;
+            checkpoint
+                .validate()
+                .map_err(|r| fail(format!("prior journal invalid: {r}")))?;
+            let resumed = PufferPlacer::new(flow_config())
+                .resume(&design, &journal)
+                .map_err(|e| fail(format!("resume from prior journal failed: {e}")))?;
+            check_legal(&design, &resumed.placement, &zeros)
+                .map_err(|e| fail(format!("resumed placement is not legal: {e}")))?;
+            Ok(format!(
+                "OK: failed save left prior journal valid, resume completed ({} iterations)",
+                resumed.gp_iterations
+            ))
+        }
+        FaultClass::FsyncFail => {
+            // The metrics sink's final fsync fails. The flow result stands,
+            // and the failure must surface as a structured TraceError from
+            // flush — never a silently dropped record.
+            let metrics = case_dir.join("metrics.jsonl");
+            let trace = Trace::with_sink(&metrics)
+                .map_err(|e| fail(format!("cannot create metrics sink: {e}")))?;
+            // Guarded fsyncs in this run: the sink directory fsync already
+            // happened at creation; the next one is the flush itself.
+            fsx::fault::arm(class, 0);
+            let result = PufferPlacer::new(flow_config())
+                .with_trace(trace.clone())
+                .place(&design);
+            let flushed = trace.flush();
+            let fired = !fsx::fault::armed();
+            fsx::fault::disarm();
+            if !fired {
+                return Err(fail("armed fsync fault never fired".into()));
+            }
+            let result = result.map_err(|e| fail(format!("flow failed under fsync fault: {e}")))?;
+            check_legal(&design, &result.placement, &zeros)
+                .map_err(|e| fail(format!("placement is not legal: {e}")))?;
+            let Err(te) = flushed else {
+                return Err(fail("fsync failure did not surface from flush".into()));
+            };
+            if !matches!(te, puffer_trace::TraceError::Io { .. }) {
+                return Err(fail(format!("wrong trace error shape: {te}")));
+            }
+            // The records themselves are intact: the sink wrote each line
+            // before the failed durability barrier.
+            let records = puffer_trace::read_jsonl(&metrics)
+                .map_err(|e| fail(format!("metrics unreadable after fsync fault: {e}")))?;
+            if records.is_empty() {
+                return Err(fail("metrics lost despite per-record writes".into()));
+            }
+            Ok(format!(
+                "OK: fsync failure surfaced as structured TraceError, {} records intact",
+                records.len()
             ))
         }
     }
@@ -2107,7 +2218,7 @@ mod tests {
                 "serve",
                 "--chaos",
                 "--seeds",
-                "4",
+                "6",
                 "--cells",
                 "120",
                 "--max-iters",
@@ -2123,6 +2234,8 @@ mod tests {
         assert!(out.contains("1 journal-write"), "{out}");
         assert!(out.contains("1 disconnect"), "{out}");
         assert!(out.contains("1 kill-restart"), "{out}");
+        assert!(out.contains("1 disk-full"), "{out}");
+        assert!(out.contains("1 rename-restart"), "{out}");
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! or even right after the rename — leaves a complete journal on disk, and
 //! the trailing `end` marker detects files truncated by a crash mid-copy.
 
-use puffer_budget::DegradeStep;
+use puffer_budget::{fsx, DegradeStep};
 use puffer_db::design::{Design, Placement};
 use puffer_pad::PaddingState;
 use puffer_place::{NesterovState, PlacerSnapshot};
@@ -282,34 +282,26 @@ impl FlowCheckpoint {
         out
     }
 
-    /// Atomically writes the journal: the text goes to a sibling temp file
-    /// which is fsynced and then renamed over `path`. The sync-before-rename
-    /// ordering matters: without it a crash (or power cut) shortly after the
-    /// rename could persist the new name pointing at not-yet-flushed data,
-    /// replacing a good journal with a truncated one. With it, a crash at
-    /// any point leaves either the complete previous journal or the complete
-    /// new one — never a half-record that happens to parse.
+    /// Atomically writes the journal via [`fsx::atomic_write`]: the text
+    /// goes to a sibling temp file which is fsynced and then renamed over
+    /// `path` (with a parent-directory fsync to commit the rename). The
+    /// sync-before-rename ordering matters: without it a crash (or power
+    /// cut) shortly after the rename could persist the new name pointing at
+    /// not-yet-flushed data, replacing a good journal with a truncated one.
+    /// With it, a crash at any point leaves either the complete previous
+    /// journal or the complete new one — never a half-record that happens
+    /// to parse.
     ///
     /// # Errors
     ///
     /// [`JournalError::Io`] when the filesystem refuses.
     pub fn save(&self, path: &Path) -> Result<(), JournalError> {
-        use std::io::Write as _;
-        let name = path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "checkpoint".to_string());
-        let tmp = path.with_file_name(format!("{name}.tmp"));
-        let mut file = std::fs::File::create(&tmp).map_err(JournalError::Io)?;
-        file.write_all(self.render().as_bytes())
-            .map_err(JournalError::Io)?;
-        file.sync_all().map_err(JournalError::Io)?;
-        drop(file);
-        std::fs::rename(&tmp, path).map_err(JournalError::Io)
+        fsx::atomic_write(path, self.render().as_bytes()).map_err(JournalError::Io)
     }
 
     /// Appends this checkpoint as an additional record to a multi-record
-    /// journal at `path` (creating the file if absent), fsyncing afterwards.
+    /// journal at `path` (creating the file if absent), fsyncing afterwards
+    /// (see [`fsx::append_record`]).
     ///
     /// Unlike [`FlowCheckpoint::save`], an append is *not* atomic: a crash
     /// mid-append leaves a torn final record. That is by design — the torn
@@ -320,15 +312,7 @@ impl FlowCheckpoint {
     ///
     /// [`JournalError::Io`] when the filesystem refuses.
     pub fn append(&self, path: &Path) -> Result<(), JournalError> {
-        use std::io::Write as _;
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .map_err(JournalError::Io)?;
-        file.write_all(self.render().as_bytes())
-            .map_err(JournalError::Io)?;
-        file.sync_all().map_err(JournalError::Io)
+        fsx::append_record(path, self.render().as_bytes()).map_err(JournalError::Io)
     }
 
     /// Reads a journal file.
@@ -371,20 +355,10 @@ impl FlowCheckpoint {
     ///
     /// See [`FlowCheckpoint::recover`].
     pub fn recover_text(text: &str) -> Result<Recovered, JournalError> {
-        let mut records: Vec<&str> = Vec::new();
-        let mut chunk_start = 0;
-        let mut cursor = 0;
-        for line in text.split_inclusive('\n') {
-            cursor += line.len();
-            if line == "end\n" {
-                records.push(&text[chunk_start..cursor]);
-                chunk_start = cursor;
-            }
-        }
-        // Anything after the last complete record — even a lone "end"
-        // missing its newline — is a torn tail.
-        let dropped_torn_tail = chunk_start < text.len();
-        let Some(last) = records.last() else {
+        // The shared torn-tail rule: anything after the last complete
+        // record — even a lone "end" missing its newline — is dropped.
+        let journal = fsx::Journal::from_text(text, fsx::RecordShape::EndMarker("end"));
+        let Some(last) = journal.last() else {
             return Err(JournalError::Parse {
                 line: 0,
                 message: "no complete checkpoint record (journal truncated before its first \
@@ -395,8 +369,8 @@ impl FlowCheckpoint {
         let checkpoint = Self::parse(last)?;
         Ok(Recovered {
             checkpoint,
-            records: records.len(),
-            dropped_torn_tail,
+            records: journal.len(),
+            dropped_torn_tail: journal.dropped_torn_tail(),
         })
     }
 

@@ -19,17 +19,21 @@
 
 use crate::error::ExploreError;
 use crate::smbo::TrialOutcome;
+use puffer_budget::fsx;
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::Path;
 
 /// Journal format version written by this build.
 pub const JOURNAL_VERSION: u32 = 1;
 
 /// An open, append-mode trial journal.
+///
+/// Writes go through [`fsx::AppendSink`] with a per-record fsync
+/// ([`fsx::FsyncPolicy::EveryRecord`]): a trial is minutes of work, so a
+/// recorded outcome must survive a crash the instant `record` returns.
 #[derive(Debug)]
 pub struct ExplorationJournal {
-    file: std::fs::File,
+    sink: fsx::AppendSink,
 }
 
 /// One recorded trial: the evaluated point and what became of it.
@@ -53,25 +57,20 @@ impl ExplorationJournal {
         } else {
             Vec::new()
         };
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
+        let empty = std::fs::metadata(path).map(|m| m.len() == 0).unwrap_or(true);
+        let mut sink = fsx::AppendSink::append(path, fsx::FsyncPolicy::EveryRecord)
             .map_err(|e| ExploreError::Journal(format!("cannot open {}: {e}", path.display())))?;
-        let empty = file
-            .metadata()
-            .map_err(|e| ExploreError::Journal(e.to_string()))?
-            .len()
-            == 0;
         if empty {
-            file.write_all(format!("puffer_exploration {JOURNAL_VERSION} {dim}\n").as_bytes())
-                .map_err(|e| ExploreError::Journal(format!("cannot write header: {e}")))?;
+            sink.write_record(
+                format!("puffer_exploration {JOURNAL_VERSION} {dim}\n").as_bytes(),
+            )
+            .map_err(|e| ExploreError::Journal(format!("cannot write header: {e}")))?;
         }
-        Ok((ExplorationJournal { file }, prior))
+        Ok((ExplorationJournal { sink }, prior))
     }
 
-    /// Appends one trial and flushes, so a kill loses at most the line
-    /// being written (which `open` then drops as torn).
+    /// Appends one trial as a single fsynced write, so a kill loses at
+    /// most the line being written (which `open` then drops as torn).
     ///
     /// # Errors
     ///
@@ -97,9 +96,8 @@ impl ExplorationJournal {
             }
         }
         line.push('\n');
-        self.file
-            .write_all(line.as_bytes())
-            .and_then(|()| self.file.flush())
+        self.sink
+            .write_record(line.as_bytes())
             .map_err(|e| ExploreError::Journal(format!("cannot append trial: {e}")))
     }
 }
@@ -107,9 +105,11 @@ impl ExplorationJournal {
 /// Reads all trials from a journal file (see the module docs for the
 /// torn-tail rule).
 fn load(path: &Path, dim: usize) -> Result<Vec<RecordedTrial>, ExploreError> {
-    let text = std::fs::read_to_string(path)
+    // The shared torn-tail rule (fsx): a final line a kill cut short is
+    // dropped before validation; everything else must parse.
+    let journal = fsx::read_journal_tail_tolerant(path, fsx::RecordShape::Line)
         .map_err(|e| ExploreError::Journal(format!("cannot read {}: {e}", path.display())))?;
-    let mut lines = text.lines().enumerate();
+    let mut lines = journal.records().iter().map(String::as_str).enumerate();
     let (_, header) = lines
         .next()
         .ok_or_else(|| ExploreError::Journal("empty journal".into()))?;
@@ -136,12 +136,13 @@ fn load(path: &Path, dim: usize) -> Result<Vec<RecordedTrial>, ExploreError> {
         )));
     }
 
-    let rest: Vec<(usize, &str)> = lines.filter(|(_, l)| !l.trim().is_empty()).collect();
-    let mut trials = Vec::with_capacity(rest.len());
-    for (pos, &(line_no, line)) in rest.iter().enumerate() {
+    let mut trials = Vec::with_capacity(journal.len().saturating_sub(1));
+    for (line_no, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
         match parse_trial(line, dim) {
             Some(t) => trials.push(t),
-            None if pos + 1 == rest.len() => break, // torn tail from a kill
             None => {
                 return Err(ExploreError::Journal(format!(
                     "malformed trial at line {}",

@@ -11,7 +11,15 @@
 //! * `kill-restart` — the engine shuts down mid-job (the in-process
 //!   equivalent of `kill -9` right after a checkpoint fsync), the journal
 //!   tail is torn at a seeded byte, and a fresh engine over the same
-//!   directory must resume and finish bit-identically.
+//!   directory must resume and finish bit-identically;
+//! * `disk-full` — the durable I/O layer injects ENOSPC on a seeded
+//!   guarded write of the first attempt (a checkpoint save or a journal
+//!   record); the job must still end `Done` with a bit-identical
+//!   placement, via transient-retry or a surfaced flush warning;
+//! * `rename-restart` — a checkpoint's commit rename fails (injected via
+//!   `fsx`), the engine is killed before the retry settles, and a restart
+//!   over the same directory must resume from the last good checkpoint
+//!   and finish bit-identically.
 //!
 //! After every round the harness asserts the robustness invariants: every
 //! job sits in exactly one legal end state (completed result / resumable
@@ -27,6 +35,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use puffer::{Job, PufferConfig};
+use puffer_budget::fsx;
 use puffer_budget::CancelToken;
 use puffer_db::io::{write_design, write_placement};
 use puffer_gen::{generate, GeneratorConfig};
@@ -69,15 +78,23 @@ impl Default for ChaosConfig {
 pub struct ChaosSummary {
     /// Rounds completed.
     pub rounds: u64,
-    /// Injections per class: panic, journal-write, disconnect, kill-restart.
-    pub injections: [u64; 4],
+    /// Injections per class: panic, journal-write, disconnect,
+    /// kill-restart, disk-full, rename-restart.
+    pub injections: [u64; 6],
     /// Jobs that ended as completed results.
     pub completed: u64,
     /// Jobs that ended as structured errors.
     pub failed: u64,
 }
 
-const FAULT_NAMES: [&str; 4] = ["worker-panic", "journal-write", "client-disconnect", "kill-restart"];
+const FAULT_NAMES: [&str; 6] = [
+    "worker-panic",
+    "journal-write",
+    "client-disconnect",
+    "kill-restart",
+    "disk-full",
+    "rename-restart",
+];
 
 /// Generous bound for any single chaos wait; hitting it means a job got
 /// stuck, which the harness reports as a deadlock.
@@ -92,13 +109,15 @@ const WAIT: Duration = Duration::from_secs(180);
 pub fn run_chaos(cfg: &ChaosConfig, mut log: impl FnMut(&str)) -> Result<ChaosSummary, String> {
     let mut summary = ChaosSummary::default();
     for seed in 0..cfg.seeds {
-        let class = (seed % 4) as usize;
+        let class = (seed % 6) as usize;
         let round = RoundContext::prepare(cfg, seed)?;
         let outcome = match class {
             0 => round.worker_panic(),
             1 => round.journal_write(),
             2 => round.client_disconnect(),
-            _ => round.kill_restart(),
+            3 => round.kill_restart(),
+            4 => round.disk_full(),
+            _ => round.rename_restart(),
         };
         let (completed, failed) =
             outcome.map_err(|e| format!("seed {seed} [{}]: {e}", FAULT_NAMES[class]))?;
@@ -143,7 +162,7 @@ impl RoundContext {
         let design_path = dir.join("design.pd");
         let mut buf = Vec::new();
         write_design(&design, &mut buf).map_err(|e| format!("render design: {e}"))?;
-        fs::write(&design_path, &buf).map_err(|e| format!("write design: {e}"))?;
+        fsx::atomic_write(&design_path, &buf).map_err(|e| format!("write design: {e}"))?;
 
         let reference_run = Job::new(flow_config(cfg.max_iters))
             .run(&design)
@@ -347,6 +366,78 @@ impl RoundContext {
         self.check_reference(&out, "resume-after-kill")?;
         Ok((1, 0))
     }
+
+    /// ENOSPC is injected on a seeded guarded write of the first attempt —
+    /// a checkpoint save (the flow errors, classifies transient, and the
+    /// retry resumes) or a journal record (the flush surfaces a warning
+    /// and the attempt completes). Either way the job must end `Done`
+    /// with a bit-identical placement and the fault must have fired.
+    fn disk_full(self) -> Result<(u64, u64), String> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Guarded writes come thick mid-flow (journal records, checkpoint
+        // saves), so a small seeded skip always lands inside the run.
+        let at = rng.gen_range(0..4) as usize;
+        let out = self.dir.join("disk-full.pl");
+        Engine::run(self.serve_config("journal"), |h| -> Result<(), String> {
+            let (id, _) = h
+                .submit(self.spec(Some(&out), Some(format!("disk-full@{at}"))))
+                .map_err(|r| format!("submit: {}", r.detail))?;
+            let record = wait_terminal(h, id)?;
+            expect_state(h, id, JobState::Done, &record)?;
+            if fsx::fault::armed() {
+                fsx::fault::disarm();
+                return Err(format!("disk-full fault at write {at} never fired"));
+            }
+            verify_pool(h)?;
+            h.drain();
+            Ok(())
+        })
+        .map_err(|e| e.to_string())??;
+        self.check_reference(&out, "recover-after-disk-full")?;
+        Ok((1, 0))
+    }
+
+    /// A checkpoint's commit rename fails (the first save succeeds, the
+    /// second save's rename is injected to fail), the engine is killed as
+    /// soon as the fault has fired, and a restart over the same directory
+    /// must resume from the surviving checkpoint and finish
+    /// bit-identically.
+    fn rename_restart(self) -> Result<(u64, u64), String> {
+        let out = self.dir.join("rename-restart.pl");
+        let cfg = self.serve_config("journal");
+        Engine::run(cfg.clone(), |h| -> Result<(), String> {
+            let (id, _) = h
+                .submit(self.spec(Some(&out), Some("rename-fail@1".into())))
+                .map_err(|r| format!("submit: {}", r.detail))?;
+            // Kill as soon as the rename fault has fired (attempt 1 has a
+            // good checkpoint from save 1 and a failed commit at save 2).
+            let deadline = puffer_budget::clock::Deadline::after(WAIT);
+            while fsx::fault::armed() {
+                if h.status(id).map(|s| s.state.terminal()).unwrap_or(false) {
+                    break; // tiny designs can finish first; still a legal end state
+                }
+                if deadline.expired() {
+                    fsx::fault::disarm();
+                    return Err("rename fault never fired".into());
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            h.shutdown();
+            Ok(())
+        })
+        .map_err(|e| e.to_string())??;
+
+        Engine::run(cfg, |h| -> Result<(), String> {
+            let record = wait_terminal(h, 1)?;
+            expect_state(h, 1, JobState::Done, &record)?;
+            verify_pool(h)?;
+            h.drain();
+            Ok(())
+        })
+        .map_err(|e| e.to_string())??;
+        self.check_reference(&out, "restart-after-rename-fault")?;
+        Ok((1, 0))
+    }
 }
 
 fn flow_config(max_iters: usize) -> PufferConfig {
@@ -442,9 +533,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn four_seeds_cover_every_fault_class() {
+    fn six_seeds_cover_every_fault_class() {
         let cfg = ChaosConfig {
-            seeds: 4,
+            seeds: 6,
             cells: 160,
             max_iters: 60,
             workers: 2,
@@ -452,10 +543,10 @@ mod tests {
         };
         let mut lines = Vec::new();
         let summary = run_chaos(&cfg, |l| lines.push(l.to_string())).unwrap();
-        assert_eq!(summary.rounds, 4);
-        assert_eq!(summary.injections, [1, 1, 1, 1]);
-        assert_eq!(summary.completed, 4);
+        assert_eq!(summary.rounds, 6);
+        assert_eq!(summary.injections, [1, 1, 1, 1, 1, 1]);
+        assert_eq!(summary.completed, 6);
         assert_eq!(summary.failed, 1);
-        assert_eq!(lines.len(), 4, "{lines:?}");
+        assert_eq!(lines.len(), 6, "{lines:?}");
     }
 }

@@ -28,7 +28,6 @@
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::Write as IoWrite;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
@@ -37,6 +36,7 @@ use puffer_budget::lockcheck::{classes, lock_ordered, Locked};
 use std::time::Duration;
 
 use puffer::{evaluate_bounded, CheckpointPolicy, FlowResult, Job, PufferConfig, PufferError};
+use puffer_budget::fsx;
 use puffer_budget::{Budget, CancelToken, ChaosPlan, FaultClass};
 use puffer_db::design::Design;
 use puffer_db::io::{read_design, read_placement, write_placement};
@@ -258,15 +258,10 @@ impl Shared {
     }
 }
 
-/// Atomic file replacement: write a temp file, fsync, rename into place.
+/// Atomic file replacement with the workspace crash discipline (temp
+/// sibling + fsync + rename + parent-dir fsync); see [`fsx::atomic_write`].
 fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(text.as_bytes())?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)
+    fsx::atomic_write(path, text.as_bytes())
 }
 
 // ---------------------------------------------------------------------------
@@ -419,6 +414,22 @@ fn recover_scan(shared: &Shared) -> std::io::Result<()> {
                 terminal += 1;
             }
             Err(_) => {
+                // The interrupted attempt's telemetry may end mid-line (the
+                // crash signature). Decode it with the shared torn-tail rule
+                // so recovery reports what survived; a torn tail never
+                // blocks the re-run, which truncates run.jsonl anyway.
+                if let Ok(run) =
+                    fsx::read_journal_tail_tolerant(&dir.join("run.jsonl"), fsx::RecordShape::Line)
+                {
+                    shared
+                        .cfg
+                        .trace
+                        .record("serve.recover-job")
+                        .int("id", id as i64)
+                        .int("run_records", run.len() as i64)
+                        .int("torn_tail", i64::from(run.dropped_torn_tail()))
+                        .write();
+                }
                 requeue.push(id);
                 resumed += 1;
             }
@@ -682,6 +693,28 @@ fn arm_chaos(job: Job, tag: &str, attempt: usize) -> Result<Job, ExecError> {
                     }));
                 }
                 Ok(job)
+            } else if let Some(at) = t.strip_prefix("disk-full@") {
+                let at: usize = at
+                    .parse()
+                    .map_err(|_| ExecError::spec(format!("bad chaos tag '{t}'")))?;
+                // First attempt only: ENOSPC on the at-th guarded write
+                // after this point (checkpoint saves and journal records
+                // are the guarded writers on this thread's flow).
+                if attempt == 1 {
+                    fsx::fault::arm(FaultClass::DiskFull, at);
+                }
+                Ok(job)
+            } else if let Some(at) = t.strip_prefix("rename-fail@") {
+                let at: usize = at
+                    .parse()
+                    .map_err(|_| ExecError::spec(format!("bad chaos tag '{t}'")))?;
+                // First attempt only: the at-th atomic-write commit rename
+                // after this point fails (the first renames after arming
+                // are checkpoint saves).
+                if attempt == 1 {
+                    fsx::fault::arm(FaultClass::RenameFail, at);
+                }
+                Ok(job)
             } else {
                 Err(ExecError::spec(format!("unknown chaos tag '{t}'")))
             }
@@ -730,7 +763,7 @@ fn execute(
                 job = arm_chaos(job, tag, attempt)?;
             }
             let result = job.run_or_resume(&design).map_err(classify)?;
-            let _ = trace.flush();
+            surface_flush(shared, id, &trace);
             Ok(Attempt::Place(Box::new(result)))
         }
         JobKind::Eval => {
@@ -745,9 +778,25 @@ fn execute(
                 router.threads = n;
             }
             let report = evaluate_bounded(&design, &placement, &router, &budget, &trace);
-            let _ = trace.flush();
+            surface_flush(shared, id, &trace);
             Ok(Attempt::Eval(Box::new(report)))
         }
+    }
+}
+
+/// Settles a job's `run.jsonl` sink: a flush (fsync) failure is surfaced as
+/// a structured `serve.warn` record on the server trace rather than being
+/// silently discarded — the job result itself is already safe.
+fn surface_flush(shared: &Shared, id: u64, trace: &Trace) {
+    if let Err(e) = trace.flush() {
+        shared
+            .cfg
+            .trace
+            .record("serve.warn")
+            .int("id", id as i64)
+            .str("what", "run-jsonl-flush-failed")
+            .str("error", &e.to_string())
+            .write();
     }
 }
 

@@ -12,36 +12,48 @@
 //! truncate) the final line. [`read_jsonl`] therefore skips an unterminated
 //! trailing line but treats any other malformed line as corruption.
 
+use puffer_budget::fsx;
 use std::fmt;
-use std::fs::File;
-use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-/// Line-buffered append sink; one flushed line per record.
+/// One-write-per-record append sink over [`fsx::AppendSink`].
+///
+/// The fsync policy is [`fsx::FsyncPolicy::OnSync`]: every record is pushed
+/// to the OS as one write (so a crash loses at most the line in flight) and
+/// durability is settled by [`JsonlSink::flush`] — telemetry does not pay a
+/// per-record `fsync`.
 #[derive(Debug)]
 pub(crate) struct JsonlSink {
-    writer: BufWriter<File>,
+    sink: fsx::AppendSink,
+    path: PathBuf,
 }
 
 impl JsonlSink {
     /// Creates (truncating) the sink file.
     pub(crate) fn create(path: &Path) -> std::io::Result<Self> {
-        let file = File::create(path)?;
         Ok(JsonlSink {
-            writer: BufWriter::new(file),
+            sink: fsx::AppendSink::create(path, fsx::FsyncPolicy::OnSync)?,
+            path: path.to_path_buf(),
         })
     }
 
-    /// Appends `line` plus a newline and flushes, so previously written
-    /// records survive any later crash.
-    pub(crate) fn write_line(&mut self, line: &str) -> std::io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()
+    /// The file this sink appends to (for error context).
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
     }
 
+    /// Appends `line` plus a newline in a single write, so previously
+    /// written records survive any later crash.
+    pub(crate) fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        let mut record = Vec::with_capacity(line.len() + 1);
+        record.extend_from_slice(line.as_bytes());
+        record.push(b'\n');
+        self.sink.write_record(&record)
+    }
+
+    /// Forces the sink's records to stable storage (`fsync`).
     pub(crate) fn flush(&mut self) -> std::io::Result<()> {
-        self.writer.flush()
+        self.sink.sync()
     }
 }
 
@@ -375,24 +387,22 @@ impl Parser<'_> {
 /// when any fully written line is malformed.
 pub fn read_jsonl(path: impl AsRef<Path>) -> Result<Vec<ParsedRecord>, TraceError> {
     let path = path.as_ref();
-    let content = std::fs::read_to_string(path).map_err(|source| TraceError::Io {
-        path: path.to_path_buf(),
-        source,
-    })?;
-    let terminated = content.ends_with('\n');
-    let lines: Vec<&str> = content.lines().collect();
-    let mut records = Vec::with_capacity(lines.len());
-    for (idx, line) in lines.iter().enumerate() {
+    // The shared torn-tail rule (fsx): a final line without its newline is
+    // the crash-truncated tail and is dropped before validation.
+    let journal = fsx::read_journal_tail_tolerant(path, fsx::RecordShape::Line).map_err(
+        |source| TraceError::Io {
+            path: path.to_path_buf(),
+            source,
+        },
+    )?;
+    let mut records = Vec::with_capacity(journal.len());
+    for (idx, line) in journal.records().iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         match parse_record(line) {
             Ok(r) => records.push(r),
             Err(message) => {
-                let is_last = idx + 1 == lines.len();
-                if is_last && !terminated {
-                    break; // crash-truncated trailing line
-                }
                 return Err(TraceError::Parse {
                     line: idx + 1,
                     message,

@@ -356,22 +356,31 @@ impl Trace {
         }
     }
 
-    /// Flushes the sink and reports the first write error encountered since
-    /// the last flush (record writes themselves never fail the flow).
+    /// Flushes the sink to stable storage (`fsync`) and reports the first
+    /// write error encountered since the last flush (record writes
+    /// themselves never fail the flow).
     ///
     /// # Errors
     ///
-    /// The stored I/O error, if any record write or the flush itself
-    /// failed.
-    pub fn flush(&self) -> Result<(), std::io::Error> {
+    /// A structured [`TraceError::Io`] naming the sink file, wrapping the
+    /// stored write error or the fsync failure — records are never
+    /// silently dropped: either they are durable or this reports why not.
+    pub fn flush(&self) -> Result<(), TraceError> {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
-        if let Some(sink) = &inner.sink {
-            lock_ordered(sink, &classes::TRACE_SINK).flush()?;
+        let Some(sink) = &inner.sink else {
+            return Ok(());
+        };
+        let mut guard = lock_ordered(sink, &classes::TRACE_SINK);
+        let path = guard.path().to_path_buf();
+        let synced = guard.flush();
+        drop(guard);
+        if let Err(source) = synced {
+            return Err(TraceError::Io { path, source });
         }
         match lock_ordered(&inner.error, &classes::TRACE_ERROR).take() {
-            Some(e) => Err(e),
+            Some(source) => Err(TraceError::Io { path, source }),
             None => Ok(()),
         }
     }

@@ -97,6 +97,15 @@ echo "==> bounded execution smoke (place --deadline + puffer chaos)"
   --deadline 0.001 --degrade default
 "$PUFFER" chaos --seeds 8
 
+# Durable I/O gates: the fsx unit suite with the fault hooks compiled in,
+# then 24 seeded filesystem-fault injections (disk-full, torn-write,
+# fsync-fail, rename-fail) through the flow-level chaos harness. Every
+# injection must end in a legal end state: a valid result, a resumable
+# checkpoint that replays bit-identically, or a structured error.
+echo "==> fsx chaos smoke (unit suite + puffer chaos --classes fs --seeds 24)"
+cargo test -q -p puffer-budget --features chaos fsx
+"$PUFFER" chaos --classes fs --seeds 24
+
 # Serve smoke: the daemon's stdin transport runs a submitted job to
 # completion on EOF-drain, journaling under --journal-dir.
 echo "==> serve smoke (puffer serve --stdin)"
@@ -111,9 +120,12 @@ printf '%s\n' \
 grep -q '"t":"serve.result"' "$SMOKE_DIR/serve-smoke.out"
 test -f "$SMOKE_DIR/serve.pl"
 
-# Serve chaos smoke: >= 20 seeded injections across all four fault classes
-# (worker panic, journal truncation, client disconnect, kill+restart);
+# Serve chaos smoke: >= 20 seeded injections across all six fault classes
+# (worker panic, journal truncation, client disconnect, kill+restart,
+# injected ENOSPC, and kill+restart after an injected rename failure);
 # every job must land in a legal end state with the worker pool intact.
+# Together with the 24 flow-level filesystem injections above, this puts
+# >= 32 seeded filesystem faults through the durable I/O layer per run.
 echo "==> serve chaos smoke (puffer serve --chaos --seeds 24)"
 "$PUFFER" serve --chaos --seeds 24 --cells 160 --max-iters 60
 
