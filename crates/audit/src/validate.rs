@@ -70,7 +70,7 @@ impl Validate for Design {
                     ),
                 });
             }
-            for &pid in &cell.pins {
+            for &pid in nl.cell_pins(id) {
                 if nl.pin(pid).cell != id {
                     out.push(Violation {
                         check: "pin-backref",
@@ -103,7 +103,7 @@ impl Validate for Design {
                     ),
                 });
             }
-            if net.weight > 0.0 && net.degree() < 2 {
+            if net.weight > 0.0 && nl.net_degree(id) < 2 {
                 out.push(Violation {
                     check: "degenerate-net",
                     message: format!(
@@ -112,11 +112,11 @@ impl Validate for Design {
                         id.index(),
                         net.name,
                         net.weight,
-                        net.degree()
+                        nl.net_degree(id)
                     ),
                 });
             }
-            for &pid in &net.pins {
+            for &pid in nl.net_pins(id) {
                 if nl.pin(pid).net != id {
                     out.push(Violation {
                         check: "pin-backref",
@@ -135,13 +135,13 @@ impl Validate for Design {
         // net — it exists in the pin table but nothing references it, so
         // wirelength and density silently ignore it.
         let mut referenced = vec![false; nl.num_pins()];
-        for (_, cell) in nl.iter_cells() {
-            for &pid in &cell.pins {
+        for (id, _) in nl.iter_cells() {
+            for &pid in nl.cell_pins(id) {
                 referenced[pid.index()] = true;
             }
         }
-        for (_, net) in nl.iter_nets() {
-            for &pid in &net.pins {
+        for (id, _) in nl.iter_nets() {
+            for &pid in nl.net_pins(id) {
                 referenced[pid.index()] = true;
             }
         }

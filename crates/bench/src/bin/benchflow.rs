@@ -33,6 +33,23 @@ const PAR_GATE_FACTOR: f64 = 1.10;
 /// `--congest-gate` (run at scale >= 0.5 so chunk reuse dominates).
 const CONGEST_GATE_FACTOR: f64 = 2.0;
 
+/// Peak-RSS ceiling for the `--scale-gate` million-cell placement smoke.
+/// The dominant terms are the netlist (struct-of-arrays pins plus CSR
+/// membership), the placer's per-cell state vectors, and the FFT grids;
+/// all grow linearly in cells/pins. The full flow on CT_TOP at scale 1.0
+/// (1.27M cells, 3.8M pins) measures ~0.63 GiB high-water; the ceiling
+/// sits ~3x above that to catch superlinear regressions, not noise.
+const SCALE_GATE_MAX_RSS: u64 = 2 * 1024 * 1024 * 1024;
+
+/// Minimum design size the `--scale-gate` smoke accepts: the gate exists
+/// to prove million-cell capability, so smaller configs are a usage error.
+const SCALE_GATE_MIN_CELLS: usize = 1_000_000;
+
+/// GP iterations for the scale gate. The gate bounds *memory*, not
+/// quality: a few iterations touch every allocation the full flow makes
+/// (placer state, congestion grids, padding, legalization scratch).
+const SCALE_GATE_GP_ITERS: usize = 6;
+
 /// Per-kernel timings for the `par` JSON section: the serial reference
 /// (where one exists) and the chunked path at [`THREADS`].
 struct ParTimes {
@@ -209,11 +226,86 @@ fn run_congest_gate(args: &HarnessArgs, out_dir: &std::path::Path) {
     }
 }
 
+/// `--scale-gate`: million-cell capability smoke. Generates one Table
+/// I-sized design (CT_TOP at scale 1.0 unless `--designs` selects others),
+/// runs a short PUFFER flow on it with the size-aware strategy ladder in
+/// `auto`, and asserts the process peak RSS stayed under
+/// [`SCALE_GATE_MAX_RSS`]. Writes `BENCH_<design>.json` with the measured
+/// numbers and exits nonzero when the ceiling is breached.
+fn run_scale_gate(args: &HarnessArgs, out_dir: &std::path::Path) {
+    let configs = if args.designs.is_some() {
+        args.configs()
+    } else {
+        // CT_TOP: 1.27M cells and the cleanest congestion profile, so the
+        // smoke measures memory scaling rather than pathological padding.
+        vec![puffer_gen::presets::ct_top(1.0).expect("scale 1.0 is valid")]
+    };
+    let mut failed = false;
+    for config in configs {
+        assert!(
+            config.num_cells >= SCALE_GATE_MIN_CELLS,
+            "--scale-gate needs a {SCALE_GATE_MIN_CELLS}+ cell design, got {} ({} cells); \
+             run at --scale 1.0",
+            config.name,
+            config.num_cells
+        );
+        let design = generate_logged(&config);
+        let scale_class = puffer::ScaleClass::classify(design.netlist().num_cells());
+        let mut cfg = PufferConfig::default();
+        cfg.placer.max_iters = SCALE_GATE_GP_ITERS;
+        let result = PufferPlacer::new(cfg)
+            .place(&design)
+            .unwrap_or_else(|e| panic!("scale gate flow failed on {}: {e}", design.name()));
+        let peak = puffer_budget::mem::peak_rss_bytes()
+            .expect("scale gate needs /proc/self/status (Linux)");
+
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"design\": \"{}\",", design.name());
+        let _ = writeln!(json, "  \"cells\": {},", design.stats().movable_cells);
+        let _ = writeln!(json, "  \"scale_class\": \"{scale_class}\",");
+        json.push_str("  \"scale_gate\": {\n");
+        let _ = writeln!(json, "    \"peak_rss_bytes\": {peak},");
+        let _ = writeln!(json, "    \"max_rss_bytes\": {SCALE_GATE_MAX_RSS},");
+        let _ = writeln!(json, "    \"gp_iterations\": {},", result.gp_iterations);
+        field(&mut json, "    ", "hpwl", result.hpwl, false);
+        field(&mut json, "    ", "runtime_s", result.runtime_s, true);
+        json.push_str("  }\n}\n");
+        let path = out_dir.join(format!("BENCH_{}.json", design.name()));
+        puffer_budget::fsx::atomic_write(&path, json.as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("{}", path.display());
+        eprintln!(
+            "[scale] {}: {} cells ({scale_class}), peak RSS {:.2} GiB (ceiling {:.0} GiB), \
+             {:.1}s",
+            design.name(),
+            design.stats().movable_cells,
+            peak as f64 / (1u64 << 30) as f64,
+            SCALE_GATE_MAX_RSS as f64 / (1u64 << 30) as f64,
+            result.runtime_s
+        );
+        if peak > SCALE_GATE_MAX_RSS {
+            eprintln!(
+                "scale gate: peak RSS {peak} bytes exceeds the {SCALE_GATE_MAX_RSS}-byte \
+                 ceiling on {}",
+                design.name()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = HarnessArgs::parse(0.003);
     let out_dir = args.ensure_out_dir().clone();
     if args.congest_gate {
         run_congest_gate(&args, &out_dir);
+        return;
+    }
+    if args.scale_gate {
+        run_scale_gate(&args, &out_dir);
         return;
     }
     for config in args.configs() {

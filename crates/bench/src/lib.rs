@@ -66,11 +66,15 @@ pub struct HarnessArgs {
     /// incremental-congestion gate on each design (other binaries accept
     /// and ignore the flag).
     pub congest_gate: bool,
+    /// `benchflow` only: million-cell smoke — place one Table I-sized
+    /// design under a bounded peak-RSS assertion (other binaries accept
+    /// and ignore the flag).
+    pub scale_gate: bool,
 }
 
 impl HarnessArgs {
-    /// Parses `--scale`, `--designs`, `--out`, and `--congest-gate` from
-    /// `std::env::args`.
+    /// Parses `--scale`, `--designs`, `--out`, `--congest-gate`, and
+    /// `--scale-gate` from `std::env::args`.
     ///
     /// # Panics
     ///
@@ -81,6 +85,7 @@ impl HarnessArgs {
             designs: None,
             out_dir: PathBuf::from("target/paper"),
             congest_gate: false,
+            scale_gate: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -106,11 +111,16 @@ impl HarnessArgs {
                 "--congest-gate" => {
                     args.congest_gate = true;
                 }
+                "--scale-gate" => {
+                    args.scale_gate = true;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale <f>] [--designs a,b,...] [--out <dir>] [--congest-gate]\n\
+                         \x20      [--scale-gate]\n\
                          designs: {}",
                         presets::all(1.0)
+                            .expect("scale 1.0 is valid")
                             .iter()
                             .map(|c| c.name.clone())
                             .collect::<Vec<_>>()
@@ -132,11 +142,13 @@ impl HarnessArgs {
     /// Panics if a requested design name is unknown.
     pub fn configs(&self) -> Vec<GeneratorConfig> {
         match &self.designs {
-            None => presets::all(self.scale),
+            None => presets::all(self.scale)
+                .unwrap_or_else(|e| panic!("invalid --scale: {e}")),
             Some(names) => names
                 .iter()
                 .map(|n| {
                     presets::by_name(n, self.scale)
+                        .unwrap_or_else(|e| panic!("invalid --scale: {e}"))
                         .unwrap_or_else(|| panic!("unknown design '{n}'"))
                 })
                 .collect(),
@@ -253,13 +265,14 @@ pub mod par {
         let mut exps_m: Vec<f64> = Vec::with_capacity(16);
         let mut grads: Vec<f64> = Vec::with_capacity(16);
         let inv_gamma = 1.0 / gamma;
-        for (_, net) in netlist.iter_nets() {
-            if net.degree() < 2 || net.weight == 0.0 {
+        for (id, net) in netlist.iter_nets() {
+            let net_pins = netlist.net_pins(id);
+            if net_pins.len() < 2 || net.weight == 0.0 {
                 continue;
             }
             for axis in 0..2 {
                 coords.clear();
-                for &pid in &net.pins {
+                for &pid in net_pins {
                     let p = placement.pin_pos(netlist, pid);
                     coords.push(if axis == 0 { p.x } else { p.y });
                 }
@@ -296,7 +309,7 @@ pub mod par {
                         ((1.0 - x * inv_gamma) * em * sm + em * sxm * inv_gamma) * inv_sm2;
                     grads.push(w * (dp - dm));
                 }
-                for (j, &pid) in net.pins.iter().enumerate() {
+                for (j, &pid) in net_pins.iter().enumerate() {
                     let cell = netlist.pin(pid).cell.index();
                     if axis == 0 {
                         grad_x[cell] += grads[j];
@@ -355,6 +368,7 @@ mod tests {
             designs: Some(vec!["or1200".into(), "CT_TOP".into()]),
             out_dir: PathBuf::from("/tmp/x"),
             congest_gate: false,
+            scale_gate: false,
         };
         let cfgs = args.configs();
         assert_eq!(cfgs.len(), 2);

@@ -29,7 +29,8 @@
 //!
 //! With the `chaos` cargo feature, the [`fault`] module arms one seeded
 //! filesystem fault ([`FaultClass::DiskFull`], [`FaultClass::TornWrite`],
-//! [`FaultClass::FsyncFail`], [`FaultClass::RenameFail`]) that fires
+//! [`FaultClass::FsyncFail`], [`FaultClass::RenameFail`], or — on the
+//! read side, via [`GuardedReader`] — [`FaultClass::ShortRead`]) that fires
 //! deterministically at the N-th guarded operation of the matching kind
 //! and then disarms itself. Without the feature the hook compiles to
 //! nothing and every guarded call is a direct syscall.
@@ -89,6 +90,42 @@ fn guarded_rename(from: &Path, to: &Path) -> io::Result<()> {
         };
     }
     std::fs::rename(from, to)
+}
+
+/// A reader whose every `read(2)` goes through the fault hook, so chaos
+/// tests can make a stream end early mid-parse ([`FaultClass::ShortRead`]).
+/// Without the `chaos` feature it is a zero-cost passthrough.
+pub struct GuardedReader<R> {
+    inner: R,
+}
+
+impl<R: io::Read> GuardedReader<R> {
+    pub fn new(inner: R) -> Self {
+        GuardedReader { inner }
+    }
+}
+
+impl<R: io::Read> io::Read for GuardedReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        #[cfg(feature = "chaos")]
+        if fault::fire(fault::Op::Read).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "chaos: short read (stream truncated mid-parse)",
+            ));
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// Opens `path` for buffered reading through the fault hook — the read-side
+/// counterpart of the guarded write primitives.
+///
+/// # Errors
+///
+/// Propagates the `open(2)` failure.
+pub fn open_read(path: &Path) -> io::Result<io::BufReader<GuardedReader<File>>> {
+    Ok(io::BufReader::new(GuardedReader::new(File::open(path)?)))
 }
 
 /// `fsync`s the directory containing `path` so a just-committed rename (or
@@ -374,6 +411,7 @@ pub mod fault {
         Write,
         Fsync,
         Rename,
+        Read,
     }
 
     /// Armed class: 0 = disarmed, else 1 + index into `FaultClass::FS`.
@@ -439,6 +477,7 @@ pub mod fault {
             FaultClass::TornWrite => op == Op::Write,
             FaultClass::FsyncFail => op == Op::Fsync,
             FaultClass::RenameFail => op == Op::Rename,
+            FaultClass::ShortRead => op == Op::Read,
             _ => false,
         }
     }
@@ -676,6 +715,30 @@ mod tests {
             let _g = super::gate();
             assert!(!fault::arm(FaultClass::WorkerPanic, 0));
             assert!(!fault::armed());
+        }
+
+        #[test]
+        fn short_read_fires_through_the_guarded_reader() {
+            use std::io::Read as _;
+            let _g = super::gate();
+            let dir = tmp_dir("short-read");
+            let path = dir.join("input.txt");
+            atomic_write(&path, b"line one\nline two\n").unwrap();
+
+            // Unfaulted: the guarded reader is a passthrough.
+            let mut text = String::new();
+            open_read(&path).unwrap().read_to_string(&mut text).unwrap();
+            assert_eq!(text, "line one\nline two\n");
+
+            // Armed with skip 0: the first read dies, writes are unaffected.
+            assert!(fault::arm(FaultClass::ShortRead, 0));
+            let mut r = open_read(&path).unwrap();
+            let mut buf = String::new();
+            let err = r.read_to_string(&mut buf).unwrap_err();
+            assert!(err.to_string().contains("short read"), "{err}");
+            assert!(!fault::armed());
+            atomic_write(&path, b"still writable").unwrap();
+            fault::disarm();
         }
     }
 }

@@ -32,6 +32,7 @@
 pub mod clock;
 pub mod fsx;
 pub mod lockcheck;
+pub mod mem;
 
 use std::fmt;
 use std::str::FromStr;
@@ -622,12 +623,15 @@ pub enum FaultClass {
     FsyncFail,
     /// The commit `rename` of an atomic replace fails.
     RenameFail,
+    /// A guarded read ends early mid-parse (the stream dies before the
+    /// file does), as if the file were truncated under the reader.
+    ShortRead,
 }
 
 impl FaultClass {
     /// Every class, in the `seed % ALL.len()` dispatch order of
     /// `puffer chaos`.
-    pub const ALL: [FaultClass; 8] = [
+    pub const ALL: [FaultClass; 9] = [
         FaultClass::WorkerPanic,
         FaultClass::NanBurst,
         FaultClass::SlowStage,
@@ -636,15 +640,17 @@ impl FaultClass {
         FaultClass::TornWrite,
         FaultClass::FsyncFail,
         FaultClass::RenameFail,
+        FaultClass::ShortRead,
     ];
 
     /// The filesystem fault classes, injected by the [`fsx`] hook rather
     /// than the flow-level chaos plan.
-    pub const FS: [FaultClass; 4] = [
+    pub const FS: [FaultClass; 5] = [
         FaultClass::DiskFull,
         FaultClass::TornWrite,
         FaultClass::FsyncFail,
         FaultClass::RenameFail,
+        FaultClass::ShortRead,
     ];
 
     /// The flow-level fault classes (everything that is not filesystem).
@@ -663,6 +669,7 @@ impl FaultClass {
                 | FaultClass::TornWrite
                 | FaultClass::FsyncFail
                 | FaultClass::RenameFail
+                | FaultClass::ShortRead
         )
     }
 
@@ -677,6 +684,7 @@ impl FaultClass {
             FaultClass::TornWrite => "torn-write",
             FaultClass::FsyncFail => "fsync-fail",
             FaultClass::RenameFail => "rename-fail",
+            FaultClass::ShortRead => "short-read",
         }
     }
 }
@@ -883,7 +891,8 @@ mod tests {
                 "disk-full",
                 "torn-write",
                 "fsync-fail",
-                "rename-fail"
+                "rename-fail",
+                "short-read"
             ]
         );
         assert_eq!(FaultClass::FLOW.len() + FaultClass::FS.len(), FaultClass::ALL.len());

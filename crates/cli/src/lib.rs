@@ -18,7 +18,7 @@
 
 use puffer::{
     evaluate, evaluate_bounded, CheckpointPolicy, FlowCheckpoint, Job, PufferConfig, PufferPlacer,
-    ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer,
+    ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer, ScaleClass,
 };
 use puffer_audit::{audit_metrics, audit_run, flow_validator, lint_workspace, LintConfig, Validate};
 use puffer_budget::fsx;
@@ -92,6 +92,7 @@ usage:
                 [--metrics <run.jsonl>] [--trace-summary]
                 [--deadline <secs>] [--degrade <ladder>] [--watchdog <secs>]
                 [--incremental-congest | --no-incremental-congest]
+                [--scale-class auto|small|medium|huge]
   puffer eval   <design.pd> <placed.pl> [--maps <dir>] [--layers] [--validate]
                 [--threads <n>] [--metrics <run.jsonl>] [--trace-summary]
                 [--deadline <secs>]
@@ -99,7 +100,7 @@ usage:
                 [--deadline <secs>] [--degrade <ladder>] [--metrics <run.jsonl>]
   puffer trace  <run.jsonl> [--check]
   puffer refine <design.pd> <placed.pl> -o <refined.pl> [--guard]
-                [--deadline <secs>]
+                [--deadline <secs>] [--scale-class auto|small|medium|huge]
   puffer draw   <design.pd> <placed.pl> -o <out.svg> [--rows]
   puffer serve  (--listen <addr> | --stdin) --journal-dir <dir>
                 [--workers <n>] [--queue <n>] [--checkpoint-every <n>]
@@ -246,6 +247,7 @@ fn cmd_gen(args: &[String], out: &mut String) -> Result<(), CliError> {
     let scale: f64 = flags.get_parsed("scale")?.unwrap_or(0.01);
     let config: GeneratorConfig = if let Some(name) = flags.get("preset") {
         presets::by_name(name, scale)
+            .map_err(|e| CliError::usage(e.to_string()))?
             .ok_or_else(|| CliError::usage(format!("unknown preset '{name}'")))?
     } else {
         let cells: usize = flags
@@ -296,8 +298,12 @@ fn cmd_convert(args: &[String], out: &mut String) -> Result<(), CliError> {
     let output = flags
         .get("o")
         .ok_or_else(|| CliError::usage("convert needs -o <design.pd>"))?;
-    let design = puffer_db::bookshelf::read_aux(aux_path)
-        .map_err(|e| CliError::run(format!("cannot read {aux_path}: {e}")))?;
+    // Stream the Bookshelf files through the fsx read hook, so chaos runs
+    // exercise the same ingestion path the CLI uses in production.
+    let design = puffer_db::bookshelf::read_aux_with(aux_path, &mut |p: &Path| {
+        Ok(Box::new(fsx::open_read(p)?) as Box<dyn std::io::BufRead>)
+    })
+    .map_err(|e| CliError::run(format!("cannot read {aux_path}: {e}")))?;
     design
         .check_macros_placed()
         .map_err(|e| CliError::run(format!("{aux_path}: {e} (is the .pl complete?)")))?;
@@ -364,6 +370,19 @@ fn finish_trace(trace: &Option<Trace>, flags: &Flags) -> Result<(), CliError> {
 /// `--deadline <secs>` (cooperative budget), `--degrade <ladder>` (fidelity
 /// step-down schedule; needs a deadline to engage against), and
 /// `--watchdog <secs>` (stall window).
+/// Parses `--scale-class auto|small|medium|huge`. `auto` (or an absent
+/// flag) returns `None`, which lets the flow classify the design by cell
+/// count.
+fn parse_scale_class(flags: &Flags) -> Result<Option<ScaleClass>, CliError> {
+    match flags.get("scale-class") {
+        None | Some("auto") => Ok(None),
+        Some(token) => token
+            .parse::<ScaleClass>()
+            .map(Some)
+            .map_err(CliError::usage),
+    }
+}
+
 fn parse_bounded_flags(flags: &Flags) -> Result<BoundedFlags, CliError> {
     let deadline: Option<f64> = flags.get_parsed("deadline")?;
     if let Some(d) = deadline {
@@ -443,6 +462,7 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             "deadline",
             "degrade",
             "watchdog",
+            "scale-class",
         ],
         &[
             "trace-summary",
@@ -501,6 +521,12 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             "--deadline/--degrade/--watchdog only apply to --flow puffer",
         ));
     }
+    let scale_class = parse_scale_class(&flags)?;
+    if flow != "puffer" && scale_class.is_some() {
+        return Err(CliError::usage(
+            "--scale-class only applies to --flow puffer",
+        ));
+    }
     let trace = open_trace(&flags)?;
     let design = load_design(design_path)?;
     let result = match flow {
@@ -519,6 +545,9 @@ fn cmd_place(args: &[String], out: &mut String) -> Result<(), CliError> {
             if flags.has("no-incremental-congest") {
                 cfg.estimator.incremental = false;
             }
+            // `auto` (the default) classifies by cell count inside the
+            // flow; a forced class overrides it for the whole run.
+            cfg.scale_class = scale_class;
             // SIGINT/SIGTERM cancel the flow cooperatively: the run
             // checkpoints (under --journal), legalizes the best-so-far
             // state, writes it, and exits cleanly — never dies mid-write.
@@ -777,7 +806,7 @@ fn cmd_draw(args: &[String], out: &mut String) -> Result<(), CliError> {
 }
 
 fn cmd_refine(args: &[String], out: &mut String) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["o", "deadline"], &["guard"])?;
+    let flags = Flags::parse(args, &["o", "deadline", "scale-class"], &["guard"])?;
     let [design_path, placement_path] = flags.positional.as_slice() else {
         return Err(CliError::usage("refine needs <design.pd> <placed.pl>"));
     };
@@ -788,6 +817,15 @@ fn cmd_refine(args: &[String], out: &mut String) -> Result<(), CliError> {
     let design = load_design(design_path)?;
     let placement = load_placement(placement_path, design.netlist().num_cells())?;
     let zeros = vec![0u32; design.netlist().num_cells()];
+    // Size-aware windowing: huge designs refine with a narrow window and a
+    // single pass so detailed placement stays linear-ish in cell count.
+    let class = parse_scale_class(&flags)?
+        .unwrap_or_else(|| ScaleClass::classify(design.netlist().num_cells()));
+    let dp_config = DetailedConfig {
+        window: class.dp_window(),
+        max_passes: class.dp_passes(),
+        ..DetailedConfig::default()
+    };
     let outcome = if let Some(b) = &budget {
         let congestion = if flags.has("guard") {
             Some(evaluate(&design, &placement).congestion)
@@ -798,7 +836,7 @@ fn cmd_refine(args: &[String], out: &mut String) -> Result<(), CliError> {
             &design,
             &placement,
             &zeros,
-            &DetailedConfig::default(),
+            &dp_config,
             congestion.as_ref(),
             b,
         )
@@ -808,11 +846,11 @@ fn cmd_refine(args: &[String], out: &mut String) -> Result<(), CliError> {
             &design,
             &placement,
             &zeros,
-            &DetailedConfig::default(),
+            &dp_config,
             &report.congestion,
         )
     } else {
-        refine(&design, &placement, &zeros, &DetailedConfig::default())
+        refine(&design, &placement, &zeros, &dp_config)
     }
     .map_err(|e| CliError::run(format!("refinement failed: {e}")))?;
     let mut buf = Vec::new();
@@ -1074,7 +1112,8 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), CliError> {
 ///
 /// `--classes` restricts the dispatch set: `flow` (worker-panic, nan-burst,
 /// slow-stage, journal-write), `fs` (the `fsx` filesystem faults:
-/// disk-full, torn-write, fsync-fail, rename-fail), or `all` (default).
+/// disk-full, torn-write, fsync-fail, rename-fail, short-read), or `all`
+/// (default).
 fn cmd_chaos(args: &[String], out: &mut String) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["seeds", "cells", "max-iters", "classes"], &[])?;
     if !flags.positional.is_empty() {
@@ -1356,6 +1395,77 @@ fn run_chaos_case(
                 records.len()
             ))
         }
+        FaultClass::ShortRead => {
+            // A guarded read dies while the streaming Bookshelf parser is
+            // mid-way through the .nets file. The parser must surface a
+            // structured DbError carrying the file and line — never hand
+            // back a partial netlist.
+            let nl = design.netlist();
+            let mut nodes = String::from("UCLA nodes 1.0\n");
+            for (_, c) in nl.iter_cells() {
+                let tag = if c.is_movable() { "" } else { " terminal" };
+                let _ = writeln!(nodes, "{} {} {}{tag}", c.name, c.width, c.height);
+            }
+            let mut nets = String::from("UCLA nets 1.0\n");
+            for (id, net) in nl.iter_nets() {
+                let _ = writeln!(nets, "NetDegree : {} {}", nl.net_degree(id), net.name);
+                for &pid in nl.net_pins(id) {
+                    let pin = nl.pin(pid);
+                    let _ = writeln!(
+                        nets,
+                        " {} B : {} {}",
+                        nl.cell(pin.cell).name,
+                        pin.offset.x,
+                        pin.offset.y
+                    );
+                }
+            }
+            let nodes_path = case_dir.join("chaos.nodes");
+            let nets_path = case_dir.join("chaos.nets");
+            fsx::atomic_write(&nodes_path, nodes.as_bytes())
+                .map_err(|e| fail(format!("cannot write fixture: {e}")))?;
+            fsx::atomic_write(&nets_path, nets.as_bytes())
+                .map_err(|e| fail(format!("cannot write fixture: {e}")))?;
+            let parse = |guard_nets: bool| -> Result<_, puffer_db::DbError> {
+                use std::io::BufRead;
+                let nodes = std::io::BufReader::new(std::fs::File::open(&nodes_path)?);
+                let nets: Box<dyn BufRead> = if guard_nets {
+                    Box::new(fsx::open_read(&nets_path)?)
+                } else {
+                    Box::new(std::io::BufReader::new(std::fs::File::open(&nets_path)?))
+                };
+                puffer_db::bookshelf::parse_bookshelf_streaming(
+                    "chaos", nodes, nets, &b""[..], &b""[..],
+                )
+            };
+            // Control: the unfaulted streaming parse reproduces the design.
+            let control = parse(false)
+                .map_err(|e| fail(format!("control parse must succeed: {e}")))?;
+            if control.stats().nets != design.stats().nets {
+                return Err(fail("control parse lost nets".into()));
+            }
+            // The guarded .nets reader sees at least two read calls (data
+            // + EOF probe), so a skip of 0 or 1 always fires mid-parse.
+            fsx::fault::arm(class, at % 2);
+            let outcome = parse(true);
+            let fired = !fsx::fault::armed();
+            fsx::fault::disarm();
+            if !fired {
+                return Err(fail("armed short-read fault never fired".into()));
+            }
+            let Err(e) = outcome else {
+                return Err(fail(
+                    "truncated read produced a design instead of an error".into(),
+                ));
+            };
+            match e {
+                puffer_db::DbError::Read { ref file, line, .. } => Ok(format!(
+                    "OK: short read surfaced as structured DbError ({file} after line {line}), \
+                     no partial netlist",
+                )),
+                other => Err(fail(format!("wrong error class: {other}"))),
+            }
+        }
     }
 }
 
@@ -1539,6 +1649,101 @@ mod tests {
                 "--flow",
                 "reference",
                 "--no-incremental-congest",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--flow puffer"));
+    }
+
+    #[test]
+    fn forced_small_scale_class_is_byte_identical_to_auto() {
+        // Golden check for the strategy ladder: on a design that `auto`
+        // already classifies as small, forcing `--scale-class small` must
+        // not perturb the run at all — journal and placement byte-for-byte.
+        let design_path = tmp("scale_golden.pd");
+        run(
+            &strs(&[
+                "gen",
+                "--cells",
+                "120",
+                "--nets",
+                "130",
+                "--utilization",
+                "0.6",
+                "--seed",
+                "11",
+                "-o",
+                &design_path,
+            ]),
+            &mut String::new(),
+        )
+        .unwrap();
+        let place = |tag: &str, extra: &[&str]| -> (Vec<u8>, Vec<u8>) {
+            let out_path = tmp(&format!("scale_golden_{tag}.pl"));
+            let journal = tmp(&format!("scale_golden_{tag}.pj"));
+            let mut args = strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &out_path,
+                "--max-iters",
+                "40",
+                "--journal",
+                &journal,
+            ]);
+            args.extend(strs(extra));
+            run(&args, &mut String::new()).unwrap();
+            (
+                std::fs::read(&out_path).unwrap(),
+                std::fs::read(&journal).unwrap(),
+            )
+        };
+        let (auto_pl, auto_pj) = place("auto", &[]);
+        let (forced_pl, forced_pj) = place("forced", &["--scale-class", "small"]);
+        assert_eq!(auto_pl, forced_pl, "placement bytes diverged");
+        assert_eq!(auto_pj, forced_pj, "journal bytes diverged");
+        let journal_text = String::from_utf8(auto_pj).unwrap();
+        assert!(
+            journal_text.contains("scale_class small"),
+            "journal should record the resolved class:\n{journal_text}"
+        );
+    }
+
+    #[test]
+    fn scale_class_flag_is_validated() {
+        let design_path = tmp("scaleflag.pd");
+        run(
+            &strs(&["gen", "--cells", "60", "--nets", "60", "-o", &design_path]),
+            &mut String::new(),
+        )
+        .unwrap();
+        let out_path = tmp("scaleflag.pl");
+        let err = run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &out_path,
+                "--scale-class",
+                "gigantic",
+            ]),
+            &mut String::new(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown scale class"));
+        let err = run(
+            &strs(&[
+                "place",
+                &design_path,
+                "-o",
+                &out_path,
+                "--flow",
+                "reference",
+                "--scale-class",
+                "small",
             ]),
             &mut String::new(),
         )

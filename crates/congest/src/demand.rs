@@ -200,7 +200,7 @@ pub(crate) fn build_chunk_partial(
             }
         }
         let net_id = NetId(cast::idx_u32(i));
-        if netlist.net(net_id).degree() < 2 {
+        if netlist.net_degree(net_id) < 2 {
             part.net_ends.push(cast::idx_u32(part.segs.len()));
             continue;
         }
@@ -256,7 +256,7 @@ pub(crate) fn net_offsets(
     offsets: &mut Vec<(u32, u32)>,
 ) -> Option<(usize, usize)> {
     offsets.clear();
-    for &pid in &netlist.net(net_id).pins {
+    for &pid in netlist.net_pins(net_id) {
         let (ix, iy) = template.cell_of(placement.pin_pos(netlist, pid));
         offsets.push((cast::idx_u32(ix), cast::idx_u32(iy)));
     }

@@ -24,6 +24,8 @@
 //! degradation <step,step,...>    (present only when the ladder engaged)
 //! pending_round 1                (present only when a cancellation
 //!                                 suppressed this pass's padding round)
+//! scale_class <small|medium|huge> (band the run resolved to; absent in
+//!                                 journals from earlier builds)
 //! end
 //! ```
 //!
@@ -31,6 +33,7 @@
 //! or even right after the rename — leaves a complete journal on disk, and
 //! the trailing `end` marker detects files truncated by a crash mid-copy.
 
+use crate::scale::ScaleClass;
 use puffer_budget::{fsx, DegradeStep};
 use puffer_db::design::{Design, Placement};
 use puffer_pad::PaddingState;
@@ -172,6 +175,11 @@ pub struct FlowCheckpoint {
     /// interrupted run reproduces the uninterrupted trajectory exactly.
     /// Absent from journals written by earlier builds (defaults to false).
     pub pending_round: bool,
+    /// Size band ([`ScaleClass`]) the run that wrote the journal resolved
+    /// to. A resumed run must resolve to the same band (the coarsened
+    /// congestion grid is part of the recorded trajectory). `None` in
+    /// journals written by earlier builds, which skips the resume check.
+    pub scale_class: Option<ScaleClass>,
 }
 
 impl FlowCheckpoint {
@@ -190,6 +198,7 @@ impl FlowCheckpoint {
             pad,
             degradation: Vec::new(),
             pending_round: false,
+            scale_class: None,
         }
     }
 
@@ -203,6 +212,12 @@ impl FlowCheckpoint {
     /// padding round (see the field docs).
     pub fn with_pending_round(mut self, pending: bool) -> Self {
         self.pending_round = pending;
+        self
+    }
+
+    /// Records the scale class the run resolved to (see the field docs).
+    pub fn with_scale_class(mut self, class: Option<ScaleClass>) -> Self {
+        self.scale_class = class;
         self
     }
 
@@ -277,6 +292,9 @@ impl FlowCheckpoint {
         }
         if self.pending_round {
             let _ = writeln!(out, "pending_round 1");
+        }
+        if let Some(class) = self.scale_class {
+            let _ = writeln!(out, "scale_class {}", class.as_str());
         }
         out.push_str("end\n");
         out
@@ -473,6 +491,17 @@ impl FlowCheckpoint {
             false
         };
 
+        let scale_class = if p.peek_tag() == Some("scale_class") {
+            let rest = p.line_rest("scale_class")?;
+            Some(
+                rest.trim()
+                    .parse::<ScaleClass>()
+                    .map_err(|e| p.err(format!("bad scale_class: {e}")))?,
+            )
+        } else {
+            None
+        };
+
         let end = p.line_rest("end").map_err(|_| JournalError::Parse {
             line: p.line_no,
             message: "missing 'end' marker (journal truncated?)".into(),
@@ -503,6 +532,7 @@ impl FlowCheckpoint {
             },
             degradation,
             pending_round,
+            scale_class,
         })
     }
 }

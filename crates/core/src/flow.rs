@@ -2,6 +2,7 @@
 //! routability optimization, then white-space-assisted legalization.
 
 use crate::checkpoint::{CheckpointPolicy, FlowCheckpoint, FlowStage};
+use crate::scale::ScaleClass;
 use crate::PufferError;
 #[cfg(feature = "chaos")]
 use puffer_budget::{ChaosPlan, FaultClass};
@@ -32,6 +33,10 @@ pub struct PufferConfig {
     /// Whether legalization inherits the discretized padding (§III-D);
     /// disabling this is the ablation of padding inheritance.
     pub inherit_padding: bool,
+    /// Size band the run operates in; `None` (the default `auto` policy)
+    /// classifies the design by cell count at flow start. The resolved
+    /// class is traced in `flow.init`, journaled, and checked on resume.
+    pub scale_class: Option<ScaleClass>,
 }
 
 impl Default for PufferConfig {
@@ -42,6 +47,7 @@ impl Default for PufferConfig {
             strategy: PaddingStrategy::default(),
             features: FeatureConfig::default(),
             inherit_padding: true,
+            scale_class: None,
         }
     }
 }
@@ -354,6 +360,27 @@ impl PufferPlacer {
         optimizer.set_trace(trace.clone());
         optimizer.set_budget(budget.clone());
 
+        // Size-aware strategy ladder (`auto` classifies by cell count).
+        // Coarsening happens here, before the first congestion round, so
+        // every round of the run — and the audit's histogram-conservation
+        // check — sees one consistent baseline grid.
+        let scale_class = self
+            .config
+            .scale_class
+            .unwrap_or_else(|| ScaleClass::classify(design.netlist().num_cells()));
+        if let Some(factor) = scale_class.congestion_coarsen_factor() {
+            optimizer.coarsen_estimator(design, factor);
+        }
+        trace
+            .record("flow.init")
+            .str("scale_class", scale_class.as_str())
+            .int("cells", design.netlist().num_cells() as i64)
+            .num(
+                "congest_coarsen",
+                scale_class.congestion_coarsen_factor().unwrap_or(1.0),
+            )
+            .write();
+
         // Bounded-execution state for this run. The ladder/watchdog handles
         // on `self` are templates; each run works on its own copies.
         let mut ladder = self.ladder.clone().map(LadderState::new);
@@ -395,6 +422,20 @@ impl PufferPlacer {
                 checkpoint
                     .matches(design)
                     .map_err(|e| PufferError::Resume(e.to_string()))?;
+                // A journal written under one strategy band must not be
+                // continued under another: the coarsened grid and window
+                // hints would silently diverge from the recorded run.
+                // Journals from earlier builds carry no class and skip the
+                // check.
+                if let Some(recorded) = checkpoint.scale_class {
+                    if recorded != scale_class {
+                        return Err(PufferError::Resume(format!(
+                            "checkpoint was written under scale class '{recorded}' \
+                             but this run resolves to '{scale_class}'; pass \
+                             --scale-class {recorded} to continue it"
+                        )));
+                    }
+                }
                 let done = checkpoint.stage == FlowStage::GlobalDone;
                 let mut placer = GlobalPlacer::with_placement(
                     design,
@@ -494,6 +535,7 @@ impl PufferPlacer {
                                     degradation: &engaged,
                                     journal_fault,
                                     pending_round,
+                                    scale_class,
                                 },
                             )?;
                         }
@@ -566,6 +608,7 @@ impl PufferPlacer {
                                 degradation: &engaged,
                                 journal_fault,
                                 pending_round,
+                                scale_class,
                             },
                         )?;
                     }
@@ -637,6 +680,7 @@ impl PufferPlacer {
                     degradation: &engaged,
                     journal_fault,
                     pending_round,
+                    scale_class,
                 },
             )?;
         }
@@ -762,7 +806,8 @@ impl PufferPlacer {
         let checkpoint =
             FlowCheckpoint::capture(design, stage, placer.snapshot(), optimizer.state().clone())
                 .with_degradation(bounded.degradation.to_vec())
-                .with_pending_round(bounded.pending_round);
+                .with_pending_round(bounded.pending_round)
+                .with_scale_class(Some(bounded.scale_class));
         checkpoint
             .save(&path)
             .map_err(|e| PufferError::Journal(e.to_string()))
@@ -796,6 +841,7 @@ struct BoundedRun<'a> {
     degradation: &'a [DegradeStep],
     journal_fault: Option<usize>,
     pending_round: bool,
+    scale_class: ScaleClass,
 }
 
 #[cfg(test)]
@@ -988,6 +1034,28 @@ mod tests {
         placer.place_with_checkpoints(&d, &policy).unwrap();
         let err = placer.resume(&other, &policy.path).unwrap_err();
         assert!(matches!(err, PufferError::Resume(_)), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_scale_class() {
+        // The journal records the band the writing run resolved to; a
+        // resume forced onto another band would continue the trajectory
+        // under a differently-coarsened congestion grid, so it is refused.
+        let d = design();
+        let placer = PufferPlacer::new(quick_config());
+        let dir = tmp_dir("scale-mismatch");
+        let policy = CheckpointPolicy::new(dir.join("run.pj"));
+        placer.place_with_checkpoints(&d, &policy).unwrap();
+        let text = std::fs::read_to_string(&policy.path).unwrap();
+        assert!(text.contains("scale_class small"), "{text}");
+        let checkpoint = FlowCheckpoint::parse(&text).unwrap();
+        let mut huge_cfg = quick_config();
+        huge_cfg.scale_class = Some(crate::scale::ScaleClass::Huge);
+        let err = PufferPlacer::new(huge_cfg)
+            .place_from(&d, checkpoint, None)
+            .unwrap_err();
+        assert!(matches!(err, PufferError::Resume(_)), "{err}");
+        assert!(err.to_string().contains("scale class"), "{err}");
     }
 
     #[test]

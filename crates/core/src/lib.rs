@@ -38,7 +38,7 @@
 //! use puffer::{PufferPlacer, PufferConfig, evaluate};
 //! use puffer_gen::{generate, presets};
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let design = generate(&presets::or1200(0.003))?; // tiny scale for docs
+//! let design = generate(&presets::or1200(0.003)?)?; // tiny scale for docs
 //! let mut config = PufferConfig::default();
 //! config.placer.max_iters = 50;
 //! let result = PufferPlacer::new(config).place(&design)?;
@@ -56,6 +56,7 @@ pub mod checkpoint;
 pub mod flow;
 pub mod job;
 pub mod report;
+pub mod scale;
 
 pub use baselines::{
     ReferenceConfig, ReferencePlacer, ReplaceConfig, ReplacePlacer, WsaConfig, WsaPlacer,
@@ -66,6 +67,7 @@ pub use flow::{
 };
 pub use job::Job;
 pub use report::{ComparisonTable, EvalRow, FlowSummary};
+pub use scale::ScaleClass;
 
 use puffer_db::design::{Design, Placement};
 use puffer_explore::{ParamSpec, Space};

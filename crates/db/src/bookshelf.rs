@@ -6,6 +6,20 @@
 //! so the framework can run on published netlists in addition to the
 //! synthetic Table I presets.
 //!
+//! Two front-ends drive one shared per-line parser, so they cannot drift:
+//!
+//! * [`parse_bookshelf`] takes whole files as `&str` — convenient for
+//!   tests and small designs already in memory.
+//! * [`parse_bookshelf_streaming`] pulls lines out of [`BufRead`] sources
+//!   through a single reused buffer, so peak memory is bounded by the
+//!   netlist being built, never by the size of the input files. This is
+//!   the path [`read_aux`] uses and the one million-cell benchmarks need.
+//!
+//! Declared counts are enforced: `NumNodes`, `NumNets`, `NumPins`, and
+//! each net's `NetDegree` must match what the file actually defines, so a
+//! truncated input yields a structured [`DbError`] — never a silently
+//! partial netlist.
+//!
 //! Conventions translated at this boundary:
 //!
 //! * Bookshelf `.pl` coordinates are **lower-left corners**; [`Placement`]
@@ -24,36 +38,67 @@
 use crate::design::{Design, Placement};
 use crate::error::DbError;
 use crate::geom::{Point, Rect};
-use crate::netlist::{CellId, CellKind, NetlistBuilder};
+use crate::io::LineReader;
+use crate::netlist::{CellId, CellKind, NetId, Netlist, NetlistBuilder};
 use crate::tech::Technology;
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::io::{BufRead, Read};
+use std::path::{Path, PathBuf};
 
-/// Parses a Bookshelf design from in-memory file contents.
-///
-/// `scl` may be empty, in which case a square region sized for ~70%
-/// utilization is synthesized.
-///
-/// # Errors
-///
-/// Returns [`DbError::Parse`] describing the offending file and line.
-pub fn parse_bookshelf(
-    name: &str,
-    nodes: &str,
-    nets: &str,
-    pl: &str,
-    scl: &str,
-) -> Result<Design, DbError> {
-    let mut nb = NetlistBuilder::new();
-    let mut by_name: BTreeMap<String, CellId> = BTreeMap::new();
-    let mut sizes: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+// ---------------------------------------------------------------------------
+// Shared per-line parser state
+// ---------------------------------------------------------------------------
 
-    // --- .nodes --------------------------------------------------------
-    for (lineno, line) in content_lines(nodes, "UCLA nodes") {
+/// Incremental `.nodes`/`.nets` parser: both front-ends feed it one
+/// content line at a time, so the slurping and streaming paths share every
+/// grammar and validation decision.
+struct BookshelfParser {
+    nb: NetlistBuilder,
+    by_name: BTreeMap<String, CellId>,
+    /// `NumNodes : N` when declared, checked against cells actually added.
+    declared_nodes: Option<usize>,
+    parsed_nodes: usize,
+    /// The net currently accepting pin lines.
+    current_net: Option<NetId>,
+    /// `(declaring line, declared degree, net name)` of the open net, kept
+    /// so a truncated pin list is reported against its `NetDegree` line.
+    open_net: Option<(usize, usize, String)>,
+    pins_in_net: usize,
+    declared_nets: Option<usize>,
+    declared_pins: Option<usize>,
+    parsed_nets: usize,
+    parsed_pins: usize,
+}
+
+impl BookshelfParser {
+    fn new() -> Self {
+        BookshelfParser {
+            nb: NetlistBuilder::new(),
+            by_name: BTreeMap::new(),
+            declared_nodes: None,
+            parsed_nodes: 0,
+            current_net: None,
+            open_net: None,
+            pins_in_net: 0,
+            declared_nets: None,
+            declared_pins: None,
+            parsed_nets: 0,
+            parsed_pins: 0,
+        }
+    }
+
+    fn nodes_line(&mut self, lineno: usize, line: &str) -> Result<(), DbError> {
         let mut it = line.split_whitespace();
-        let Some(first) = it.next() else { continue };
-        if first == "NumNodes" || first == "NumTerminals" {
-            continue;
+        let Some(first) = it.next() else {
+            return Ok(());
+        };
+        if first == "NumNodes" {
+            let _colon = it.next();
+            self.declared_nodes = it.next().and_then(|t| t.parse().ok());
+            return Ok(());
+        }
+        if first == "NumTerminals" {
+            return Ok(());
         }
         let w: f64 = parse_tok(it.next(), "nodes", lineno, "width")?;
         let h: f64 = parse_tok(it.next(), "nodes", lineno, "height")?;
@@ -62,41 +107,70 @@ pub fn parse_bookshelf(
             _ => CellKind::Movable,
         };
         // try_add_cell also rejects NaN/inf sizes, which `w <= 0.0` misses.
-        let id = nb
+        let id = self
+            .nb
             .try_add_cell(first, w, h, kind)
             .map_err(|e| DbError::Parse {
                 line: lineno,
                 message: format!("nodes: {e}"),
             })?;
-        by_name.insert(first.to_string(), id);
-        sizes.insert(first.to_string(), (w, h));
+        self.by_name.insert(first.to_string(), id);
+        self.parsed_nodes += 1;
+        Ok(())
     }
 
-    // --- .nets ---------------------------------------------------------
-    let mut current_net = None;
-    for (lineno, line) in content_lines(nets, "UCLA nets") {
+    fn finish_nodes(&self, last_line: usize) -> Result<(), DbError> {
+        if let Some(d) = self.declared_nodes {
+            if d != self.parsed_nodes {
+                return Err(DbError::Parse {
+                    line: last_line,
+                    message: format!(
+                        "nodes: NumNodes declares {d} node(s) but the file defines {} \
+                         (truncated file?)",
+                        self.parsed_nodes
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn nets_line(&mut self, lineno: usize, line: &str) -> Result<(), DbError> {
         let mut it = line.split_whitespace();
-        let Some(first) = it.next() else { continue };
+        let Some(first) = it.next() else {
+            return Ok(());
+        };
         match first {
-            "NumNets" | "NumPins" => continue,
+            "NumNets" => {
+                let _colon = it.next();
+                self.declared_nets = it.next().and_then(|t| t.parse().ok());
+            }
+            "NumPins" => {
+                let _colon = it.next();
+                self.declared_pins = it.next().and_then(|t| t.parse().ok());
+            }
             "NetDegree" => {
+                self.close_net()?;
                 // `NetDegree : d  name?`
                 let _colon = it.next();
-                let _d = it.next();
+                let degree: Option<usize> = it.next().and_then(|t| t.parse().ok());
                 let net_name = it
                     .next()
                     .map(str::to_string)
                     .unwrap_or_else(|| format!("net_{lineno}"));
-                current_net = Some(nb.add_net(net_name));
+                self.current_net = Some(self.nb.add_net(net_name.clone()));
+                self.open_net = degree.map(|d| (lineno, d, net_name));
+                self.pins_in_net = 0;
+                self.parsed_nets += 1;
             }
             node => {
-                let Some(net) = current_net else {
+                let Some(net) = self.current_net else {
                     return Err(DbError::Parse {
                         line: lineno,
                         message: "nets: pin line before any NetDegree".into(),
                     });
                 };
-                let Some(&cell) = by_name.get(node) else {
+                let Some(&cell) = self.by_name.get(node) else {
                     return Err(DbError::Parse {
                         line: lineno,
                         message: format!("nets: unknown node '{node}'"),
@@ -109,23 +183,168 @@ pub fn parse_bookshelf(
                 let dy: f64 = it.next().and_then(|t| t.parse().ok()).unwrap_or(0.0);
                 // Clamp offsets into the node (some benchmarks have pins on
                 // the boundary plus rounding noise).
-                let (w, h) = sizes[node];
-                nb.connect(
-                    net,
-                    cell,
-                    Point::new(dx.clamp(-w / 2.0, w / 2.0), dy.clamp(-h / 2.0, h / 2.0)),
-                )
-                .map_err(|e| DbError::Parse {
+                let (w, h) = self.nb.cell_dims(cell).ok_or_else(|| DbError::Parse {
                     line: lineno,
-                    message: e.to_string(),
+                    message: format!("nets: node '{node}' has no recorded size"),
                 })?;
+                self.nb
+                    .connect(
+                        net,
+                        cell,
+                        Point::new(dx.clamp(-w / 2.0, w / 2.0), dy.clamp(-h / 2.0, h / 2.0)),
+                    )
+                    .map_err(|e| DbError::Parse {
+                        line: lineno,
+                        message: e.to_string(),
+                    })?;
+                self.pins_in_net += 1;
+                self.parsed_pins += 1;
             }
         }
+        Ok(())
     }
-    let netlist = nb.build()?;
 
-    // --- .scl ----------------------------------------------------------
-    let (region, row_height, site_width) = parse_scl(scl, &netlist)?;
+    /// Checks the open net's pin list against its declared degree.
+    fn close_net(&mut self) -> Result<(), DbError> {
+        if let Some((line, degree, name)) = self.open_net.take() {
+            if degree != self.pins_in_net {
+                return Err(DbError::Parse {
+                    line,
+                    message: format!(
+                        "nets: net '{name}' declares {degree} pin(s) but lists {} \
+                         (truncated file?)",
+                        self.pins_in_net
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn finish_nets(&mut self, last_line: usize) -> Result<(), DbError> {
+        self.close_net()?;
+        if let Some(d) = self.declared_nets {
+            if d != self.parsed_nets {
+                return Err(DbError::Parse {
+                    line: last_line,
+                    message: format!(
+                        "nets: NumNets declares {d} net(s) but the file defines {} \
+                         (truncated file?)",
+                        self.parsed_nets
+                    ),
+                });
+            }
+        }
+        if let Some(d) = self.declared_pins {
+            if d != self.parsed_pins {
+                return Err(DbError::Parse {
+                    line: last_line,
+                    message: format!(
+                        "nets: NumPins declares {d} pin(s) but the file defines {} \
+                         (truncated file?)",
+                        self.parsed_pins
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn build(self) -> Result<(BTreeMap<String, CellId>, Netlist), DbError> {
+        Ok((self.by_name, self.nb.build()?))
+    }
+}
+
+/// Fields of the CoreRow block currently being parsed.
+#[derive(Default)]
+struct CurRow {
+    y: Option<f64>,
+    height: Option<f64>,
+    site_width: Option<f64>,
+    x_origin: Option<f64>,
+    num_sites: Option<f64>,
+}
+
+/// Accumulates `.scl` core rows; the region is their bounding box.
+#[derive(Default)]
+struct SclPass {
+    /// Completed rows as `(y, height, x origin, width)`.
+    rows: Vec<(f64, f64, f64, f64)>,
+    /// Current CoreRow block.
+    cur: CurRow,
+    /// Site width recovered from the first row that states one.
+    first_site_width: Option<f64>,
+}
+
+impl SclPass {
+    fn line(&mut self, line: &str) {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.as_slice() {
+            ["CoreRow", ..] => self.cur = CurRow::default(),
+            ["Coordinate", ":", v] => self.cur.y = v.parse().ok(),
+            ["Height", ":", v] => self.cur.height = v.parse().ok(),
+            ["Sitewidth", ":", v] => {
+                let sw = v.parse().ok();
+                self.cur.site_width = sw;
+                if self.first_site_width.is_none() {
+                    self.first_site_width = sw;
+                }
+            }
+            ["SubrowOrigin", ":", x, "NumSites", ":", n] => {
+                self.cur.x_origin = x.parse().ok();
+                self.cur.num_sites = n.parse().ok();
+            }
+            ["SubrowOrigin", ":", x] => self.cur.x_origin = x.parse().ok(),
+            ["NumSites", ":", n] => self.cur.num_sites = n.parse().ok(),
+            ["End"] => {
+                if let CurRow {
+                    y: Some(y),
+                    height: Some(h),
+                    site_width: Some(sw),
+                    x_origin: Some(x0),
+                    num_sites: Some(ns),
+                } = self.cur
+                {
+                    self.rows.push((y, h, x0, sw * ns));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Resolves `(region, row_height, site_width)`; with no usable rows, a
+    /// square region sized for ~70% utilization is synthesized.
+    fn finish(self, netlist: &Netlist) -> (Rect, f64, f64) {
+        if self.rows.is_empty() {
+            let area: f64 = netlist.movable_area().max(1.0) / 0.7;
+            let side = area.sqrt().ceil();
+            return (Rect::new(0.0, 0.0, side, side), 1.0, 0.2);
+        }
+        let row_h = self.rows[0].1;
+        let site_w = self.first_site_width.unwrap_or(1.0);
+        let xl = self.rows.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
+        let xh = self
+            .rows
+            .iter()
+            .map(|r| r.2 + r.3)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let yl = self.rows.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
+        let yh = self
+            .rows
+            .iter()
+            .map(|r| r.0 + r.1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        (Rect::new(xl, yl, xh, yh), row_h, site_w)
+    }
+}
+
+fn make_design(
+    name: &str,
+    netlist: Netlist,
+    region: Rect,
+    row_height: f64,
+    site_width: f64,
+) -> Result<Design, DbError> {
     let mut tech = Technology::default();
     // Rescale the default stack so pitches stay proportional to row height.
     let scale = row_height / tech.row_height;
@@ -135,157 +354,237 @@ pub fn parse_bookshelf(
         layer.metal_width *= scale;
         layer.wire_spacing *= scale;
     }
-    let mut design = Design::new(name, netlist, tech, region)?;
+    Design::new(name, netlist, tech, region)
+}
 
-    // --- .pl (fixed nodes only; movable positions are a starting point) --
+/// Applies one `.pl` line: movable positions land in `initial`, terminal
+/// positions become design data.
+fn pl_line(
+    design: &mut Design,
+    initial: &mut Placement,
+    by_name: &BTreeMap<String, CellId>,
+    lineno: usize,
+    line: &str,
+) -> Result<(), DbError> {
+    let mut it = line.split_whitespace();
+    let Some(node) = it.next() else {
+        return Ok(());
+    };
+    let Some(&cell) = by_name.get(node) else {
+        return Err(DbError::Parse {
+            line: lineno,
+            message: format!("pl: unknown node '{node}'"),
+        });
+    };
+    let x: f64 = parse_tok(it.next(), "pl", lineno, "x")?;
+    let y: f64 = parse_tok(it.next(), "pl", lineno, "y")?;
+    let (w, h) = {
+        let c = design.netlist().cell(cell);
+        (c.width, c.height)
+    };
+    let center = Point::new(x + w / 2.0, y + h / 2.0);
+    if design.netlist().cell(cell).is_movable() {
+        initial.set(cell, center);
+    } else {
+        // Clamp into the region: Bookshelf terminals may sit on the
+        // core boundary or in the periphery.
+        let region = design.region();
+        let half = Point::new(w / 2.0, h / 2.0);
+        let clamped = Point::new(
+            center.x.clamp(
+                region.xl + half.x,
+                (region.xh - half.x).max(region.xl + half.x),
+            ),
+            center.y.clamp(
+                region.yl + half.y,
+                (region.yh - half.y).max(region.yl + half.y),
+            ),
+        );
+        design
+            .place_macro(cell, clamped)
+            .map_err(|e| DbError::Parse {
+                line: lineno,
+                message: e.to_string(),
+            })?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Front-ends
+// ---------------------------------------------------------------------------
+
+/// Parses a Bookshelf design from in-memory file contents.
+///
+/// `scl` may be empty, in which case a square region sized for ~70%
+/// utilization is synthesized. For on-disk inputs prefer
+/// [`parse_bookshelf_streaming`] (or [`read_aux`]), which never
+/// materializes the files.
+///
+/// # Errors
+///
+/// Returns [`DbError::Parse`] describing the offending file and line.
+pub fn parse_bookshelf(
+    name: &str,
+    nodes: &str,
+    nets: &str,
+    pl: &str,
+    scl: &str,
+) -> Result<Design, DbError> {
+    let mut parser = BookshelfParser::new();
+    let mut last = 0;
+    for (lineno, line) in content_lines(nodes, "UCLA nodes") {
+        last = lineno;
+        parser.nodes_line(lineno, line)?;
+    }
+    parser.finish_nodes(last)?;
+    let mut last = 0;
+    for (lineno, line) in content_lines(nets, "UCLA nets") {
+        last = lineno;
+        parser.nets_line(lineno, line)?;
+    }
+    parser.finish_nets(last)?;
+    let mut scl_pass = SclPass::default();
+    for (_, line) in content_lines(scl, "UCLA scl") {
+        scl_pass.line(line);
+    }
+    let (by_name, netlist) = parser.build()?;
+    let (region, row_height, site_width) = scl_pass.finish(&netlist);
+    let mut design = make_design(name, netlist, region, row_height, site_width)?;
+    // Fixed nodes only; movable positions are a starting point.
     let mut initial = design.initial_placement();
     for (lineno, line) in content_lines(pl, "UCLA pl") {
-        let mut it = line.split_whitespace();
-        let Some(node) = it.next() else { continue };
-        let Some(&cell) = by_name.get(node) else {
-            return Err(DbError::Parse {
-                line: lineno,
-                message: format!("pl: unknown node '{node}'"),
-            });
-        };
-        let x: f64 = parse_tok(it.next(), "pl", lineno, "x")?;
-        let y: f64 = parse_tok(it.next(), "pl", lineno, "y")?;
-        let (w, h) = sizes[node];
-        let center = Point::new(x + w / 2.0, y + h / 2.0);
-        if design.netlist().cell(cell).is_movable() {
-            initial.set(cell, center);
-        } else {
-            // Clamp into the region: Bookshelf terminals may sit on the
-            // core boundary or in the periphery.
-            let half = Point::new(w / 2.0, h / 2.0);
-            let clamped = Point::new(
-                center.x.clamp(
-                    region.xl + half.x,
-                    (region.xh - half.x).max(region.xl + half.x),
-                ),
-                center.y.clamp(
-                    region.yl + half.y,
-                    (region.yh - half.y).max(region.yl + half.y),
-                ),
-            );
-            design
-                .place_macro(cell, clamped)
-                .map_err(|e| DbError::Parse {
-                    line: lineno,
-                    message: e.to_string(),
-                })?;
-        }
+        pl_line(&mut design, &mut initial, &by_name, lineno, line)?;
     }
     // A partial or missing .pl leaves terminals unplaced; callers decide
     // whether that matters via [`Design::check_macros_placed`].
     Ok(design)
 }
 
-fn parse_scl(scl: &str, netlist: &crate::netlist::Netlist) -> Result<(Rect, f64, f64), DbError> {
-    let mut rows: Vec<(f64, f64, f64, f64)> = Vec::new(); // (y, h, x0, width)
-                                                          // Current CoreRow block: (y, height, site width, x origin, num sites).
-    type RowAcc = (
-        Option<f64>,
-        Option<f64>,
-        Option<f64>,
-        Option<f64>,
-        Option<f64>,
-    );
-    let mut cur: RowAcc = (None, None, None, None, None);
-    for (_, line) in content_lines(scl, "UCLA scl") {
-        let toks: Vec<&str> = line.split_whitespace().collect();
-        match toks.as_slice() {
-            ["CoreRow", ..] => cur = (None, None, None, None, None),
-            ["Coordinate", ":", v] => cur.0 = v.parse().ok(),
-            ["Height", ":", v] => cur.1 = v.parse().ok(),
-            ["Sitewidth", ":", v] => cur.2 = v.parse().ok(),
-            ["SubrowOrigin", ":", x, "NumSites", ":", n] => {
-                cur.3 = x.parse().ok();
-                cur.4 = n.parse().ok();
-            }
-            ["SubrowOrigin", ":", x] => cur.3 = x.parse().ok(),
-            ["NumSites", ":", n] => cur.4 = n.parse().ok(),
-            ["End"] => {
-                if let (Some(y), Some(h), Some(sw), Some(x0), Some(ns)) =
-                    (cur.0, cur.1, cur.2, cur.3, cur.4)
-                {
-                    rows.push((y, h, x0, sw * ns));
-                }
-            }
-            _ => {}
-        }
+/// Parses a Bookshelf design by streaming each file line-by-line through a
+/// reused buffer: peak memory is the netlist under construction plus one
+/// line, regardless of file sizes.
+///
+/// Grammar and validation are byte-identical to [`parse_bookshelf`] — both
+/// front-ends drive the same per-line parser.
+///
+/// # Errors
+///
+/// Returns [`DbError::Parse`] for malformed content and [`DbError::Read`]
+/// (with the last completed line) when a reader fails mid-parse.
+pub fn parse_bookshelf_streaming<N, E, P, S>(
+    name: &str,
+    nodes: N,
+    nets: E,
+    pl: P,
+    scl: S,
+) -> Result<Design, DbError>
+where
+    N: BufRead,
+    E: BufRead,
+    P: BufRead,
+    S: BufRead,
+{
+    let mut parser = BookshelfParser::new();
+    let mut reader = LineReader::new(nodes, ".nodes");
+    let mut last = 0;
+    while let Some((lineno, line)) = reader.next_content("UCLA nodes")? {
+        last = lineno;
+        parser.nodes_line(lineno, line)?;
     }
-    if rows.is_empty() {
-        // Synthesize a floorplan: square region at ~70% utilization.
-        let area: f64 = netlist.movable_area().max(1.0) / 0.7;
-        let side = area.sqrt().ceil();
-        return Ok((Rect::new(0.0, 0.0, side, side), 1.0, 0.2));
+    parser.finish_nodes(last)?;
+
+    let mut reader = LineReader::new(nets, ".nets");
+    let mut last = 0;
+    while let Some((lineno, line)) = reader.next_content("UCLA nets")? {
+        last = lineno;
+        parser.nets_line(lineno, line)?;
     }
-    let row_h = rows[0].1;
-    let site_w = rows
-        .first()
-        .map(|_| {
-            // Recover site width from the first CoreRow block.
-            let mut sw = 1.0;
-            for (_, line) in content_lines(scl, "UCLA scl") {
-                let toks: Vec<&str> = line.split_whitespace().collect();
-                if let ["Sitewidth", ":", v] = toks.as_slice() {
-                    if let Ok(x) = v.parse() {
-                        sw = x;
-                        break;
-                    }
-                }
-            }
-            sw
-        })
-        .unwrap_or(1.0);
-    let xl = rows.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
-    let xh = rows
-        .iter()
-        .map(|r| r.2 + r.3)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let yl = rows.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
-    let yh = rows
-        .iter()
-        .map(|r| r.0 + r.1)
-        .fold(f64::NEG_INFINITY, f64::max);
-    Ok((Rect::new(xl, yl, xh, yh), row_h, site_w))
+    parser.finish_nets(last)?;
+
+    let mut scl_pass = SclPass::default();
+    let mut reader = LineReader::new(scl, ".scl");
+    while let Some((_, line)) = reader.next_content("UCLA scl")? {
+        scl_pass.line(line);
+    }
+
+    let (by_name, netlist) = parser.build()?;
+    let (region, row_height, site_width) = scl_pass.finish(&netlist);
+    let mut design = make_design(name, netlist, region, row_height, site_width)?;
+    let mut initial = design.initial_placement();
+    let mut reader = LineReader::new(pl, ".pl");
+    while let Some((lineno, line)) = reader.next_content("UCLA pl")? {
+        pl_line(&mut design, &mut initial, &by_name, lineno, line)?;
+    }
+    Ok(design)
 }
 
-/// Reads a Bookshelf design given the path of its `.aux` file.
+/// How [`read_aux_with`] opens the sibling files named by the `.aux`.
+/// The default opener is a plain buffered `File`; a caller can substitute
+/// one that routes reads through a fault-injection hook.
+pub type AuxOpener<'a> = dyn FnMut(&Path) -> std::io::Result<Box<dyn BufRead>> + 'a;
+
+/// Reads a Bookshelf design given the path of its `.aux` file, streaming
+/// every referenced file.
 ///
 /// # Errors
 ///
 /// Returns [`DbError`] on I/O failures or malformed content.
 pub fn read_aux(path: impl AsRef<Path>) -> Result<Design, DbError> {
+    read_aux_with(path, &mut |p: &Path| {
+        Ok(Box::new(std::io::BufReader::new(std::fs::File::open(p)?)) as Box<dyn BufRead>)
+    })
+}
+
+/// [`read_aux`] with a custom file opener, so callers can wrap the readers
+/// (e.g. in a chaos-test fault hook) without this crate knowing about it.
+///
+/// # Errors
+///
+/// Returns [`DbError`] on I/O failures or malformed content.
+pub fn read_aux_with(path: impl AsRef<Path>, open: &mut AuxOpener<'_>) -> Result<Design, DbError> {
     let path = path.as_ref();
-    let aux = std::fs::read_to_string(path)?;
+    let mut aux = String::new();
+    open(path)
+        .and_then(|mut r| r.read_to_string(&mut aux))
+        .map_err(DbError::Io)?;
     let dir = path.parent().unwrap_or(Path::new("."));
-    let mut nodes = String::new();
-    let mut nets = String::new();
-    let mut pl = String::new();
-    let mut scl = String::new();
+    let mut nodes: Option<PathBuf> = None;
+    let mut nets: Option<PathBuf> = None;
+    let mut pl: Option<PathBuf> = None;
+    let mut scl: Option<PathBuf> = None;
     for tok in aux.split_whitespace() {
-        let target: &mut String = match Path::new(tok).extension().and_then(|e| e.to_str()) {
-            Some("nodes") => &mut nodes,
-            Some("nets") => &mut nets,
-            Some("pl") => &mut pl,
-            Some("scl") => &mut scl,
-            _ => continue,
-        };
-        *target = std::fs::read_to_string(dir.join(tok))?;
+        let target: &mut Option<PathBuf> =
+            match Path::new(tok).extension().and_then(|e| e.to_str()) {
+                Some("nodes") => &mut nodes,
+                Some("nets") => &mut nets,
+                Some("pl") => &mut pl,
+                Some("scl") => &mut scl,
+                _ => continue,
+            };
+        *target = Some(dir.join(tok));
     }
-    if nodes.is_empty() || nets.is_empty() {
+    let (Some(nodes), Some(nets)) = (nodes, nets) else {
         return Err(DbError::Parse {
             line: 0,
             message: "aux: missing .nodes or .nets reference".into(),
         });
-    }
+    };
     let name = path
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("bookshelf");
-    parse_bookshelf(name, &nodes, &nets, &pl, &scl)
+    let nodes = open(&nodes).map_err(DbError::Io)?;
+    let nets = open(&nets).map_err(DbError::Io)?;
+    let pl: Box<dyn BufRead> = match pl {
+        Some(p) => open(&p).map_err(DbError::Io)?,
+        None => Box::new(std::io::empty()),
+    };
+    let scl: Box<dyn BufRead> = match scl {
+        Some(p) => open(&p).map_err(DbError::Io)?,
+        None => Box::new(std::io::empty()),
+    };
+    parse_bookshelf_streaming(name, nodes, nets, pl, scl)
 }
 
 /// Serialises a placement as a Bookshelf `.pl` file (lower-left corners;
@@ -449,8 +748,118 @@ mod tests {
         // Bookshelf .pl and re-read keeps the same netlist structure.
         let d = parse_bookshelf("mini", NODES, NETS, "", "").unwrap();
         assert_eq!(d.netlist().num_pins(), 4);
-        for (_, net) in d.netlist().iter_nets() {
-            assert_eq!(net.degree(), 2);
+        for (id, _) in d.netlist().iter_nets() {
+            assert_eq!(d.netlist().net_degree(id), 2);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_slurp_on_the_fixture() {
+        let tall_scl: String = (0..30)
+            .map(|i| {
+                format!(
+                    "CoreRow Horizontal\n Coordinate : {i}\n Height : 1\n Sitewidth : 1\n \
+                     SubrowOrigin : 0 NumSites : 40\nEnd\n"
+                )
+            })
+            .collect();
+        let slurped = parse_bookshelf("mini", NODES, NETS, PL, &tall_scl).unwrap();
+        let streamed = parse_bookshelf_streaming(
+            "mini",
+            NODES.as_bytes(),
+            NETS.as_bytes(),
+            PL.as_bytes(),
+            tall_scl.as_bytes(),
+        )
+        .unwrap();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::io::write_design(&slurped, &mut a).unwrap();
+        crate::io::write_design(&streamed, &mut b).unwrap();
+        assert_eq!(a, b, "streaming parse must be bit-identical to slurping");
+    }
+
+    #[test]
+    fn streaming_handles_crlf_line_endings() {
+        let nodes = NODES.replace('\n', "\r\n");
+        let nets = NETS.replace('\n', "\r\n");
+        let d =
+            parse_bookshelf_streaming("crlf", nodes.as_bytes(), nets.as_bytes(), &b""[..], &b""[..])
+                .unwrap();
+        assert_eq!(d.stats().nets, 2);
+        assert_eq!(d.netlist().num_pins(), 4);
+    }
+
+    #[test]
+    fn truncated_net_pin_list_is_rejected() {
+        // Cut the file mid-net: n1 declares 2 pins but lists 1.
+        let truncated = "UCLA nets 1.0\n\
+            NetDegree : 2 n0\n a I : 0 0\n b O : 0 0\n\
+            NetDegree : 2 n1\n b I : 0 0\n";
+        let err = parse_bookshelf("x", NODES, truncated, "", "").unwrap_err();
+        match err {
+            DbError::Parse { line, ref message } => {
+                assert_eq!(line, 5, "error points at the NetDegree line");
+                assert!(message.contains("n1"), "got: {message}");
+                assert!(message.contains("declares 2"), "got: {message}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        // The streaming front-end agrees.
+        let err = parse_bookshelf_streaming(
+            "x",
+            NODES.as_bytes(),
+            truncated.as_bytes(),
+            &b""[..],
+            &b""[..],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DbError::Parse { line: 5, .. }));
+    }
+
+    #[test]
+    fn declared_count_mismatches_are_rejected() {
+        let nodes = "UCLA nodes 1.0\nNumNodes : 5\na 2 1\nb 2 1\n";
+        let err = parse_bookshelf("x", nodes, "", "", "").unwrap_err();
+        assert!(err.to_string().contains("NumNodes"), "got: {err}");
+
+        let nets = "UCLA nets 1.0\nNumNets : 3\n\
+            NetDegree : 2 n0\n a I : 0 0\n b O : 0 0\n";
+        let err = parse_bookshelf("x", NODES, nets, "", "").unwrap_err();
+        assert!(err.to_string().contains("NumNets"), "got: {err}");
+
+        let nets = "UCLA nets 1.0\nNumPins : 9\n\
+            NetDegree : 2 n0\n a I : 0 0\n b O : 0 0\n";
+        let err = parse_bookshelf("x", NODES, nets, "", "").unwrap_err();
+        assert!(err.to_string().contains("NumPins"), "got: {err}");
+    }
+
+    #[test]
+    fn failing_reader_surfaces_a_read_error_with_context() {
+        // A reader that yields one good line and then an I/O error.
+        struct Flaky {
+            sent: bool,
+        }
+        impl Read for Flaky {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.sent {
+                    return Err(std::io::Error::other("wire cut"));
+                }
+                self.sent = true;
+                let line = b"NetDegree : 2 n0\n";
+                buf[..line.len()].copy_from_slice(line);
+                Ok(line.len())
+            }
+        }
+        let nets = std::io::BufReader::new(Flaky { sent: false });
+        let err = parse_bookshelf_streaming("x", NODES.as_bytes(), nets, &b""[..], &b""[..])
+            .unwrap_err();
+        match err {
+            DbError::Read { ref file, line, .. } => {
+                assert_eq!(file, ".nets");
+                assert_eq!(line, 1, "one line was consumed before the failure");
+            }
+            other => panic!("expected a read error, got {other:?}"),
         }
     }
 }

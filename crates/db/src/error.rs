@@ -18,6 +18,13 @@ pub enum DbError {
     BadId(String),
     /// The textual design format could not be parsed.
     Parse { line: usize, message: String },
+    /// A streaming read failed part-way through a parse; `line` is the
+    /// last line successfully consumed from `file` before the failure.
+    Read {
+        file: String,
+        line: usize,
+        source: std::io::Error,
+    },
     /// An underlying I/O failure.
     Io(std::io::Error),
 }
@@ -30,6 +37,9 @@ impl fmt::Display for DbError {
             DbError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            DbError::Read { file, line, source } => {
+                write!(f, "read error in {file} after line {line}: {source}")
+            }
             DbError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -39,6 +49,7 @@ impl Error for DbError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             DbError::Io(e) => Some(e),
+            DbError::Read { source, .. } => Some(source),
             _ => None,
         }
     }

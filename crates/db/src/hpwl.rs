@@ -9,7 +9,7 @@ use crate::netlist::{NetId, Netlist};
 /// HPWL of a single net (unweighted). Nets with fewer than two pins have
 /// zero wirelength.
 pub fn net_hpwl(netlist: &Netlist, placement: &Placement, net: NetId) -> f64 {
-    let pins = &netlist.net(net).pins;
+    let pins = netlist.net_pins(net);
     if pins.len() < 2 {
         return 0.0;
     }

@@ -74,6 +74,10 @@ impl fmt::Display for CellKind {
 }
 
 /// A cell instance.
+///
+/// Pin membership is not stored here: the owning [`Netlist`] keeps one flat
+/// compressed array for all cells (see [`Netlist::cell_pins`]), so a cell
+/// record stays a fixed-size struct even on million-cell designs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cell {
     /// Instance name.
@@ -85,8 +89,6 @@ pub struct Cell {
     pub height: f64,
     /// Movability.
     pub kind: CellKind,
-    /// Pins attached to this cell.
-    pub pins: Vec<PinId>,
 }
 
 impl Cell {
@@ -102,21 +104,15 @@ impl Cell {
 }
 
 /// A net (hyperedge) connecting two or more pins.
+///
+/// Pin membership lives in the owning [`Netlist`]'s compressed array (see
+/// [`Netlist::net_pins`] and [`Netlist::net_degree`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Net {
     /// Net name.
     pub name: String,
-    /// Pins on this net.
-    pub pins: Vec<PinId>,
     /// Net weight for wirelength objectives (default 1.0).
     pub weight: f64,
-}
-
-impl Net {
-    /// Number of pins on the net (its degree).
-    pub fn degree(&self) -> usize {
-        self.pins.len()
-    }
 }
 
 /// A pin: the connection point between one cell and one net.
@@ -134,11 +130,64 @@ pub struct Pin {
 ///
 /// Use [`NetlistBuilder`] to construct one; see the [crate-level
 /// example](crate) for the full flow.
+///
+/// # Storage layout
+///
+/// Pin membership is stored struct-of-arrays style: one flat [`PinId`]
+/// array per side (cell side and net side) plus `u32` start offsets, CSR
+/// fashion. Compared to a `Vec<PinId>` inside every [`Cell`] and [`Net`],
+/// this removes two heap allocations and two 24-byte `Vec` headers per
+/// entity — on a 1.5M-cell design that is hundreds of megabytes of peak
+/// memory and allocator churn. The membership slices are reachable only
+/// through [`Netlist::cell_pins`] / [`Netlist::net_pins`], so the compact
+/// layout is invisible to downstream crates.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Netlist {
     cells: Vec<Cell>,
     nets: Vec<Net>,
     pins: Vec<Pin>,
+    /// Start offset of each cell's pin-id run in `cell_pin_ids`
+    /// (`len == cells.len() + 1`; cell `i` owns `[starts[i], starts[i+1])`).
+    cell_pin_starts: Vec<u32>,
+    /// Pin ids grouped by owning cell, in connect order within each cell.
+    cell_pin_ids: Vec<PinId>,
+    /// Start offset of each net's pin-id run in `net_pin_ids`.
+    net_pin_starts: Vec<u32>,
+    /// Pin ids grouped by net, in connect order within each net.
+    net_pin_ids: Vec<PinId>,
+}
+
+/// Groups the pin table by `key` (owning cell or net index) into a CSR
+/// (starts, ids) pair via a counting sort; every key must be `< buckets`.
+fn csr_by(pins: &[Pin], buckets: usize, key: impl Fn(&Pin) -> usize) -> (Vec<u32>, Vec<PinId>) {
+    let mut starts = vec![0u32; buckets + 1];
+    for pin in pins {
+        starts[key(pin) + 1] += 1;
+    }
+    for i in 1..starts.len() {
+        starts[i] += starts[i - 1];
+    }
+    let mut cursor = starts.clone();
+    let mut ids = vec![PinId(0); pins.len()];
+    for (i, pin) in pins.iter().enumerate() {
+        let slot = &mut cursor[key(pin)];
+        ids[crate::cast::u32_idx(*slot)] = PinId(crate::cast::idx_u32(i));
+        *slot += 1;
+    }
+    (starts, ids)
+}
+
+/// Flattens per-entity pin-id lists into a CSR (starts, ids) pair.
+fn flatten_membership(lists: Vec<Vec<PinId>>) -> (Vec<u32>, Vec<PinId>) {
+    let total = lists.iter().map(Vec::len).sum();
+    let mut starts = Vec::with_capacity(lists.len() + 1);
+    let mut ids = Vec::with_capacity(total);
+    starts.push(0u32);
+    for list in lists {
+        ids.extend_from_slice(&list);
+        starts.push(crate::cast::idx_u32(ids.len()));
+    }
+    (starts, ids)
 }
 
 impl Netlist {
@@ -146,9 +195,65 @@ impl Netlist {
     /// builder validation**. This exists so the invariant checkers in
     /// `puffer-audit` can be exercised against deliberately corrupted
     /// netlists; real construction must go through [`NetlistBuilder`].
+    ///
+    /// `cell_pins` and `net_pins` carry the per-entity membership lists
+    /// (one per cell / net, in id order); they are flattened verbatim, so
+    /// a deliberately inconsistent membership survives into the netlist.
     #[doc(hidden)]
-    pub fn from_raw_parts(cells: Vec<Cell>, nets: Vec<Net>, pins: Vec<Pin>) -> Netlist {
-        Netlist { cells, nets, pins }
+    pub fn from_raw_parts(
+        cells: Vec<Cell>,
+        nets: Vec<Net>,
+        pins: Vec<Pin>,
+        cell_pins: Vec<Vec<PinId>>,
+        net_pins: Vec<Vec<PinId>>,
+    ) -> Netlist {
+        let (cell_pin_starts, cell_pin_ids) = flatten_membership(cell_pins);
+        let (net_pin_starts, net_pin_ids) = flatten_membership(net_pins);
+        Netlist {
+            cells,
+            nets,
+            pins,
+            cell_pin_starts,
+            cell_pin_ids,
+            net_pin_starts,
+            net_pin_ids,
+        }
+    }
+
+    /// Pin ids attached to `cell`, in connect order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds (ids from this netlist never are).
+    #[inline]
+    pub fn cell_pins(&self, cell: CellId) -> &[PinId] {
+        let i = cell.index();
+        let lo = crate::cast::u32_idx(self.cell_pin_starts[i]);
+        let hi = crate::cast::u32_idx(self.cell_pin_starts[i + 1]);
+        &self.cell_pin_ids[lo..hi]
+    }
+
+    /// Pin ids on `net`, in connect order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of bounds.
+    #[inline]
+    pub fn net_pins(&self, net: NetId) -> &[PinId] {
+        let i = net.index();
+        let lo = crate::cast::u32_idx(self.net_pin_starts[i]);
+        let hi = crate::cast::u32_idx(self.net_pin_starts[i + 1]);
+        &self.net_pin_ids[lo..hi]
+    }
+
+    /// Number of pins on `net` (its degree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of bounds.
+    #[inline]
+    pub fn net_degree(&self, net: NetId) -> usize {
+        self.net_pins(net).len()
     }
 
     /// All cells, indexable by [`CellId::index`].
@@ -261,7 +366,7 @@ impl Netlist {
 /// nb.connect(n, a, Point::ORIGIN)?;
 /// nb.connect(n, b, Point::ORIGIN)?;
 /// let netlist = nb.build()?;
-/// assert_eq!(netlist.net(n).degree(), 2);
+/// assert_eq!(netlist.net_degree(n), 2);
 /// # Ok(())
 /// # }
 /// ```
@@ -336,9 +441,15 @@ impl NetlistBuilder {
             width,
             height,
             kind,
-            pins: Vec::new(),
         });
         Ok(id)
+    }
+
+    /// Width and height of an already-added cell, or `None` for an unknown
+    /// id. Streaming parsers use this to validate pin offsets against the
+    /// owning cell without keeping a separate size table.
+    pub fn cell_dims(&self, cell: CellId) -> Option<(f64, f64)> {
+        self.cells.get(cell.index()).map(|c| (c.width, c.height))
     }
 
     /// Adds a net with weight 1 and returns its id.
@@ -375,11 +486,7 @@ impl NetlistBuilder {
             )));
         }
         let id = NetId(crate::cast::idx_u32(self.nets.len()));
-        self.nets.push(Net {
-            name,
-            pins: Vec::new(),
-            weight,
-        });
+        self.nets.push(Net { name, weight });
         Ok(id)
     }
 
@@ -398,8 +505,6 @@ impl NetlistBuilder {
         }
         let id = PinId(crate::cast::idx_u32(self.pins.len()));
         self.pins.push(Pin { cell, net, offset });
-        self.cells[cell.index()].pins.push(id);
-        self.nets[net.index()].pins.push(id);
         Ok(id)
     }
 
@@ -438,10 +543,22 @@ impl NetlistBuilder {
                 )));
             }
         }
+        // Compressed membership via counting sort over the pin table: pins
+        // were validated in-bounds above, and scattering in pin-id order
+        // keeps each entity's run in connect order — the exact order the
+        // old per-entity `Vec<PinId>` lists carried.
+        let (cell_pin_starts, cell_pin_ids) =
+            csr_by(&self.pins, self.cells.len(), |p| p.cell.index());
+        let (net_pin_starts, net_pin_ids) =
+            csr_by(&self.pins, self.nets.len(), |p| p.net.index());
         Ok(Netlist {
             cells: self.cells,
             nets: self.nets,
             pins: self.pins,
+            cell_pin_starts,
+            cell_pin_ids,
+            net_pin_starts,
+            net_pin_ids,
         })
     }
 }
@@ -520,23 +637,51 @@ mod tests {
         let n = nb.add_weighted_net("clk", 2.5);
         nb.connect(n, a, Point::ORIGIN).unwrap();
         let nl = nb.build().unwrap();
-        assert_eq!(nl.net(n).degree(), 1);
+        assert_eq!(nl.net_degree(n), 1);
         assert_eq!(nl.net(n).weight, 2.5);
     }
 
     #[test]
     fn cell_pin_backrefs_are_consistent() {
         let nl = two_cell_netlist();
-        for (cid, cell) in nl.iter_cells() {
-            for &pid in &cell.pins {
+        for (cid, _) in nl.iter_cells() {
+            for &pid in nl.cell_pins(cid) {
                 assert_eq!(nl.pin(pid).cell, cid);
             }
         }
-        for (nid, net) in nl.iter_nets() {
-            for &pid in &net.pins {
+        for (nid, _) in nl.iter_nets() {
+            for &pid in nl.net_pins(nid) {
                 assert_eq!(nl.pin(pid).net, nid);
             }
         }
+    }
+
+    #[test]
+    fn membership_runs_preserve_connect_order() {
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_cell("a", 2.0, 1.0, CellKind::Movable);
+        let b = nb.add_cell("b", 2.0, 1.0, CellKind::Movable);
+        let n0 = nb.add_net("n0");
+        let n1 = nb.add_net("n1");
+        // Interleave connections so the CSR scatter has to regroup.
+        let p0 = nb.connect(n1, b, Point::ORIGIN).unwrap();
+        let p1 = nb.connect(n0, a, Point::ORIGIN).unwrap();
+        let p2 = nb.connect(n1, a, Point::ORIGIN).unwrap();
+        let p3 = nb.connect(n0, b, Point::ORIGIN).unwrap();
+        let nl = nb.build().unwrap();
+        assert_eq!(nl.net_pins(n0), &[p1, p3]);
+        assert_eq!(nl.net_pins(n1), &[p0, p2]);
+        assert_eq!(nl.cell_pins(a), &[p1, p2]);
+        assert_eq!(nl.cell_pins(b), &[p0, p3]);
+        assert_eq!(nl.net_degree(n0), 2);
+    }
+
+    #[test]
+    fn cell_dims_reports_added_cells() {
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_cell("a", 2.0, 1.5, CellKind::Movable);
+        assert_eq!(nb.cell_dims(a), Some((2.0, 1.5)));
+        assert_eq!(nb.cell_dims(CellId(7)), None);
     }
 
     #[test]

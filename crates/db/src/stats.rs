@@ -28,10 +28,10 @@ impl DesignStats {
             nets: nl.num_nets(),
             ..DesignStats::default()
         };
-        for (_, cell) in nl.iter_cells() {
+        for (id, cell) in nl.iter_cells() {
             if cell.is_movable() {
                 stats.movable_cells += 1;
-                stats.movable_pins += cell.pins.len();
+                stats.movable_pins += nl.cell_pins(id).len();
             } else {
                 stats.macros += 1;
             }

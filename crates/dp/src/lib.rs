@@ -300,8 +300,7 @@ fn nets_of(design: &Design, cells: &[CellId]) -> Vec<NetId> {
         .flat_map(|&c| {
             design
                 .netlist()
-                .cell(c)
-                .pins
+                .cell_pins(c)
                 .iter()
                 .map(|&p| design.netlist().pin(p).net)
         })
@@ -556,9 +555,9 @@ fn net_centroid(design: &Design, placement: &Placement, cell: CellId) -> Option<
     let mut sx = 0.0;
     let mut sy = 0.0;
     let mut n = 0usize;
-    for &pid in &netlist.cell(cell).pins {
+    for &pid in netlist.cell_pins(cell) {
         let net = netlist.pin(pid).net;
-        for &q in &netlist.net(net).pins {
+        for &q in netlist.net_pins(net) {
             if netlist.pin(q).cell != cell {
                 let p = placement.pin_pos(netlist, q);
                 sx += p.x;

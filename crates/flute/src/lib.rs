@@ -87,7 +87,7 @@ impl Topology {
     /// Pins at identical coordinates are merged into a single node that
     /// remembers all its pin ids (see [`Topology::pins_at`]).
     pub fn for_net(netlist: &Netlist, placement: &Placement, net: NetId) -> Topology {
-        let pins = &netlist.net(net).pins;
+        let pins = netlist.net_pins(net);
         let pts: Vec<(Point, PinId)> = pins
             .iter()
             .map(|&pid| (placement.pin_pos(netlist, pid), pid))

@@ -24,7 +24,7 @@
 //! ```
 //! use puffer_gen::{generate, presets};
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let config = presets::or1200(0.01); // 1% scale for a quick run
+//! let config = presets::or1200(0.01)?; // 1% scale for a quick run
 //! let design = generate(&config)?;
 //! assert!(design.stats().movable_cells > 1000);
 //! # Ok(())
@@ -41,6 +41,31 @@ use puffer_db::tech::Technology;
 use puffer_rng::StdRng;
 
 pub mod presets;
+
+/// Errors produced while building a generator configuration (as opposed to
+/// [`DbError`], which [`generate`] returns when a *valid* configuration
+/// still yields a degenerate design).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenError {
+    /// The scale factor passed to [`GeneratorConfig::scaled`] (or a
+    /// [`presets`] function) was zero, negative, or non-finite.
+    Scale {
+        /// The offending factor.
+        factor: f64,
+    },
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::Scale { factor } => {
+                write!(f, "scale factor must be positive and finite, got {factor}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
 
 /// Configuration of a synthetic design.
 ///
@@ -96,14 +121,20 @@ impl Default for GeneratorConfig {
 impl GeneratorConfig {
     /// Scales cell/net/macro counts by `factor` (min 1 macro kept when the
     /// original had any), returning a new config. Used by [`presets`].
-    pub fn scaled(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0, "scale factor must be positive");
+    ///
+    /// # Errors
+    ///
+    /// [`GenError::Scale`] when `factor` is zero, negative, or non-finite.
+    pub fn scaled(mut self, factor: f64) -> Result<Self, GenError> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(GenError::Scale { factor });
+        }
         self.num_cells = ((self.num_cells as f64 * factor) as usize).max(16);
         self.num_nets = ((self.num_nets as f64 * factor) as usize).max(16);
         if self.num_macros > 0 {
             self.num_macros = ((self.num_macros as f64 * factor.sqrt()) as usize).clamp(1, 400);
         }
-        self
+        Ok(self)
     }
 }
 
@@ -425,7 +456,7 @@ mod tests {
         // Hotspot config adds extra nets and pins on the first cells.
         let pins_on_first = |d: &Design| -> usize {
             (0..80)
-                .map(|i| d.netlist().cell(CellId(i)).pins.len())
+                .map(|i| d.netlist().cell_pins(CellId(i)).len())
                 .sum()
         };
         assert!(pins_on_first(&hot) > pins_on_first(&calm));
@@ -433,7 +464,7 @@ mod tests {
 
     #[test]
     fn scaled_reduces_counts() {
-        let cfg = presets::bit_coin(0.01);
+        let cfg = presets::bit_coin(0.01).unwrap();
         assert!(cfg.num_cells < 10_000);
         assert!(cfg.num_cells >= 16);
         let d = generate(&cfg).unwrap();
@@ -441,9 +472,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_scale_panics() {
-        let _ = GeneratorConfig::default().scaled(0.0);
+    fn degenerate_scale_factors_are_structured_errors() {
+        // Regression: these were an `assert!` panic; callers (CLI flags,
+        // daemon job specs) need a recoverable error instead.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = GeneratorConfig::default().scaled(bad).unwrap_err();
+            assert!(matches!(err, GenError::Scale { .. }), "{err}");
+            assert!(err.to_string().contains("scale factor"), "{err}");
+            if !bad.is_nan() {
+                assert!(err.to_string().contains(&bad.to_string()), "{err}");
+            }
+        }
+        assert!(GeneratorConfig::default().scaled(0.5).is_ok());
     }
 
     #[test]
@@ -457,8 +497,8 @@ mod tests {
         })
         .unwrap();
         let mut degree_counts = [0usize; 30];
-        for (_, net) in d.netlist().iter_nets() {
-            degree_counts[net.degree().min(29)] += 1;
+        for (id, _) in d.netlist().iter_nets() {
+            degree_counts[d.netlist().net_degree(id).min(29)] += 1;
         }
         // 2-pin nets dominate, higher degrees decay, a tail exists.
         assert!(degree_counts[2] > degree_counts[3]);
@@ -487,9 +527,10 @@ mod tests {
         let span_limit = cfg.num_cells / n_clusters; // one cluster range
         let mut confined = 0;
         let mut total = 0;
-        for (_, net) in d.netlist().iter_nets() {
-            let idxs: Vec<usize> = net
-                .pins
+        for (id, _) in d.netlist().iter_nets() {
+            let idxs: Vec<usize> = d
+                .netlist()
+                .net_pins(id)
                 .iter()
                 .map(|&p| d.netlist().pin(p).cell.index())
                 .collect();

@@ -11,7 +11,7 @@
 //! `1.0` is full Table I size. The default harness runs at small scales so
 //! the whole suite finishes on one machine.
 
-use crate::GeneratorConfig;
+use crate::{GenError, GeneratorConfig};
 
 #[allow(clippy::too_many_arguments)] // mirrors the Table I columns
 fn base(
@@ -40,22 +40,22 @@ fn base(
 }
 
 /// OR1200: small but congested CPU core (paper HOF 0.79–0.92%).
-pub fn or1200(scale: f64) -> GeneratorConfig {
+pub fn or1200(scale: f64) -> Result<GeneratorConfig, GenError> {
     base("OR1200", 22, 122, 193, 660, 0.80, 0.55, 0x0120_0001).scaled(scale)
 }
 
 /// ASIC_ENTITY: clean mid-size block.
-pub fn asic_entity(scale: f64) -> GeneratorConfig {
+pub fn asic_entity(scale: f64) -> Result<GeneratorConfig, GenError> {
     base("ASIC_ENTITY", 45, 149, 155, 630, 0.68, 0.10, 0x0120_0002).scaled(scale)
 }
 
 /// BIT_COIN: large, very routable datapath.
-pub fn bit_coin(scale: f64) -> GeneratorConfig {
+pub fn bit_coin(scale: f64) -> Result<GeneratorConfig, GenError> {
     base("BIT_COIN", 43, 760, 760, 3151, 0.62, 0.02, 0x0120_0003).scaled(scale)
 }
 
 /// MEDIA_SUBSYS: the most congested design in Table II (VOF up to 14.8%).
-pub fn media_subsys(scale: f64) -> GeneratorConfig {
+pub fn media_subsys(scale: f64) -> Result<GeneratorConfig, GenError> {
     base(
         "MEDIA_SUBSYS",
         70,
@@ -70,7 +70,7 @@ pub fn media_subsys(scale: f64) -> GeneratorConfig {
 }
 
 /// MEDIA_PG_MODIFY: same block after a power-grid fix; much milder.
-pub fn media_pg_modify(scale: f64) -> GeneratorConfig {
+pub fn media_pg_modify(scale: f64) -> Result<GeneratorConfig, GenError> {
     base(
         "MEDIA_PG_MODIFY",
         70,
@@ -85,22 +85,22 @@ pub fn media_pg_modify(scale: f64) -> GeneratorConfig {
 }
 
 /// A53_ADB_WRAP: congested CPU wrapper (paper VOF 2.4–14.4%).
-pub fn a53_adb_wrap(scale: f64) -> GeneratorConfig {
+pub fn a53_adb_wrap(scale: f64) -> Result<GeneratorConfig, GenError> {
     base("A53_ADB_WRAP", 7, 1232, 1300, 5242, 0.83, 0.85, 0x0120_0006).scaled(scale)
 }
 
 /// CT_SCAN: large and clean.
-pub fn ct_scan(scale: f64) -> GeneratorConfig {
+pub fn ct_scan(scale: f64) -> Result<GeneratorConfig, GenError> {
     base("CT_SCAN", 39, 1249, 1317, 5282, 0.66, 0.08, 0x0120_0007).scaled(scale)
 }
 
 /// CT_TOP: the cleanest large design (zero HOF for all placers).
-pub fn ct_top(scale: f64) -> GeneratorConfig {
+pub fn ct_top(scale: f64) -> Result<GeneratorConfig, GenError> {
     base("CT_TOP", 38, 1270, 1272, 4091, 0.60, 0.0, 0x0120_0008).scaled(scale)
 }
 
 /// E31_ECOREPLEX: big but routable core complex.
-pub fn e31_ecoreplex(scale: f64) -> GeneratorConfig {
+pub fn e31_ecoreplex(scale: f64) -> Result<GeneratorConfig, GenError> {
     base(
         "E31_ECOREPLEX",
         56,
@@ -115,35 +115,44 @@ pub fn e31_ecoreplex(scale: f64) -> GeneratorConfig {
 }
 
 /// OPENC910: the largest design, macro-heavy, mildly congested.
-pub fn openc910(scale: f64) -> GeneratorConfig {
-    let mut c = base("OPENC910", 332, 1590, 1741, 7276, 0.68, 0.12, 0x0120_000A).scaled(scale);
+pub fn openc910(scale: f64) -> Result<GeneratorConfig, GenError> {
+    let mut c = base("OPENC910", 332, 1590, 1741, 7276, 0.68, 0.12, 0x0120_000A).scaled(scale)?;
     // 332 macros are necessarily small ones; keep the blocked area in a
     // realistic band instead of letting the default per-macro size blow it up.
     c.macro_fraction = 0.03;
-    c
+    Ok(c)
 }
 
 /// All ten presets in Table I order.
-pub fn all(scale: f64) -> Vec<GeneratorConfig> {
-    vec![
-        or1200(scale),
-        asic_entity(scale),
-        bit_coin(scale),
-        media_subsys(scale),
-        media_pg_modify(scale),
-        a53_adb_wrap(scale),
-        ct_scan(scale),
-        ct_top(scale),
-        e31_ecoreplex(scale),
-        openc910(scale),
-    ]
+///
+/// # Errors
+///
+/// [`GenError::Scale`] when `scale` is zero, negative, or non-finite.
+pub fn all(scale: f64) -> Result<Vec<GeneratorConfig>, GenError> {
+    Ok(vec![
+        or1200(scale)?,
+        asic_entity(scale)?,
+        bit_coin(scale)?,
+        media_subsys(scale)?,
+        media_pg_modify(scale)?,
+        a53_adb_wrap(scale)?,
+        ct_scan(scale)?,
+        ct_top(scale)?,
+        e31_ecoreplex(scale)?,
+        openc910(scale)?,
+    ])
 }
 
-/// Looks a preset up by its (case-insensitive) Table I name.
-pub fn by_name(name: &str, scale: f64) -> Option<GeneratorConfig> {
-    all(scale)
+/// Looks a preset up by its (case-insensitive) Table I name; `Ok(None)`
+/// means the name is unknown.
+///
+/// # Errors
+///
+/// [`GenError::Scale`] when `scale` is zero, negative, or non-finite.
+pub fn by_name(name: &str, scale: f64) -> Result<Option<GeneratorConfig>, GenError> {
+    Ok(all(scale)?
         .into_iter()
-        .find(|c| c.name.eq_ignore_ascii_case(name))
+        .find(|c| c.name.eq_ignore_ascii_case(name)))
 }
 
 #[cfg(test)]
@@ -152,7 +161,7 @@ mod tests {
 
     #[test]
     fn ten_presets_in_table_order() {
-        let v = all(1.0);
+        let v = all(1.0).unwrap();
         assert_eq!(v.len(), 10);
         assert_eq!(v[0].name, "OR1200");
         assert_eq!(v[9].name, "OPENC910");
@@ -165,28 +174,30 @@ mod tests {
     #[test]
     fn degrees_match_pin_ratios() {
         // OR1200: 660K pins / 193K nets.
-        let c = or1200(1.0);
+        let c = or1200(1.0).unwrap();
         assert!((c.avg_net_degree - 660.0 / 193.0).abs() < 1e-9);
     }
 
     #[test]
     fn congested_presets_are_marked() {
-        assert!(media_subsys(1.0).hotspot > a53_adb_wrap(1.0).hotspot * 0.9);
-        assert!(media_subsys(1.0).hotspot > ct_top(1.0).hotspot);
-        assert!(media_subsys(1.0).utilization > bit_coin(1.0).utilization);
+        let (subsys, wrap) = (media_subsys(1.0).unwrap(), a53_adb_wrap(1.0).unwrap());
+        assert!(subsys.hotspot > wrap.hotspot * 0.9);
+        assert!(subsys.hotspot > ct_top(1.0).unwrap().hotspot);
+        assert!(subsys.utilization > bit_coin(1.0).unwrap().utilization);
     }
 
     #[test]
     fn by_name_is_case_insensitive() {
-        assert!(by_name("media_subsys", 0.1).is_some());
-        assert!(by_name("MEDIA_SUBSYS", 0.1).is_some());
-        assert!(by_name("nope", 0.1).is_none());
+        assert!(by_name("media_subsys", 0.1).unwrap().is_some());
+        assert!(by_name("MEDIA_SUBSYS", 0.1).unwrap().is_some());
+        assert!(by_name("nope", 0.1).unwrap().is_none());
+        assert!(by_name("media_subsys", 0.0).is_err());
     }
 
     #[test]
     fn scaling_keeps_ratios() {
-        let full = bit_coin(1.0);
-        let tiny = bit_coin(0.01);
+        let full = bit_coin(1.0).unwrap();
+        let tiny = bit_coin(0.01).unwrap();
         let r_full = full.num_nets as f64 / full.num_cells as f64;
         let r_tiny = tiny.num_nets as f64 / tiny.num_cells as f64;
         assert!((r_full - r_tiny).abs() < 0.05);
@@ -195,7 +206,7 @@ mod tests {
 
     #[test]
     fn seeds_are_distinct() {
-        let seeds: Vec<u64> = all(1.0).iter().map(|c| c.seed).collect();
+        let seeds: Vec<u64> = all(1.0).unwrap().iter().map(|c| c.seed).collect();
         let mut dedup = seeds.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -201,8 +201,8 @@ pub fn extract_features(
 
     // GNN feature: pin congestion over the routing topology.
     let mut pin_cg = vec![f64::INFINITY; netlist.num_pins()];
-    for (net_id, net) in netlist.iter_nets() {
-        if net.degree() < 2 {
+    for (net_id, _) in netlist.iter_nets() {
+        if netlist.net_degree(net_id) < 2 {
             continue;
         }
         let topo = Topology::for_net(netlist, placement, net_id);
@@ -226,8 +226,8 @@ pub fn extract_features(
         if !cell.is_movable() {
             continue;
         }
-        let total: f64 = cell
-            .pins
+        let total: f64 = netlist
+            .cell_pins(id)
             .iter()
             .map(|p| {
                 let v = pin_cg[p.index()];

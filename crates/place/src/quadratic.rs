@@ -147,24 +147,25 @@ fn build_b2b_system(
             o.y
         }
     };
-    for (_, net) in netlist.iter_nets() {
-        let p = net.degree();
+    for (id, net) in netlist.iter_nets() {
+        let pins = netlist.net_pins(id);
+        let p = pins.len();
         if p < 2 || net.weight == 0.0 {
             continue;
         }
         // Boundary pins at the linearization point.
         let mut lo = 0usize;
         let mut hi = 0usize;
-        for (k, &pid) in net.pins.iter().enumerate() {
-            if coord(pid) < coord(net.pins[lo]) {
+        for (k, &pid) in pins.iter().enumerate() {
+            if coord(pid) < coord(pins[lo]) {
                 lo = k;
             }
-            if coord(pid) > coord(net.pins[hi]) {
+            if coord(pid) > coord(pins[hi]) {
                 hi = k;
             }
         }
         let scale = net.weight * 2.0 / (cast::idx_f64(p) - 1.0);
-        for (k, &pid) in net.pins.iter().enumerate() {
+        for (k, &pid) in pins.iter().enumerate() {
             for &b in &[lo, hi] {
                 if k == b || (k == lo && b == hi) {
                     // Skip self-pairs; the lo–hi edge is visited once at
@@ -172,7 +173,7 @@ fn build_b2b_system(
                     continue;
                 }
                 {
-                    let bid = net.pins[b];
+                    let bid = pins[b];
                     let d = (coord(pid) - coord(bid)).abs().max(1e-3);
                     let w = scale / d;
                     // Movable cell coordinate = pin coordinate − offset;

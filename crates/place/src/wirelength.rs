@@ -13,7 +13,7 @@
 
 use puffer_db::cast;
 use puffer_db::design::Placement;
-use puffer_db::netlist::{Net, NetId, Netlist};
+use puffer_db::netlist::{NetId, Netlist};
 
 /// WA wirelength evaluation result: value and per-cell gradient.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,10 +78,10 @@ pub fn wa_wirelength_grad_threaded(
         for range in puffer_par::chunk_ranges(netlist.num_nets()) {
             let mut value = 0.0;
             for i in range {
-                let net = netlist.net(NetId(cast::idx_u32(i)));
-                value += net_wa_grad(netlist, placement, gamma, net, &mut scratch, &mut |axis,
-                                                                                        cell,
-                                                                                        g| {
+                let id = NetId(cast::idx_u32(i));
+                value += net_wa_grad(netlist, placement, gamma, id, &mut scratch, &mut |axis,
+                                                                                       cell,
+                                                                                       g| {
                     if axis == 0 {
                         out.grad_x[cell] += g;
                     } else {
@@ -100,16 +100,16 @@ pub fn wa_wirelength_grad_threaded(
         // order. Sized upfront: one entry per pin per axis.
         let pins: usize = range
             .clone()
-            .map(|i| netlist.net(NetId(cast::idx_u32(i))).degree())
+            .map(|i| netlist.net_degree(NetId(cast::idx_u32(i))))
             .sum();
         let mut contrib_x: Vec<(usize, f64)> = Vec::with_capacity(pins);
         let mut contrib_y: Vec<(usize, f64)> = Vec::with_capacity(pins);
         let mut scratch = NetScratch::default();
         for i in range {
-            let net = netlist.net(NetId(cast::idx_u32(i)));
-            value += net_wa_grad(netlist, placement, gamma, net, &mut scratch, &mut |axis,
-                                                                                    cell,
-                                                                                    g| {
+            let id = NetId(cast::idx_u32(i));
+            value += net_wa_grad(netlist, placement, gamma, id, &mut scratch, &mut |axis,
+                                                                                   cell,
+                                                                                   g| {
                 if axis == 0 {
                     contrib_x.push((cell, g));
                 } else {
@@ -152,11 +152,13 @@ fn net_wa_grad(
     netlist: &Netlist,
     placement: &Placement,
     gamma: f64,
-    net: &Net,
+    net: NetId,
     scratch: &mut NetScratch,
     emit: &mut impl FnMut(usize, usize, f64),
 ) -> f64 {
-    if net.degree() < 2 || net.weight == 0.0 {
+    let pins = netlist.net_pins(net);
+    let weight = netlist.net(net).weight;
+    if pins.len() < 2 || weight == 0.0 {
         return 0.0;
     }
     let NetScratch {
@@ -169,7 +171,7 @@ fn net_wa_grad(
     let mut value = 0.0;
     for axis in 0..2 {
         coords.clear();
-        for &pid in &net.pins {
+        for &pid in pins {
             let p = placement.pin_pos(netlist, pid);
             coords.push(if axis == 0 { p.x } else { p.y });
         }
@@ -198,7 +200,7 @@ fn net_wa_grad(
             sxm += x * em;
         }
         let wa = sxp / sp - sxm / sm;
-        value += net.weight * wa;
+        value += weight * wa;
 
         // Gradient: ∂WA⁺/∂xⱼ = ((1 + xⱼ/γ)·eⱼ⁺·S⁺ − eⱼ⁺·SX⁺/γ) / S⁺²
         //           ∂WA⁻/∂xⱼ = ((1 − xⱼ/γ)·eⱼ⁻·S⁻ + eⱼ⁻·SX⁻/γ) / S⁻²
@@ -209,7 +211,7 @@ fn net_wa_grad(
         // the (gather-indexed) emit separately.
         let inv_sp2 = 1.0 / (sp * sp);
         let inv_sm2 = 1.0 / (sm * sm);
-        let w = net.weight;
+        let w = weight;
         grads.clear();
         for j in 0..coords.len() {
             let x = coords[j];
@@ -219,7 +221,7 @@ fn net_wa_grad(
             let dm = ((1.0 - x * inv_gamma) * em * sm + em * sxm * inv_gamma) * inv_sm2;
             grads.push(w * (dp - dm));
         }
-        for (j, &pid) in net.pins.iter().enumerate() {
+        for (j, &pid) in pins.iter().enumerate() {
             emit(axis, netlist.pin(pid).cell.index(), grads[j]);
         }
     }

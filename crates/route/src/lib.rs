@@ -251,12 +251,11 @@ impl GlobalRouter {
             let mut cells: Vec<(u32, u32)> = Vec::new();
             for i in range {
                 let net_id = net_ids[i];
-                let net = netlist.net(net_id);
-                if net.degree() < 2 {
+                if netlist.net_degree(net_id) < 2 {
                     continue;
                 }
                 cells.clear();
-                for &pid in &net.pins {
+                for &pid in netlist.net_pins(net_id) {
                     let (ix, iy) = gridref.cell_of(placement.pin_pos(netlist, pid));
                     cells.push((cast::idx_u32(ix), cast::idx_u32(iy)));
                 }

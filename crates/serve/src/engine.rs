@@ -661,6 +661,7 @@ fn load_design(spec: &JobSpec) -> Result<Design, ExecError> {
     if let Some(name) = &spec.preset {
         let scale = spec.scale.unwrap_or(1.0);
         let cfg = puffer_gen::presets::by_name(name, scale)
+            .map_err(|e| ExecError::spec(format!("preset '{name}': {e}")))?
             .ok_or_else(|| ExecError::spec(format!("unknown preset '{name}'")))?;
         return puffer_gen::generate(&cfg)
             .map_err(|e| ExecError::spec(format!("preset '{name}': {e}")));

@@ -34,6 +34,7 @@
 //! | `congest.round` | `puffer-congest` | `overflow_h`, `overflow_v`, `demand`, `capacity`, `congested`, `h_hist`, `v_hist` |
 //! | `pad.round` | `puffer-pad` | `round`, `utilization`, `target_utilization`, `padded_cells`, `recycled_cells`, `scale` |
 //! | `explore.trial` | `puffer-explore` | `trial`, `status`, `objective`, `params` |
+//! | `flow.init` | `puffer` (core) | `scale_class`, `cells`, `congest_coarsen` |
 //! | `flow.done` | `puffer` (core) | `runtime_s`, `gp_iterations`, `pad_rounds`, `hpwl`, `overflow` |
 //! | `route.done` | `puffer` (core) | `hof_pct`, `vof_pct`, `wirelength`, `overflow_gcells`, `rounds` |
 //! | `flow.degrade` | `puffer` (core) | `step`, `fraction_remaining`, `iter` |

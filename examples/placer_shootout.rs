@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .nth(1)
         .map(|s| s.parse().expect("scale must be a number"))
         .unwrap_or(0.01);
-    let design = generate(&presets::by_name("media_subsys", scale).expect("preset exists"))?;
+    let design = generate(
+        &presets::by_name("media_subsys", scale)?.expect("preset exists"),
+    )?;
     println!(
         "benchmark {} at scale {scale}: {} cells, {} nets\n",
         design.name(),

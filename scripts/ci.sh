@@ -95,11 +95,12 @@ cmp "$SMOKE_DIR/inc.pl" "$SMOKE_DIR/full.pl"
 echo "==> bounded execution smoke (place --deadline + puffer chaos)"
 "$PUFFER" place "$SMOKE_DIR/smoke.pd" -o "$SMOKE_DIR/deadline.pl" \
   --deadline 0.001 --degrade default
-"$PUFFER" chaos --seeds 8
+"$PUFFER" chaos --seeds 9
 
 # Durable I/O gates: the fsx unit suite with the fault hooks compiled in,
 # then 24 seeded filesystem-fault injections (disk-full, torn-write,
-# fsync-fail, rename-fail) through the flow-level chaos harness. Every
+# fsync-fail, rename-fail, short-read) through the flow-level chaos
+# harness. Every
 # injection must end in a legal end state: a valid result, a resumable
 # checkpoint that replays bit-identically, or a structured error.
 echo "==> fsx chaos smoke (unit suite + puffer chaos --classes fs --seeds 24)"
@@ -149,5 +150,16 @@ target/release/benchflow --congest-gate --scale 0.5 --designs or1200 \
 # Flow benchmark artifacts (BENCH_<design>.json under target/bench).
 echo "==> scripts/bench.sh (BENCH_*.json artifacts)"
 scripts/bench.sh target/bench
+
+# Nightly-style scale regressions, opt-in via PUFFER_NIGHTLY=1: the
+# million-cell streaming-ingestion RSS test (cargo feature `expensive`)
+# and the benchflow scale gate, which places a 1M+ cell design (ct_top at
+# scale 1.0) under a bounded-RSS assertion and writes BENCH_CT_TOP.json.
+if [[ "${PUFFER_NIGHTLY:-0}" == "1" ]]; then
+  echo "==> nightly: million-cell scale regression (--features expensive)"
+  cargo test --features expensive --test scale_regression -- --nocapture
+  echo "==> nightly: scale gate (benchflow --scale-gate)"
+  target/release/benchflow --scale-gate --out target/scale-gate
+fi
 
 echo "==> CI green"

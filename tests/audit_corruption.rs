@@ -12,7 +12,7 @@ use puffer_audit::{
 };
 use puffer_db::design::Design;
 use puffer_db::geom::{Point, Rect};
-use puffer_db::netlist::{Cell, CellKind, Net, Netlist, Pin};
+use puffer_db::netlist::{Cell, CellKind, Net, Netlist, Pin, PinId};
 use puffer_db::tech::Technology;
 use puffer_gen::{generate, GeneratorConfig};
 use puffer_pad::{PaddingState, PaddingStrategy};
@@ -52,26 +52,28 @@ fn assert_caught<V: Validate>(subject: &V, check: &str) {
 // ---------------------------------------------------------------------------
 
 /// A two-cell, one-net netlist assembled by hand so tests can corrupt it.
-fn raw_two_cell_netlist() -> (Vec<Cell>, Vec<Net>, Vec<Pin>) {
+/// Membership lists (which pins each cell/net claims) are returned
+/// separately because the struct-of-arrays netlist stores them in CSR
+/// form, not inside `Cell`/`Net`.
+type RawNetlist = (Vec<Cell>, Vec<Net>, Vec<Pin>, Vec<Vec<PinId>>, Vec<Vec<PinId>>);
+
+fn raw_two_cell_netlist() -> RawNetlist {
     let cells = vec![
         Cell {
             name: "a".into(),
             width: 2.0,
             height: 1.0,
             kind: CellKind::Movable,
-            pins: vec![puffer_db::netlist::PinId(0)],
         },
         Cell {
             name: "b".into(),
             width: 2.0,
             height: 1.0,
             kind: CellKind::Movable,
-            pins: vec![puffer_db::netlist::PinId(1)],
         },
     ];
     let nets = vec![Net {
         name: "n".into(),
-        pins: vec![puffer_db::netlist::PinId(0), puffer_db::netlist::PinId(1)],
         weight: 1.0,
     }];
     let pins = vec![
@@ -86,7 +88,9 @@ fn raw_two_cell_netlist() -> (Vec<Cell>, Vec<Net>, Vec<Pin>) {
             offset: Point::ORIGIN,
         },
     ];
-    (cells, nets, pins)
+    let cell_pins = vec![vec![PinId(0)], vec![PinId(1)]];
+    let net_pins = vec![vec![PinId(0), PinId(1)]];
+    (cells, nets, pins, cell_pins, net_pins)
 }
 
 fn design_of(netlist: Netlist) -> Design {
@@ -101,14 +105,14 @@ fn design_of(netlist: Netlist) -> Design {
 
 #[test]
 fn pristine_raw_netlist_passes() {
-    let (cells, nets, pins) = raw_two_cell_netlist();
-    let d = design_of(Netlist::from_raw_parts(cells, nets, pins));
+    let (cells, nets, pins, cell_pins, net_pins) = raw_two_cell_netlist();
+    let d = design_of(Netlist::from_raw_parts(cells, nets, pins, cell_pins, net_pins));
     d.validate().expect("uncorrupted design must validate");
 }
 
 #[test]
 fn dangling_pin_is_detected() {
-    let (cells, nets, mut pins) = raw_two_cell_netlist();
+    let (cells, nets, mut pins, cell_pins, net_pins) = raw_two_cell_netlist();
     // A third pin exists in the pin table but neither its cell nor its net
     // lists it — wirelength and density would silently ignore it.
     pins.push(Pin {
@@ -116,33 +120,33 @@ fn dangling_pin_is_detected() {
         net: puffer_db::netlist::NetId(0),
         offset: Point::ORIGIN,
     });
-    let d = design_of(Netlist::from_raw_parts(cells, nets, pins));
+    let d = design_of(Netlist::from_raw_parts(cells, nets, pins, cell_pins, net_pins));
     assert_caught(&d, "dangling-pin");
 }
 
 #[test]
 fn degenerate_weighted_net_is_detected() {
-    let (cells, mut nets, pins) = raw_two_cell_netlist();
+    let (cells, nets, pins, cell_pins, mut net_pins) = raw_two_cell_netlist();
     // Drop the net's second pin: weight 1 but degree 1 can never
     // contribute wirelength.
-    nets[0].pins.truncate(1);
-    let d = design_of(Netlist::from_raw_parts(cells, nets, pins));
+    net_pins[0].truncate(1);
+    let d = design_of(Netlist::from_raw_parts(cells, nets, pins, cell_pins, net_pins));
     assert_caught(&d, "degenerate-net");
 }
 
 #[test]
 fn pin_outside_cell_bounds_is_detected() {
-    let (cells, nets, mut pins) = raw_two_cell_netlist();
+    let (cells, nets, mut pins, cell_pins, net_pins) = raw_two_cell_netlist();
     pins[0].offset = Point::new(5.0, 0.0); // half-width is 1.0
-    let d = design_of(Netlist::from_raw_parts(cells, nets, pins));
+    let d = design_of(Netlist::from_raw_parts(cells, nets, pins, cell_pins, net_pins));
     assert_caught(&d, "pin-outside-cell");
 }
 
 #[test]
 fn zero_area_cell_is_detected() {
-    let (mut cells, nets, pins) = raw_two_cell_netlist();
+    let (mut cells, nets, pins, cell_pins, net_pins) = raw_two_cell_netlist();
     cells[1].width = 0.0;
-    let d = design_of(Netlist::from_raw_parts(cells, nets, pins));
+    let d = design_of(Netlist::from_raw_parts(cells, nets, pins, cell_pins, net_pins));
     assert_caught(&d, "zero-area-cell");
 }
 

@@ -19,9 +19,9 @@ fn to_bookshelf(design: &Design) -> (String, String, String, String) {
         }
     }
     let mut nets = String::from("UCLA nets 1.0\n");
-    for (_, net) in nl.iter_nets() {
-        nets.push_str(&format!("NetDegree : {} {}\n", net.degree(), net.name));
-        for &pid in &net.pins {
+    for (id, net) in nl.iter_nets() {
+        nets.push_str(&format!("NetDegree : {} {}\n", nl.net_degree(id), net.name));
+        for &pid in nl.net_pins(id) {
             let pin = nl.pin(pid);
             nets.push_str(&format!(
                 " {} B : {} {}\n",

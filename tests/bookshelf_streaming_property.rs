@@ -1,0 +1,170 @@
+//! Property test: the streaming Bookshelf front-end is bit-identical to
+//! the slurping one.
+//!
+//! Both front-ends drive the same per-line parser, but they differ in how
+//! they feed it (whole-string iteration vs a reused `BufRead` line
+//! buffer), so this test throws randomized designs *and* randomized
+//! whitespace mutilations — CRLF line endings, interleaved comments,
+//! blank lines, trailing horizontal garbage — at both and requires the
+//! resulting designs to archive to identical bytes.
+
+use puffer_db::bookshelf::{parse_bookshelf, parse_bookshelf_streaming, write_pl};
+use puffer_db::design::Design;
+use puffer_db::io::write_design;
+use puffer_gen::{generate, GeneratorConfig};
+use puffer_rng::StdRng;
+
+/// Builds Bookshelf text for a generated design (same shape as the
+/// round-trip fixture in `bookshelf_flow.rs`).
+fn to_bookshelf(design: &Design) -> (String, String, String, String) {
+    let nl = design.netlist();
+    let mut nodes = String::from("UCLA nodes 1.0\n");
+    for (_, c) in nl.iter_cells() {
+        if c.is_movable() {
+            nodes.push_str(&format!("{} {} {}\n", c.name, c.width, c.height));
+        } else {
+            nodes.push_str(&format!("{} {} {} terminal\n", c.name, c.width, c.height));
+        }
+    }
+    let mut nets = String::from("UCLA nets 1.0\n");
+    for (id, net) in nl.iter_nets() {
+        nets.push_str(&format!("NetDegree : {} {}\n", nl.net_degree(id), net.name));
+        for &pid in nl.net_pins(id) {
+            let pin = nl.pin(pid);
+            nets.push_str(&format!(
+                " {} B : {} {}\n",
+                nl.cell(pin.cell).name,
+                pin.offset.x,
+                pin.offset.y
+            ));
+        }
+    }
+    let pl = write_pl(design, &design.initial_placement());
+    let region = design.region();
+    let tech = design.tech();
+    let n_rows = (region.height() / tech.row_height).floor() as usize;
+    let n_sites = (region.width() / tech.site_width).floor() as usize;
+    let mut scl = String::from("UCLA scl 1.0\n");
+    for i in 0..n_rows {
+        scl.push_str(&format!(
+            "CoreRow Horizontal\n Coordinate : {}\n Height : {}\n Sitewidth : {}\n \
+             SubrowOrigin : {} NumSites : {}\nEnd\n",
+            region.yl + i as f64 * tech.row_height,
+            tech.row_height,
+            tech.site_width,
+            region.xl,
+            n_sites
+        ));
+    }
+    (nodes, nets, pl, scl)
+}
+
+/// Randomly mutilates Bookshelf text in ways the format tolerates:
+/// comment lines, blank lines, CRLF endings, and trailing spaces/tabs.
+/// The *content* lines (and their order) are untouched.
+fn mutilate(text: &str, rng: &mut StdRng) -> String {
+    let mut out = String::with_capacity(text.len() * 2);
+    for line in text.lines() {
+        if rng.gen_bool(0.10) {
+            out.push_str("# a comment the parser must skip\n");
+        }
+        if rng.gen_bool(0.08) {
+            out.push('\n');
+        }
+        out.push_str(line);
+        if rng.gen_bool(0.15) {
+            // Trailing horizontal garbage: spaces and tabs only, so the
+            // trimmed content is unchanged.
+            out.push_str(" \t  ");
+        }
+        if rng.gen_bool(0.5) {
+            out.push_str("\r\n");
+        } else {
+            out.push('\n');
+        }
+    }
+    if rng.gen_bool(0.5) {
+        out.push_str("\n\n# trailing comment\n\n");
+    }
+    out
+}
+
+/// Archives a design to its canonical byte representation.
+fn archive(design: &Design) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_design(design, &mut buf).expect("archive");
+    buf
+}
+
+#[test]
+fn streaming_parser_matches_slurping_parser_on_random_designs() {
+    let mut rng = StdRng::seed_from_u64(0xB00C_5E1F);
+    for case in 0..12u64 {
+        let cells = rng.gen_range(20..220);
+        let config = GeneratorConfig {
+            name: format!("prop{case}"),
+            num_cells: cells,
+            num_nets: cells + rng.gen_range(0..cells / 2 + 1),
+            num_macros: rng.gen_range(0..3),
+            utilization: 0.5 + rng.next_f64() * 0.2,
+            hotspot: if rng.gen_bool(0.3) { 0.5 } else { 0.0 },
+            seed: 0x5EED_0000 + case,
+            ..GeneratorConfig::default()
+        };
+        let design = generate(&config).expect("generate");
+        let (nodes, nets, pl, scl) = to_bookshelf(&design);
+        let (nodes, nets, pl, scl) = (
+            mutilate(&nodes, &mut rng),
+            mutilate(&nets, &mut rng),
+            mutilate(&pl, &mut rng),
+            mutilate(&scl, &mut rng),
+        );
+
+        let slurped =
+            parse_bookshelf("prop", &nodes, &nets, &pl, &scl).expect("slurp parse");
+        let streamed = parse_bookshelf_streaming(
+            "prop",
+            nodes.as_bytes(),
+            nets.as_bytes(),
+            pl.as_bytes(),
+            scl.as_bytes(),
+        )
+        .expect("streaming parse");
+
+        assert_eq!(
+            archive(&slurped),
+            archive(&streamed),
+            "case {case}: front-ends disagree"
+        );
+        // And the mutilation really was harmless: structure matches the
+        // generated original.
+        assert_eq!(
+            slurped.stats().movable_cells,
+            design.stats().movable_cells,
+            "case {case}"
+        );
+        assert_eq!(slurped.stats().nets, design.stats().nets, "case {case}");
+    }
+}
+
+#[test]
+fn streaming_parser_matches_slurp_on_pathological_line_endings() {
+    // Deterministic worst case: every line CRLF, comments between records,
+    // no trailing newline on the final line.
+    let nodes = "UCLA nodes 1.0\r\n# c\r\na 2 1\r\nb 2 1\r\n\r\nm 4 1 terminal\r\n";
+    let nets = "UCLA nets 1.0\r\nNetDegree : 2 n0\r\n a B : 0 0\r\n b B : 0.5 0\r\n# done";
+    let pl = "UCLA pl 1.0\r\nm 10 0 : N /FIXED\r\n";
+    let scl = "UCLA scl 1.0\r\nCoreRow Horizontal\r\n Coordinate : 0\r\n Height : 1\r\n \
+               Sitewidth : 0.2\r\n SubrowOrigin : 0 NumSites : 100\r\nEnd\r\n";
+    let slurped = parse_bookshelf("crlf", nodes, nets, pl, scl).expect("slurp");
+    let streamed = parse_bookshelf_streaming(
+        "crlf",
+        nodes.as_bytes(),
+        nets.as_bytes(),
+        pl.as_bytes(),
+        scl.as_bytes(),
+    )
+    .expect("stream");
+    assert_eq!(archive(&slurped), archive(&streamed));
+    assert_eq!(slurped.stats().nets, 1);
+}

@@ -14,7 +14,7 @@ fn quick_config() -> PufferConfig {
 
 #[test]
 fn preset_benchmark_places_and_routes() {
-    let design = generate(&presets::or1200(0.002)).expect("generate");
+    let design = generate(&presets::or1200(0.002).expect("preset")).expect("generate");
     let result = PufferPlacer::new(quick_config())
         .place(&design)
         .expect("place");
